@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Ablation of the classifier featurization (DESIGN.md decision #6) and
+ * of the attacker's measurement primitive.
+ *
+ * Featurization: the pipeline feeds the CNN-LSTM two channels per time
+ * bucket — bucket mean (coarse profile) and sub-bucket dip depth (fine
+ * interrupt texture). This harness measures each channel alone, the
+ * combination, and the effect of dropping winsorization.
+ *
+ * Primitive: compares the loop-counting trace against the gap-trace
+ * attacker (per-period stolen time from CLOCK_MONOTONIC polling), the
+ * paper's Section 5.2 observation that different attack code sees the
+ * same channel.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "stats/descriptive.hh"
+
+using namespace bigfish;
+
+namespace {
+
+/** Builds a dataset with a configurable featurization. */
+ml::Dataset
+makeDataset(const attack::TraceSet &traces, std::size_t feature_len,
+            int num_classes, bool mean_channel, bool dip_channel,
+            bool winsorized)
+{
+    ml::Dataset data;
+    const auto means = traces.toFeatures(feature_len);
+    const auto dips = traces.toDipFeatures(feature_len);
+    const auto labels = traces.labels();
+    for (std::size_t i = 0; i < means.size(); ++i) {
+        std::vector<double> x;
+        if (mean_channel) {
+            auto m = winsorized ? stats::winsorize(means[i]) : means[i];
+            const auto z = stats::zscore(m);
+            x.insert(x.end(), z.begin(), z.end());
+        }
+        if (dip_channel) {
+            const auto z = stats::zscore(dips[i]);
+            x.insert(x.end(), z.begin(), z.end());
+        }
+        data.add(std::move(x), labels[i]);
+    }
+    data.numClasses = std::max(data.numClasses, num_classes);
+    return data;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::printBanner(
+        "ablation_featurization: classifier input channels & primitives",
+        "DESIGN.md decision #6 (not a paper table)", scale);
+
+    core::CollectionConfig config;
+    config.browser = web::BrowserProfile::chrome();
+    config.seed = scale.seed;
+    const web::SiteCatalog catalog(scale.sites, 7);
+    const core::TraceCollector collector(config);
+    const auto traces =
+        collector.collectClosedWorld(catalog, scale.tracesPerSite);
+
+    ml::EvalConfig eval;
+    eval.folds = scale.folds;
+    eval.seed = scale.seed;
+
+    struct Variant
+    {
+        const char *name;
+        bool mean, dip, winsor;
+        std::size_t channels;
+    };
+    const Variant variants[] = {
+        {"mean + dip (default)", true, true, true, 2},
+        {"mean only", true, false, true, 1},
+        {"dip only", false, true, true, 1},
+        {"mean + dip, no winsorize", true, true, false, 2},
+    };
+
+    Table table({"featurization", "top-1", "top-5"});
+    for (const auto &v : variants) {
+        const auto data = makeDataset(traces, scale.featureLen,
+                                      scale.sites, v.mean, v.dip,
+                                      v.winsor);
+        auto params = ml::CnnLstmParams::traceDefaults();
+        params.inputChannels = v.channels;
+        const auto result =
+            ml::crossValidate(ml::cnnLstmFactory(params), data, eval);
+        table.addRow({v.name, formatPercentPm(result.top1Mean,
+                                              result.top1Std),
+                      formatPercent(result.top5Mean)});
+        std::printf("finished: %s\n", v.name);
+    }
+    std::printf("\nFEATURIZATION ABLATION (chance = %.1f%%)\n%s",
+                100.0 / scale.sites, table.render().c_str());
+
+    // Measurement-primitive comparison: loop counter vs gap trace.
+    attack::TraceSet gap_traces;
+    for (SiteId id = 0; id < catalog.size(); ++id) {
+        for (int run = 0; run < scale.tracesPerSite; ++run) {
+            const auto timeline =
+                collector.synthesizeTimeline(catalog.site(id), run);
+            attack::Trace t = attack::collectGapTrace(
+                timeline, config.effectivePeriod());
+            t.siteId = id;
+            t.label = id;
+            gap_traces.add(std::move(t));
+        }
+    }
+    const auto gap_data = core::toDataset(gap_traces, scale.featureLen,
+                                          scale.sites);
+    const auto gap_result = ml::crossValidate(
+        bench::makeClassifier(scale), gap_data, eval);
+    const auto loop_data =
+        core::toDataset(traces, scale.featureLen, scale.sites);
+    const auto loop_result = ml::crossValidate(
+        bench::makeClassifier(scale), loop_data, eval);
+
+    Table prim({"measurement primitive", "top-1", "top-5"});
+    prim.addRow({"loop counter (throughput)",
+                 formatPercentPm(loop_result.top1Mean,
+                                 loop_result.top1Std),
+                 formatPercent(loop_result.top5Mean)});
+    prim.addRow({"monotonic-clock gaps (stolen time)",
+                 formatPercentPm(gap_result.top1Mean, gap_result.top1Std),
+                 formatPercent(gap_result.top5Mean)});
+    std::printf("\nMEASUREMENT-PRIMITIVE COMPARISON\n%s",
+                prim.render().c_str());
+    std::printf("\nexpected: both primitives fingerprint websites — the "
+                "channel is the interrupt\nactivity itself, not any one "
+                "way of observing it (Section 5.2).\n");
+    return 0;
+}

@@ -1,0 +1,123 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace bigfish::bench {
+
+namespace {
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *value = std::getenv(name);
+    return value != nullptr ? std::atol(value) : fallback;
+}
+
+bool
+parseFlag(const char *arg, const char *name, long &out)
+{
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        out = std::atol(arg + len + 1);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+BenchScale
+parseScale(int argc, char **argv)
+{
+    BenchScale scale;
+    scale.sites = static_cast<int>(envLong("BF_SITES", scale.sites));
+    scale.tracesPerSite =
+        static_cast<int>(envLong("BF_TRACES", scale.tracesPerSite));
+    scale.openWorldExtra =
+        static_cast<int>(envLong("BF_OPEN", scale.openWorldExtra));
+    scale.featureLen = static_cast<std::size_t>(
+        envLong("BF_FEATURES", static_cast<long>(scale.featureLen)));
+    scale.folds = static_cast<int>(envLong("BF_FOLDS", scale.folds));
+    scale.seed = static_cast<std::uint64_t>(envLong("BF_SEED", 2022));
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        long value = 0;
+        if (parseFlag(arg, "--sites", value)) {
+            scale.sites = static_cast<int>(value);
+        } else if (parseFlag(arg, "--traces", value)) {
+            scale.tracesPerSite = static_cast<int>(value);
+        } else if (parseFlag(arg, "--open", value)) {
+            scale.openWorldExtra = static_cast<int>(value);
+        } else if (parseFlag(arg, "--features", value)) {
+            scale.featureLen = static_cast<std::size_t>(value);
+        } else if (parseFlag(arg, "--folds", value)) {
+            scale.folds = static_cast<int>(value);
+        } else if (parseFlag(arg, "--seed", value)) {
+            scale.seed = static_cast<std::uint64_t>(value);
+        } else if (std::strcmp(arg, "--paper-model") == 0) {
+            scale.paperModel = true;
+        } else if (std::strcmp(arg, "--full") == 0) {
+            scale.sites = 100;
+            scale.tracesPerSite = 100;
+            scale.openWorldExtra = 5000;
+            scale.folds = 10;
+        } else {
+            fatal(std::string("unknown flag: ") + arg +
+                  " (supported: --sites= --traces= --open= --features= "
+                  "--folds= --seed= --paper-model --full)");
+        }
+    }
+    fatalIf(scale.sites < 2 || scale.tracesPerSite < 1,
+            "bench scale must include >=2 sites and >=1 trace");
+    return scale;
+}
+
+ml::ClassifierFactory
+makeClassifier(const BenchScale &scale)
+{
+    ml::CnnLstmParams params = scale.paperModel
+                                   ? ml::CnnLstmParams::paperScale()
+                                   : ml::CnnLstmParams::traceDefaults();
+    // The fingerprinting pipeline always emits the two-channel
+    // (mean + dip-depth) featurization.
+    params.inputChannels = 2;
+    return ml::cnnLstmFactory(params);
+}
+
+core::PipelineConfig
+makePipeline(const BenchScale &scale)
+{
+    core::PipelineConfig pipeline;
+    pipeline.numSites = scale.sites;
+    pipeline.tracesPerSite = scale.tracesPerSite;
+    pipeline.featureLen = scale.featureLen;
+    pipeline.eval.folds = scale.folds;
+    pipeline.eval.seed = scale.seed;
+    pipeline.factory = makeClassifier(scale);
+    return pipeline;
+}
+
+void
+printBanner(const std::string &experiment,
+            const std::string &paper_reference, const BenchScale &scale)
+{
+    std::printf("================================================------\n");
+    std::printf("%s\n", experiment.c_str());
+    std::printf("reproduces: %s\n", paper_reference.c_str());
+    std::printf("scale: %d sites x %d traces, %zu features, %d folds, "
+                "seed %llu%s\n",
+                scale.sites, scale.tracesPerSite, scale.featureLen,
+                scale.folds,
+                static_cast<unsigned long long>(scale.seed),
+                scale.paperModel ? ", paper-scale model" : "");
+    std::printf("(paper scale: 100 sites x 100 traces, 10 folds; run with "
+                "--full)\n");
+    std::printf("================================================------\n");
+}
+
+} // namespace bigfish::bench

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harnesses (one binary per
+ * paper table/figure).
+ *
+ * Every harness accepts the same scale knobs so the whole suite can run
+ * quickly by default yet scale up toward the paper's dimensions:
+ *
+ *   --sites=N     closed-world sites            (default 20, paper 100)
+ *   --traces=N    traces per site               (default 20, paper 100)
+ *   --open=N      open-world one-off traces     (default 60, paper 5000)
+ *   --features=N  classifier input length       (default 256)
+ *   --folds=N     cross-validation folds        (default 5, paper 10)
+ *   --seed=N      master seed                   (default 2022)
+ *   --paper-model use the paper's exact CNN-LSTM hyperparameters
+ *   --full        paper-scale dataset (implies 100/100/5000, 10 folds)
+ *
+ * Environment variables BF_SITES, BF_TRACES, BF_OPEN, BF_FEATURES,
+ * BF_FOLDS, BF_SEED override the defaults before flags are applied.
+ */
+
+#ifndef BF_BENCH_COMMON_HH
+#define BF_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/collector.hh"
+#include "core/pipeline.hh"
+
+namespace bigfish::bench {
+
+/** Common scale knobs shared by every harness. */
+struct BenchScale
+{
+    int sites = 20;
+    int tracesPerSite = 20;
+    int openWorldExtra = 60;
+    std::size_t featureLen = 256;
+    int folds = 5;
+    std::uint64_t seed = 2022;
+    bool paperModel = false;
+};
+
+/** Parses env vars then command-line flags. Unknown flags are fatal. */
+BenchScale parseScale(int argc, char **argv);
+
+/** Builds a PipelineConfig from the scale (closed world only). */
+core::PipelineConfig makePipeline(const BenchScale &scale);
+
+/** The classifier factory the scale selects. */
+ml::ClassifierFactory makeClassifier(const BenchScale &scale);
+
+/** Prints the harness banner: experiment id, paper reference, scale. */
+void printBanner(const std::string &experiment,
+                 const std::string &paper_reference,
+                 const BenchScale &scale);
+
+} // namespace bigfish::bench
+
+#endif // BF_BENCH_COMMON_HH

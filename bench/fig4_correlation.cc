@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 4: normalized traces averaged over many runs, collected with
+ * the loop-counting and sweep-counting attackers on the same sites.
+ *
+ * The paper reports Pearson correlations between the two attackers'
+ * averaged traces of r = 0.87 (nytimes.com), 0.79 (amazon.com) and
+ * 0.94 (weather.com) — evidence that both attackers are shaped by the
+ * same system events. We reproduce the same averaging and correlation.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+#include "stats/descriptive.hh"
+#include "web/catalog.hh"
+
+using namespace bigfish;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::printBanner(
+        "fig4_correlation: loop-counting vs sweep-counting trace shapes",
+        "Figure 4 (averaged normalized traces; r = 0.87/0.79/0.94)",
+        scale);
+
+    // The paper averages 100 runs; default to a faster 30 unless --full.
+    const int runs = scale.tracesPerSite >= 100 ? 100 : 30;
+
+    core::CollectionConfig loop_config;
+    loop_config.attacker = attack::AttackerKind::LoopCounting;
+    loop_config.seed = scale.seed;
+    core::CollectionConfig sweep_config = loop_config;
+    sweep_config.attacker = attack::AttackerKind::SweepCounting;
+
+    const core::TraceCollector loop_collector(loop_config);
+    const core::TraceCollector sweep_collector(sweep_config);
+
+    const double paper_r[] = {0.87, 0.79, 0.94};
+
+    Table table({"website", "runs", "paper r", "measured r",
+                 "loop max", "sweep max"});
+    int site_index = 0;
+    for (const auto &site : web::SiteCatalog::exampleSites()) {
+        std::vector<std::vector<double>> loop_runs, sweep_runs;
+        double loop_max = 0.0, sweep_max = 0.0;
+        for (int run = 0; run < runs; ++run) {
+            const auto loop = loop_collector.collectOne(site, run);
+            const auto sweep = sweep_collector.collectOne(site, run);
+            loop_runs.push_back(
+                stats::downsample(loop.normalized(), 300));
+            sweep_runs.push_back(
+                stats::downsample(sweep.normalized(), 300));
+            loop_max = std::max(loop_max, loop.maxCount());
+            sweep_max = std::max(sweep_max, sweep.maxCount());
+        }
+        const double r = stats::pearson(stats::elementwiseMean(loop_runs),
+                                        stats::elementwiseMean(sweep_runs));
+        table.addRow({site.name, std::to_string(runs),
+                      formatDouble(paper_r[site_index], 2),
+                      formatDouble(r, 2), formatDouble(loop_max, 0),
+                      formatDouble(sweep_max, 0)});
+        ++site_index;
+    }
+    std::printf("\n%s\n", table.render().c_str());
+    std::printf("paper context: maximum counts were ~27,000 iterations for "
+                "the loop attacker\nand ~32 sweeps for the sweep attacker; "
+                "averaged traces are strongly correlated.\n");
+    return 0;
+}

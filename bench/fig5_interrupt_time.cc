@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 5 + the Section 5.2 attribution headline.
+ *
+ * With movable IRQs pinned away from the attacker's core, the eBPF
+ * tracer measures the share of each 100 ms interval spent in interrupt
+ * handlers (split softirq vs rescheduling IPI) averaged over many runs
+ * of the three example sites — the profile that visually matches the
+ * Figure 3 trace strips. The harness also reports the fraction of
+ * user-space execution gaps >100 ns attributable to interrupts, which
+ * the paper finds to exceed 99%.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "ktrace/attribution.hh"
+#include "stats/descriptive.hh"
+#include "web/catalog.hh"
+
+using namespace bigfish;
+
+namespace {
+
+void
+renderSeries(const char *label, const std::vector<double> &series)
+{
+    const double peak = stats::maxValue(series);
+    std::printf("  %-10s|", label);
+    for (double v : series) {
+        const int level =
+            peak > 0.0 ? std::min(9, static_cast<int>(v / peak * 9.99))
+                       : 0;
+        std::printf("%c", " .:-=+*#%@"[level]);
+    }
+    std::printf("| peak %.2f%%\n", peak * 100.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::printBanner(
+        "fig5_interrupt_time: time spent in interrupt handlers",
+        "Figure 5 + Section 5.2 (>99% of gaps >100 ns are interrupts)",
+        scale);
+
+    // Paper setup: irqbalance pins IRQs away; attacker pinned to a core.
+    core::CollectionConfig config;
+    config.machine.routing = sim::IrqRoutingPolicy::PinnedAway;
+    config.machine.pinnedCores = true;
+    config.browser = web::BrowserProfile::nativeRust();
+    config.seed = scale.seed;
+    const core::TraceCollector collector(config);
+
+    const int runs = scale.tracesPerSite >= 100 ? 100 : 25;
+    std::size_t total_gaps = 0, attributed = 0;
+
+    std::printf("\n%% of each 100 ms interval spent in non-movable "
+                "interrupt handlers (averaged over %d runs):\n\n", runs);
+
+    for (const auto &site : web::SiteCatalog::exampleSites()) {
+        std::vector<std::vector<double>> softirq_runs, resched_runs,
+            total_runs;
+        for (int run = 0; run < runs; ++run) {
+            const auto timeline = collector.synthesizeTimeline(site, run);
+            const auto records = ktrace::KernelTracer().record(timeline);
+            const auto profile = ktrace::KernelTracer::profile(
+                records, timeline.duration);
+            softirq_runs.push_back(profile.softirqFraction);
+            resched_runs.push_back(profile.reschedFraction);
+            total_runs.push_back(profile.totalFraction);
+
+            const auto report = ktrace::summarize(ktrace::attributeGaps(
+                ktrace::GapDetector().detect(timeline), records));
+            total_gaps += report.totalGaps;
+            attributed += report.attributedToInterrupt;
+        }
+        std::printf("%s (0 .. 15 s)\n", site.name.c_str());
+        renderSeries("softirq", stats::elementwiseMean(softirq_runs));
+        renderSeries("resched", stats::elementwiseMean(resched_runs));
+        renderSeries("total", stats::elementwiseMean(total_runs));
+        std::printf("\n");
+    }
+
+    const double fraction = total_gaps > 0
+                                ? static_cast<double>(attributed) /
+                                      static_cast<double>(total_gaps)
+                                : 0.0;
+    std::printf("gap attribution (threshold 100 ns):\n");
+    std::printf("  paper:    >99%% of gaps caused by interrupts\n");
+    std::printf("  measured: %.2f%% of %zu gaps attributed to "
+                "interrupts\n", fraction * 100.0, total_gaps);
+    std::printf("\nexpected shape: nytimes interrupt time concentrated in "
+                "the first ~4 s;\namazon spikes near 5 s and 10 s; weather "
+                "shows recurring resched activity.\n");
+    return 0;
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the core components, including
+ * the ablation DESIGN.md calls out: the closed-form ExecutionEngine vs
+ * a brute-force per-iteration interpreter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "attack/attacker.hh"
+#include "core/collector.hh"
+#include "ktrace/attribution.hh"
+#include "ml/classifier.hh"
+#include "ml/conv.hh"
+#include "ml/lstm.hh"
+#include "sim/engine.hh"
+#include "sim/synthesizer.hh"
+#include "web/catalog.hh"
+
+using namespace bigfish;
+
+namespace {
+
+sim::RunTimeline
+benchTimeline(TimeNs duration)
+{
+    Rng rng(1);
+    const auto activity = web::realizeWorkload(
+        web::amazonSignature(0), duration, 1.0, web::RealizationNoise{},
+        rng);
+    sim::InterruptSynthesizer synth(sim::MachineConfig::linuxDesktop());
+    Rng synth_rng(2);
+    return synth.synthesize(activity, synth_rng);
+}
+
+void
+BM_SynthesizeTimeline(benchmark::State &state)
+{
+    Rng rng(1);
+    const auto activity = web::realizeWorkload(
+        web::amazonSignature(0), 15 * kSec, 1.0, web::RealizationNoise{},
+        rng);
+    sim::InterruptSynthesizer synth(sim::MachineConfig::linuxDesktop());
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        Rng synth_rng(seed++);
+        benchmark::DoNotOptimize(synth.synthesize(activity, synth_rng));
+    }
+}
+BENCHMARK(BM_SynthesizeTimeline);
+
+void
+BM_EngineClosedForm(benchmark::State &state)
+{
+    const auto timeline = benchTimeline(15 * kSec);
+    timers::PreciseTimer timer;
+    for (auto _ : state) {
+        sim::ExecutionEngine engine(
+            timeline,
+            std::vector<double>(timeline.iterCostFactor.size(), 185.0));
+        sim::PeriodResult result;
+        std::int64_t total = 0;
+        while (engine.runPeriod(timer, 5 * kMsec, result))
+            total += result.iterations;
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetLabel("15 s trace, ~81M simulated iterations");
+}
+BENCHMARK(BM_EngineClosedForm);
+
+void
+BM_EngineBruteForceReference(benchmark::State &state)
+{
+    // The ablation: what trace collection would cost without the
+    // closed-form stepping (on a shorter run to stay tractable).
+    const auto timeline = benchTimeline(200 * kMsec);
+    timers::PreciseTimer timer;
+    for (auto _ : state) {
+        double t = 0.0;
+        std::size_t idx = 0;
+        std::int64_t total = 0;
+        const double duration = static_cast<double>(timeline.duration);
+        while (t < duration) {
+            const TimeNs begin =
+                timer.observe(static_cast<TimeNs>(std::llround(t)));
+            std::int64_t counter = 0;
+            while (true) {
+                double rem = 185.0;
+                while (idx < timeline.stolen.size() &&
+                       static_cast<double>(
+                           timeline.stolen[idx].arrival) <= t + rem) {
+                    rem -= std::max(
+                        0.0,
+                        static_cast<double>(
+                            timeline.stolen[idx].arrival) - t);
+                    t = static_cast<double>(timeline.stolen[idx].end());
+                    ++idx;
+                }
+                t += rem;
+                ++counter;
+                if (timer.observe(static_cast<TimeNs>(std::llround(t))) -
+                        begin >=
+                    5 * kMsec)
+                    break;
+                if (t >= duration)
+                    break;
+            }
+            total += counter;
+        }
+        benchmark::DoNotOptimize(total);
+    }
+    state.SetLabel("0.2 s trace (75x shorter than the closed-form run)");
+}
+BENCHMARK(BM_EngineBruteForceReference);
+
+void
+BM_CollectLoopTrace(benchmark::State &state)
+{
+    core::CollectionConfig config;
+    const core::TraceCollector collector(config);
+    const auto site = web::nytimesSignature(0);
+    int run = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(collector.collectOne(site, run++));
+}
+BENCHMARK(BM_CollectLoopTrace);
+
+void
+BM_CollectSweepTrace(benchmark::State &state)
+{
+    core::CollectionConfig config;
+    config.attacker = attack::AttackerKind::SweepCounting;
+    const core::TraceCollector collector(config);
+    const auto site = web::nytimesSignature(0);
+    int run = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(collector.collectOne(site, run++));
+}
+BENCHMARK(BM_CollectSweepTrace);
+
+void
+BM_TimerObserve(benchmark::State &state)
+{
+    auto timer = timers::TimerSpec::randomizedDefense().make(3);
+    TimeNs t = 0;
+    for (auto _ : state) {
+        t += 137 * kUsec;
+        if (t > 10 * kSec)
+            t = 0;
+        benchmark::DoNotOptimize(timer->observe(t));
+    }
+}
+BENCHMARK(BM_TimerObserve);
+
+void
+BM_GapDetectionAndAttribution(benchmark::State &state)
+{
+    const auto timeline = benchTimeline(15 * kSec);
+    for (auto _ : state) {
+        const auto gaps = ktrace::GapDetector().detect(timeline);
+        const auto records = ktrace::KernelTracer().record(timeline);
+        benchmark::DoNotOptimize(ktrace::attributeGaps(gaps, records));
+    }
+}
+BENCHMARK(BM_GapDetectionAndAttribution);
+
+void
+BM_Conv1DForward(benchmark::State &state)
+{
+    Rng rng(4);
+    ml::Conv1D conv(1, 32, 8, 3, rng);
+    ml::Matrix input(1, 256);
+    input.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(conv.forward(input, false));
+}
+BENCHMARK(BM_Conv1DForward);
+
+void
+BM_LstmForward(benchmark::State &state)
+{
+    Rng rng(5);
+    ml::Lstm lstm(32, 32, rng);
+    ml::Matrix input(32, 16);
+    input.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lstm.forward(input, false));
+}
+BENCHMARK(BM_LstmForward);
+
+void
+BM_CnnLstmTrainEpochPerSample(benchmark::State &state)
+{
+    Rng rng(6);
+    ml::Dataset train;
+    for (int c = 0; c < 4; ++c) {
+        for (int i = 0; i < 8; ++i) {
+            std::vector<double> x(256);
+            for (auto &v : x)
+                v = rng.normal(0, 1);
+            train.add(std::move(x), c);
+        }
+    }
+    ml::CnnLstmParams params;
+    params.maxEpochs = 1;
+    params.patience = 1;
+    for (auto _ : state) {
+        ml::CnnLstmClassifier model(4, 256, params, 7);
+        model.fit(train, train);
+        benchmark::DoNotOptimize(model.predictScores(train.features[0]));
+    }
+    state.SetLabel("one epoch over 32 samples");
+}
+BENCHMARK(BM_CnnLstmTrainEpochPerSample);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 3: the Python loop-counting attacker under incrementally
+ * stronger isolation mechanisms.
+ *
+ * Each configuration inherits all previous mechanisms:
+ *   default -> +disable frequency scaling -> +pin to separate cores
+ *   -> +remove (movable) IRQ interrupts -> +run in separate VMs.
+ *
+ * Expected shape (paper): 95.2 / 94.2 / 94.0 / 88.2 / 91.6 top-1 —
+ * small dips for DVFS and pinning, a visible dip when movable IRQs
+ * leave, and a *rise* under VM isolation (interrupt amplification).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace bigfish;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::printBanner(
+        "table3_isolation: isolation mechanisms vs the Python attacker",
+        "Table 3 (incremental isolation; top-1/top-5 accuracy)", scale);
+
+    const auto pipeline = bench::makePipeline(scale);
+
+    core::CollectionConfig config;
+    config.machine = sim::MachineConfig::linuxDesktop();
+    config.browser = web::BrowserProfile::nativePython();
+    config.seed = scale.seed;
+
+    struct Step
+    {
+        const char *name;
+        double paperTop1, paperTop5;
+        void (*apply)(core::CollectionConfig &);
+    };
+    const Step steps[] = {
+        {"default", 0.952, 0.991, [](core::CollectionConfig &) {}},
+        {"+ disable frequency scaling", 0.942, 0.986,
+         [](core::CollectionConfig &c) {
+             c.machine.frequencyScaling = false;
+         }},
+        {"+ pin to separate cores", 0.940, 0.983,
+         [](core::CollectionConfig &c) { c.machine.pinnedCores = true; }},
+        {"+ remove IRQ interrupts", 0.882, 0.973,
+         [](core::CollectionConfig &c) {
+             c.machine.routing = sim::IrqRoutingPolicy::PinnedAway;
+         }},
+        {"+ run in separate VMs", 0.916, 0.973,
+         [](core::CollectionConfig &c) { c.machine.vmIsolation = true; }},
+    };
+
+    Table table({"isolation mechanism", "top-1 paper", "top-1 meas",
+                 "top-5 paper", "top-5 meas"});
+    for (const auto &step : steps) {
+        step.apply(config); // Mechanisms accumulate.
+        const auto result = core::runFingerprinting(config, pipeline);
+        table.addRow({step.name, formatPercent(step.paperTop1),
+                      formatPercentPm(result.closedWorld.top1Mean,
+                                      result.closedWorld.top1Std),
+                      formatPercent(step.paperTop5),
+                      formatPercent(result.closedWorld.top5Mean)});
+        std::printf("finished: %s\n", step.name);
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nexpected shape: small dips from DVFS/pinning; a clear "
+                "dip when movable IRQs\nare removed; accuracy *recovers* "
+                "under VM isolation (handler amplification).\n"
+                "Takeaway 3: no isolation mechanism stops the attack.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Table 4: the loop-counting attacker against different timers —
+ * Chrome's jittered 0.1 ms timer, a Tor-style quantized 100 ms timer,
+ * and the paper's randomized timer at period lengths P = 5, 100 and
+ * 500 ms.
+ *
+ * Expected shape (paper): jittered 96.6/99.4; quantized 86.0/96.9 —
+ * still far above chance; randomized 1.0/5.1, 1.9/6.9, 5.2/13.7 —
+ * within a few points of a blind guess even when the attacker adapts
+ * its period length.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_common.hh"
+
+using namespace bigfish;
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::printBanner(
+        "table4_timer_defense: the randomized-timer countermeasure",
+        "Table 4 (Python attacker; accuracy vs timer and period P)",
+        scale);
+
+    const auto pipeline = bench::makePipeline(scale);
+
+    struct RowSpec
+    {
+        const char *timer;
+        const char *a_ms;
+        int period_ms;
+        timers::TimerSpec spec;
+        double paperTop1, paperTop5;
+    };
+    const RowSpec rows[] = {
+        {"jittered", "0.1", 5, timers::TimerSpec::jittered(100 * kUsec),
+         0.966, 0.994},
+        {"quantized", "100", 5, timers::TimerSpec::quantized(100 * kMsec),
+         0.860, 0.969},
+        {"randomized", "1", 5, timers::TimerSpec::randomizedDefense(),
+         0.010, 0.051},
+        {"randomized", "1", 100, timers::TimerSpec::randomizedDefense(),
+         0.019, 0.069},
+        {"randomized", "1", 500, timers::TimerSpec::randomizedDefense(),
+         0.052, 0.137},
+    };
+
+    Table table({"timer", "A (ms)", "P (ms)", "top-1 paper", "top-1 meas",
+                 "top-5 paper", "top-5 meas"});
+    for (const auto &row : rows) {
+        core::CollectionConfig config;
+        config.browser = web::BrowserProfile::nativePython();
+        config.timerOverride = row.spec;
+        config.period = row.period_ms * kMsec;
+        config.seed = scale.seed;
+        const auto result = core::runFingerprinting(config, pipeline);
+        table.addRow({row.timer, row.a_ms, std::to_string(row.period_ms),
+                      formatPercent(row.paperTop1),
+                      formatPercentPm(result.closedWorld.top1Mean,
+                                      result.closedWorld.top1Std),
+                      formatPercent(row.paperTop5),
+                      formatPercent(result.closedWorld.top5Mean)});
+        std::printf("finished: %s timer, P = %d ms\n", row.timer,
+                    row.period_ms);
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nchance: top-1 %.1f%%, top-5 %.1f%%\n",
+                100.0 / scale.sites, 500.0 / scale.sites);
+    std::printf("expected shape: quantization alone leaves the attack far "
+                "above chance;\nthe randomized timer collapses it to "
+                "near-chance at every period length.\n");
+    return 0;
+}

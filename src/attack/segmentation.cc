@@ -1,0 +1,91 @@
+#include "attack/segmentation.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace bigfish::attack {
+
+std::vector<std::size_t>
+detectNavigations(const Trace &trace, const SegmentationParams &params)
+{
+    std::vector<std::size_t> onsets;
+    if (trace.counts.size() < 2 * params.smoothBins)
+        return onsets;
+
+    // Activity signal: 1 - normalized counter, smoothed. High = the
+    // attacker is losing throughput = the victim is loading.
+    const auto norm = trace.normalized();
+    std::vector<double> activity(norm.size());
+    for (std::size_t i = 0; i < norm.size(); ++i)
+        activity[i] = 1.0 - norm[i];
+
+    std::vector<double> smooth(activity.size(), 0.0);
+    const std::size_t w = std::max<std::size_t>(params.smoothBins, 1);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < activity.size(); ++i) {
+        acc += activity[i];
+        if (i >= w)
+            acc -= activity[i - w];
+        smooth[i] = acc / static_cast<double>(std::min(i + 1, w));
+    }
+
+    // Threshold relative to the trace's own dynamic range so the
+    // detector is insensitive to absolute counter levels.
+    const double lo = stats::quantile(smooth, 0.05);
+    const double hi = stats::quantile(smooth, 0.98);
+    if (hi <= lo)
+        return onsets;
+    const double threshold = lo + params.onsetThreshold * (hi - lo);
+
+    const std::size_t min_spacing_bins = trace.period > 0
+        ? static_cast<std::size_t>(params.minSpacing / trace.period)
+        : w;
+    bool loading = false;
+    std::size_t last_onset = 0;
+    for (std::size_t i = 0; i < smooth.size(); ++i) {
+        const bool busy = smooth[i] > threshold;
+        if (busy && !loading) {
+            const std::size_t onset = i >= w / 2 ? i - w / 2 : 0;
+            if (onsets.empty() ||
+                onset - last_onset >= min_spacing_bins) {
+                onsets.push_back(onset);
+                last_onset = onset;
+            }
+            loading = true;
+        } else if (!busy && loading) {
+            loading = false;
+        }
+    }
+    return onsets;
+}
+
+std::vector<Trace>
+sliceTrace(const Trace &trace, const std::vector<std::size_t> &onsets)
+{
+    std::vector<Trace> slices;
+    for (std::size_t i = 0; i < onsets.size(); ++i) {
+        const std::size_t begin = onsets[i];
+        const std::size_t end =
+            i + 1 < onsets.size() ? onsets[i + 1] : trace.counts.size();
+        panicIf(begin > trace.counts.size(), "onset out of range");
+        if (end <= begin)
+            continue;
+        Trace slice;
+        slice.siteId = trace.siteId;
+        slice.label = trace.label;
+        slice.period = trace.period;
+        slice.attacker = trace.attacker;
+        slice.counts.assign(trace.counts.begin() + begin,
+                            trace.counts.begin() + end);
+        if (trace.wallTimes.size() == trace.counts.size()) {
+            slice.wallTimes.assign(trace.wallTimes.begin() + begin,
+                                   trace.wallTimes.begin() + end);
+        }
+        slices.push_back(std::move(slice));
+    }
+    return slices;
+}
+
+} // namespace bigfish::attack

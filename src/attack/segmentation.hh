@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace segmentation for continuous monitoring.
+ *
+ * A deployed attacker records one long trace while the victim browses
+ * and must find page-navigation instants before it can classify
+ * anything. Navigations announce themselves in the side channel: a page
+ * load opens with a burst of interrupt activity after the relative calm
+ * of reading the previous page, i.e. a sustained dip in the attacker's
+ * counter following a quiet stretch.
+ *
+ * detectNavigations() implements exactly that heuristic; sliceTrace()
+ * cuts a long trace into per-visit traces the standard classifier can
+ * consume.
+ */
+
+#ifndef BF_ATTACK_SEGMENTATION_HH
+#define BF_ATTACK_SEGMENTATION_HH
+
+#include <vector>
+
+#include "attack/trace.hh"
+
+namespace bigfish::attack {
+
+/** Tuning of the navigation detector. */
+struct SegmentationParams
+{
+    /** Smoothing window over trace bins. */
+    std::size_t smoothBins = 40;
+    /**
+     * Activity level (fraction of the trace's dip range) above which a
+     * region counts as "loading".
+     */
+    double onsetThreshold = 0.35;
+    /** Minimum quiet-then-busy spacing between navigations. */
+    TimeNs minSpacing = 5 * kSec;
+};
+
+/**
+ * Detects navigation onsets in a long trace.
+ *
+ * @param trace The attacker's continuous trace.
+ * @param params Detector tuning.
+ * @return Bin indices (ascending) where page loads are estimated to
+ *         begin. The first detected onset may be bin 0.
+ */
+std::vector<std::size_t>
+detectNavigations(const Trace &trace, const SegmentationParams &params = {});
+
+/**
+ * Cuts @p trace into per-visit traces at the given onset bins; each
+ * slice extends to the next onset (or trace end) and inherits the
+ * parent's metadata.
+ */
+std::vector<Trace> sliceTrace(const Trace &trace,
+                              const std::vector<std::size_t> &onsets);
+
+} // namespace bigfish::attack
+
+#endif // BF_ATTACK_SEGMENTATION_HH

@@ -1,0 +1,85 @@
+#include "attack/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bigfish::attack {
+
+namespace {
+
+constexpr const char *kHeader = "# bigfish-traces v1";
+
+} // namespace
+
+void
+writeTraces(std::ostream &out, const TraceSet &traces)
+{
+    out << kHeader << "\n";
+    out << "# site_id,label,period_ns,attacker,counts...\n";
+    for (const Trace &trace : traces.traces) {
+        out << trace.siteId << ',' << trace.label << ',' << trace.period
+            << ',' << trace.attacker;
+        std::ostringstream row;
+        row.precision(17);
+        for (double c : trace.counts)
+            row << ',' << c;
+        out << row.str() << "\n";
+    }
+}
+
+void
+saveTraces(const std::string &path, const TraceSet &traces)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open " + path + " for writing");
+    writeTraces(out, traces);
+    out.flush();
+    fatalIf(!out, "write to " + path + " failed");
+}
+
+TraceSet
+readTraces(std::istream &in)
+{
+    std::string line;
+    fatalIf(!std::getline(in, line) || line != kHeader,
+            "not a bigfish-traces v1 stream");
+    TraceSet set;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream row(line);
+        Trace trace;
+        std::string field;
+
+        auto next = [&](const char *what) {
+            fatalIf(!std::getline(row, field, ','),
+                    std::string("trace row missing field: ") + what);
+            return field;
+        };
+        try {
+            trace.siteId = std::stoi(next("site_id"));
+            trace.label = std::stoi(next("label"));
+            trace.period = std::stoll(next("period_ns"));
+            trace.attacker = next("attacker");
+            while (std::getline(row, field, ','))
+                trace.counts.push_back(std::stod(field));
+        } catch (const std::exception &e) {
+            fatal(std::string("malformed trace row: ") + e.what());
+        }
+        fatalIf(trace.counts.empty(), "trace row has no counts");
+        set.add(std::move(trace));
+    }
+    return set;
+}
+
+TraceSet
+loadTraces(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open " + path + " for reading");
+    return readTraces(in);
+}
+
+} // namespace bigfish::attack

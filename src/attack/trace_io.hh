@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Trace persistence: CSV import/export of TraceSets.
+ *
+ * The paper's open-source release stores collected traces on disk and
+ * trains on them offline; this module provides the same workflow:
+ * collect once (expensive), then iterate on classifiers against the
+ * saved dataset. The format is line-oriented CSV:
+ *
+ *   # bigfish-traces v1
+ *   site_id,label,period_ns,attacker,count0,count1,...
+ *
+ * Counts are written with enough precision to round-trip exactly for
+ * integer-valued counters. Wall times are not persisted (they are only
+ * needed by the timer-defense analyses, which operate on live traces).
+ */
+
+#ifndef BF_ATTACK_TRACE_IO_HH
+#define BF_ATTACK_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "attack/trace.hh"
+
+namespace bigfish::attack {
+
+/** Writes a TraceSet to a stream in bigfish-traces v1 format. */
+void writeTraces(std::ostream &out, const TraceSet &traces);
+
+/** Writes a TraceSet to a file; fatal() on I/O failure. */
+void saveTraces(const std::string &path, const TraceSet &traces);
+
+/**
+ * Parses a bigfish-traces v1 stream.
+ * fatal() on malformed input (wrong header, short rows, bad numbers).
+ */
+TraceSet readTraces(std::istream &in);
+
+/** Reads a TraceSet from a file; fatal() on I/O failure. */
+TraceSet loadTraces(const std::string &path);
+
+} // namespace bigfish::attack
+
+#endif // BF_ATTACK_TRACE_IO_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal fatal/panic error reporting in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the condition is the *user's* fault (bad configuration or
+ *            arguments); exits with status 1.
+ * panic()  — the condition indicates a bug in this library itself; aborts
+ *            so a core dump / debugger can capture the state.
+ */
+
+#ifndef BF_BASE_LOGGING_HH
+#define BF_BASE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace bigfish {
+
+/** Terminates with exit(1); use for user-caused misconfiguration. */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+/** Aborts; use for internal invariant violations (library bugs). */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+/** Prints a warning without stopping the run. */
+inline void
+warn(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+/** fatal() unless the condition holds. */
+inline void
+fatalIf(bool condition, const std::string &message)
+{
+    if (condition)
+        fatal(message);
+}
+
+/** panic() unless the condition holds. */
+inline void
+panicIf(bool condition, const std::string &message)
+{
+    if (condition)
+        panic(message);
+}
+
+} // namespace bigfish
+
+#endif // BF_BASE_LOGGING_HH

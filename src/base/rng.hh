@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic random number generation utilities.
+ *
+ * Every stochastic component in the reproduction draws from an explicitly
+ * seeded Rng so that traces, datasets and experiments are bit-reproducible.
+ * A small splittable-seed facility (Rng::fork) lets one master seed derive
+ * independent streams for sites, runs and noise sources without the streams
+ * being correlated.
+ */
+
+#ifndef BF_BASE_RNG_HH
+#define BF_BASE_RNG_HH
+
+#include <cstdint>
+#include <random>
+
+#include "base/types.hh"
+
+namespace bigfish {
+
+/**
+ * Mixes a 64-bit value into a well-distributed hash (splitmix64 finalizer).
+ *
+ * Used both for seed derivation and for the "hash function" the Chrome
+ * jittered timer uses to pick deterministic per-quantum jitter.
+ *
+ * @param x The value to mix.
+ * @return A well-distributed 64-bit hash of x.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * A seeded pseudo-random stream with the distribution helpers the
+ * simulator needs (uniform, normal, lognormal, exponential, Poisson).
+ */
+class Rng
+{
+  public:
+    /** Constructs a stream from an explicit seed. */
+    explicit Rng(std::uint64_t seed) : engine_(mix64(seed)) {}
+
+    /**
+     * Derives an independent child stream.
+     *
+     * @param salt Distinguishes sibling forks made from the same parent.
+     * @return A new Rng whose sequence is uncorrelated with this one.
+     */
+    Rng
+    fork(std::uint64_t salt)
+    {
+        return Rng(mix64(engine_()) ^ mix64(salt * 0x9e3779b97f4a7c15ULL));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double
+    normal(double mean, double stddev)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /**
+     * Lognormal deviate parameterized by the *median* and the sigma of the
+     * underlying normal. Handler-time distributions in the interrupt model
+     * use this because empirical interrupt costs are right-skewed.
+     */
+    double
+    lognormal(double median, double sigma)
+    {
+        std::lognormal_distribution<double> dist(std::log(median), sigma);
+        return dist(engine_);
+    }
+
+    /** Exponential deviate with the given mean (i.e. 1/rate). */
+    double
+    exponential(double mean)
+    {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    /** Poisson-distributed count with the given mean. */
+    int
+    poisson(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        return std::poisson_distribution<int>(mean)(engine_);
+    }
+
+    /** True with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Raw 64-bit draw. */
+    std::uint64_t operator()() { return engine_(); }
+
+    /** The underlying engine, for use with std::shuffle and friends. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace bigfish
+
+#endif // BF_BASE_RNG_HH

@@ -1,0 +1,75 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bigfish {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers_.size(),
+            "Table row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream out;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c]
+                << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+        return out.str();
+    };
+
+    std::ostringstream out;
+    out << render_row(headers_);
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        out << "|" << std::string(widths[c] + 2, '-');
+    out << "|\n";
+    for (const auto &row : rows_)
+        out << render_row(row);
+    return out.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+formatPercentPm(double mean, double std, int decimals)
+{
+    return formatDouble(mean * 100.0, decimals) + " +/- " +
+           formatDouble(std * 100.0, decimals);
+}
+
+} // namespace bigfish

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table rendering used by the benchmark harnesses to print
+ * paper-style result tables (Tables 1-4) to stdout.
+ */
+
+#ifndef BF_BASE_TABLE_HH
+#define BF_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bigfish {
+
+/**
+ * A simple left/right-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ * Table t({"Browser", "Loop", "Sweep"});
+ * t.addRow({"Chrome", "96.6%", "91.4%"});
+ * std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table, headers first, with a separator rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with the given number of decimals. */
+std::string formatDouble(double value, int decimals = 1);
+
+/** Formats a fraction in [0,1] as a percentage string like "96.6%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Formats "mean +/- std" percentages, e.g. "96.6 +/- 0.8". */
+std::string formatPercentPm(double mean, double std, int decimals = 1);
+
+} // namespace bigfish
+
+#endif // BF_BASE_TABLE_HH

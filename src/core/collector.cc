@@ -1,0 +1,111 @@
+#include "core/collector.hh"
+
+#include "base/logging.hh"
+
+namespace bigfish::core {
+
+TraceCollector::TraceCollector(CollectionConfig config)
+    : config_(std::move(config)), synthesizer_(config_.machine)
+{
+}
+
+Rng
+TraceCollector::traceRng(SiteId site_id, int run_index) const
+{
+    return Rng(mix64(config_.seed) ^
+               mix64(static_cast<std::uint64_t>(site_id) * 1000003ULL +
+                     static_cast<std::uint64_t>(run_index) + 17ULL));
+}
+
+sim::RunTimeline
+TraceCollector::synthesizeTimeline(const web::SiteSignature &site,
+                                   int run_index) const
+{
+    Rng rng = traceRng(site.id, run_index);
+    Rng workload_rng = rng.fork(1);
+    Rng synth_rng = rng.fork(2);
+    Rng browser_rng = rng.fork(3);
+    Rng defense_rng = rng.fork(4);
+
+    // The browser's connection path scales how repeatable loads are
+    // (Tor circuits make the same page load very differently each time).
+    web::RealizationNoise noise = config_.realization;
+    noise.phaseStartJitterMs *= config_.browser.loadVariability;
+    noise.phaseDurationSigma *= config_.browser.loadVariability;
+    noise.rateSigma *= config_.browser.loadVariability;
+    noise.runLoadSigma *= config_.browser.loadVariability;
+
+    sim::ActivityTimeline activity = web::realizeWorkload(
+        site, config_.browser.traceDuration, config_.browser.loadTimeScale,
+        noise, workload_rng);
+
+    if (config_.spuriousInterruptNoise) {
+        activity.superimpose(defense::spuriousInterruptOverlay(
+            activity.duration(), config_.spuriousParams, defense_rng));
+    }
+    if (config_.cacheSweepNoise) {
+        activity.superimpose(defense::cacheSweepOverlay(
+            activity.duration(), config_.cacheSweepParams));
+    }
+    if (config_.backgroundApps) {
+        activity.superimpose(defense::backgroundAppsOverlay(
+            activity.duration(), defense_rng));
+    }
+    activity.clampPhysical();
+
+    sim::RunTimeline timeline = synthesizer_.synthesize(activity, synth_rng);
+    web::applyBrowserRuntime(timeline, config_.browser, browser_rng);
+    return timeline;
+}
+
+attack::Trace
+TraceCollector::collectOne(const web::SiteSignature &site,
+                           int run_index) const
+{
+    const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
+    const auto timer_seed =
+        mix64(config_.seed ^ 0x71e4aeedULL) ^
+        mix64(static_cast<std::uint64_t>(site.id) * 7919ULL +
+              static_cast<std::uint64_t>(run_index));
+    auto timer = config_.effectiveTimer().make(timer_seed);
+
+    attack::Trace trace = attack::collectTrace(
+        config_.attacker, config_.attackerParams, config_.machine, timeline,
+        *timer, config_.effectivePeriod(), timer_seed ^ 0x5eedULL);
+    trace.siteId = site.id;
+    trace.label = site.id;
+    return trace;
+}
+
+attack::TraceSet
+TraceCollector::collectClosedWorld(const web::SiteCatalog &catalog,
+                                   int traces_per_site) const
+{
+    fatalIf(traces_per_site <= 0, "traces_per_site must be positive");
+    attack::TraceSet set;
+    set.traces.reserve(static_cast<std::size_t>(catalog.size()) *
+                       traces_per_site);
+    for (SiteId id = 0; id < catalog.size(); ++id)
+        for (int run = 0; run < traces_per_site; ++run)
+            set.add(collectOne(catalog.site(id), run));
+    return set;
+}
+
+attack::TraceSet
+TraceCollector::collectOpenWorld(const web::SiteCatalog &catalog,
+                                 int num_extra,
+                                 Label non_sensitive_label) const
+{
+    attack::TraceSet set;
+    set.traces.reserve(static_cast<std::size_t>(num_extra));
+    for (int i = 0; i < num_extra; ++i) {
+        // Each open-world trace visits a distinct one-off site (the
+        // paper's 5,000 unique non-sensitive pages).
+        attack::Trace trace = collectOne(catalog.openWorldSite(i), 0);
+        trace.label = non_sensitive_label;
+        set.add(std::move(trace));
+    }
+    return set;
+}
+
+} // namespace bigfish::core

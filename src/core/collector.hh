@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TraceCollector: the end-to-end trace-collection pipeline.
+ *
+ * One CollectionConfig describes a full experimental configuration — the
+ * machine and OS (Table 1 rows, Table 3 isolation knobs), the browser
+ * (timer + load behavior), the attacker kind (Figure 2a vs 2b), an
+ * optional timer override (Table 4 defenses), and optional noise
+ * countermeasures (Table 2). TraceCollector realizes victim workloads,
+ * synthesizes interrupt timelines, applies browser runtime effects and
+ * defense overlays, runs the attacker, and returns labeled traces.
+ *
+ * Seeding is fully deterministic: trace (site, run) under the same
+ * config always reproduces bit-identically.
+ */
+
+#ifndef BF_CORE_COLLECTOR_HH
+#define BF_CORE_COLLECTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "attack/attacker.hh"
+#include "attack/trace.hh"
+#include "defense/noise.hh"
+#include "sim/machine.hh"
+#include "sim/synthesizer.hh"
+#include "timers/timer.hh"
+#include "web/browser.hh"
+#include "web/catalog.hh"
+
+namespace bigfish::core {
+
+/** One full experimental configuration. */
+struct CollectionConfig
+{
+    sim::MachineConfig machine = sim::MachineConfig::linuxDesktop();
+    web::BrowserProfile browser = web::BrowserProfile::chrome();
+    attack::AttackerKind attacker = attack::AttackerKind::LoopCounting;
+    attack::AttackerParams attackerParams;
+
+    /** Replaces the browser's timer (Table 4 timer defenses). */
+    std::optional<timers::TimerSpec> timerOverride;
+    /** Period length P; 0 means "use the browser default". */
+    TimeNs period = 0;
+
+    /** Enables the spurious-interrupt countermeasure (Section 6.2). */
+    bool spuriousInterruptNoise = false;
+    defense::SpuriousInterruptParams spuriousParams;
+    /** Enables the cache-sweep countermeasure (Shusterman et al.). */
+    bool cacheSweepNoise = false;
+    defense::CacheSweepParams cacheSweepParams;
+    /** Runs Slack + Spotify in the background (Section 4.2). */
+    bool backgroundApps = false;
+
+    /** Run-to-run victim variation. */
+    web::RealizationNoise realization;
+
+    /** Master seed; everything derives from it. */
+    std::uint64_t seed = 42;
+
+    /** Effective period (override or browser default). */
+    TimeNs effectivePeriod() const
+    {
+        return period > 0 ? period : browser.period;
+    }
+
+    /** Effective timer spec (override or browser timer). */
+    timers::TimerSpec effectiveTimer() const
+    {
+        return timerOverride ? *timerOverride : browser.timer;
+    }
+};
+
+/** Collects traces for one configuration. */
+class TraceCollector
+{
+  public:
+    explicit TraceCollector(CollectionConfig config);
+
+    const CollectionConfig &config() const { return config_; }
+
+    /**
+     * Synthesizes the attacker-core timeline for (site, run) —
+     * deterministic in (config seed, site id, run index). Exposed so the
+     * kernel tracer and gap detector can observe the same ground truth
+     * the attacker measured.
+     */
+    sim::RunTimeline synthesizeTimeline(const web::SiteSignature &site,
+                                        int run_index) const;
+
+    /** Collects one trace of @p site. */
+    attack::Trace collectOne(const web::SiteSignature &site,
+                             int run_index) const;
+
+    /**
+     * Closed-world dataset: @p traces_per_site traces of every catalog
+     * site, labeled by site id.
+     */
+    attack::TraceSet collectClosedWorld(const web::SiteCatalog &catalog,
+                                        int traces_per_site) const;
+
+    /**
+     * Open-world extension: @p num_extra traces, each of a distinct
+     * one-off site, all labeled @p non_sensitive_label.
+     */
+    attack::TraceSet collectOpenWorld(const web::SiteCatalog &catalog,
+                                      int num_extra,
+                                      Label non_sensitive_label) const;
+
+  private:
+    /** Per-(site, run) root randomness. */
+    Rng traceRng(SiteId site_id, int run_index) const;
+
+    CollectionConfig config_;
+    sim::InterruptSynthesizer synthesizer_;
+};
+
+} // namespace bigfish::core
+
+#endif // BF_CORE_COLLECTOR_HH

@@ -1,0 +1,71 @@
+#include "core/pipeline.hh"
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace bigfish::core {
+
+ml::Dataset
+toDataset(const attack::TraceSet &traces, std::size_t feature_len,
+          int num_classes)
+{
+    ml::Dataset data;
+    const auto means = traces.toFeatures(feature_len);
+    const auto dips = traces.toDipFeatures(feature_len);
+    const auto labels = traces.labels();
+    // Two channels per trace, concatenated channel-major:
+    //   channel 0 — bucket means, winsorized (so single preemption-eaten
+    //   periods cannot compress the trace's dynamic range) and
+    //   standardized (counter values sit in a narrow band near their
+    //   maximum; centered inputs are what make the gradient-based
+    //   classifier train efficiently);
+    //   channel 1 — sub-bucket dip depth, the fine-timescale interrupt
+    //   texture that bucket averages smooth away.
+    for (std::size_t i = 0; i < means.size(); ++i) {
+        std::vector<double> x =
+            stats::zscore(stats::winsorize(means[i]));
+        const auto dip = stats::zscore(dips[i]);
+        x.insert(x.end(), dip.begin(), dip.end());
+        data.add(std::move(x), labels[i]);
+    }
+    data.numClasses = std::max(data.numClasses, num_classes);
+    return data;
+}
+
+FingerprintResult
+runFingerprinting(const CollectionConfig &collection,
+                  const PipelineConfig &pipeline)
+{
+    fatalIf(pipeline.numSites < 2, "need at least two sites");
+    const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
+    const TraceCollector collector(collection);
+
+    FingerprintResult result;
+
+    attack::TraceSet closed =
+        collector.collectClosedWorld(catalog, pipeline.tracesPerSite);
+    const ml::Dataset closed_data =
+        toDataset(closed, pipeline.featureLen, pipeline.numSites);
+    result.closedWorld =
+        ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
+
+    if (pipeline.openWorldExtra > 0) {
+        // The paper's open world: closed-world traces keep their site
+        // labels ("sensitive"); one extra class holds all one-off
+        // "non-sensitive" traces.
+        const Label non_sensitive = pipeline.numSites;
+        attack::TraceSet open = closed;
+        attack::TraceSet extra = collector.collectOpenWorld(
+            catalog, pipeline.openWorldExtra, non_sensitive);
+        for (auto &trace : extra.traces)
+            open.add(std::move(trace));
+        const ml::Dataset open_data =
+            toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
+        result.openWorld = ml::evaluateOpenWorld(
+            pipeline.factory, open_data, non_sensitive, pipeline.eval);
+        result.hasOpenWorld = true;
+    }
+    return result;
+}
+
+} // namespace bigfish::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * FingerprintPipeline: collect → featurize → cross-validated classify.
+ *
+ * This is the library's highest-level entry point: given one
+ * CollectionConfig (the attack setup) and one PipelineConfig (dataset
+ * scale + classifier), it reproduces the paper's evaluation protocol and
+ * returns Table-ready accuracy numbers for the closed-world and
+ * open-world settings.
+ */
+
+#ifndef BF_CORE_PIPELINE_HH
+#define BF_CORE_PIPELINE_HH
+
+#include "core/collector.hh"
+#include "ml/classifier.hh"
+#include "ml/evaluation.hh"
+
+namespace bigfish::core {
+
+/** Dataset scale and classifier choice for one evaluation. */
+struct PipelineConfig
+{
+    int numSites = 20;      ///< Paper: 100.
+    int tracesPerSite = 20; ///< Paper: 100.
+    /** Open-world extra one-off traces; paper: 5000. 0 disables. */
+    int openWorldExtra = 0;
+    /**
+     * Time buckets per channel fed to the classifier (traces are
+     * resampled; the dataset rows are 2 x featureLen: bucket means plus
+     * sub-bucket dip depths).
+     */
+    std::size_t featureLen = 256;
+    /** Classifier; defaults to the two-channel CNN-LSTM at bench scale. */
+    ml::ClassifierFactory factory =
+        ml::cnnLstmFactory(ml::CnnLstmParams::traceDefaults());
+    /** Cross-validation protocol. */
+    ml::EvalConfig eval;
+    /** Catalog seed (same seed = same 100 websites). */
+    std::uint64_t catalogSeed = 7;
+};
+
+/** The result of one full fingerprinting evaluation. */
+struct FingerprintResult
+{
+    ml::EvalResult closedWorld;
+    /** Present only when openWorldExtra > 0. */
+    ml::EvalResult openWorld;
+    bool hasOpenWorld = false;
+};
+
+/**
+ * Runs the complete evaluation for one attack configuration.
+ *
+ * Closed world: numSites x tracesPerSite traces, k-fold CV, top-1/top-5.
+ * Open world (when enabled): the closed-world traces become "sensitive"
+ * classes and openWorldExtra one-off traces form the "non-sensitive"
+ * class, mirroring the paper's 101-class design.
+ */
+FingerprintResult runFingerprinting(const CollectionConfig &collection,
+                                    const PipelineConfig &pipeline);
+
+/** Converts a TraceSet into an ml::Dataset of fixed-length features. */
+ml::Dataset toDataset(const attack::TraceSet &traces,
+                      std::size_t feature_len, int num_classes);
+
+} // namespace bigfish::core
+
+#endif // BF_CORE_PIPELINE_HH

@@ -1,0 +1,119 @@
+#include "defense/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bigfish::defense {
+
+sim::ActivityTimeline
+spuriousInterruptOverlay(TimeNs duration, const SpuriousInterruptParams &p,
+                         Rng &rng)
+{
+    sim::ActivityTimeline overlay(duration);
+
+    // Stationary ping floor.
+    sim::ActivitySample baseline;
+    baseline.netRxRate = p.baselineNetRate;
+    baseline.softirqWork = 0.15;
+    overlay.addSpan(0, duration, baseline);
+
+    // Random activity bursts: their *schedule* is redrawn every run, so
+    // the classifier cannot learn it away.
+    const double duration_s =
+        static_cast<double>(duration) / static_cast<double>(kSec);
+    const int bursts = rng.poisson(p.burstsPerSecond * duration_s);
+    for (int i = 0; i < bursts; ++i) {
+        const TimeNs start = static_cast<TimeNs>(
+            rng.uniform() * static_cast<double>(duration));
+        const TimeNs len = static_cast<TimeNs>(
+            rng.exponential(static_cast<double>(p.burstMean)));
+        sim::ActivitySample burst;
+        burst.netRxRate = p.burstNetRate * rng.uniform(0.5, 1.5);
+        burst.reschedRate = p.burstReschedRate * rng.uniform(0.5, 1.5);
+        burst.softirqWork = p.burstSoftirqWork;
+        burst.cpuLoad = 2.0 * rng.uniform(0.5, 1.5);
+        burst.tlbRate = 40.0;
+        // The burst worker's buffers pollute the LLC as a side effect,
+        // so the countermeasure also jams the cache-occupancy channel.
+        burst.cacheOccupancy = 0.35 * rng.uniform(0.5, 1.5);
+        overlay.addSpan(start, std::max<TimeNs>(len, kMsec), burst);
+    }
+    overlay.clampPhysical();
+    return overlay;
+}
+
+sim::ActivityTimeline
+cacheSweepOverlay(TimeNs duration, const CacheSweepParams &p)
+{
+    sim::ActivityTimeline overlay(duration);
+    sim::ActivitySample sweep;
+    sweep.cacheOccupancy = p.sweepOccupancy;
+    sweep.cpuLoad = p.sweepCpuLoad;
+    sweep.reschedRate = p.sweepReschedRate;
+    overlay.addSpan(0, duration, sweep);
+    overlay.clampPhysical();
+    return overlay;
+}
+
+sim::ActivityTimeline
+backgroundAppsOverlay(TimeNs duration, Rng &rng)
+{
+    sim::ActivityTimeline overlay(duration);
+
+    // Slack: periodic sync chatter and occasional renders.
+    sim::ActivitySample slack;
+    slack.netRxRate = 60.0 * rng.uniform(0.7, 1.3);
+    slack.gfxRate = 25.0;
+    slack.softirqWork = 0.08;
+    slack.reschedRate = 10.0;
+    slack.cpuLoad = 0.15;
+    slack.cacheOccupancy = 0.08;
+    overlay.addSpan(0, duration, slack);
+
+    // Spotify playing music: steady audio pipeline + buffering bursts.
+    sim::ActivitySample spotify;
+    spotify.netRxRate = 40.0;
+    spotify.gfxRate = 15.0;
+    spotify.softirqWork = 0.10;
+    spotify.reschedRate = 25.0; // Audio thread wakeups.
+    spotify.cpuLoad = 0.25;
+    spotify.cacheOccupancy = 0.05;
+    overlay.addSpan(0, duration, spotify);
+
+    const double duration_s =
+        static_cast<double>(duration) / static_cast<double>(kSec);
+    const int refills = rng.poisson(0.4 * duration_s);
+    for (int i = 0; i < refills; ++i) {
+        sim::ActivitySample refill;
+        refill.netRxRate = 500.0;
+        refill.softirqWork = 0.4;
+        overlay.addSpan(static_cast<TimeNs>(
+                            rng.uniform() *
+                            static_cast<double>(duration)),
+                        300 * kMsec, refill);
+    }
+    overlay.clampPhysical();
+    return overlay;
+}
+
+double
+loadTimeOverheadFactor(const sim::ActivityTimeline &overlay, int numCores)
+{
+    // Average the overlay's CPU demand and interrupt handling cost and
+    // charge the victim its fair share of the stolen capacity.
+    double cpu_sum = 0.0;
+    double handling_sum = 0.0;
+    for (std::size_t i = 0; i < overlay.numIntervals(); ++i) {
+        const sim::ActivitySample &s = overlay.at(i);
+        cpu_sum += s.cpuLoad;
+        // Rough per-interrupt victim-side costs: 5 us per network event
+        // (IRQ + softirq), 2 us per wakeup.
+        handling_sum += s.netRxRate * 5e-6 + s.reschedRate * 2e-6;
+    }
+    const double n = static_cast<double>(overlay.numIntervals());
+    const double avg_cpu = cpu_sum / std::max(n, 1.0);
+    const double avg_handling = handling_sum / std::max(n, 1.0);
+    return 1.0 + avg_cpu / static_cast<double>(numCores) + avg_handling;
+}
+
+} // namespace bigfish::defense

@@ -1,0 +1,75 @@
+#include "ktrace/dump.hh"
+
+#include <iomanip>
+#include <ostream>
+
+namespace bigfish::ktrace {
+
+namespace {
+
+void
+printTimestamp(std::ostream &out, TimeNs t)
+{
+    out << '+' << std::fixed << std::setprecision(6)
+        << static_cast<double>(t) / static_cast<double>(kMsec) << "ms";
+}
+
+} // namespace
+
+void
+dumpRecords(std::ostream &out, const std::vector<InterruptRecord> &records,
+            const DumpOptions &options)
+{
+    std::size_t rows = 0;
+    for (const InterruptRecord &r : records) {
+        if (r.end() < options.windowStart)
+            continue;
+        if (r.start >= options.windowEnd || rows >= options.maxRows)
+            break;
+        printTimestamp(out, r.start);
+        out << "  " << std::left << std::setw(18)
+            << sim::interruptKindName(r.kind) << std::right << std::fixed
+            << std::setprecision(1)
+            << static_cast<double>(r.duration) / kUsec << "us\n";
+        ++rows;
+    }
+    if (rows == options.maxRows)
+        out << "... (row cap reached)\n";
+}
+
+void
+dumpAttributedGaps(std::ostream &out,
+                   const std::vector<AttributedGap> &gaps,
+                   const DumpOptions &options)
+{
+    std::size_t rows = 0;
+    for (const AttributedGap &gap : gaps) {
+        if (gap.gap.end() < options.windowStart)
+            continue;
+        if (gap.gap.start >= options.windowEnd || rows >= options.maxRows)
+            break;
+        printTimestamp(out, gap.gap.start);
+        out << "  gap " << std::fixed << std::setprecision(1)
+            << static_cast<double>(gap.gap.length) / kUsec << "us  <- ";
+        if (!gap.attributedToAny) {
+            out << "?? (no kernel event)";
+        } else {
+            bool first = true;
+            for (int k = 0; k < sim::kNumInterruptKinds; ++k) {
+                if (!gap.kinds[static_cast<std::size_t>(k)])
+                    continue;
+                if (!first)
+                    out << " + ";
+                out << sim::interruptKindName(
+                    static_cast<sim::InterruptKind>(k));
+                first = false;
+            }
+        }
+        out << "\n";
+        ++rows;
+    }
+    if (rows == options.maxRows)
+        out << "... (row cap reached)\n";
+}
+
+} // namespace bigfish::ktrace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Human-readable kernel-trace dumps (KUtrace-style).
+ *
+ * The paper points to KUtrace as the kind of deeper instrumentation one
+ * would need to chase causal chains between non-movable interrupts and
+ * other system events. This module renders a window of the tracer's
+ * record stream — and, optionally, the attacker's observed gaps aligned
+ * against it — as a text timeline for exactly that sort of inspection.
+ */
+
+#ifndef BF_KTRACE_DUMP_HH
+#define BF_KTRACE_DUMP_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "ktrace/attribution.hh"
+#include "ktrace/gap_detector.hh"
+#include "ktrace/tracer.hh"
+
+namespace bigfish::ktrace {
+
+/** Options for timeline dumps. */
+struct DumpOptions
+{
+    TimeNs windowStart = 0;       ///< First timestamp to print.
+    TimeNs windowEnd = 10 * kMsec; ///< One past the last timestamp.
+    std::size_t maxRows = 200;    ///< Row cap (guards huge windows).
+};
+
+/**
+ * Prints one row per handler record inside the window:
+ *   "+1.234567ms  softirq:net_rx   4.2us"
+ */
+void dumpRecords(std::ostream &out,
+                 const std::vector<InterruptRecord> &records,
+                 const DumpOptions &options = {});
+
+/**
+ * Prints the attribution join inside the window: each observed gap with
+ * its length and the kernel events found inside it, flagging any
+ * unattributed gaps with "??" (the SMI-like residue).
+ */
+void dumpAttributedGaps(std::ostream &out,
+                        const std::vector<AttributedGap> &gaps,
+                        const DumpOptions &options = {});
+
+} // namespace bigfish::ktrace
+
+#endif // BF_KTRACE_DUMP_HH

@@ -1,0 +1,67 @@
+#include "ktrace/tracer.hh"
+
+#include <algorithm>
+
+namespace bigfish::ktrace {
+
+std::vector<InterruptRecord>
+KernelTracer::record(const sim::RunTimeline &timeline) const
+{
+    std::vector<InterruptRecord> records;
+    records.reserve(timeline.stolen.size());
+    for (const sim::StolenInterval &s : timeline.stolen) {
+        if (!sim::isTraceable(s.kind))
+            continue;
+        records.push_back({s.arrival, s.duration, s.kind});
+    }
+    return records;
+}
+
+InterruptTimeProfile
+KernelTracer::profile(const std::vector<InterruptRecord> &records,
+                      TimeNs duration, TimeNs interval)
+{
+    InterruptTimeProfile out;
+    out.interval = interval;
+    const std::size_t n =
+        static_cast<std::size_t>((duration + interval - 1) / interval);
+    out.softirqFraction.assign(n, 0.0);
+    out.reschedFraction.assign(n, 0.0);
+    out.totalFraction.assign(n, 0.0);
+
+    for (const InterruptRecord &r : records) {
+        if (!sim::isInterrupt(r.kind))
+            continue;
+        // Spread the handler's duration over the intervals it overlaps.
+        TimeNs t = r.start;
+        while (t < r.end() && t < duration) {
+            const std::size_t idx = static_cast<std::size_t>(t / interval);
+            const TimeNs bin_end =
+                std::min((static_cast<TimeNs>(idx) + 1) * interval,
+                         duration);
+            const TimeNs slice = std::min(r.end(), bin_end) - t;
+            const double frac = static_cast<double>(slice) /
+                                static_cast<double>(interval);
+            out.totalFraction[idx] += frac;
+            if (r.kind == sim::InterruptKind::SoftirqNetRx ||
+                r.kind == sim::InterruptKind::SoftirqTimer) {
+                out.softirqFraction[idx] += frac;
+            } else if (r.kind == sim::InterruptKind::ReschedIpi) {
+                out.reschedFraction[idx] += frac;
+            }
+            t += slice;
+        }
+    }
+    return out;
+}
+
+std::array<std::size_t, sim::kNumInterruptKinds>
+KernelTracer::countByKind(const std::vector<InterruptRecord> &records)
+{
+    std::array<std::size_t, sim::kNumInterruptKinds> counts{};
+    for (const InterruptRecord &r : records)
+        ++counts[static_cast<std::size_t>(r.kind)];
+    return counts;
+}
+
+} // namespace bigfish::ktrace

@@ -1,0 +1,386 @@
+#include "ml/classifier.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "base/logging.hh"
+#include "ml/conv.hh"
+#include "ml/lstm.hh"
+
+namespace bigfish::ml {
+
+Label
+Classifier::predict(const std::vector<double> &x) const
+{
+    const auto scores = predictScores(x);
+    panicIf(scores.empty(), "classifier returned no scores");
+    return static_cast<Label>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+}
+
+CnnLstmParams
+CnnLstmParams::paperScale()
+{
+    CnnLstmParams p;
+    p.convFilters = 256;
+    p.lstmUnits = 32;
+    p.dropout = 0.7;
+    p.learningRate = 1e-3;
+    return p;
+}
+
+CnnLstmParams
+CnnLstmParams::traceDefaults()
+{
+    CnnLstmParams p;
+    p.inputChannels = 2;
+    return p;
+}
+
+CnnLstmClassifier::CnnLstmClassifier(int num_classes,
+                                     std::size_t feature_len,
+                                     CnnLstmParams params,
+                                     std::uint64_t seed)
+    : numClasses_(num_classes), featureLen_(feature_len), params_(params),
+      seed_(seed)
+{
+    fatalIf(num_classes < 2, "need at least two classes");
+    fatalIf(params_.inputChannels == 0 ||
+                feature_len % params_.inputChannels != 0,
+            "feature length must be a multiple of the channel count");
+    const std::size_t steps = feature_len / params_.inputChannels;
+    fatalIf(steps < params.convKernel * 2,
+            "feature length too short for the convolution front-end");
+
+    Rng rng(seed);
+    const std::size_t f = params_.convFilters;
+    auto conv1 = std::make_unique<Conv1D>(params_.inputChannels, f,
+                                          params_.convKernel,
+                                          params_.convStride, rng);
+    std::size_t t = conv1->outLength(steps);
+    net_.add(std::move(conv1));
+    net_.add(std::make_unique<ReLU>());
+    net_.add(std::make_unique<MaxPool1D>(params_.poolSize));
+    t = std::max<std::size_t>(t / params_.poolSize, 1);
+
+    auto conv2 = std::make_unique<Conv1D>(f, f, params_.convKernel,
+                                          params_.convStride, rng);
+    t = conv2->outLength(t);
+    net_.add(std::move(conv2));
+    net_.add(std::make_unique<ReLU>());
+    net_.add(std::make_unique<MaxPool1D>(params_.poolSize));
+    t = std::max<std::size_t>(t / params_.poolSize, 1);
+
+    net_.add(std::make_unique<Lstm>(f, params_.lstmUnits, rng));
+    net_.add(std::make_unique<Dropout>(params_.dropout, rng()));
+    net_.add(std::make_unique<Dense>(params_.lstmUnits,
+                                     static_cast<std::size_t>(num_classes),
+                                     rng));
+}
+
+Matrix
+CnnLstmClassifier::toInput(const std::vector<double> &x) const
+{
+    panicIf(x.size() != featureLen_, "feature length mismatch");
+    const std::size_t channels = params_.inputChannels;
+    const std::size_t steps = featureLen_ / channels;
+    Matrix in(channels, steps);
+    // Features are concatenated channel-major: channel c occupies
+    // x[c*steps .. (c+1)*steps).
+    for (std::size_t c = 0; c < channels; ++c)
+        for (std::size_t t = 0; t < steps; ++t)
+            in(c, t) = static_cast<float>(x[c * steps + t]);
+    return in;
+}
+
+double
+CnnLstmClassifier::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        if (predict(data.features[i]) == data.labels[i])
+            ++hits;
+    return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+void
+CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
+{
+    fatalIf(train.size() == 0, "empty training set");
+    Adam adam(params_.learningRate);
+    Rng rng(mix64(seed_) ^ 0x7a1717c9ULL);
+
+    double best_val = -1.0;
+    int epochs_since_best = 0;
+    history_.clear();
+
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng.engine());
+        double epoch_loss = 0.0;
+        std::size_t i = 0;
+        while (i < order.size()) {
+            net_.zeroGrads();
+            const std::size_t batch_end = std::min(
+                i + static_cast<std::size_t>(params_.batchSize),
+                order.size());
+            const std::size_t batch = batch_end - i;
+            for (; i < batch_end; ++i) {
+                const std::size_t s = order[i];
+                const Matrix logits =
+                    net_.forward(toInput(train.features[s]), true);
+                epoch_loss +=
+                    SoftmaxCrossEntropy::loss(logits, train.labels[s]);
+                net_.backward(SoftmaxCrossEntropy::gradient(
+                    logits, train.labels[s]));
+            }
+            adam.step(net_.params(), net_.grads(),
+                      1.0 / static_cast<double>(batch));
+        }
+
+        // Early stopping: stop when validation accuracy stops improving.
+        const double val_acc = validation.size() > 0 ? accuracy(validation)
+                                                     : accuracy(train);
+        history_.push_back(
+            {epoch_loss / static_cast<double>(train.size()), val_acc});
+        if (val_acc > best_val + 1e-9) {
+            best_val = val_acc;
+            epochs_since_best = 0;
+        } else if (++epochs_since_best >= params_.patience) {
+            break;
+        }
+    }
+}
+
+std::vector<double>
+CnnLstmClassifier::predictScores(const std::vector<double> &x) const
+{
+    const Matrix logits = net_.forward(toInput(x), false);
+    return SoftmaxCrossEntropy::probabilities(logits);
+}
+
+MlpClassifier::MlpClassifier(int num_classes, std::size_t feature_len,
+                             MlpParams params, std::uint64_t seed)
+    : numClasses_(num_classes), featureLen_(feature_len), params_(params),
+      seed_(seed)
+{
+    fatalIf(num_classes < 2, "need at least two classes");
+    Rng rng(seed);
+    net_.add(std::make_unique<Dense>(feature_len, params_.hidden, rng));
+    net_.add(std::make_unique<ReLU>());
+    net_.add(std::make_unique<Dropout>(params_.dropout, rng()));
+    net_.add(std::make_unique<Dense>(params_.hidden,
+                                     static_cast<std::size_t>(num_classes),
+                                     rng));
+}
+
+Matrix
+MlpClassifier::toInput(const std::vector<double> &x) const
+{
+    panicIf(x.size() != featureLen_, "feature length mismatch");
+    Matrix in(featureLen_, 1);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        in(i, 0) = static_cast<float>(x[i]);
+    return in;
+}
+
+double
+MlpClassifier::accuracy(const Dataset &data) const
+{
+    if (data.size() == 0)
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        if (predict(data.features[i]) == data.labels[i])
+            ++hits;
+    return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+void
+MlpClassifier::fit(const Dataset &train, const Dataset &validation)
+{
+    fatalIf(train.size() == 0, "empty training set");
+    Adam adam(params_.learningRate);
+    Rng rng(mix64(seed_) ^ 0x31f7ULL);
+
+    double best_val = -1.0;
+    int epochs_since_best = 0;
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng.engine());
+        std::size_t i = 0;
+        while (i < order.size()) {
+            net_.zeroGrads();
+            const std::size_t end = std::min(
+                i + static_cast<std::size_t>(params_.batchSize),
+                order.size());
+            const std::size_t batch = end - i;
+            for (; i < end; ++i) {
+                const std::size_t s = order[i];
+                const Matrix logits =
+                    net_.forward(toInput(train.features[s]), true);
+                net_.backward(SoftmaxCrossEntropy::gradient(
+                    logits, train.labels[s]));
+            }
+            adam.step(net_.params(), net_.grads(),
+                      1.0 / static_cast<double>(batch));
+        }
+        const double val_acc = validation.size() > 0 ? accuracy(validation)
+                                                     : accuracy(train);
+        if (val_acc > best_val + 1e-9) {
+            best_val = val_acc;
+            epochs_since_best = 0;
+        } else if (++epochs_since_best >= params_.patience) {
+            break;
+        }
+    }
+}
+
+std::vector<double>
+MlpClassifier::predictScores(const std::vector<double> &x) const
+{
+    return SoftmaxCrossEntropy::probabilities(
+        net_.forward(toInput(x), false));
+}
+
+SoftmaxRegressionClassifier::SoftmaxRegressionClassifier(
+    int num_classes, std::size_t feature_len, std::uint64_t seed, double lr,
+    int epochs, double l2)
+    : numClasses_(num_classes), featureLen_(feature_len), seed_(seed),
+      lr_(lr), epochs_(epochs), l2_(l2)
+{
+    fatalIf(num_classes < 2, "need at least two classes");
+    w_.assign(num_classes, std::vector<double>(feature_len + 1, 0.0));
+}
+
+void
+SoftmaxRegressionClassifier::fit(const Dataset &train, const Dataset &)
+{
+    fatalIf(train.size() == 0, "empty training set");
+    Rng rng(seed_);
+    std::vector<std::size_t> order(train.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (int epoch = 0; epoch < epochs_; ++epoch) {
+        std::shuffle(order.begin(), order.end(), rng.engine());
+        const double lr = lr_ / (1.0 + 0.02 * epoch);
+        for (std::size_t s : order) {
+            const auto &x = train.features[s];
+            const Label y = train.labels[s];
+            auto scores = predictScores(x);
+            for (int c = 0; c < numClasses_; ++c) {
+                const double err =
+                    scores[c] - (c == y ? 1.0 : 0.0);
+                auto &row = w_[c];
+                for (std::size_t j = 0; j < featureLen_; ++j)
+                    row[j] -= lr * (err * x[j] + l2_ * row[j]);
+                row[featureLen_] -= lr * err;
+            }
+        }
+    }
+}
+
+std::vector<double>
+SoftmaxRegressionClassifier::predictScores(
+    const std::vector<double> &x) const
+{
+    panicIf(x.size() != featureLen_, "feature length mismatch");
+    std::vector<double> logits(numClasses_, 0.0);
+    for (int c = 0; c < numClasses_; ++c) {
+        const auto &row = w_[c];
+        double acc = row[featureLen_];
+        for (std::size_t j = 0; j < featureLen_; ++j)
+            acc += row[j] * x[j];
+        logits[c] = acc;
+    }
+    const double mx = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double &v : logits) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    for (double &v : logits)
+        v /= sum;
+    return logits;
+}
+
+KnnClassifier::KnnClassifier(int num_classes, int k)
+    : numClasses_(num_classes), k_(k)
+{
+    fatalIf(k < 1, "kNN needs k >= 1");
+}
+
+void
+KnnClassifier::fit(const Dataset &train, const Dataset &)
+{
+    memory_ = train;
+}
+
+std::vector<double>
+KnnClassifier::predictScores(const std::vector<double> &x) const
+{
+    panicIf(memory_.size() == 0, "kNN queried before fit");
+    std::vector<std::pair<double, Label>> dists;
+    dists.reserve(memory_.size());
+    for (std::size_t i = 0; i < memory_.size(); ++i) {
+        const auto &m = memory_.features[i];
+        double d = 0.0;
+        for (std::size_t j = 0; j < m.size() && j < x.size(); ++j)
+            d += (m[j] - x[j]) * (m[j] - x[j]);
+        dists.emplace_back(d, memory_.labels[i]);
+    }
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(k_), dists.size());
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    std::vector<double> votes(numClasses_, 0.0);
+    for (std::size_t i = 0; i < k; ++i)
+        votes[dists[i].second] += 1.0 / (1.0 + dists[i].first);
+    return votes;
+}
+
+ClassifierFactory
+cnnLstmFactory(CnnLstmParams params)
+{
+    return [params](int num_classes, std::size_t feature_len,
+                    std::uint64_t seed) -> std::unique_ptr<Classifier> {
+        return std::make_unique<CnnLstmClassifier>(num_classes, feature_len,
+                                                   params, seed);
+    };
+}
+
+ClassifierFactory
+softmaxRegressionFactory()
+{
+    return [](int num_classes, std::size_t feature_len,
+              std::uint64_t seed) -> std::unique_ptr<Classifier> {
+        return std::make_unique<SoftmaxRegressionClassifier>(
+            num_classes, feature_len, seed);
+    };
+}
+
+ClassifierFactory
+mlpFactory(MlpParams params)
+{
+    return [params](int num_classes, std::size_t feature_len,
+                    std::uint64_t seed) -> std::unique_ptr<Classifier> {
+        return std::make_unique<MlpClassifier>(num_classes, feature_len,
+                                               params, seed);
+    };
+}
+
+ClassifierFactory
+knnFactory(int k)
+{
+    return [k](int num_classes, std::size_t, std::uint64_t)
+               -> std::unique_ptr<Classifier> {
+        return std::make_unique<KnnClassifier>(num_classes, k);
+    };
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,81 @@
+#include "ml/conv.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, Rng &rng)
+    : inChannels_(in_channels), outChannels_(out_channels), kernel_(kernel),
+      stride_(stride), w_(out_channels, in_channels * kernel),
+      b_(out_channels, 1), gw_(out_channels, in_channels * kernel),
+      gb_(out_channels, 1)
+{
+    fatalIf(kernel == 0 || stride == 0, "Conv1D kernel/stride must be > 0");
+    w_.randomize(rng, std::sqrt(2.0 / static_cast<double>(
+                                          in_channels * kernel)));
+}
+
+std::size_t
+Conv1D::outLength(std::size_t in_t) const
+{
+    if (in_t < kernel_)
+        return 1; // Degenerate inputs are treated as a single window.
+    return (in_t - kernel_) / stride_ + 1;
+}
+
+Matrix
+Conv1D::forward(const Matrix &in, bool)
+{
+    panicIf(in.rows() != inChannels_, "Conv1D channel mismatch");
+    input_ = in;
+    const std::size_t in_t = in.cols();
+    const std::size_t out_t = outLength(in_t);
+    Matrix out(outChannels_, out_t);
+    for (std::size_t t = 0; t < out_t; ++t) {
+        const std::size_t base = t * stride_;
+        for (std::size_t o = 0; o < outChannels_; ++o) {
+            float acc = b_(o, 0);
+            for (std::size_t c = 0; c < inChannels_; ++c) {
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                    const std::size_t src =
+                        std::min(base + k, in_t - 1); // Clamp degenerate.
+                    acc += w_(o, c * kernel_ + k) * in(c, src);
+                }
+            }
+            out(o, t) = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+Conv1D::backward(const Matrix &grad_out)
+{
+    const std::size_t in_t = input_.cols();
+    const std::size_t out_t = grad_out.cols();
+    panicIf(grad_out.rows() != outChannels_,
+            "Conv1D backward channel mismatch");
+    Matrix grad_in(inChannels_, in_t);
+    for (std::size_t t = 0; t < out_t; ++t) {
+        const std::size_t base = t * stride_;
+        for (std::size_t o = 0; o < outChannels_; ++o) {
+            const float g = grad_out(o, t);
+            if (g == 0.0f)
+                continue;
+            gb_(o, 0) += g;
+            for (std::size_t c = 0; c < inChannels_; ++c) {
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                    const std::size_t src = std::min(base + k, in_t - 1);
+                    gw_(o, c * kernel_ + k) += g * input_(c, src);
+                    grad_in(c, src) += g * w_(o, c * kernel_ + k);
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+} // namespace bigfish::ml

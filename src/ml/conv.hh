@@ -1,0 +1,46 @@
+/**
+ * @file
+ * 1-D convolution along the time axis (the paper's front-end layers:
+ * two pairs of Conv1D(filters, stride 3, ReLU) + MaxPool(4)).
+ */
+
+#ifndef BF_ML_CONV_HH
+#define BF_ML_CONV_HH
+
+#include "ml/layer.hh"
+
+namespace bigfish::ml {
+
+/** Valid (no padding) strided 1-D convolution over (channels x time). */
+class Conv1D : public Layer
+{
+  public:
+    /**
+     * @param in_channels Input channel count.
+     * @param out_channels Filter count.
+     * @param kernel Kernel width.
+     * @param stride Stride along time (paper: 3).
+     * @param rng Weight initialization stream.
+     */
+    Conv1D(std::size_t in_channels, std::size_t out_channels,
+           std::size_t kernel, std::size_t stride, Rng &rng);
+
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::vector<Matrix *> params() override { return {&w_, &b_}; }
+    std::vector<Matrix *> grads() override { return {&gw_, &gb_}; }
+    std::string name() const override { return "conv1d"; }
+
+    /** Output length for an input of length @p in_t. */
+    std::size_t outLength(std::size_t in_t) const;
+
+  private:
+    std::size_t inChannels_, outChannels_, kernel_, stride_;
+    /** Weights laid out (out_channels x in_channels*kernel). */
+    Matrix w_, b_, gw_, gb_;
+    Matrix input_;
+};
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_CONV_HH

@@ -1,0 +1,72 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+void
+Dataset::add(std::vector<double> x, Label y)
+{
+    panicIf(!features.empty() && x.size() != featureLen(),
+            "Dataset feature length mismatch");
+    features.push_back(std::move(x));
+    labels.push_back(y);
+    numClasses = std::max(numClasses, y + 1);
+}
+
+Dataset
+Dataset::subset(const std::vector<std::size_t> &indices) const
+{
+    Dataset out;
+    out.numClasses = numClasses;
+    out.features.reserve(indices.size());
+    out.labels.reserve(indices.size());
+    for (std::size_t i : indices) {
+        panicIf(i >= size(), "Dataset subset index out of range");
+        out.features.push_back(features[i]);
+        out.labels.push_back(labels[i]);
+    }
+    return out;
+}
+
+std::vector<FoldSplit>
+kFoldSplits(std::size_t n, int folds, double valFraction, std::uint64_t seed)
+{
+    fatalIf(folds < 2, "k-fold needs at least 2 folds");
+    fatalIf(n < static_cast<std::size_t>(folds),
+            "k-fold needs at least one sample per fold");
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+
+    std::vector<FoldSplit> splits(folds);
+    for (int f = 0; f < folds; ++f) {
+        const std::size_t lo = n * f / folds;
+        const std::size_t hi = n * (f + 1) / folds;
+        FoldSplit &split = splits[f];
+        std::vector<std::size_t> rest;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i >= lo && i < hi)
+                split.test.push_back(order[i]);
+            else
+                rest.push_back(order[i]);
+        }
+        const std::size_t val_count = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   static_cast<double>(rest.size()) * valFraction));
+        for (std::size_t i = 0; i < rest.size(); ++i) {
+            if (i < val_count)
+                split.validation.push_back(rest[i]);
+            else
+                split.train.push_back(rest[i]);
+        }
+    }
+    return splits;
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dataset container and split utilities (train/validation splits and the
+ * paper's 10-fold cross-validation protocol).
+ */
+
+#ifndef BF_ML_DATASET_HH
+#define BF_ML_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+
+namespace bigfish::ml {
+
+/** A labeled dataset of fixed-length feature vectors. */
+struct Dataset
+{
+    std::vector<std::vector<double>> features;
+    std::vector<Label> labels;
+    int numClasses = 0;
+
+    std::size_t size() const { return features.size(); }
+    std::size_t featureLen() const
+    {
+        return features.empty() ? 0 : features.front().size();
+    }
+
+    /** Appends one sample. */
+    void add(std::vector<double> x, Label y);
+
+    /** The subset selected by @p indices. */
+    Dataset subset(const std::vector<std::size_t> &indices) const;
+};
+
+/** Indices for one cross-validation fold. */
+struct FoldSplit
+{
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> validation;
+    std::vector<std::size_t> test;
+};
+
+/**
+ * Builds the paper's k-fold protocol: the dataset is shuffled and split
+ * into k folds; each fold serves once as the held-out test set while the
+ * remainder is further split into train (1 - valFraction) and validation
+ * (valFraction) for early stopping.
+ *
+ * @param n Number of samples.
+ * @param folds k (paper: 10).
+ * @param valFraction Validation share of the non-test data (paper: ~0.1).
+ * @param seed Shuffle seed.
+ */
+std::vector<FoldSplit> kFoldSplits(std::size_t n, int folds,
+                                   double valFraction, std::uint64_t seed);
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_DATASET_HH

@@ -1,0 +1,88 @@
+#include "ml/evaluation.hh"
+
+#include "base/logging.hh"
+#include "stats/descriptive.hh"
+
+namespace bigfish::ml {
+
+namespace {
+
+/** Trains on one fold and returns test scores plus truth labels. */
+void
+runFold(const ClassifierFactory &factory, const Dataset &data,
+        const FoldSplit &split, std::uint64_t seed,
+        std::vector<std::vector<double>> &scores, std::vector<Label> &truths,
+        std::vector<Label> &predictions)
+{
+    auto model = factory(data.numClasses, data.featureLen(), seed);
+    model->fit(data.subset(split.train), data.subset(split.validation));
+    scores.clear();
+    truths.clear();
+    predictions.clear();
+    for (std::size_t i : split.test) {
+        scores.push_back(model->predictScores(data.features[i]));
+        truths.push_back(data.labels[i]);
+        predictions.push_back(model->predict(data.features[i]));
+    }
+}
+
+} // namespace
+
+EvalResult
+crossValidate(const ClassifierFactory &factory, const Dataset &data,
+              const EvalConfig &config)
+{
+    fatalIf(data.size() == 0, "cannot evaluate an empty dataset");
+    const auto splits = kFoldSplits(data.size(), config.folds,
+                                    config.valFraction, config.seed);
+    EvalResult result;
+    std::vector<std::vector<double>> scores;
+    std::vector<Label> truths, predictions;
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+        runFold(factory, data, splits[f], config.seed + 1000 + f, scores,
+                truths, predictions);
+        result.foldTop1.push_back(stats::topKAccuracy(scores, truths, 1));
+        result.foldTop5.push_back(stats::topKAccuracy(scores, truths, 5));
+    }
+    result.top1Mean = stats::mean(result.foldTop1);
+    result.top1Std = stats::sampleStddev(result.foldTop1);
+    result.top5Mean = stats::mean(result.foldTop5);
+    result.top5Std = stats::sampleStddev(result.foldTop5);
+    return result;
+}
+
+EvalResult
+evaluateOpenWorld(const ClassifierFactory &factory, const Dataset &data,
+                  Label nonSensitiveLabel, const EvalConfig &config)
+{
+    fatalIf(data.size() == 0, "cannot evaluate an empty dataset");
+    const auto splits = kFoldSplits(data.size(), config.folds,
+                                    config.valFraction, config.seed);
+    EvalResult result;
+    std::vector<double> sensitive, non_sensitive, combined;
+    std::vector<std::vector<double>> scores;
+    std::vector<Label> truths, predictions;
+    for (std::size_t f = 0; f < splits.size(); ++f) {
+        runFold(factory, data, splits[f], config.seed + 2000 + f, scores,
+                truths, predictions);
+        result.foldTop1.push_back(stats::topKAccuracy(scores, truths, 1));
+        result.foldTop5.push_back(stats::topKAccuracy(scores, truths, 5));
+        const auto metrics =
+            stats::openWorldMetrics(truths, predictions, nonSensitiveLabel);
+        sensitive.push_back(metrics.sensitiveAccuracy);
+        non_sensitive.push_back(metrics.nonSensitiveAccuracy);
+        combined.push_back(metrics.combinedAccuracy);
+    }
+    result.top1Mean = stats::mean(result.foldTop1);
+    result.top1Std = stats::sampleStddev(result.foldTop1);
+    result.top5Mean = stats::mean(result.foldTop5);
+    result.top5Std = stats::sampleStddev(result.foldTop5);
+    result.openWorld.sensitiveAccuracy = stats::mean(sensitive);
+    result.openWorld.nonSensitiveAccuracy = stats::mean(non_sensitive);
+    result.openWorld.combinedAccuracy = stats::mean(combined);
+    result.openWorldSensitiveStd = stats::sampleStddev(sensitive);
+    result.openWorldCombinedStd = stats::sampleStddev(combined);
+    return result;
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Cross-validated evaluation (the paper's measurement protocol).
+ *
+ * Closed world: standard k-fold CV reporting mean +/- std of top-1 and
+ * top-5 accuracy across folds (Table 1 left, Tables 3-4).
+ *
+ * Open world: same protocol over a dataset whose last class is the
+ * catch-all "non-sensitive" label; additionally reports sensitive /
+ * non-sensitive / combined accuracy (Table 1 right).
+ */
+
+#ifndef BF_ML_EVALUATION_HH
+#define BF_ML_EVALUATION_HH
+
+#include <cstdint>
+
+#include "ml/classifier.hh"
+#include "ml/dataset.hh"
+#include "stats/confusion.hh"
+
+namespace bigfish::ml {
+
+/** Aggregated cross-validation results. */
+struct EvalResult
+{
+    double top1Mean = 0.0;
+    double top1Std = 0.0;
+    double top5Mean = 0.0;
+    double top5Std = 0.0;
+
+    /** Per-fold top-1 accuracies (for significance testing). */
+    std::vector<double> foldTop1;
+    /** Per-fold top-5 accuracies. */
+    std::vector<double> foldTop5;
+
+    /** Open-world metrics (valid when evaluateOpenWorld was used). */
+    stats::OpenWorldMetrics openWorld;
+    double openWorldSensitiveStd = 0.0;
+    double openWorldCombinedStd = 0.0;
+};
+
+/** Evaluation protocol parameters. */
+struct EvalConfig
+{
+    int folds = 10;           ///< Paper: 10-fold CV.
+    double valFraction = 0.1; ///< Paper: 9% validation of the 90% remainder.
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Runs k-fold cross validation of @p factory over @p data.
+ */
+EvalResult crossValidate(const ClassifierFactory &factory,
+                         const Dataset &data, const EvalConfig &config);
+
+/**
+ * Open-world variant: @p nonSensitiveLabel marks the catch-all class;
+ * sensitive/non-sensitive/combined accuracies are averaged over folds.
+ */
+EvalResult evaluateOpenWorld(const ClassifierFactory &factory,
+                             const Dataset &data, Label nonSensitiveLabel,
+                             const EvalConfig &config);
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_EVALUATION_HH

@@ -1,0 +1,153 @@
+#include "ml/gru.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+namespace {
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+Gru::Gru(std::size_t input_size, std::size_t hidden_size, Rng &rng)
+    : input_(input_size), hidden_(hidden_size),
+      wx_(3 * hidden_size, input_size), wh_(3 * hidden_size, hidden_size),
+      b_(3 * hidden_size, 1), gwx_(3 * hidden_size, input_size),
+      gwh_(3 * hidden_size, hidden_size), gb_(3 * hidden_size, 1)
+{
+    const double scale =
+        std::sqrt(1.0 / static_cast<double>(hidden_size + input_size));
+    wx_.randomize(rng, scale);
+    wh_.randomize(rng, scale);
+}
+
+Matrix
+Gru::forward(const Matrix &in, bool)
+{
+    panicIf(in.rows() != input_, "Gru input feature mismatch");
+    inSeq_ = in;
+    const std::size_t steps = in.cols();
+    gates_.assign(steps, Matrix(3 * hidden_, 1));
+    hiddens_.assign(steps, Matrix(hidden_, 1));
+    hPre_.assign(steps, Matrix(hidden_, 1));
+
+    Matrix h(hidden_, 1);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix &g = gates_[t];
+        Matrix &hcand = hPre_[t];
+        // Pre-activations: r and z rows get Wx x + Wh h + b directly;
+        // the candidate's recurrent product is cached separately so the
+        // reset gate can modulate it.
+        for (std::size_t row = 0; row < 3 * hidden_; ++row) {
+            float acc = b_(row, 0);
+            for (std::size_t k = 0; k < input_; ++k)
+                acc += wx_(row, k) * in(k, t);
+            if (row < 2 * hidden_) {
+                for (std::size_t k = 0; k < hidden_; ++k)
+                    acc += wh_(row, k) * h(k, 0);
+            }
+            g(row, 0) = acc;
+        }
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            float rec = 0.0f;
+            for (std::size_t k = 0; k < hidden_; ++k)
+                rec += wh_(2 * hidden_ + hI, k) * h(k, 0);
+            hcand(hI, 0) = rec;
+        }
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            const float r = sigmoid(g(hI, 0));
+            const float z = sigmoid(g(hidden_ + hI, 0));
+            const float n =
+                std::tanh(g(2 * hidden_ + hI, 0) + r * hcand(hI, 0));
+            g(hI, 0) = r;
+            g(hidden_ + hI, 0) = z;
+            g(2 * hidden_ + hI, 0) = n;
+            h(hI, 0) = (1.0f - z) * n + z * h(hI, 0);
+        }
+        hiddens_[t] = h;
+    }
+    return h;
+}
+
+Matrix
+Gru::backward(const Matrix &grad_out)
+{
+    const std::size_t steps = inSeq_.cols();
+    panicIf(grad_out.rows() != hidden_ || grad_out.cols() != 1,
+            "Gru backward shape mismatch");
+
+    Matrix grad_in(input_, steps);
+    Matrix dh = grad_out;
+    Matrix dpre(3 * hidden_, 1);
+
+    for (std::size_t ti = steps; ti-- > 0;) {
+        const Matrix &g = gates_[ti];
+        const Matrix &hcand = hPre_[ti];
+        const Matrix *h_prev = ti > 0 ? &hiddens_[ti - 1] : nullptr;
+
+        Matrix dh_prev(hidden_, 1);
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            const float r = g(hI, 0);
+            const float z = g(hidden_ + hI, 0);
+            const float n = g(2 * hidden_ + hI, 0);
+            const float hp = h_prev ? (*h_prev)(hI, 0) : 0.0f;
+            const float dh_v = dh(hI, 0);
+
+            const float dz = dh_v * (hp - n);
+            const float dn = dh_v * (1.0f - z);
+            dh_prev(hI, 0) += dh_v * z;
+
+            const float dn_pre = dn * (1.0f - n * n);
+            const float dr = dn_pre * hcand(hI, 0);
+            // d(hcand) = dn_pre * r, handled via gwh/n rows below.
+            dpre(hI, 0) = dr * r * (1.0f - r);
+            dpre(hidden_ + hI, 0) = dz * z * (1.0f - z);
+            dpre(2 * hidden_ + hI, 0) = dn_pre;
+        }
+
+        for (std::size_t row = 0; row < 3 * hidden_; ++row) {
+            const float d = dpre(row, 0);
+            if (d == 0.0f)
+                continue;
+            gb_(row, 0) += d;
+            for (std::size_t k = 0; k < input_; ++k) {
+                gwx_(row, k) += d * inSeq_(k, ti);
+                grad_in(k, ti) += d * wx_(row, k);
+            }
+        }
+        if (h_prev) {
+            // r and z recurrent weights see h_prev directly; the n rows
+            // see it through the reset gate.
+            for (std::size_t row = 0; row < 2 * hidden_; ++row) {
+                const float d = dpre(row, 0);
+                if (d == 0.0f)
+                    continue;
+                for (std::size_t k = 0; k < hidden_; ++k) {
+                    gwh_(row, k) += d * (*h_prev)(k, 0);
+                    dh_prev(k, 0) += d * wh_(row, k);
+                }
+            }
+            for (std::size_t hI = 0; hI < hidden_; ++hI) {
+                const float dhcand =
+                    dpre(2 * hidden_ + hI, 0) * g(hI, 0);
+                if (dhcand == 0.0f)
+                    continue;
+                for (std::size_t k = 0; k < hidden_; ++k) {
+                    gwh_(2 * hidden_ + hI, k) += dhcand * (*h_prev)(k, 0);
+                    dh_prev(k, 0) += dhcand * wh_(2 * hidden_ + hI, k);
+                }
+            }
+        }
+        dh = dh_prev;
+    }
+    return grad_in;
+}
+
+} // namespace bigfish::ml

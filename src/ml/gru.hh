@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Gated Recurrent Unit layer — an alternative recurrent backbone to the
+ * paper's LSTM (used by the classifier ablations; later work in this
+ * literature frequently swaps LSTM for GRU at equal accuracy and lower
+ * cost: 3 gates instead of 4 and no separate cell state).
+ *
+ * Input is a (features x time) matrix; output is the final hidden state
+ * (hidden x 1). Backward implements full BPTT and is verified by
+ * finite differences in the test suite.
+ */
+
+#ifndef BF_ML_GRU_HH
+#define BF_ML_GRU_HH
+
+#include "ml/layer.hh"
+
+namespace bigfish::ml {
+
+/** Single-layer GRU returning its final hidden state. */
+class Gru : public Layer
+{
+  public:
+    /**
+     * @param input_size Features per timestep.
+     * @param hidden_size Number of units.
+     * @param rng Weight initialization stream.
+     */
+    Gru(std::size_t input_size, std::size_t hidden_size, Rng &rng);
+
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::vector<Matrix *> params() override { return {&wx_, &wh_, &b_}; }
+    std::vector<Matrix *> grads() override { return {&gwx_, &gwh_, &gb_}; }
+    std::string name() const override { return "gru"; }
+
+    std::size_t hiddenSize() const { return hidden_; }
+
+  private:
+    std::size_t input_, hidden_;
+    /** Gate weights stacked [r; z; n]: (3H x input), (3H x H), (3H x 1). */
+    Matrix wx_, wh_, b_;
+    Matrix gwx_, gwh_, gb_;
+
+    // Per-timestep caches for BPTT.
+    Matrix inSeq_;
+    std::vector<Matrix> gates_;   ///< Post-activation r, z, n per step.
+    std::vector<Matrix> hiddens_; ///< Hidden states per step.
+    std::vector<Matrix> hPre_;    ///< Wh * h_{t-1} rows for the n gate.
+};
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_GRU_HH

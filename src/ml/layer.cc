@@ -1,0 +1,165 @@
+#include "ml/layer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+void
+Layer::zeroGrads()
+{
+    for (Matrix *g : grads())
+        g->zero();
+}
+
+Matrix
+ReLU::forward(const Matrix &in, bool)
+{
+    input_ = in;
+    Matrix out = in;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out.data()[i] = std::max(out.data()[i], 0.0f);
+    return out;
+}
+
+Matrix
+ReLU::backward(const Matrix &grad_out)
+{
+    panicIf(grad_out.size() != input_.size(), "ReLU backward shape mismatch");
+    Matrix grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.size(); ++i)
+        if (input_.data()[i] <= 0.0f)
+            grad_in.data()[i] = 0.0f;
+    return grad_in;
+}
+
+MaxPool1D::MaxPool1D(std::size_t pool) : pool_(pool)
+{
+    fatalIf(pool == 0, "MaxPool1D pool size must be positive");
+}
+
+Matrix
+MaxPool1D::forward(const Matrix &in, bool)
+{
+    inRows_ = in.rows();
+    inCols_ = in.cols();
+    const std::size_t out_t = std::max<std::size_t>(inCols_ / pool_, 1);
+    Matrix out(inRows_, out_t);
+    argmax_.assign(inRows_ * out_t, 0);
+    for (std::size_t c = 0; c < inRows_; ++c) {
+        for (std::size_t t = 0; t < out_t; ++t) {
+            const std::size_t lo = t * pool_;
+            const std::size_t hi = std::min(lo + pool_, inCols_);
+            float best = in(c, lo);
+            std::size_t best_idx = lo;
+            for (std::size_t k = lo + 1; k < hi; ++k) {
+                if (in(c, k) > best) {
+                    best = in(c, k);
+                    best_idx = k;
+                }
+            }
+            out(c, t) = best;
+            argmax_[c * out_t + t] = best_idx;
+        }
+    }
+    return out;
+}
+
+Matrix
+MaxPool1D::backward(const Matrix &grad_out)
+{
+    Matrix grad_in(inRows_, inCols_);
+    const std::size_t out_t = grad_out.cols();
+    for (std::size_t c = 0; c < inRows_; ++c)
+        for (std::size_t t = 0; t < out_t; ++t)
+            grad_in(c, argmax_[c * out_t + t]) += grad_out(c, t);
+    return grad_in;
+}
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed)
+{
+    fatalIf(rate < 0.0 || rate >= 1.0, "Dropout rate must be in [0, 1)");
+}
+
+Matrix
+Dropout::forward(const Matrix &in, bool train)
+{
+    lastTrain_ = train;
+    if (!train || rate_ == 0.0)
+        return in;
+    const float keep_scale = static_cast<float>(1.0 / (1.0 - rate_));
+    mask_ = Matrix(in.rows(), in.cols());
+    Matrix out = in;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (rng_.bernoulli(rate_)) {
+            mask_.data()[i] = 0.0f;
+            out.data()[i] = 0.0f;
+        } else {
+            mask_.data()[i] = keep_scale;
+            out.data()[i] *= keep_scale;
+        }
+    }
+    return out;
+}
+
+Matrix
+Dropout::backward(const Matrix &grad_out)
+{
+    if (!lastTrain_ || rate_ == 0.0)
+        return grad_out;
+    Matrix grad_in = grad_out;
+    for (std::size_t i = 0; i < grad_in.size(); ++i)
+        grad_in.data()[i] *= mask_.data()[i];
+    return grad_in;
+}
+
+Matrix
+Flatten::forward(const Matrix &in, bool)
+{
+    inRows_ = in.rows();
+    inCols_ = in.cols();
+    return in.flattened();
+}
+
+Matrix
+Flatten::backward(const Matrix &grad_out)
+{
+    Matrix grad_in(inRows_, inCols_);
+    panicIf(grad_out.size() != grad_in.size(),
+            "Flatten backward shape mismatch");
+    std::copy(grad_out.data(), grad_out.data() + grad_out.size(),
+              grad_in.data());
+    return grad_in;
+}
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng &rng)
+    : w_(out_features, in_features), b_(out_features, 1),
+      gw_(out_features, in_features), gb_(out_features, 1)
+{
+    // He initialization, appropriate for the ReLU stacks used here.
+    w_.randomize(rng, std::sqrt(2.0 / static_cast<double>(in_features)));
+}
+
+Matrix
+Dense::forward(const Matrix &in, bool)
+{
+    input_ = in.rows() == w_.cols() && in.cols() == 1 ? in : in.flattened();
+    panicIf(input_.rows() != w_.cols(), "Dense input size mismatch");
+    Matrix out = matmul(w_, input_);
+    out += b_;
+    return out;
+}
+
+Matrix
+Dense::backward(const Matrix &grad_out)
+{
+    panicIf(grad_out.rows() != w_.rows() || grad_out.cols() != 1,
+            "Dense backward shape mismatch");
+    gw_ += matmulTransB(grad_out, input_);
+    gb_ += grad_out;
+    return matmulTransA(w_, grad_out);
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Layer interface and the simple stateless/elementwise layers.
+ *
+ * Layers process one sample at a time — inputs are (channels x time)
+ * matrices or (features x 1) vectors — and cache whatever the backward
+ * pass needs. Gradients accumulate across samples in the layer's grad
+ * buffers until the optimizer consumes them, giving exact minibatch
+ * gradients without a batch dimension in the code.
+ */
+
+#ifndef BF_ML_LAYER_HH
+#define BF_ML_LAYER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "ml/matrix.hh"
+
+namespace bigfish::ml {
+
+/** Base class of every network layer. */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Computes the layer's output for one sample.
+     * @param in The input sample.
+     * @param train True during training (enables dropout etc.).
+     */
+    virtual Matrix forward(const Matrix &in, bool train) = 0;
+
+    /**
+     * Backpropagates through the most recent forward() call.
+     * Parameter gradients are *accumulated* into the grad buffers.
+     * @param grad_out dLoss/dOutput.
+     * @return dLoss/dInput.
+     */
+    virtual Matrix backward(const Matrix &grad_out) = 0;
+
+    /** Trainable parameter tensors (empty for stateless layers). */
+    virtual std::vector<Matrix *> params() { return {}; }
+
+    /** Gradient buffers aligned with params(). */
+    virtual std::vector<Matrix *> grads() { return {}; }
+
+    /** Clears all gradient buffers. */
+    void zeroGrads();
+
+    /** Layer name for diagnostics. */
+    virtual std::string name() const = 0;
+};
+
+/** Rectified linear unit. */
+class ReLU : public Layer
+{
+  public:
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::string name() const override { return "relu"; }
+
+  private:
+    Matrix input_;
+};
+
+/** Non-overlapping 1-D max pooling along the time axis. */
+class MaxPool1D : public Layer
+{
+  public:
+    /** @param pool Window (and stride) size; paper uses 4. */
+    explicit MaxPool1D(std::size_t pool);
+
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::string name() const override { return "maxpool1d"; }
+
+  private:
+    std::size_t pool_;
+    std::vector<std::size_t> argmax_;
+    std::size_t inRows_ = 0, inCols_ = 0;
+};
+
+/** Inverted dropout; identity at inference time. */
+class Dropout : public Layer
+{
+  public:
+    /**
+     * @param rate Probability of zeroing an activation (paper: 0.7).
+     * @param seed Seed for the mask stream.
+     */
+    Dropout(double rate, std::uint64_t seed);
+
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::string name() const override { return "dropout"; }
+
+  private:
+    double rate_;
+    Rng rng_;
+    Matrix mask_;
+    bool lastTrain_ = false;
+};
+
+/** Flattens any input to a (size x 1) column vector. */
+class Flatten : public Layer
+{
+  public:
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::string name() const override { return "flatten"; }
+
+  private:
+    std::size_t inRows_ = 0, inCols_ = 0;
+};
+
+/** Fully connected layer: out = W * in + b for (features x 1) inputs. */
+class Dense : public Layer
+{
+  public:
+    /**
+     * @param in_features Input dimensionality.
+     * @param out_features Output dimensionality.
+     * @param rng Weight initialization stream.
+     */
+    Dense(std::size_t in_features, std::size_t out_features, Rng &rng);
+
+    Matrix forward(const Matrix &in, bool train) override;
+    Matrix backward(const Matrix &grad_out) override;
+    std::vector<Matrix *> params() override { return {&w_, &b_}; }
+    std::vector<Matrix *> grads() override { return {&gw_, &gb_}; }
+    std::string name() const override { return "dense"; }
+
+  private:
+    Matrix w_, b_, gw_, gb_;
+    Matrix input_;
+};
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_LAYER_HH

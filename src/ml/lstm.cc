@@ -1,0 +1,147 @@
+#include "ml/lstm.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+namespace {
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+} // namespace
+
+Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng &rng)
+    : input_(input_size), hidden_(hidden_size),
+      wx_(4 * hidden_size, input_size), wh_(4 * hidden_size, hidden_size),
+      b_(4 * hidden_size, 1), gwx_(4 * hidden_size, input_size),
+      gwh_(4 * hidden_size, hidden_size), gb_(4 * hidden_size, 1)
+{
+    const double scale =
+        std::sqrt(1.0 / static_cast<double>(hidden_size + input_size));
+    wx_.randomize(rng, scale);
+    wh_.randomize(rng, scale);
+    // Forget-gate bias starts positive so early training retains memory.
+    for (std::size_t h = 0; h < hidden_; ++h)
+        b_(hidden_ + h, 0) = 1.0f;
+}
+
+Matrix
+Lstm::forward(const Matrix &in, bool)
+{
+    panicIf(in.rows() != input_, "Lstm input feature mismatch");
+    inSeq_ = in;
+    const std::size_t steps = in.cols();
+    gates_.assign(steps, Matrix(4 * hidden_, 1));
+    cells_.assign(steps, Matrix(hidden_, 1));
+    hiddens_.assign(steps, Matrix(hidden_, 1));
+
+    Matrix h(hidden_, 1);
+    Matrix c(hidden_, 1);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix &z = gates_[t];
+        // z = Wx * x_t + Wh * h + b
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            float acc = b_(r, 0);
+            for (std::size_t k = 0; k < input_; ++k)
+                acc += wx_(r, k) * in(k, t);
+            for (std::size_t k = 0; k < hidden_; ++k)
+                acc += wh_(r, k) * h(k, 0);
+            z(r, 0) = acc;
+        }
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            const float i_g = sigmoid(z(hI, 0));
+            const float f_g = sigmoid(z(hidden_ + hI, 0));
+            const float g_g = std::tanh(z(2 * hidden_ + hI, 0));
+            const float o_g = sigmoid(z(3 * hidden_ + hI, 0));
+            // Cache post-activation gate values for BPTT.
+            z(hI, 0) = i_g;
+            z(hidden_ + hI, 0) = f_g;
+            z(2 * hidden_ + hI, 0) = g_g;
+            z(3 * hidden_ + hI, 0) = o_g;
+            const float c_new = f_g * c(hI, 0) + i_g * g_g;
+            c(hI, 0) = c_new;
+            h(hI, 0) = o_g * std::tanh(c_new);
+        }
+        cells_[t] = c;
+        hiddens_[t] = h;
+    }
+    return h;
+}
+
+Matrix
+Lstm::backward(const Matrix &grad_out)
+{
+    const std::size_t steps = inSeq_.cols();
+    panicIf(grad_out.rows() != hidden_ || grad_out.cols() != 1,
+            "Lstm backward shape mismatch");
+
+    Matrix grad_in(input_, steps);
+    Matrix dh = grad_out;       // dLoss/dh_t, accumulated backwards.
+    Matrix dc(hidden_, 1);      // dLoss/dc_t carried across steps.
+    Matrix dz(4 * hidden_, 1);  // Pre-activation gate gradients.
+
+    for (std::size_t ti = steps; ti-- > 0;) {
+        const Matrix &z = gates_[ti];
+        const Matrix &c = cells_[ti];
+        const Matrix *c_prev = ti > 0 ? &cells_[ti - 1] : nullptr;
+        const Matrix *h_prev = ti > 0 ? &hiddens_[ti - 1] : nullptr;
+
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            const float i_g = z(hI, 0);
+            const float f_g = z(hidden_ + hI, 0);
+            const float g_g = z(2 * hidden_ + hI, 0);
+            const float o_g = z(3 * hidden_ + hI, 0);
+            const float tanh_c = std::tanh(c(hI, 0));
+            const float dh_v = dh(hI, 0);
+
+            const float do_v = dh_v * tanh_c;
+            float dc_v = dc(hI, 0) + dh_v * o_g * (1.0f - tanh_c * tanh_c);
+
+            const float di_v = dc_v * g_g;
+            const float dg_v = dc_v * i_g;
+            const float cp = c_prev ? (*c_prev)(hI, 0) : 0.0f;
+            const float df_v = dc_v * cp;
+
+            dz(hI, 0) = di_v * i_g * (1.0f - i_g);
+            dz(hidden_ + hI, 0) = df_v * f_g * (1.0f - f_g);
+            dz(2 * hidden_ + hI, 0) = dg_v * (1.0f - g_g * g_g);
+            dz(3 * hidden_ + hI, 0) = do_v * o_g * (1.0f - o_g);
+
+            dc(hI, 0) = dc_v * f_g; // Carried to step t-1.
+        }
+
+        // Parameter gradients and input gradient for this step.
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            const float dz_v = dz(r, 0);
+            if (dz_v == 0.0f)
+                continue;
+            gb_(r, 0) += dz_v;
+            for (std::size_t k = 0; k < input_; ++k) {
+                gwx_(r, k) += dz_v * inSeq_(k, ti);
+                grad_in(k, ti) += dz_v * wx_(r, k);
+            }
+            if (h_prev)
+                for (std::size_t k = 0; k < hidden_; ++k)
+                    gwh_(r, k) += dz_v * (*h_prev)(k, 0);
+        }
+
+        // dLoss/dh_{t-1} via the recurrent weights.
+        if (ti > 0) {
+            for (std::size_t k = 0; k < hidden_; ++k) {
+                float acc = 0.0f;
+                for (std::size_t r = 0; r < 4 * hidden_; ++r)
+                    acc += wh_(r, k) * dz(r, 0);
+                dh(k, 0) = acc;
+            }
+        }
+    }
+    return grad_in;
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,117 @@
+#include "ml/matrix.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data))
+{
+    panicIf(data_.size() != rows * cols, "Matrix data size mismatch");
+}
+
+void
+Matrix::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+void
+Matrix::randomize(Rng &rng, double stddev)
+{
+    for (float &v : data_)
+        v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    panicIf(rows_ != other.rows_ || cols_ != other.cols_,
+            "Matrix += shape mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(float value)
+{
+    for (float &v : data_)
+        v *= value;
+    return *this;
+}
+
+Matrix
+Matrix::flattened() const
+{
+    Matrix out(data_.size(), 1, data_);
+    return out;
+}
+
+double
+Matrix::sum() const
+{
+    double total = 0.0;
+    for (float v : data_)
+        total += v;
+    return total;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    panicIf(a.cols() != b.rows(), "matmul inner dimension mismatch");
+    Matrix c(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t k = 0; k < a.cols(); ++k) {
+            const float aik = a(i, k);
+            if (aik == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += aik * b(k, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransA(const Matrix &a, const Matrix &b)
+{
+    panicIf(a.rows() != b.rows(), "matmulTransA dimension mismatch");
+    Matrix c(a.cols(), b.cols());
+    for (std::size_t k = 0; k < a.rows(); ++k) {
+        for (std::size_t i = 0; i < a.cols(); ++i) {
+            const float aki = a(k, i);
+            if (aki == 0.0f)
+                continue;
+            for (std::size_t j = 0; j < b.cols(); ++j)
+                c(i, j) += aki * b(k, j);
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTransB(const Matrix &a, const Matrix &b)
+{
+    panicIf(a.cols() != b.cols(), "matmulTransB dimension mismatch");
+    Matrix c(a.rows(), b.rows());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.rows(); ++j) {
+            float sum = 0.0f;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                sum += a(i, k) * b(j, k);
+            c(i, j) = sum;
+        }
+    }
+    return c;
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A minimal dense float matrix for the from-scratch neural network.
+ *
+ * Row-major, value-semantic, no expression templates: the models in this
+ * reproduction are small (hundreds of KFLOPs per sample), so clarity and
+ * testability win over BLAS-grade performance. Convention used by the
+ * layers: a 1-D time series sample is a (channels x time) matrix; a
+ * feature vector is (features x 1).
+ */
+
+#ifndef BF_ML_MATRIX_HH
+#define BF_ML_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace bigfish::ml {
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    /** An empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** A zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Builds from explicit data (size must equal rows*cols). */
+    Matrix(std::size_t rows, std::size_t cols, std::vector<float> data);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    float &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    float operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    /** Sets every element to @p value. */
+    void fill(float value);
+
+    /** Sets every element to zero. */
+    void zero() { fill(0.0f); }
+
+    /** Fills with N(0, stddev) deviates (weight initialization). */
+    void randomize(Rng &rng, double stddev);
+
+    /** Element-wise in-place addition; shapes must match. */
+    Matrix &operator+=(const Matrix &other);
+
+    /** Multiplies every element by @p value. */
+    Matrix &operator*=(float value);
+
+    /** Reshapes to a (size x 1) column vector view-copy. */
+    Matrix flattened() const;
+
+    /** Sum of all elements. */
+    double sum() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A * B (inner dimensions must agree). */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B. */
+Matrix matmulTransA(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. */
+Matrix matmulTransB(const Matrix &a, const Matrix &b);
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_MATRIX_HH

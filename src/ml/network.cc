@@ -1,0 +1,149 @@
+#include "ml/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+Sequential &
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Matrix
+Sequential::forward(const Matrix &in, bool train)
+{
+    Matrix x = in;
+    for (auto &layer : layers_)
+        x = layer->forward(x, train);
+    return x;
+}
+
+Matrix
+Sequential::backward(const Matrix &grad_out)
+{
+    Matrix g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Matrix *>
+Sequential::params()
+{
+    std::vector<Matrix *> out;
+    for (auto &layer : layers_)
+        for (Matrix *p : layer->params())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<Matrix *>
+Sequential::grads()
+{
+    std::vector<Matrix *> out;
+    for (auto &layer : layers_)
+        for (Matrix *g : layer->grads())
+            out.push_back(g);
+    return out;
+}
+
+void
+Sequential::zeroGrads()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrads();
+}
+
+std::size_t
+Sequential::numParameters()
+{
+    std::size_t total = 0;
+    for (Matrix *p : params())
+        total += p->size();
+    return total;
+}
+
+std::vector<double>
+SoftmaxCrossEntropy::probabilities(const Matrix &logits)
+{
+    panicIf(logits.cols() != 1, "softmax expects a column vector");
+    std::vector<double> probs(logits.rows());
+    float max_logit = logits(0, 0);
+    for (std::size_t i = 1; i < logits.rows(); ++i)
+        max_logit = std::max(max_logit, logits(i, 0));
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.rows(); ++i) {
+        probs[i] = std::exp(static_cast<double>(logits(i, 0) - max_logit));
+        sum += probs[i];
+    }
+    for (double &p : probs)
+        p /= sum;
+    return probs;
+}
+
+double
+SoftmaxCrossEntropy::loss(const Matrix &logits, Label truth)
+{
+    const auto probs = probabilities(logits);
+    panicIf(truth < 0 || truth >= static_cast<Label>(probs.size()),
+            "loss label out of range");
+    return -std::log(std::max(probs[truth], 1e-12));
+}
+
+Matrix
+SoftmaxCrossEntropy::gradient(const Matrix &logits, Label truth)
+{
+    const auto probs = probabilities(logits);
+    Matrix grad(logits.rows(), 1);
+    for (std::size_t i = 0; i < logits.rows(); ++i)
+        grad(i, 0) = static_cast<float>(probs[i]);
+    grad(truth, 0) -= 1.0f;
+    return grad;
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+}
+
+void
+Adam::step(const std::vector<Matrix *> &params,
+           const std::vector<Matrix *> &grads, double scale)
+{
+    panicIf(params.size() != grads.size(), "Adam params/grads mismatch");
+    if (m_.empty()) {
+        m_.resize(params.size());
+        v_.resize(params.size());
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            m_[i].assign(params[i]->size(), 0.0f);
+            v_[i].assign(params[i]->size(), 0.0f);
+        }
+    }
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, t_);
+    const double bc2 = 1.0 - std::pow(beta2_, t_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        float *p = params[i]->data();
+        const float *g = grads[i]->data();
+        panicIf(params[i]->size() != grads[i]->size(),
+                "Adam tensor size mismatch");
+        for (std::size_t j = 0; j < params[i]->size(); ++j) {
+            const double gj = static_cast<double>(g[j]) * scale;
+            m_[i][j] = static_cast<float>(beta1_ * m_[i][j] +
+                                          (1.0 - beta1_) * gj);
+            v_[i][j] = static_cast<float>(beta2_ * v_[i][j] +
+                                          (1.0 - beta2_) * gj * gj);
+            const double mhat = m_[i][j] / bc1;
+            const double vhat = v_[i][j] / bc2;
+            p[j] -= static_cast<float>(lr_ * mhat /
+                                       (std::sqrt(vhat) + eps_));
+        }
+    }
+}
+
+} // namespace bigfish::ml

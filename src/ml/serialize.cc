@@ -1,0 +1,74 @@
+#include "ml/serialize.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bigfish::ml {
+
+namespace {
+
+constexpr const char *kHeader = "# bigfish-weights v1";
+
+} // namespace
+
+void
+saveWeights(std::ostream &out, Sequential &net)
+{
+    const auto params = net.params();
+    out << kHeader << "\n" << params.size() << "\n";
+    out.precision(9);
+    for (const Matrix *p : params) {
+        out << p->rows() << ' ' << p->cols();
+        for (std::size_t i = 0; i < p->size(); ++i)
+            out << ' ' << p->data()[i];
+        out << "\n";
+    }
+}
+
+void
+saveWeights(const std::string &path, Sequential &net)
+{
+    std::ofstream out(path);
+    fatalIf(!out, "cannot open " + path + " for writing");
+    saveWeights(out, net);
+    out.flush();
+    fatalIf(!out, "write to " + path + " failed");
+}
+
+void
+loadWeights(std::istream &in, Sequential &net)
+{
+    std::string header;
+    fatalIf(!std::getline(in, header) || header != kHeader,
+            "not a bigfish-weights v1 stream");
+    std::size_t count = 0;
+    fatalIf(!(in >> count), "weight stream missing tensor count");
+    const auto params = net.params();
+    fatalIf(count != params.size(),
+            "weight file has " + std::to_string(count) +
+                " tensors but the network has " +
+                std::to_string(params.size()));
+    for (Matrix *p : params) {
+        std::size_t rows = 0, cols = 0;
+        fatalIf(!(in >> rows >> cols), "weight stream truncated");
+        fatalIf(rows != p->rows() || cols != p->cols(),
+                "weight tensor shape mismatch: file " +
+                    std::to_string(rows) + "x" + std::to_string(cols) +
+                    ", network " + std::to_string(p->rows()) + "x" +
+                    std::to_string(p->cols()));
+        for (std::size_t i = 0; i < p->size(); ++i)
+            fatalIf(!(in >> p->data()[i]), "weight stream truncated");
+    }
+}
+
+void
+loadWeights(const std::string &path, Sequential &net)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open " + path + " for reading");
+    loadWeights(in, net);
+}
+
+} // namespace bigfish::ml

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Model weight persistence.
+ *
+ * The attack's offline phase trains a classifier on the attacker's own
+ * machine; the online phase only needs inference. Persisting weights
+ * lets the two phases run in different processes, mirroring the paper's
+ * train-once / attack-many workflow.
+ *
+ * The format is a small text container (version line, tensor count,
+ * then one "rows cols v0 v1 ..." line per tensor). It deliberately
+ * stores only the *parameter tensors* in layer order; the loader
+ * validates that shapes match the freshly constructed architecture, so
+ * a weight file can never be silently applied to the wrong model.
+ */
+
+#ifndef BF_ML_SERIALIZE_HH
+#define BF_ML_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/network.hh"
+
+namespace bigfish::ml {
+
+/** Writes every parameter tensor of @p net to the stream. */
+void saveWeights(std::ostream &out, Sequential &net);
+
+/** Writes weights to a file; fatal() on I/O failure. */
+void saveWeights(const std::string &path, Sequential &net);
+
+/**
+ * Loads weights into an already-constructed network.
+ * fatal() if the stream is malformed or any tensor shape differs from
+ * the network's current parameters.
+ */
+void loadWeights(std::istream &in, Sequential &net);
+
+/** Reads weights from a file; fatal() on I/O failure. */
+void loadWeights(const std::string &path, Sequential &net);
+
+} // namespace bigfish::ml
+
+#endif // BF_ML_SERIALIZE_HH

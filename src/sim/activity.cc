@@ -1,0 +1,111 @@
+#include "sim/activity.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bigfish::sim {
+
+ActivitySample &
+ActivitySample::operator+=(const ActivitySample &other)
+{
+    netRxRate += other.netRxRate;
+    gfxRate += other.gfxRate;
+    diskRate += other.diskRate;
+    softirqWork += other.softirqWork;
+    reschedRate += other.reschedRate;
+    tlbRate += other.tlbRate;
+    cpuLoad += other.cpuLoad;
+    cacheOccupancy += other.cacheOccupancy;
+    return *this;
+}
+
+ActivityTimeline::ActivityTimeline(TimeNs duration, TimeNs interval)
+    : duration_(duration), interval_(interval)
+{
+    fatalIf(duration <= 0, "ActivityTimeline duration must be positive");
+    fatalIf(interval <= 0, "ActivityTimeline interval must be positive");
+    const std::size_t steps =
+        static_cast<std::size_t>((duration + interval - 1) / interval);
+    samples_.resize(std::max<std::size_t>(steps, 1));
+}
+
+std::size_t
+ActivityTimeline::indexAt(TimeNs t) const
+{
+    if (t < 0)
+        return 0;
+    const std::size_t index = static_cast<std::size_t>(t / interval_);
+    return std::min(index, samples_.size() - 1);
+}
+
+void
+ActivityTimeline::addSpan(TimeNs start, TimeNs len,
+                          const ActivitySample &contribution)
+{
+    if (len <= 0)
+        return;
+    const TimeNs end = std::min(start + len, duration_);
+    start = std::max<TimeNs>(start, 0);
+    if (start >= end)
+        return;
+    for (TimeNs t = (start / interval_) * interval_; t < end;
+         t += interval_) {
+        const TimeNs step_lo = std::max(t, start);
+        const TimeNs step_hi = std::min(t + interval_, end);
+        if (step_hi <= step_lo)
+            continue;
+        const double frac = static_cast<double>(step_hi - step_lo) /
+                            static_cast<double>(interval_);
+        ActivitySample scaled = contribution;
+        scaled.netRxRate *= frac;
+        scaled.gfxRate *= frac;
+        scaled.diskRate *= frac;
+        scaled.softirqWork *= frac;
+        scaled.reschedRate *= frac;
+        scaled.tlbRate *= frac;
+        scaled.cpuLoad *= frac;
+        scaled.cacheOccupancy *= frac;
+        at(indexAt(t)) += scaled;
+    }
+}
+
+void
+ActivityTimeline::superimpose(const ActivityTimeline &other)
+{
+    panicIf(other.interval_ != interval_ ||
+                other.samples_.size() != samples_.size(),
+            "ActivityTimeline::superimpose requires identical geometry");
+    for (std::size_t i = 0; i < samples_.size(); ++i)
+        samples_[i] += other.samples_[i];
+}
+
+void
+ActivityTimeline::addShifted(const ActivityTimeline &other, TimeNs offset)
+{
+    panicIf(other.interval_ != interval_,
+            "ActivityTimeline::addShifted requires equal interval widths");
+    if (offset < 0)
+        offset = 0;
+    const std::size_t base = static_cast<std::size_t>(offset / interval_);
+    for (std::size_t i = 0;
+         i < other.samples_.size() && base + i < samples_.size(); ++i)
+        samples_[base + i] += other.samples_[i];
+}
+
+void
+ActivityTimeline::clampPhysical()
+{
+    for (ActivitySample &s : samples_) {
+        s.netRxRate = std::max(s.netRxRate, 0.0);
+        s.gfxRate = std::max(s.gfxRate, 0.0);
+        s.diskRate = std::max(s.diskRate, 0.0);
+        s.softirqWork = std::clamp(s.softirqWork, 0.0, 4.0);
+        s.reschedRate = std::max(s.reschedRate, 0.0);
+        s.tlbRate = std::max(s.tlbRate, 0.0);
+        s.cpuLoad = std::max(s.cpuLoad, 0.0);
+        s.cacheOccupancy = std::clamp(s.cacheOccupancy, 0.0, 1.0);
+    }
+}
+
+} // namespace bigfish::sim

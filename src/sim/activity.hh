@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Victim activity timelines — the interface between website workload
+ * models (src/web) and the machine simulator (src/sim).
+ *
+ * A website load is summarized as a piecewise-constant vector of rates at
+ * a fixed interval (default 10 ms): how many network packets arrive, how
+ * much rendering happens, how much deferred softirq work the victim's
+ * processing raises, how often its threads are woken (rescheduling IPIs),
+ * how much page-table churn it causes (TLB shootdowns), how loaded the
+ * CPUs are, and how much of the LLC the victim occupies. The interrupt
+ * synthesizer turns these rates into concrete interrupt streams.
+ */
+
+#ifndef BF_SIM_ACTIVITY_HH
+#define BF_SIM_ACTIVITY_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace bigfish::sim {
+
+/** Victim activity rates during one timeline interval. */
+struct ActivitySample
+{
+    double netRxRate = 0.0;   ///< Network RX IRQs per second.
+    double gfxRate = 0.0;     ///< Graphics IRQs per second.
+    double diskRate = 0.0;    ///< Disk IRQs per second.
+    double softirqWork = 0.0; ///< Deferred softirq work (0 = idle, 1 = busy).
+    double reschedRate = 0.0; ///< Rescheduling IPIs per second (attacker core).
+    double tlbRate = 0.0;     ///< TLB shootdown IPIs per second (broadcast).
+    double cpuLoad = 0.0;     ///< Victim CPU demand in cores (0..numCores).
+    double cacheOccupancy = 0.0; ///< Victim's share of the LLC, 0..1.
+
+    /** Element-wise sum, used to superimpose noise sources. */
+    ActivitySample &operator+=(const ActivitySample &other);
+};
+
+/**
+ * A piecewise-constant activity description over a trace's duration.
+ */
+class ActivityTimeline
+{
+  public:
+    /**
+     * @param duration Total described time.
+     * @param interval Width of each piecewise-constant step.
+     */
+    ActivityTimeline(TimeNs duration, TimeNs interval = 10 * kMsec);
+
+    /** Total described time. */
+    TimeNs duration() const { return duration_; }
+
+    /** Step width. */
+    TimeNs interval() const { return interval_; }
+
+    /** Number of steps. */
+    std::size_t numIntervals() const { return samples_.size(); }
+
+    /** Mutable sample for step @p index. */
+    ActivitySample &at(std::size_t index) { return samples_.at(index); }
+
+    /** Sample for step @p index. */
+    const ActivitySample &at(std::size_t index) const
+    {
+        return samples_.at(index);
+    }
+
+    /** Step index containing real time @p t (clamped to the last step). */
+    std::size_t indexAt(TimeNs t) const;
+
+    /** Sample in effect at real time @p t. */
+    const ActivitySample &sampleAt(TimeNs t) const { return at(indexAt(t)); }
+
+    /**
+     * Adds @p contribution to every step overlapping [start, start+len),
+     * weighted by the overlap fraction so sub-interval bursts deposit the
+     * right total amount of activity.
+     */
+    void addSpan(TimeNs start, TimeNs len, const ActivitySample &contribution);
+
+    /** Adds @p other element-wise (must have identical geometry). */
+    void superimpose(const ActivityTimeline &other);
+
+    /**
+     * Adds @p other element-wise starting at @p offset; the part of
+     * @p other extending past this timeline's end is dropped. Interval
+     * widths must match (offsets are rounded down to interval
+     * boundaries). Used to compose multi-page browsing sessions.
+     */
+    void addShifted(const ActivityTimeline &other, TimeNs offset);
+
+    /** Clamps every cacheOccupancy to [0, 1] and rates to >= 0. */
+    void clampPhysical();
+
+  private:
+    TimeNs duration_;
+    TimeNs interval_;
+    std::vector<ActivitySample> samples_;
+};
+
+} // namespace bigfish::sim
+
+#endif // BF_SIM_ACTIVITY_HH

@@ -1,0 +1,146 @@
+#include "sim/interrupt.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bigfish::sim {
+
+std::string
+interruptKindName(InterruptKind kind)
+{
+    switch (kind) {
+      case InterruptKind::TimerTick:
+        return "timer_tick";
+      case InterruptKind::NetworkRx:
+        return "net_rx_irq";
+      case InterruptKind::Graphics:
+        return "graphics_irq";
+      case InterruptKind::Disk:
+        return "disk_irq";
+      case InterruptKind::Usb:
+        return "usb_irq";
+      case InterruptKind::SoftirqNetRx:
+        return "softirq:net_rx";
+      case InterruptKind::SoftirqTimer:
+        return "softirq:timer";
+      case InterruptKind::IrqWork:
+        return "irq_work";
+      case InterruptKind::ReschedIpi:
+        return "resched_ipi";
+      case InterruptKind::TlbShootdown:
+        return "tlb_shootdown";
+      case InterruptKind::SpuriousNoise:
+        return "spurious_noise";
+      case InterruptKind::Preemption:
+        return "preemption";
+      case InterruptKind::UntraceableStall:
+        return "untraceable_stall";
+      case InterruptKind::NumKinds:
+        break;
+    }
+    return "unknown";
+}
+
+bool
+isMovable(InterruptKind kind)
+{
+    switch (kind) {
+      case InterruptKind::NetworkRx:
+      case InterruptKind::Graphics:
+      case InterruptKind::Disk:
+      case InterruptKind::Usb:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isInterrupt(InterruptKind kind)
+{
+    return kind != InterruptKind::Preemption &&
+           kind != InterruptKind::UntraceableStall &&
+           kind != InterruptKind::NumKinds;
+}
+
+bool
+isTraceable(InterruptKind kind)
+{
+    return kind != InterruptKind::UntraceableStall &&
+           kind != InterruptKind::NumKinds;
+}
+
+HandlerCostModel::HandlerCostModel()
+{
+    // Medians chosen so the *total* gap (median + 1.5us context switch)
+    // reproduces the characteristic per-kind distributions of Figure 6:
+    // every gap exceeds 1.5us; timer ticks cluster near 2-4us with a
+    // second mode at ~5.5us when IRQ work piggybacks; network RX spreads
+    // wider; rescheduling IPIs are the cheapest.
+    auto set = [&](InterruptKind k, TimeNs median, double sigma) {
+        table_[static_cast<int>(k)] = {median, sigma};
+    };
+    set(InterruptKind::TimerTick, 2100, 0.35);
+    set(InterruptKind::NetworkRx, 3400, 0.50);
+    set(InterruptKind::Graphics, 2900, 0.45);
+    set(InterruptKind::Disk, 2600, 0.40);
+    set(InterruptKind::Usb, 2000, 0.35);
+    set(InterruptKind::SoftirqNetRx, 2500, 0.55);
+    set(InterruptKind::SoftirqTimer, 1800, 0.40);
+    set(InterruptKind::IrqWork, 4000, 0.20);
+    set(InterruptKind::ReschedIpi, 1400, 0.30);
+    set(InterruptKind::TlbShootdown, 2200, 0.35);
+    set(InterruptKind::SpuriousNoise, 3000, 0.50);
+    // Preemption "handler cost" is the stolen timeslice; the synthesizer
+    // overrides its duration directly, so this entry is only a fallback.
+    set(InterruptKind::Preemption, 1000 * 1000, 0.50);
+    set(InterruptKind::UntraceableStall, 800, 0.60);
+}
+
+void
+HandlerCostModel::setParams(InterruptKind kind, HandlerCostParams params)
+{
+    table_[static_cast<int>(kind)] = params;
+}
+
+HandlerCostParams
+HandlerCostModel::params(InterruptKind kind) const
+{
+    return table_[static_cast<int>(kind)];
+}
+
+TimeNs
+HandlerCostModel::sample(InterruptKind kind, Rng &rng, bool vmIsolated,
+                         double workScale) const
+{
+    const HandlerCostParams &p = table_[static_cast<int>(kind)];
+    double body = rng.lognormal(static_cast<double>(p.median), p.sigma);
+    body *= std::max(workScale, 0.0);
+    double total = body;
+    if (kind != InterruptKind::UntraceableStall)
+        total += static_cast<double>(contextSwitchNs);
+    if (vmIsolated && isInterrupt(kind)) {
+        // Host handles the interrupt, exits to the guest, and the guest
+        // kernel processes its virtual interrupt: the stolen time grows.
+        total = total * vmAmplification + static_cast<double>(vmExitNs);
+    }
+    return static_cast<TimeNs>(std::max(total, 1.0));
+}
+
+void
+normalizeTimeline(std::vector<StolenInterval> &stolen)
+{
+    std::sort(stolen.begin(), stolen.end(),
+              [](const StolenInterval &a, const StolenInterval &b) {
+                  return a.arrival < b.arrival;
+              });
+    TimeNs busy_until = 0;
+    for (auto &interval : stolen) {
+        if (interval.arrival < busy_until)
+            interval.arrival = busy_until;
+        busy_until = interval.end();
+    }
+}
+
+} // namespace bigfish::sim

@@ -1,0 +1,155 @@
+#include "stats/confusion.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+
+namespace bigfish::stats {
+
+ConfusionMatrix::ConfusionMatrix(int numClasses)
+    : numClasses_(numClasses),
+      cells_(static_cast<std::size_t>(numClasses) * numClasses, 0)
+{
+    panicIf(numClasses <= 0, "ConfusionMatrix needs a positive class count");
+}
+
+void
+ConfusionMatrix::add(Label truth, Label predicted)
+{
+    panicIf(truth < 0 || truth >= numClasses_ || predicted < 0 ||
+                predicted >= numClasses_,
+            "ConfusionMatrix label out of range");
+    ++cells_[static_cast<std::size_t>(truth) * numClasses_ + predicted];
+    ++total_;
+    if (truth == predicted)
+        ++correct_;
+}
+
+std::size_t
+ConfusionMatrix::at(Label truth, Label predicted) const
+{
+    return cells_[static_cast<std::size_t>(truth) * numClasses_ + predicted];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(correct_) / static_cast<double>(total_);
+}
+
+double
+ConfusionMatrix::recall(Label truth) const
+{
+    std::size_t row_total = 0;
+    for (int p = 0; p < numClasses_; ++p)
+        row_total += at(truth, p);
+    if (row_total == 0)
+        return 0.0;
+    return static_cast<double>(at(truth, truth)) /
+           static_cast<double>(row_total);
+}
+
+double
+topKAccuracy(const std::vector<std::vector<double>> &scores,
+             const std::vector<Label> &truths, int k)
+{
+    panicIf(scores.size() != truths.size(),
+            "topKAccuracy: scores/truths size mismatch");
+    if (scores.empty() || k <= 0)
+        return 0.0;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        const auto &row = scores[i];
+        const Label truth = truths[i];
+        if (truth < 0 || truth >= static_cast<Label>(row.size()))
+            continue;
+        // Count classes scoring strictly above the truth; a hit when fewer
+        // than k do.
+        const double truth_score = row[truth];
+        int above = 0;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c] > truth_score)
+                ++above;
+        if (above < k)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(scores.size());
+}
+
+OpenWorldMetrics
+openWorldMetrics(const std::vector<Label> &truths,
+                 const std::vector<Label> &predictions,
+                 Label nonSensitiveLabel)
+{
+    panicIf(truths.size() != predictions.size(),
+            "openWorldMetrics: size mismatch");
+    std::size_t sens_total = 0, sens_hit = 0;
+    std::size_t non_total = 0, non_hit = 0;
+    for (std::size_t i = 0; i < truths.size(); ++i) {
+        if (truths[i] == nonSensitiveLabel) {
+            ++non_total;
+            if (predictions[i] == nonSensitiveLabel)
+                ++non_hit;
+        } else {
+            ++sens_total;
+            if (predictions[i] == truths[i])
+                ++sens_hit;
+        }
+    }
+    OpenWorldMetrics m;
+    if (sens_total > 0)
+        m.sensitiveAccuracy =
+            static_cast<double>(sens_hit) / static_cast<double>(sens_total);
+    if (non_total > 0)
+        m.nonSensitiveAccuracy =
+            static_cast<double>(non_hit) / static_cast<double>(non_total);
+    if (!truths.empty())
+        m.combinedAccuracy = static_cast<double>(sens_hit + non_hit) /
+                             static_cast<double>(truths.size());
+    return m;
+}
+
+std::string
+renderClassificationReport(const ConfusionMatrix &matrix,
+                           const std::vector<std::string> &classNames)
+{
+    auto name_of = [&](Label label) {
+        if (label >= 0 &&
+            label < static_cast<Label>(classNames.size()))
+            return classNames[static_cast<std::size_t>(label)];
+        return std::string("class ") + std::to_string(label);
+    };
+
+    Table table({"class", "support", "recall", "top confusion"});
+    for (Label truth = 0; truth < matrix.numClasses(); ++truth) {
+        std::size_t support = 0;
+        Label worst = -1;
+        std::size_t worst_count = 0;
+        for (Label pred = 0; pred < matrix.numClasses(); ++pred) {
+            const std::size_t n = matrix.at(truth, pred);
+            support += n;
+            if (pred != truth && n > worst_count) {
+                worst_count = n;
+                worst = pred;
+            }
+        }
+        if (support == 0)
+            continue;
+        table.addRow({name_of(truth), std::to_string(support),
+                      formatPercent(matrix.recall(truth)),
+                      worst < 0 ? std::string("-")
+                                : name_of(worst) + " (" +
+                                      std::to_string(worst_count) + ")"});
+    }
+    std::ostringstream out;
+    out << table.render();
+    out << "overall accuracy: " << formatPercent(matrix.accuracy()) << " ("
+        << matrix.total() << " samples)\n";
+    return out.str();
+}
+
+} // namespace bigfish::stats

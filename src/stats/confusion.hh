@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Confusion matrix and accuracy metrics for the fingerprinting classifiers:
+ * top-1 / top-k accuracy (Tables 1, 3, 4) and the open-world
+ * sensitive / non-sensitive / combined split (Table 1, right half).
+ */
+
+#ifndef BF_STATS_CONFUSION_HH
+#define BF_STATS_CONFUSION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace bigfish::stats {
+
+/** Square confusion matrix over a fixed number of classes. */
+class ConfusionMatrix
+{
+  public:
+    /** Creates an empty numClasses x numClasses matrix. */
+    explicit ConfusionMatrix(int numClasses);
+
+    /** Records one prediction. */
+    void add(Label truth, Label predicted);
+
+    /** Count of (truth, predicted) cells. */
+    std::size_t at(Label truth, Label predicted) const;
+
+    /** Overall top-1 accuracy. */
+    double accuracy() const;
+
+    /** Recall (per-class accuracy) for one class; 0 if never seen. */
+    double recall(Label truth) const;
+
+    /** Number of classes. */
+    int numClasses() const { return numClasses_; }
+
+    /** Total number of recorded predictions. */
+    std::size_t total() const { return total_; }
+
+  private:
+    int numClasses_;
+    std::vector<std::size_t> cells_;
+    std::size_t total_ = 0;
+    std::size_t correct_ = 0;
+};
+
+/**
+ * Top-k accuracy from per-sample class scores.
+ *
+ * @param scores One score vector per sample (higher = more likely).
+ * @param truths Ground-truth label per sample.
+ * @param k How many top predictions count as a hit.
+ */
+double topKAccuracy(const std::vector<std::vector<double>> &scores,
+                    const std::vector<Label> &truths, int k);
+
+/** Metrics of one open-world evaluation (Table 1, right half). */
+struct OpenWorldMetrics
+{
+    /** Accuracy on sensitive sites: correct exact-site prediction. */
+    double sensitiveAccuracy = 0.0;
+    /** Accuracy on non-sensitive sites: predicted the non-sensitive class. */
+    double nonSensitiveAccuracy = 0.0;
+    /** Accuracy over the combined test set. */
+    double combinedAccuracy = 0.0;
+};
+
+/**
+ * Computes open-world metrics given that label @p nonSensitiveLabel
+ * denotes the catch-all "non-sensitive" class.
+ */
+OpenWorldMetrics openWorldMetrics(const std::vector<Label> &truths,
+                                  const std::vector<Label> &predictions,
+                                  Label nonSensitiveLabel);
+
+/**
+ * Renders a classification report: one row per class with support,
+ * recall and the most frequent confusion, plus the overall accuracy.
+ *
+ * @param matrix Filled confusion matrix.
+ * @param classNames Optional class names (index = label); numeric
+ *                   labels are printed when empty or too short.
+ */
+std::string renderClassificationReport(
+    const ConfusionMatrix &matrix,
+    const std::vector<std::string> &classNames = {});
+
+} // namespace bigfish::stats
+
+#endif // BF_STATS_CONFUSION_HH

@@ -1,0 +1,228 @@
+#include "stats/descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bigfish::stats {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    const double m = mean(values);
+    double sum = 0.0;
+    for (double v : values)
+        sum += (v - m) * (v - m);
+    return sum / static_cast<double>(values.size());
+}
+
+double
+sampleVariance(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double sum = 0.0;
+    for (double v : values)
+        sum += (v - m) * (v - m);
+    return sum / static_cast<double>(values.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    return std::sqrt(variance(values));
+}
+
+double
+sampleStddev(const std::vector<double> &values)
+{
+    return std::sqrt(sampleVariance(values));
+}
+
+double
+minValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::min_element(values.begin(), values.end());
+}
+
+double
+maxValue(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+double
+quantile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    p = std::clamp(p, 0.0, 1.0);
+    const double idx = p * static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size() || a.size() < 2)
+        return 0.0;
+    const double ma = mean(a);
+    const double mb = mean(b);
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    if (va <= 0.0 || vb <= 0.0)
+        return 0.0;
+    return cov / std::sqrt(va * vb);
+}
+
+std::vector<double>
+normalizeByMax(const std::vector<double> &values)
+{
+    const double mx = maxValue(values);
+    if (mx <= 0.0)
+        return values;
+    std::vector<double> out(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out[i] = values[i] / mx;
+    return out;
+}
+
+std::vector<double>
+zscore(const std::vector<double> &values)
+{
+    const double m = mean(values);
+    const double s = stddev(values);
+    std::vector<double> out(values.size(), 0.0);
+    if (s <= 0.0)
+        return out;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out[i] = (values[i] - m) / s;
+    return out;
+}
+
+std::vector<double>
+downsampleMin(const std::vector<double> &values, std::size_t targetLen)
+{
+    if (targetLen == 0)
+        return {};
+    if (values.empty())
+        return std::vector<double>(targetLen, 0.0);
+    if (values.size() <= targetLen)
+        return downsample(values, targetLen);
+    std::vector<double> out(targetLen, 0.0);
+    const double step =
+        static_cast<double>(values.size()) / static_cast<double>(targetLen);
+    for (std::size_t i = 0; i < targetLen; ++i) {
+        const std::size_t lo = static_cast<std::size_t>(i * step);
+        std::size_t hi = static_cast<std::size_t>((i + 1) * step);
+        hi = std::max(hi, lo + 1);
+        hi = std::min(hi, values.size());
+        double m = values[lo];
+        for (std::size_t j = lo + 1; j < hi; ++j)
+            m = std::min(m, values[j]);
+        out[i] = m;
+    }
+    return out;
+}
+
+std::vector<double>
+winsorize(const std::vector<double> &values, double pLo, double pHi)
+{
+    if (values.size() < 3)
+        return values;
+    const double lo = quantile(values, pLo);
+    const double hi = quantile(values, pHi);
+    std::vector<double> out(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        out[i] = std::clamp(values[i], lo, hi);
+    return out;
+}
+
+std::vector<double>
+elementwiseMean(const std::vector<std::vector<double>> &series)
+{
+    if (series.empty())
+        return {};
+    std::size_t len = series.front().size();
+    for (const auto &s : series)
+        len = std::min(len, s.size());
+    std::vector<double> out(len, 0.0);
+    for (const auto &s : series)
+        for (std::size_t i = 0; i < len; ++i)
+            out[i] += s[i];
+    for (double &v : out)
+        v /= static_cast<double>(series.size());
+    return out;
+}
+
+std::vector<double>
+downsample(const std::vector<double> &values, std::size_t targetLen)
+{
+    if (targetLen == 0)
+        return {};
+    std::vector<double> out(targetLen, 0.0);
+    if (values.empty())
+        return out;
+    if (values.size() == targetLen)
+        return values;
+    if (values.size() < targetLen) {
+        // Upsample by linear interpolation: coarse-timer traces (e.g.
+        // 150 bins under a 100 ms quantized timer) must not be padded
+        // with zeros, which would swamp the per-trace normalization.
+        if (values.size() == 1) {
+            std::fill(out.begin(), out.end(), values[0]);
+            return out;
+        }
+        const double step = static_cast<double>(values.size() - 1) /
+                            static_cast<double>(targetLen - 1);
+        for (std::size_t i = 0; i < targetLen; ++i) {
+            const double pos = static_cast<double>(i) * step;
+            const std::size_t lo = static_cast<std::size_t>(pos);
+            const std::size_t hi = std::min(lo + 1, values.size() - 1);
+            const double frac = pos - static_cast<double>(lo);
+            out[i] = values[lo] * (1.0 - frac) + values[hi] * frac;
+        }
+        return out;
+    }
+    // Average contiguous buckets so no samples are dropped.
+    const double step =
+        static_cast<double>(values.size()) / static_cast<double>(targetLen);
+    for (std::size_t i = 0; i < targetLen; ++i) {
+        const std::size_t lo = static_cast<std::size_t>(i * step);
+        std::size_t hi = static_cast<std::size_t>((i + 1) * step);
+        hi = std::max(hi, lo + 1);
+        hi = std::min(hi, values.size());
+        double sum = 0.0;
+        for (std::size_t j = lo; j < hi; ++j)
+            sum += values[j];
+        out[i] = sum / static_cast<double>(hi - lo);
+    }
+    return out;
+}
+
+} // namespace bigfish::stats

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the evaluation: means, standard
+ * deviations, Pearson correlation (Figure 4) and normalization helpers.
+ */
+
+#ifndef BF_STATS_DESCRIPTIVE_HH
+#define BF_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace bigfish::stats {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &values);
+
+/** Population variance; 0 for fewer than one element. */
+double variance(const std::vector<double> &values);
+
+/** Sample (n-1) variance; 0 for fewer than two elements. */
+double sampleVariance(const std::vector<double> &values);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &values);
+
+/** Sample standard deviation. */
+double sampleStddev(const std::vector<double> &values);
+
+/** Smallest element; 0 for an empty input. */
+double minValue(const std::vector<double> &values);
+
+/** Largest element; 0 for an empty input. */
+double maxValue(const std::vector<double> &values);
+
+/** The p-quantile (0 <= p <= 1) by linear interpolation. */
+double quantile(std::vector<double> values, double p);
+
+/**
+ * Pearson correlation coefficient between two equal-length series.
+ *
+ * Used to reproduce Figure 4's r values between averaged loop-counting and
+ * sweep-counting traces. Returns 0 when either series is constant.
+ */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Divides every element by the series maximum (no-op if max <= 0). */
+std::vector<double> normalizeByMax(const std::vector<double> &values);
+
+/**
+ * Standardizes a series to zero mean and unit variance (z-score).
+ * Constant series map to all-zeros. Classifier inputs are standardized
+ * per trace: raw counter values sit in a narrow band near the maximum
+ * (e.g. 26,000-28,000), and centering them is what lets gradient-based
+ * training converge.
+ */
+std::vector<double> zscore(const std::vector<double> &values);
+
+/**
+ * Clips a series to its [pLo, pHi] quantile range (winsorization).
+ * Applied before standardization so single outlier bins (e.g. one
+ * period eaten by a scheduler preemption) cannot compress the dynamic
+ * range of the whole trace.
+ */
+std::vector<double> winsorize(const std::vector<double> &values,
+                              double pLo = 0.01, double pHi = 0.99);
+
+/** Element-wise mean of equal-length series (the "average trace"). */
+std::vector<double>
+elementwiseMean(const std::vector<std::vector<double>> &series);
+
+/**
+ * Downsamples a series to targetLen buckets by averaging each bucket.
+ * Series shorter than targetLen are zero-padded instead.
+ */
+std::vector<double>
+downsample(const std::vector<double> &values, std::size_t targetLen);
+
+/**
+ * Per-bucket minimum companion to downsample(): the deepest sample in
+ * each bucket. For inputs shorter than targetLen this interpolates the
+ * same way downsample() does (each stretched sample is its own
+ * minimum). Together with the bucket mean this exposes sub-bucket dip
+ * depth — the fine-timescale interrupt texture — without feeding the
+ * classifier full-length traces.
+ */
+std::vector<double>
+downsampleMin(const std::vector<double> &values, std::size_t targetLen);
+
+} // namespace bigfish::stats
+
+#endif // BF_STATS_DESCRIPTIVE_HH

@@ -1,0 +1,97 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace bigfish::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0)
+{
+    panicIf(hi <= lo, "Histogram range must be non-empty");
+    panicIf(bins == 0, "Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double value)
+{
+    samples_.push_back(value);
+    double idx_f = (value - lo_) / width_;
+    std::size_t idx;
+    if (idx_f < 0.0)
+        idx = 0;
+    else if (idx_f >= static_cast<double>(bins_.size()))
+        idx = bins_.size() - 1;
+    else
+        idx = static_cast<std::size_t>(idx_f);
+    ++bins_[idx];
+    ++count_;
+}
+
+void
+Histogram::addAll(const std::vector<double> &values)
+{
+    for (double v : values)
+        add(v);
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(bins_[i]) / static_cast<double>(count_);
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(
+        std::max_element(bins_.begin(), bins_.end()) - bins_.begin());
+}
+
+double
+Histogram::fractionAtLeast(double threshold) const
+{
+    if (count_ == 0)
+        return 0.0;
+    std::size_t n = 0;
+    for (double v : samples_)
+        if (v >= threshold)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(count_);
+}
+
+std::string
+Histogram::render(const std::string &unit, std::size_t maxWidth) const
+{
+    std::size_t max_count = 1;
+    for (std::size_t b : bins_)
+        max_count = std::max(max_count, b);
+
+    std::ostringstream out;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%8.2f%s", binCenter(i),
+                      unit.c_str());
+        const std::size_t bar =
+            bins_[i] * maxWidth / max_count;
+        out << label << " | " << std::string(bar, '#');
+        char frac[32];
+        std::snprintf(frac, sizeof(frac), " %.3f", binFraction(i));
+        out << frac << "\n";
+    }
+    return out.str();
+}
+
+} // namespace bigfish::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-width histogram with ASCII rendering, used for the gap-length
+ * distributions of Figure 6 and the loop-duration distributions of
+ * Figure 8.
+ */
+
+#ifndef BF_STATS_HISTOGRAM_HH
+#define BF_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bigfish::stats {
+
+/** A histogram over [lo, hi) with uniform-width bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower bound of the first bin.
+     * @param hi Upper bound of the last bin; must exceed lo.
+     * @param bins Number of bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Adds one sample; out-of-range samples are clamped to edge bins. */
+    void add(double value);
+
+    /** Adds every sample in the vector. */
+    void addAll(const std::vector<double> &values);
+
+    /** Number of samples recorded. */
+    std::size_t count() const { return count_; }
+
+    /** Raw bin counts. */
+    const std::vector<std::size_t> &bins() const { return bins_; }
+
+    /** Center of bin i. */
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of samples in bin i (0 when empty). */
+    double binFraction(std::size_t i) const;
+
+    /** Index of the fullest bin (the distribution's mode). */
+    std::size_t modeBin() const;
+
+    /** Fraction of samples with value >= threshold. */
+    double fractionAtLeast(double threshold) const;
+
+    /**
+     * Renders the histogram as rows of "center | ###### frac", with bars
+     * scaled to maxWidth characters. @p unit is appended to bin labels.
+     */
+    std::string render(const std::string &unit = "",
+                       std::size_t maxWidth = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> bins_;
+    std::vector<double> samples_;
+    std::size_t count_ = 0;
+};
+
+} // namespace bigfish::stats
+
+#endif // BF_STATS_HISTOGRAM_HH

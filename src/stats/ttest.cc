@@ -1,0 +1,120 @@
+#include "stats/ttest.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hh"
+
+namespace bigfish::stats {
+
+namespace {
+
+/** Continued fraction for the incomplete beta function. */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iters = 300;
+    constexpr double eps = 3.0e-12;
+    constexpr double fpmin = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::fabs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iters; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::fabs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::fabs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::fabs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+regularizedIncompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double ln_beta = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log(1.0 - x);
+    const double front = std::exp(ln_beta);
+    // Use the symmetry relation to keep the continued fraction convergent.
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+studentTCdf(double t, double df)
+{
+    if (df <= 0.0)
+        return 0.5;
+    const double x = df / (df + t * t);
+    const double p = 0.5 * regularizedIncompleteBeta(df / 2.0, 0.5, x);
+    return t >= 0.0 ? 1.0 - p : p;
+}
+
+TTestResult
+welchTTest(const std::vector<double> &a, const std::vector<double> &b)
+{
+    return welchTTestSummary(mean(a), sampleStddev(a),
+                             static_cast<int>(a.size()), mean(b),
+                             sampleStddev(b), static_cast<int>(b.size()));
+}
+
+TTestResult
+welchTTestSummary(double mean_a, double std_a, int n_a, double mean_b,
+                  double std_b, int n_b)
+{
+    TTestResult result;
+    if (n_a < 2 || n_b < 2)
+        return result;
+    const double va = std_a * std_a / n_a;
+    const double vb = std_b * std_b / n_b;
+    const double denom = std::sqrt(va + vb);
+    if (denom <= 0.0) {
+        result.t = mean_a == mean_b
+                       ? 0.0
+                       : std::numeric_limits<double>::infinity();
+        result.pTwoSided = mean_a == mean_b ? 1.0 : 0.0;
+        return result;
+    }
+    result.t = (mean_a - mean_b) / denom;
+    const double df_num = (va + vb) * (va + vb);
+    const double df_den =
+        va * va / (n_a - 1) + vb * vb / (n_b - 1);
+    result.df = df_den > 0.0 ? df_num / df_den : 1.0;
+    const double tail = 1.0 - studentTCdf(std::fabs(result.t), result.df);
+    result.pTwoSided = std::min(1.0, 2.0 * tail);
+    return result;
+}
+
+} // namespace bigfish::stats

@@ -1,0 +1,164 @@
+#include "timers/timer.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bigfish::timers {
+
+QuantizedTimer::QuantizedTimer(TimeNs resolution) : resolution_(resolution)
+{
+    fatalIf(resolution <= 0, "QuantizedTimer resolution must be positive");
+}
+
+TimeNs
+QuantizedTimer::observe(TimeNs real)
+{
+    return (real / resolution_) * resolution_;
+}
+
+JitteredTimer::JitteredTimer(TimeNs resolution, std::uint64_t seed)
+    : resolution_(resolution), seed_(seed)
+{
+    fatalIf(resolution <= 0, "JitteredTimer resolution must be positive");
+}
+
+TimeNs
+JitteredTimer::observe(TimeNs real)
+{
+    const TimeNs quantum = real / resolution_;
+    // e in {0, A}: the paper notes e is computed with a hash rather than
+    // drawn at read time so the timer remains monotone and consistent.
+    const bool jitter_up =
+        (mix64(static_cast<std::uint64_t>(quantum) ^ seed_) & 1) != 0;
+    return quantum * resolution_ + (jitter_up ? resolution_ : 0);
+}
+
+RandomizedTimer::RandomizedTimer(RandomizedTimerParams params,
+                                 std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    fatalIf(params.resolution <= 0,
+            "RandomizedTimer resolution must be positive");
+    fatalIf(params.alphaLo > params.alphaHi || params.betaLo > params.betaHi,
+            "RandomizedTimer alpha/beta bounds are inverted");
+    fatalIf(params.threshold < params.resolution,
+            "RandomizedTimer threshold must cover at least one quantum");
+}
+
+void
+RandomizedTimer::reset(std::uint64_t seed)
+{
+    rng_ = Rng(seed);
+    values_.clear();
+}
+
+void
+RandomizedTimer::materialize(std::size_t index)
+{
+    const TimeNs a = params_.resolution;
+    while (values_.size() <= index) {
+        const std::size_t k = values_.size();
+        const TimeNs real = static_cast<TimeNs>(k) * a;
+        const TimeNs prev = values_.empty() ? 0 : values_.back();
+        const TimeNs alpha =
+            rng_.uniformInt(params_.alphaLo, params_.alphaHi);
+        const TimeNs beta = rng_.uniformInt(params_.betaLo, params_.betaHi);
+        TimeNs next = prev;
+        const TimeNs lag = real - prev;
+        if (lag < alpha * a) {
+            // Within the tolerated lag: the observed clock stays put.
+            next = prev;
+        } else if (lag <= params_.threshold) {
+            // Advance by a random increment.
+            next = prev + beta * a;
+        } else {
+            // Catch up so the lag never exceeds the threshold.
+            next = real - beta * a;
+        }
+        next = std::clamp(next, prev, real);
+        values_.push_back(next);
+    }
+}
+
+TimeNs
+RandomizedTimer::observe(TimeNs real)
+{
+    if (real < 0)
+        real = 0;
+    const std::size_t index =
+        static_cast<std::size_t>(real / params_.resolution);
+    materialize(index);
+    return values_[index];
+}
+
+TimerSpec
+TimerSpec::precise()
+{
+    TimerSpec spec;
+    spec.kind = TimerKind::Precise;
+    spec.resolution = 1;
+    return spec;
+}
+
+TimerSpec
+TimerSpec::quantized(TimeNs resolution)
+{
+    TimerSpec spec;
+    spec.kind = TimerKind::Quantized;
+    spec.resolution = resolution;
+    return spec;
+}
+
+TimerSpec
+TimerSpec::jittered(TimeNs resolution)
+{
+    TimerSpec spec;
+    spec.kind = TimerKind::Jittered;
+    spec.resolution = resolution;
+    return spec;
+}
+
+TimerSpec
+TimerSpec::randomizedDefense(RandomizedTimerParams params)
+{
+    TimerSpec spec;
+    spec.kind = TimerKind::Randomized;
+    spec.resolution = params.resolution;
+    spec.randomized = params;
+    return spec;
+}
+
+std::unique_ptr<TimerModel>
+TimerSpec::make(std::uint64_t seed) const
+{
+    switch (kind) {
+      case TimerKind::Precise:
+        return std::make_unique<PreciseTimer>();
+      case TimerKind::Quantized:
+        return std::make_unique<QuantizedTimer>(resolution);
+      case TimerKind::Jittered:
+        return std::make_unique<JitteredTimer>(resolution, seed);
+      case TimerKind::Randomized:
+        return std::make_unique<RandomizedTimer>(randomized, seed);
+    }
+    panic("unknown TimerKind");
+}
+
+std::string
+TimerSpec::name() const
+{
+    switch (kind) {
+      case TimerKind::Precise:
+        return "precise";
+      case TimerKind::Quantized:
+        return "quantized";
+      case TimerKind::Jittered:
+        return "jittered";
+      case TimerKind::Randomized:
+        return "randomized";
+    }
+    return "unknown";
+}
+
+} // namespace bigfish::timers

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Browser profiles: how each evaluated browser shapes the attack.
+ *
+ * The browser enters the attack through exactly three mechanisms:
+ *
+ *  1. The timer exposed to JavaScript (performance.now()): Chrome clamps
+ *     to 0.1 ms and adds hash-based jitter; Firefox clamps to 1 ms with
+ *     jitter; Safari clamps to 1 ms; Tor Browser clamps to 100 ms.
+ *  2. Page-load speed: Tor's security features stretch loads by ~3x, so
+ *     the paper uses 50-second traces for it (15 s elsewhere).
+ *  3. Attacker-side runtime noise: the JS engine and the service-worker
+ *     event loop add throughput jitter and occasional brief stalls.
+ *
+ * Native attacker profiles (the Python attacker of Tables 3-4 and the
+ * Rust gap detector of Section 5.2) use a precise clock and negligible
+ * runtime noise.
+ */
+
+#ifndef BF_WEB_BROWSER_HH
+#define BF_WEB_BROWSER_HH
+
+#include <string>
+
+#include "base/rng.hh"
+#include "base/types.hh"
+#include "sim/run_timeline.hh"
+#include "timers/timer.hh"
+
+namespace bigfish::web {
+
+/** Everything browser-specific about an attack configuration. */
+struct BrowserProfile
+{
+    std::string name = "chrome";
+    /** The timer visible to the attacker's code. */
+    timers::TimerSpec timer = timers::TimerSpec::jittered(100 * kUsec);
+    /** Trace length used against this browser. */
+    TimeNs traceDuration = 15 * kSec;
+    /** Page-load stretch factor (Tor ~3x). */
+    double loadTimeScale = 1.0;
+    /**
+     * Multiplier on the victim-side run-to-run variation
+     * (RealizationNoise). Tor's onion circuits add seconds of variable
+     * latency per resource, so the *same* page produces far less
+     * repeatable load timelines than it does over a direct connection —
+     * a large part of why Table 1's Tor accuracy is roughly half the
+     * Chrome accuracy.
+     */
+    double loadVariability = 1.0;
+    /** Per-activity-step lognormal sigma on attacker throughput. */
+    double runtimeNoiseSigma = 0.01;
+    /** Rate (per second) of brief attacker stalls (event loop, GC). */
+    double stallRate = 2.0;
+    /** Median duration of such stalls. */
+    TimeNs stallMedian = 60 * kUsec;
+    /** Default measurement period length P. */
+    TimeNs period = 5 * kMsec;
+
+    /** Chrome 92: 0.1 ms timer with jitter. */
+    static BrowserProfile chrome();
+    /** Firefox 91: 1 ms timer with jitter. */
+    static BrowserProfile firefox();
+    /** Safari 14: 1 ms quantized timer. */
+    static BrowserProfile safari();
+    /** Tor Browser 10: 100 ms quantized timer, 50 s traces, slow loads. */
+    static BrowserProfile torBrowser();
+    /** Native Python attacker: precise time.time(), no browser noise. */
+    static BrowserProfile nativePython();
+    /** Native Rust gap detector: CLOCK_MONOTONIC via vDSO. */
+    static BrowserProfile nativeRust();
+};
+
+/**
+ * Applies attacker-side browser effects to a synthesized timeline:
+ * multiplies per-step iteration-cost factors by runtime jitter and
+ * injects brief event-loop stalls (as Preemption intervals).
+ *
+ * Native profiles (stallRate 0 / tiny sigma) leave the timeline
+ * essentially untouched.
+ */
+void applyBrowserRuntime(sim::RunTimeline &timeline,
+                         const BrowserProfile &browser, Rng &rng);
+
+} // namespace bigfish::web
+
+#endif // BF_WEB_BROWSER_HH

@@ -1,0 +1,215 @@
+#include "web/catalog.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace bigfish::web {
+
+const std::vector<std::string> &
+appendixASiteNames()
+{
+    // The paper's Appendix A closed-world dataset (Alexa top sites after
+    // exclusions), plus weather.com, which the paper uses as a running
+    // example in Figures 3-5.
+    static const std::vector<std::string> names = {
+        "1688.com", "6.cn", "adobe.com", "alibaba.com", "aliexpress.com",
+        "alipay.com", "amazon.com", "aparat.com", "apple.com",
+        "babytree.com", "baidu.com", "bbc.com", "bing.com", "booking.com",
+        "canva.com", "chase.com", "cnblogs.com", "cnn.com", "csdn.net",
+        "daum.net", "detik.com", "dropbox.com", "ebay.com", "espn.com",
+        "etsy.com", "facebook.com", "fandom.com", "force.com",
+        "freepik.com", "github.com", "godaddy.com", "gome.com.cn",
+        "google.com", "grammarly.com", "hao123.com", "haosou.com",
+        "xinhuanet.com", "huanqiu.com", "ilovepdf.com", "imdb.com",
+        "imgur.com", "indeed.com", "instagram.com", "intuit.com", "jd.com",
+        "kompas.com", "linkedin.com", "live.com", "mail.ru", "medium.com",
+        "microsoft.com", "msn.com", "myshopify.com", "naver.com",
+        "netflix.com", "nytimes.com", "office.com", "ok.ru", "okezone.com",
+        "panda.tv", "paypal.com", "pikiran-rakyat.com", "pinterest.com",
+        "primevideo.com", "qq.com", "rakuten.co.jp", "reddit.com",
+        "rednet.cn", "roblox.com", "salesforce.com", "savefrom.net",
+        "sina.com.cn", "slack.com", "so.com", "sohu.com", "spotify.com",
+        "stackoverflow.com", "taobao.com", "telegram.org", "tianya.cn",
+        "tiktok.com", "tmall.com", "tradingview.com", "tribunnews.com",
+        "tumblr.com", "twitch.tv", "twitter.com", "vk.com", "walmart.com",
+        "weibo.com", "wetransfer.com", "whatsapp.com", "wikipedia.org",
+        "wordpress.com", "yahoo.com", "youtube.com", "yy.com", "zhanqi.tv",
+        "zillow.com", "zoom.us", "weather.com",
+    };
+    return names;
+}
+
+SiteSignature
+nytimesSignature(SiteId id)
+{
+    SiteSignature sig;
+    sig.id = id;
+    sig.name = "nytimes.com";
+    // Nearly all activity happens within the first four seconds.
+    sig.phases = {
+        {PhaseType::NetworkFetch, 0, 900 * kMsec, 1.4},
+        {PhaseType::ParseLayout, 300 * kMsec, 800 * kMsec, 1.2},
+        {PhaseType::Script, 800 * kMsec, 1500 * kMsec, 1.3},
+        {PhaseType::Render, 1200 * kMsec, 1400 * kMsec, 1.1},
+        {PhaseType::NetworkFetch, 2200 * kMsec, 1200 * kMsec, 0.9},
+        {PhaseType::Render, 3000 * kMsec, 1000 * kMsec, 0.6},
+    };
+    sig.idleIntensity = 0.25;
+    sig.microPeriod = 45 * kMsec;
+    sig.microDuty = 0.5;
+    return sig;
+}
+
+SiteSignature
+amazonSignature(SiteId id)
+{
+    SiteSignature sig;
+    sig.id = id;
+    sig.name = "amazon.com";
+    // Most activity in the first two seconds; distinct activity spikes
+    // around five and ten seconds (deferred widgets / recommendations).
+    sig.phases = {
+        {PhaseType::NetworkFetch, 0, 700 * kMsec, 1.6},
+        {PhaseType::ParseLayout, 250 * kMsec, 600 * kMsec, 1.3},
+        {PhaseType::Render, 600 * kMsec, 900 * kMsec, 1.3},
+        {PhaseType::Script, 900 * kMsec, 1100 * kMsec, 1.1},
+    };
+    sig.spikes = {
+        {5 * kSec, 450 * kMsec, 1.4, PhaseType::NetworkFetch},
+        {5200 * kMsec, 350 * kMsec, 1.0, PhaseType::Render},
+        {10 * kSec, 450 * kMsec, 1.3, PhaseType::NetworkFetch},
+        {10200 * kMsec, 350 * kMsec, 0.9, PhaseType::Render},
+    };
+    sig.idleIntensity = 0.3;
+    sig.microPeriod = 70 * kMsec;
+    sig.microDuty = 0.4;
+    return sig;
+}
+
+SiteSignature
+weatherSignature(SiteId id)
+{
+    SiteSignature sig;
+    sig.id = id;
+    sig.name = "weather.com";
+    // weather.com routinely triggers rescheduling interrupts, often
+    // alongside TLB shootdowns (Section 5.2), and stays active with
+    // periodic map/ad refreshes.
+    sig.reschedBias = 2.2;
+    sig.phases = {
+        {PhaseType::NetworkFetch, 0, 800 * kMsec, 1.2},
+        {PhaseType::Script, 500 * kMsec, 1800 * kMsec, 1.4},
+        {PhaseType::Render, 1000 * kMsec, 1500 * kMsec, 1.2},
+        {PhaseType::Media, 2500 * kMsec, 2500 * kMsec, 0.8},
+    };
+    sig.spikes = {
+        {6 * kSec, 500 * kMsec, 0.9, PhaseType::Script},
+        {9 * kSec, 500 * kMsec, 0.9, PhaseType::Script},
+        {12 * kSec, 500 * kMsec, 0.8, PhaseType::Script},
+    };
+    sig.idleIntensity = 0.45;
+    sig.microPeriod = 30 * kMsec;
+    sig.microDuty = 0.6;
+    return sig;
+}
+
+SiteSignature
+SiteCatalog::generate(SiteId id, const std::string &name, Rng rng)
+{
+    SiteSignature sig;
+    sig.id = id;
+    sig.name = name;
+    sig.reschedBias = rng.lognormal(1.0, 0.45);
+    sig.cacheBias = rng.lognormal(1.0, 0.30);
+    sig.softirqBias = rng.lognormal(1.0, 0.20);
+    sig.idleIntensity = rng.uniform(0.05, 0.5);
+    sig.microPeriod =
+        static_cast<TimeNs>(rng.uniform(25.0, 95.0) * kMsec);
+    sig.microDuty = rng.uniform(0.25, 0.75);
+
+    // Every load starts with a network fetch; the rest of the phase plan
+    // is a site-characteristic random program.
+    const TimeNs load_span =
+        static_cast<TimeNs>(rng.uniform(1.8, 7.0) * kSec);
+    sig.phases.push_back({PhaseType::NetworkFetch, 0,
+                          static_cast<TimeNs>(rng.uniform(0.4, 1.2) * kSec),
+                          rng.uniform(0.8, 1.8)});
+    const int extra_phases = static_cast<int>(rng.uniformInt(3, 8));
+    static const PhaseType kTypes[] = {
+        PhaseType::NetworkFetch, PhaseType::ParseLayout, PhaseType::Script,
+        PhaseType::Render, PhaseType::Media};
+    for (int i = 0; i < extra_phases; ++i) {
+        ActivityPhase phase;
+        phase.type = kTypes[rng.uniformInt(0, 4)];
+        // Bias phase starts toward the beginning of the load.
+        const double u = rng.uniform();
+        phase.start = static_cast<TimeNs>(u * u *
+                                          static_cast<double>(load_span));
+        phase.duration =
+            static_cast<TimeNs>(rng.uniform(0.15, 2.2) * kSec);
+        phase.intensity = rng.uniform(0.4, 1.8);
+        sig.phases.push_back(phase);
+    }
+
+    // Some sites schedule late bursts (lazy widgets, ad rotations).
+    const int n_spikes = static_cast<int>(rng.uniformInt(0, 3));
+    for (int i = 0; i < n_spikes; ++i) {
+        ActivitySpike spike;
+        spike.at = static_cast<TimeNs>(rng.uniform(4.0, 14.0) * kSec);
+        spike.duration =
+            static_cast<TimeNs>(rng.uniform(0.15, 0.6) * kSec);
+        spike.intensity = rng.uniform(0.5, 1.5);
+        spike.type = kTypes[rng.uniformInt(0, 4)];
+        sig.spikes.push_back(spike);
+    }
+    return sig;
+}
+
+SiteCatalog::SiteCatalog(int numSites, std::uint64_t seed) : seed_(seed)
+{
+    fatalIf(numSites <= 0, "SiteCatalog needs a positive site count");
+    const auto &names = appendixASiteNames();
+    Rng master(seed);
+    sites_.reserve(numSites);
+    for (SiteId id = 0; id < numSites; ++id) {
+        std::string name;
+        if (id < static_cast<SiteId>(names.size()))
+            name = names[id];
+        else
+            name = names[id % names.size()] + "#" +
+                   std::to_string(id / static_cast<int>(names.size()));
+        if (name == "nytimes.com")
+            sites_.push_back(nytimesSignature(id));
+        else if (name == "amazon.com")
+            sites_.push_back(amazonSignature(id));
+        else if (name == "weather.com")
+            sites_.push_back(weatherSignature(id));
+        else
+            sites_.push_back(generate(id, name, master.fork(id)));
+    }
+}
+
+const SiteSignature &
+SiteCatalog::site(SiteId id) const
+{
+    fatalIf(id < 0 || id >= size(), "SiteCatalog site id out of range");
+    return sites_[static_cast<std::size_t>(id)];
+}
+
+SiteSignature
+SiteCatalog::openWorldSite(int index) const
+{
+    const SiteId id = size() + index;
+    Rng rng(mix64(seed_ ^ 0x09e61d0facadeULL) ^
+            mix64(static_cast<std::uint64_t>(index) + 1));
+    return generate(id, "openworld-" + std::to_string(index), std::move(rng));
+}
+
+std::vector<SiteSignature>
+SiteCatalog::exampleSites()
+{
+    return {nytimesSignature(0), amazonSignature(1), weatherSignature(2)};
+}
+
+} // namespace bigfish::web

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SiteCatalog: the closed-world and open-world website populations.
+ *
+ * The closed world uses the paper's actual Appendix A list (the Alexa
+ * top-100 after the paper's exclusions), each name bound to a seeded
+ * generated signature; the open world adds an arbitrary number of
+ * one-off "non-sensitive" sites (the paper collects 5,000). Three sites
+ * (nytimes.com, amazon.com and the Figure 3 example weather.com) carry
+ * hand-crafted signatures matching the paper's qualitative descriptions.
+ */
+
+#ifndef BF_WEB_CATALOG_HH
+#define BF_WEB_CATALOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "web/site.hh"
+
+namespace bigfish::web {
+
+/** The paper's Appendix A closed-world site names, in order. */
+const std::vector<std::string> &appendixASiteNames();
+
+/** Hand-crafted nytimes.com signature (activity in the first ~4 s). */
+SiteSignature nytimesSignature(SiteId id);
+
+/** Hand-crafted amazon.com signature (busy 0-2 s, spikes at 5 s, 10 s). */
+SiteSignature amazonSignature(SiteId id);
+
+/** Hand-crafted weather.com signature (resched/TLB-heavy). */
+SiteSignature weatherSignature(SiteId id);
+
+/** A population of websites the victim may visit. */
+class SiteCatalog
+{
+  public:
+    /**
+     * Builds a closed-world catalog of @p numSites sites.
+     *
+     * Site 0..numSites-1 take their names from Appendix A (cycling with a
+     * numeric suffix past 100); nytimes.com and amazon.com (when within
+     * range) use their hand-crafted signatures.
+     *
+     * @param numSites Number of closed-world sites.
+     * @param seed Master seed; the same seed reproduces the catalog.
+     */
+    SiteCatalog(int numSites, std::uint64_t seed);
+
+    /** Number of closed-world sites. */
+    int size() const { return static_cast<int>(sites_.size()); }
+
+    /** The signature of closed-world site @p id. */
+    const SiteSignature &site(SiteId id) const;
+
+    /** All closed-world signatures. */
+    const std::vector<SiteSignature> &sites() const { return sites_; }
+
+    /**
+     * Generates a one-off open-world ("non-sensitive") site. Each call
+     * with a distinct @p index yields a distinct site drawn from the same
+     * generative family as the closed world.
+     */
+    SiteSignature openWorldSite(int index) const;
+
+    /** The three hand-crafted example sites used by Figures 3-5. */
+    static std::vector<SiteSignature> exampleSites();
+
+  private:
+    /** Generates one random signature. */
+    static SiteSignature generate(SiteId id, const std::string &name,
+                                  Rng rng);
+
+    std::vector<SiteSignature> sites_;
+    std::uint64_t seed_;
+};
+
+} // namespace bigfish::web
+
+#endif // BF_WEB_CATALOG_HH

@@ -1,0 +1,73 @@
+#include "web/session.hh"
+
+#include "base/logging.hh"
+
+namespace bigfish::web {
+
+TimeNs
+BrowsingSession::duration() const
+{
+    TimeNs total = 0;
+    for (const BrowsingStep &step : steps)
+        total += step.dwell;
+    return total;
+}
+
+std::vector<TimeNs>
+BrowsingSession::navigationTimes() const
+{
+    std::vector<TimeNs> times;
+    times.reserve(steps.size());
+    TimeNs t = 0;
+    for (const BrowsingStep &step : steps) {
+        times.push_back(t);
+        t += step.dwell;
+    }
+    return times;
+}
+
+BrowsingSession
+BrowsingSession::random(const SiteCatalog &catalog, int visits,
+                        TimeNs min_dwell, TimeNs max_dwell, Rng &rng)
+{
+    fatalIf(visits <= 0, "session needs at least one visit");
+    fatalIf(min_dwell <= 0 || max_dwell < min_dwell,
+            "invalid dwell-time range");
+    BrowsingSession session;
+    session.steps.reserve(static_cast<std::size_t>(visits));
+    for (int i = 0; i < visits; ++i) {
+        BrowsingStep step;
+        step.site = static_cast<SiteId>(
+            rng.uniformInt(0, catalog.size() - 1));
+        step.dwell = min_dwell + static_cast<TimeNs>(
+                                     rng.uniform() *
+                                     static_cast<double>(max_dwell -
+                                                         min_dwell));
+        session.steps.push_back(step);
+    }
+    return session;
+}
+
+sim::ActivityTimeline
+realizeSession(const BrowsingSession &session, const SiteCatalog &catalog,
+               double load_time_scale, const RealizationNoise &noise,
+               Rng &rng)
+{
+    fatalIf(session.steps.empty(), "cannot realize an empty session");
+    sim::ActivityTimeline timeline(session.duration());
+    const auto navigations = session.navigationTimes();
+    for (std::size_t i = 0; i < session.steps.size(); ++i) {
+        const BrowsingStep &step = session.steps[i];
+        Rng visit_rng = rng.fork(i + 1);
+        // Realize the visit over its dwell window: the page's own
+        // timeline is as long as the victim stays on it.
+        const auto visit = realizeWorkload(catalog.site(step.site),
+                                           step.dwell, load_time_scale,
+                                           noise, visit_rng);
+        timeline.addShifted(visit, navigations[i]);
+    }
+    timeline.clampPhysical();
+    return timeline;
+}
+
+} // namespace bigfish::web

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Multi-page browsing sessions — the continuous-monitoring scenario.
+ *
+ * The paper (and its predecessors) evaluate on traces aligned with a
+ * single page load; a deployed attacker instead records one long trace
+ * while the victim browses from page to page and must segment it before
+ * classifying. This module generates such sessions: an ordered list of
+ * (site, dwell time) visits realized into one long victim
+ * ActivityTimeline, together with the ground-truth navigation instants
+ * the attacker is trying to recover (see attack/segmentation.hh for the
+ * recovery side).
+ */
+
+#ifndef BF_WEB_SESSION_HH
+#define BF_WEB_SESSION_HH
+
+#include <vector>
+
+#include "web/catalog.hh"
+#include "web/site.hh"
+
+namespace bigfish::web {
+
+/** One visit in a browsing session. */
+struct BrowsingStep
+{
+    SiteId site = 0;
+    /** Time from this navigation to the next (load + reading time). */
+    TimeNs dwell = 15 * kSec;
+};
+
+/** An ordered multi-page browsing session. */
+struct BrowsingSession
+{
+    std::vector<BrowsingStep> steps;
+
+    /** Total session duration. */
+    TimeNs duration() const;
+
+    /** Ground-truth navigation instants (one per step, cumulative). */
+    std::vector<TimeNs> navigationTimes() const;
+
+    /**
+     * Draws a random session: @p visits sites chosen uniformly from the
+     * catalog with dwell times uniform in [minDwell, maxDwell].
+     */
+    static BrowsingSession random(const SiteCatalog &catalog, int visits,
+                                  TimeNs min_dwell, TimeNs max_dwell,
+                                  Rng &rng);
+};
+
+/**
+ * Realizes a whole session as one victim ActivityTimeline: each visit's
+ * load is realized independently (with per-run noise) and superimposed
+ * at its navigation offset.
+ */
+sim::ActivityTimeline realizeSession(const BrowsingSession &session,
+                                     const SiteCatalog &catalog,
+                                     double load_time_scale,
+                                     const RealizationNoise &noise,
+                                     Rng &rng);
+
+} // namespace bigfish::web
+
+#endif // BF_WEB_SESSION_HH

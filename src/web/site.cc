@@ -1,0 +1,179 @@
+#include "web/site.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bigfish::web {
+
+sim::ActivitySample
+phaseRates(PhaseType type, double intensity, const SiteSignature &signature)
+{
+    // Rates are calibrated so that busy phases steal a few percent of
+    // the attacker's core (handler time) on top of the DVFS droop,
+    // matching the 10-25% counter dips visible in the paper's Figure 3.
+    sim::ActivitySample s;
+    switch (type) {
+      case PhaseType::NetworkFetch:
+        s.netRxRate = 3200.0; // Bursty resource downloads.
+        s.diskRate = 60.0;
+        s.softirqWork = 1.0;
+        s.reschedRate = 180.0;
+        s.tlbRate = 40.0;
+        s.cpuLoad = 0.8;
+        s.cacheOccupancy = 0.25;
+        break;
+      case PhaseType::ParseLayout:
+        s.netRxRate = 150.0;
+        s.softirqWork = 0.25;
+        s.reschedRate = 280.0;
+        s.tlbRate = 160.0;
+        s.cpuLoad = 1.5;
+        s.cacheOccupancy = 0.45;
+        break;
+      case PhaseType::Script:
+        s.netRxRate = 200.0;
+        s.softirqWork = 0.35;
+        s.reschedRate = 420.0; // IPC-heavy JS + GC wakeups.
+        s.tlbRate = 380.0;     // GC page-table churn.
+        s.cpuLoad = 1.8;
+        s.cacheOccupancy = 0.50;
+        break;
+      case PhaseType::Render:
+        s.gfxRate = 1400.0; // Compositor / GPU fences.
+        s.softirqWork = 0.25;
+        s.reschedRate = 220.0;
+        s.tlbRate = 60.0;
+        s.cpuLoad = 1.0;
+        s.cacheOccupancy = 0.35;
+        break;
+      case PhaseType::Media:
+        s.netRxRate = 1200.0;
+        s.gfxRate = 800.0;
+        s.diskRate = 25.0;
+        s.softirqWork = 0.6;
+        s.reschedRate = 250.0;
+        s.tlbRate = 70.0;
+        s.cpuLoad = 0.8;
+        s.cacheOccupancy = 0.30;
+        break;
+    }
+    s.netRxRate *= intensity;
+    s.gfxRate *= intensity;
+    s.diskRate *= intensity;
+    s.softirqWork *= intensity * signature.softirqBias;
+    s.reschedRate *= intensity * signature.reschedBias;
+    s.tlbRate *= intensity * signature.reschedBias;
+    s.cpuLoad *= intensity;
+    s.cacheOccupancy *= intensity * signature.cacheBias;
+    return s;
+}
+
+sim::ActivityTimeline
+realizeWorkload(const SiteSignature &signature, TimeNs duration,
+                double loadTimeScale, const RealizationNoise &noise,
+                Rng &rng)
+{
+    sim::ActivityTimeline timeline(duration);
+    const double run_factor = rng.lognormal(1.0, noise.runLoadSigma);
+    // Network conditions change batch sizes and wakeup pressure between
+    // loads: stationary per-site statistics are only partially stable
+    // run to run, so volume-style fingerprints stay noisy.
+    const double run_softirq = rng.lognormal(1.0, 0.35);
+    const double run_resched = rng.lognormal(1.0, 0.30);
+
+    auto jittered_start = [&](TimeNs start) {
+        const double shifted =
+            static_cast<double>(start) * loadTimeScale +
+            rng.normal(0.0, noise.phaseStartJitterMs) *
+                static_cast<double>(kMsec);
+        return static_cast<TimeNs>(std::max(0.0, shifted));
+    };
+
+    // The site's micro-rhythm: activity within a phase arrives in
+    // bursts paced by the site's characteristic cadence (render-frame
+    // batches, packet trains). The cadence phase is random per run and
+    // the period wobbles slightly burst to burst.
+    const TimeNs micro_period = std::max<TimeNs>(
+        static_cast<TimeNs>(static_cast<double>(signature.microPeriod) *
+                            rng.lognormal(1.0, 0.06)),
+        10 * kMsec);
+    const double duty = std::clamp(signature.microDuty, 0.15, 0.9);
+    TimeNs micro_phase = static_cast<TimeNs>(
+        rng.uniform() * static_cast<double>(micro_period));
+
+    auto add_modulated = [&](TimeNs start, TimeNs dur,
+                             const sim::ActivitySample &rates_in) {
+        sim::ActivitySample rates = rates_in;
+        rates.softirqWork *= run_softirq;
+        rates.reschedRate *= run_resched;
+        // Deposit the same total activity as an unmodulated span, but
+        // concentrated into the duty-on windows of the cadence.
+        sim::ActivitySample on = rates;
+        const double boost = 1.0 / duty;
+        on.netRxRate *= boost;
+        on.gfxRate *= boost;
+        on.diskRate *= boost;
+        on.softirqWork *= boost;
+        on.reschedRate *= boost;
+        on.tlbRate *= boost;
+        // CPU load and occupancy stay level-like across the phase and
+        // are deposited separately below.
+        on.cpuLoad = 0.0;
+        on.cacheOccupancy = 0.0;
+        const TimeNs on_len =
+            static_cast<TimeNs>(static_cast<double>(micro_period) * duty);
+        const TimeNs end = start + dur;
+        TimeNs cycle =
+            ((start - micro_phase) / micro_period) * micro_period +
+            micro_phase;
+        for (TimeNs t = cycle; t < end; t += micro_period) {
+            const TimeNs lo = std::max(t, start);
+            const TimeNs hi = std::min(t + on_len, end);
+            if (hi > lo)
+                timeline.addSpan(lo, hi - lo, on);
+        }
+        // Level-like components are deposited unmodulated.
+        sim::ActivitySample level;
+        level.cpuLoad = rates.cpuLoad;
+        level.cacheOccupancy = rates.cacheOccupancy;
+        timeline.addSpan(start, dur, level);
+    };
+
+    for (const ActivityPhase &phase : signature.phases) {
+        const TimeNs start = jittered_start(phase.start);
+        const TimeNs dur = static_cast<TimeNs>(
+            static_cast<double>(phase.duration) * loadTimeScale *
+            rng.lognormal(1.0, noise.phaseDurationSigma));
+        double intensity =
+            phase.intensity * run_factor * rng.lognormal(1.0, noise.rateSigma);
+        add_modulated(start, dur,
+                      phaseRates(phase.type, intensity, signature));
+    }
+
+    for (const ActivitySpike &spike : signature.spikes) {
+        const TimeNs start = jittered_start(spike.at);
+        const TimeNs dur = static_cast<TimeNs>(
+            static_cast<double>(spike.duration) *
+            rng.lognormal(1.0, 0.15));
+        const double intensity = spike.intensity * run_factor *
+                                 rng.lognormal(1.0, noise.rateSigma);
+        add_modulated(start, dur,
+                      phaseRates(spike.type, intensity, signature));
+    }
+
+    // Residual idle activity after (and between) load phases: analytics
+    // beacons, ad refreshes, compositor heartbeats.
+    sim::ActivitySample idle;
+    idle.netRxRate = 30.0 * signature.idleIntensity * run_factor;
+    idle.gfxRate = 40.0 * signature.idleIntensity * run_factor;
+    idle.softirqWork = 0.05 * signature.idleIntensity;
+    idle.reschedRate = 6.0 * signature.idleIntensity;
+    idle.cpuLoad = 0.08 * signature.idleIntensity;
+    idle.cacheOccupancy = 0.05 * signature.idleIntensity;
+    timeline.addSpan(0, duration, idle);
+
+    timeline.clampPhysical();
+    return timeline;
+}
+
+} // namespace bigfish::web

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for src/base: RNG determinism and distributions, hashing,
+ * and table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "base/rng.hh"
+#include "base/table.hh"
+#include "base/types.hh"
+
+namespace bigfish {
+namespace {
+
+TEST(TimeConstants, RelateCorrectly)
+{
+    EXPECT_EQ(kUsec, 1000);
+    EXPECT_EQ(kMsec, 1000 * kUsec);
+    EXPECT_EQ(kSec, 1000 * kMsec);
+}
+
+TEST(Mix64, IsDeterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Mix64, SpreadsAdjacentInputs)
+{
+    // Adjacent inputs should differ in roughly half their bits.
+    const std::uint64_t a = mix64(1000);
+    const std::uint64_t b = mix64(1001);
+    const int differing = __builtin_popcountll(a ^ b);
+    EXPECT_GT(differing, 16);
+    EXPECT_LT(differing, 48);
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a() == b())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForksWithDifferentSaltsDiffer)
+{
+    Rng parent(11);
+    Rng f1 = parent.fork(1);
+    Rng f2 = parent.fork(2);
+    EXPECT_NE(f1(), f2());
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = rng.uniform(5.0, 6.0);
+        EXPECT_GE(v, 5.0);
+        EXPECT_LT(v, 6.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng rng(4);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(0, 4);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 4);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRequestedMoments)
+{
+    Rng rng(5);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, LognormalMedianIsParameter)
+{
+    Rng rng(6);
+    std::vector<double> values;
+    for (int i = 0; i < 20001; ++i)
+        values.push_back(rng.lognormal(100.0, 0.5));
+    std::nth_element(values.begin(), values.begin() + 10000, values.end());
+    EXPECT_NEAR(values[10000], 100.0, 5.0);
+    for (double v : values)
+        EXPECT_GT(v, 0.0);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+TEST(Rng, PoissonMeanMatches)
+{
+    Rng rng(8);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.poisson(3.5);
+    EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(9);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng rng(10);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (rng.bernoulli(0.25))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"A", "Bee"});
+    t.addRow({"1", "2"});
+    t.addRow({"long-cell", "x"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("Bee"), std::string::npos);
+    EXPECT_NE(out.find("long-cell"), std::string::npos);
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.966, 1), "96.6%");
+    EXPECT_EQ(formatPercentPm(0.966, 0.008, 1), "96.6 +/- 0.8");
+}
+
+} // namespace
+} // namespace bigfish

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for src/core: configuration plumbing, deterministic trace
+ * collection, dataset assembly, and the fingerprinting pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/collector.hh"
+#include "core/pipeline.hh"
+#include "core/presets.hh"
+#include "stats/descriptive.hh"
+
+namespace bigfish::core {
+namespace {
+
+TEST(CollectionConfig, EffectiveDefaults)
+{
+    CollectionConfig config;
+    EXPECT_EQ(config.effectivePeriod(), 5 * kMsec);
+    EXPECT_EQ(config.effectiveTimer().kind, timers::TimerKind::Jittered);
+}
+
+TEST(CollectionConfig, OverridesWin)
+{
+    CollectionConfig config;
+    config.period = 100 * kMsec;
+    config.timerOverride = timers::TimerSpec::randomizedDefense();
+    EXPECT_EQ(config.effectivePeriod(), 100 * kMsec);
+    EXPECT_EQ(config.effectiveTimer().kind, timers::TimerKind::Randomized);
+}
+
+TEST(TraceCollector, DeterministicPerSeed)
+{
+    CollectionConfig config;
+    config.seed = 77;
+    const TraceCollector c1(config), c2(config);
+    const auto site = web::amazonSignature(3);
+    const auto a = c1.collectOne(site, 5);
+    const auto b = c2.collectOne(site, 5);
+    ASSERT_EQ(a.counts.size(), b.counts.size());
+    for (std::size_t i = 0; i < a.counts.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.counts[i], b.counts[i]);
+}
+
+TEST(TraceCollector, RunsDiffer)
+{
+    CollectionConfig config;
+    const TraceCollector collector(config);
+    const auto site = web::amazonSignature(3);
+    const auto a = collector.collectOne(site, 0);
+    const auto b = collector.collectOne(site, 1);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        diff += std::abs(a.counts[i] - b.counts[i]);
+    EXPECT_GT(diff, 100.0);
+}
+
+TEST(TraceCollector, LabelsFollowSiteIds)
+{
+    CollectionConfig config;
+    const TraceCollector collector(config);
+    const web::SiteCatalog catalog(4, 7);
+    const auto set = collector.collectClosedWorld(catalog, 3);
+    ASSERT_EQ(set.size(), 12u);
+    EXPECT_EQ(set.traces[0].label, 0);
+    EXPECT_EQ(set.traces[11].label, 3);
+    EXPECT_EQ(set.numClasses(), 4);
+}
+
+TEST(TraceCollector, OpenWorldLabeledAsCatchAll)
+{
+    CollectionConfig config;
+    const TraceCollector collector(config);
+    const web::SiteCatalog catalog(4, 7);
+    const auto set = collector.collectOpenWorld(catalog, 5, 4);
+    ASSERT_EQ(set.size(), 5u);
+    for (const auto &trace : set.traces)
+        EXPECT_EQ(trace.label, 4);
+    // Traces come from distinct one-off sites and thus differ.
+    double diff = 0.0;
+    for (std::size_t i = 0;
+         i < std::min(set.traces[0].size(), set.traces[1].size()); ++i)
+        diff += std::abs(set.traces[0].counts[i] - set.traces[1].counts[i]);
+    EXPECT_GT(diff, 100.0);
+}
+
+TEST(TraceCollector, TimelineExposedForInstrumentation)
+{
+    CollectionConfig config;
+    const TraceCollector collector(config);
+    const auto site = web::nytimesSignature(0);
+    const auto timeline = collector.synthesizeTimeline(site, 0);
+    EXPECT_EQ(timeline.duration, config.browser.traceDuration);
+    EXPECT_FALSE(timeline.stolen.empty());
+    // The exposed timeline is the one the attacker measured: a second
+    // call reproduces it exactly.
+    const auto again = collector.synthesizeTimeline(site, 0);
+    ASSERT_EQ(timeline.stolen.size(), again.stolen.size());
+    EXPECT_EQ(timeline.stolen[5].arrival, again.stolen[5].arrival);
+}
+
+TEST(TraceCollector, NoiseCountermeasureChangesTraces)
+{
+    CollectionConfig plain;
+    CollectionConfig noisy = plain;
+    noisy.spuriousInterruptNoise = true;
+    const auto site = web::amazonSignature(1);
+    const auto a = TraceCollector(plain).collectOne(site, 0);
+    const auto b = TraceCollector(noisy).collectOne(site, 0);
+    // Under injected interrupts the attacker completes fewer iterations.
+    EXPECT_LT(stats::mean(b.counts), stats::mean(a.counts));
+}
+
+TEST(TraceCollector, CacheSweepSlowsOnlySweepAttacker)
+{
+    CollectionConfig loop_cfg;
+    loop_cfg.attacker = attack::AttackerKind::LoopCounting;
+    CollectionConfig loop_noise = loop_cfg;
+    loop_noise.cacheSweepNoise = true;
+
+    CollectionConfig sweep_cfg;
+    sweep_cfg.attacker = attack::AttackerKind::SweepCounting;
+    CollectionConfig sweep_noise = sweep_cfg;
+    sweep_noise.cacheSweepNoise = true;
+
+    const auto site = web::nytimesSignature(0);
+    const double loop_drop =
+        stats::mean(TraceCollector(loop_cfg).collectOne(site, 0).counts) /
+        std::max(1.0, stats::mean(TraceCollector(loop_noise)
+                                      .collectOne(site, 0)
+                                      .counts));
+    const double sweep_drop =
+        stats::mean(TraceCollector(sweep_cfg).collectOne(site, 0).counts) /
+        std::max(1.0, stats::mean(TraceCollector(sweep_noise)
+                                      .collectOne(site, 0)
+                                      .counts));
+    // The sweeping attacker's iterations slow under full-LLC occupancy
+    // (prefetch-amortized misses on every victim-touched line); the
+    // loop attacker barely notices.
+    EXPECT_GT(sweep_drop, 1.04);
+    EXPECT_LT(loop_drop, 1.03);
+    EXPECT_GT(sweep_drop, loop_drop);
+}
+
+TEST(ToDataset, StandardizesFeatures)
+{
+    attack::TraceSet set;
+    attack::Trace t;
+    t.label = 0;
+    t.counts.assign(200, 100.0);
+    t.counts[50] = 50.0;
+    set.add(t);
+    const auto data = toDataset(set, 100, 2);
+    ASSERT_EQ(data.size(), 1u);
+    EXPECT_NEAR(stats::mean(data.features[0]), 0.0, 1e-9);
+}
+
+TEST(Presets, Table1MatrixMatchesPaper)
+{
+    const auto rows = presets::table1Rows();
+    ASSERT_EQ(rows.size(), 8u);
+    EXPECT_EQ(rows[0].name, "chrome/linux");
+    EXPECT_EQ(rows[7].name, "tor/linux");
+    // Tor rows must carry the 100 ms quantized timer and 50 s traces.
+    EXPECT_EQ(rows[7].config.browser.timer.kind,
+              timers::TimerKind::Quantized);
+    EXPECT_EQ(rows[7].config.browser.traceDuration, 50 * kSec);
+    // Windows rows run the Xeon workstation profile.
+    EXPECT_EQ(rows[1].config.machine.os.name, "windows");
+}
+
+TEST(PresetsDeath, RejectsUnevaluatedCombinations)
+{
+    EXPECT_EXIT(presets::table1Row("safari", "windows"),
+                ::testing::ExitedWithCode(1), "Safari");
+    EXPECT_EXIT(presets::table1Row("tor", "macos"),
+                ::testing::ExitedWithCode(1), "Tor");
+    EXPECT_EXIT(presets::table1Row("opera", "linux"),
+                ::testing::ExitedWithCode(1), "unknown browser");
+}
+
+TEST(Presets, Table2ConditionsToggleDefenses)
+{
+    const auto none = presets::table2Condition(
+        "none", attack::AttackerKind::LoopCounting);
+    EXPECT_FALSE(none.spuriousInterruptNoise);
+    EXPECT_FALSE(none.cacheSweepNoise);
+    const auto irq = presets::table2Condition(
+        "interrupt", attack::AttackerKind::SweepCounting);
+    EXPECT_TRUE(irq.spuriousInterruptNoise);
+    EXPECT_EQ(irq.attacker, attack::AttackerKind::SweepCounting);
+    const auto cache = presets::table2Condition(
+        "cache-sweep", attack::AttackerKind::LoopCounting);
+    EXPECT_TRUE(cache.cacheSweepNoise);
+    const auto bg = presets::table2Condition(
+        "background", attack::AttackerKind::LoopCounting);
+    EXPECT_TRUE(bg.backgroundApps);
+}
+
+TEST(Presets, Table3LevelsAccumulate)
+{
+    const auto l0 = presets::table3Isolation(0);
+    EXPECT_TRUE(l0.machine.frequencyScaling);
+    EXPECT_FALSE(l0.machine.pinnedCores);
+    const auto l2 = presets::table3Isolation(2);
+    EXPECT_FALSE(l2.machine.frequencyScaling);
+    EXPECT_TRUE(l2.machine.pinnedCores);
+    EXPECT_EQ(l2.machine.routing, sim::IrqRoutingPolicy::Spread);
+    const auto l4 = presets::table3Isolation(4);
+    EXPECT_EQ(l4.machine.routing, sim::IrqRoutingPolicy::PinnedAway);
+    EXPECT_TRUE(l4.machine.vmIsolation);
+    // The Python attacker with a precise clock, as in the paper.
+    EXPECT_EQ(l4.browser.timer.kind, timers::TimerKind::Precise);
+}
+
+TEST(Presets, Table4TimersAndPeriods)
+{
+    const auto jitter = presets::table4Timer("jittered", 5);
+    ASSERT_TRUE(jitter.timerOverride.has_value());
+    EXPECT_EQ(jitter.timerOverride->kind, timers::TimerKind::Jittered);
+    EXPECT_EQ(jitter.effectivePeriod(), 5 * kMsec);
+    const auto rand500 = presets::table4Timer("randomized", 500);
+    EXPECT_EQ(rand500.timerOverride->kind, timers::TimerKind::Randomized);
+    EXPECT_EQ(rand500.effectivePeriod(), 500 * kMsec);
+}
+
+TEST(Pipeline, EndToEndBeatsChanceClearly)
+{
+    CollectionConfig config;
+    config.seed = 5;
+    PipelineConfig pipeline;
+    pipeline.numSites = 5;
+    pipeline.tracesPerSite = 8;
+    pipeline.featureLen = 192;
+    pipeline.eval.folds = 4;
+    pipeline.factory = ml::knnFactory(3); // Fast and adequate here.
+    const auto result = runFingerprinting(config, pipeline);
+    EXPECT_GT(result.closedWorld.top1Mean, 0.6); // Chance is 0.2.
+    EXPECT_FALSE(result.hasOpenWorld);
+}
+
+TEST(Pipeline, OpenWorldProducesMetrics)
+{
+    CollectionConfig config;
+    config.seed = 6;
+    PipelineConfig pipeline;
+    pipeline.numSites = 4;
+    pipeline.tracesPerSite = 8;
+    pipeline.openWorldExtra = 16;
+    pipeline.featureLen = 192;
+    pipeline.eval.folds = 4;
+    pipeline.factory = ml::knnFactory(3);
+    const auto result = runFingerprinting(config, pipeline);
+    ASSERT_TRUE(result.hasOpenWorld);
+    EXPECT_GT(result.openWorld.openWorld.combinedAccuracy, 0.5);
+    EXPECT_GT(result.openWorld.openWorld.sensitiveAccuracy, 0.0);
+}
+
+} // namespace
+} // namespace bigfish::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for src/defense: the spurious-interrupt countermeasure, the
+ * cache-sweep countermeasure, background applications, and the page-load
+ * overhead model (Section 6.2 reports +15.7%).
+ */
+
+#include <gtest/gtest.h>
+
+#include "defense/noise.hh"
+#include "sim/synthesizer.hh"
+
+namespace bigfish::defense {
+namespace {
+
+TEST(SpuriousInterrupts, OverlayHasBaselineAndBursts)
+{
+    Rng rng(1);
+    const auto overlay =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, rng);
+    double min_rate = 1e18, max_rate = 0.0;
+    for (std::size_t i = 0; i < overlay.numIntervals(); ++i) {
+        min_rate = std::min(min_rate, overlay.at(i).netRxRate);
+        max_rate = std::max(max_rate, overlay.at(i).netRxRate);
+    }
+    // The baseline ping floor is everywhere...
+    EXPECT_GE(min_rate, 100.0);
+    // ...and bursts push far above it.
+    EXPECT_GT(max_rate, 1000.0);
+}
+
+TEST(SpuriousInterrupts, BurstScheduleVariesPerRun)
+{
+    Rng r1(2), r2(3);
+    const auto a =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, r1);
+    const auto b =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, r2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.numIntervals(); ++i)
+        diff += std::abs(a.at(i).netRxRate - b.at(i).netRxRate);
+    // The per-run schedule is the defense; it must differ.
+    EXPECT_GT(diff, 1000.0);
+}
+
+TEST(SpuriousInterrupts, GeneratesThousandsOfInterrupts)
+{
+    // Section 6.2: the extension "generates thousands of interrupts".
+    Rng rng(4);
+    const auto overlay =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, rng);
+    sim::InterruptSynthesizer synth(sim::MachineConfig::linuxDesktop());
+    Rng synth_rng(5);
+    const auto timeline = synth.synthesize(overlay, synth_rng);
+    std::size_t spurious_driven = 0;
+    for (const auto &s : timeline.stolen)
+        if (s.kind == sim::InterruptKind::NetworkRx ||
+            s.kind == sim::InterruptKind::SoftirqNetRx ||
+            s.kind == sim::InterruptKind::ReschedIpi)
+            ++spurious_driven;
+    EXPECT_GT(spurious_driven, 2000u);
+}
+
+TEST(CacheSweep, PinsOccupancyHigh)
+{
+    const auto overlay = cacheSweepOverlay(10 * kSec, CacheSweepParams{});
+    for (std::size_t i = 0; i < overlay.numIntervals(); ++i)
+        EXPECT_NEAR(overlay.at(i).cacheOccupancy, 0.9, 1e-9);
+}
+
+TEST(CacheSweep, GeneratesFewInterruptsComparedToSpurious)
+{
+    // Table 2's asymmetry: cache noise barely dents either attack
+    // because it produces almost no interrupts.
+    sim::InterruptSynthesizer synth(sim::MachineConfig::linuxDesktop());
+    Rng r1(6), r2(7), r3(8);
+    const auto cache_timeline = synth.synthesize(
+        cacheSweepOverlay(10 * kSec, CacheSweepParams{}), r1);
+    const auto spurious_timeline = synth.synthesize(
+        spuriousInterruptOverlay(10 * kSec, SpuriousInterruptParams{}, r2),
+        r3);
+    EXPECT_LT(cache_timeline.totalStolenAll(),
+              spurious_timeline.totalStolenAll() / 2);
+}
+
+TEST(BackgroundApps, ModerateStationaryActivity)
+{
+    Rng rng(9);
+    const auto overlay = backgroundAppsOverlay(15 * kSec, rng);
+    double total_net = 0.0;
+    for (std::size_t i = 0; i < overlay.numIntervals(); ++i) {
+        total_net += overlay.at(i).netRxRate;
+        // Slack + Spotify use some CPU but nowhere near a full core each.
+        EXPECT_LT(overlay.at(i).cpuLoad, 1.5);
+    }
+    EXPECT_GT(total_net / overlay.numIntervals(), 50.0);
+}
+
+TEST(Overhead, SpuriousInterruptsCostAround15Percent)
+{
+    // Paper: average load time rises 3.12 s -> 3.61 s (+15.7%).
+    Rng rng(10);
+    const auto overlay =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, rng);
+    const double factor = loadTimeOverheadFactor(overlay, 4);
+    EXPECT_GT(factor, 1.05);
+    EXPECT_LT(factor, 1.35);
+}
+
+TEST(Overhead, EmptyOverlayIsFree)
+{
+    const sim::ActivityTimeline empty(10 * kSec);
+    EXPECT_NEAR(loadTimeOverheadFactor(empty, 4), 1.0, 1e-9);
+}
+
+TEST(Overhead, MoreCoresAbsorbMoreNoise)
+{
+    Rng rng(11);
+    const auto overlay =
+        spuriousInterruptOverlay(15 * kSec, SpuriousInterruptParams{}, rng);
+    EXPECT_LT(loadTimeOverheadFactor(overlay, 8),
+              loadTimeOverheadFactor(overlay, 2));
+}
+
+} // namespace
+} // namespace bigfish::defense

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit tests for src/stats: descriptive statistics, Welch's t-test
+ * (including the incomplete beta function), histograms, confusion
+ * matrices and top-k accuracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/confusion.hh"
+#include "stats/descriptive.hh"
+#include "stats/histogram.hh"
+#include "stats/ttest.hh"
+
+namespace bigfish::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance)
+{
+    const std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(variance(v), 1.25);
+    EXPECT_NEAR(sampleVariance(v), 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(1.25));
+}
+
+TEST(Descriptive, EmptyInputsAreSafe)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+    EXPECT_DOUBLE_EQ(variance(empty), 0.0);
+    EXPECT_DOUBLE_EQ(minValue(empty), 0.0);
+    EXPECT_DOUBLE_EQ(maxValue(empty), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(empty, 0.5), 0.0);
+}
+
+TEST(Descriptive, MinMaxQuantile)
+{
+    const std::vector<double> v = {5, 1, 9, 3};
+    EXPECT_DOUBLE_EQ(minValue(v), 1.0);
+    EXPECT_DOUBLE_EQ(maxValue(v), 9.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 4.0); // Between 3 and 5.
+}
+
+TEST(Descriptive, PearsonPerfectCorrelation)
+{
+    const std::vector<double> a = {1, 2, 3, 4, 5};
+    const std::vector<double> b = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+    std::vector<double> c = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(Descriptive, PearsonConstantSeriesIsZero)
+{
+    const std::vector<double> a = {1, 2, 3};
+    const std::vector<double> b = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(Descriptive, PearsonMismatchedLengthIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Descriptive, NormalizeByMax)
+{
+    const auto out = normalizeByMax({2, 4, 8});
+    EXPECT_DOUBLE_EQ(out[0], 0.25);
+    EXPECT_DOUBLE_EQ(out[2], 1.0);
+}
+
+TEST(Descriptive, ZscoreHasZeroMeanUnitVar)
+{
+    const auto out = zscore({1, 2, 3, 4, 5});
+    EXPECT_NEAR(mean(out), 0.0, 1e-12);
+    EXPECT_NEAR(variance(out), 1.0, 1e-12);
+}
+
+TEST(Descriptive, ZscoreConstantSeriesIsZeros)
+{
+    const auto out = zscore({3, 3, 3});
+    for (double v : out)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Descriptive, ElementwiseMeanTruncatesToShortest)
+{
+    const auto out = elementwiseMean({{1, 2, 3}, {3, 4}});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 2.0);
+    EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(Descriptive, DownsamplePreservesMean)
+{
+    std::vector<double> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    const auto out = downsample(v, 10);
+    ASSERT_EQ(out.size(), 10u);
+    EXPECT_NEAR(mean(out), mean(v), 1e-9);
+    // First bucket averages 0..9.
+    EXPECT_NEAR(out[0], 4.5, 1e-12);
+}
+
+TEST(Descriptive, DownsampleShortInputInterpolates)
+{
+    const auto out = downsample({1.0, 2.0}, 4);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_DOUBLE_EQ(out[0], 1.0);
+    EXPECT_NEAR(out[1], 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(out[2], 5.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(out[3], 2.0);
+}
+
+TEST(Descriptive, DownsampleSingleValueBroadcasts)
+{
+    const auto out = downsample({7.0}, 3);
+    ASSERT_EQ(out.size(), 3u);
+    for (double v : out)
+        EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(IncompleteBeta, MatchesKnownValues)
+{
+    // I_x(1,1) = x.
+    EXPECT_NEAR(regularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-9);
+    // I_x(a,b) + I_{1-x}(b,a) = 1.
+    const double v = regularizedIncompleteBeta(2.5, 3.5, 0.4);
+    const double w = regularizedIncompleteBeta(3.5, 2.5, 0.6);
+    EXPECT_NEAR(v + w, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2, 2, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2, 2, 1.0), 1.0);
+}
+
+TEST(StudentT, CdfSymmetry)
+{
+    EXPECT_NEAR(studentTCdf(0.0, 10), 0.5, 1e-9);
+    EXPECT_NEAR(studentTCdf(2.0, 10) + studentTCdf(-2.0, 10), 1.0, 1e-9);
+}
+
+TEST(StudentT, KnownQuantile)
+{
+    // t = 2.228 is the 97.5th percentile of t with 10 dof.
+    EXPECT_NEAR(studentTCdf(2.228, 10.0), 0.975, 1e-3);
+}
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant)
+{
+    const std::vector<double> a = {1.0, 1.1, 0.9, 1.0, 1.05};
+    const auto r = welchTTest(a, a);
+    EXPECT_NEAR(r.t, 0.0, 1e-12);
+    EXPECT_GT(r.pTwoSided, 0.99);
+}
+
+TEST(WelchTTest, ClearlySeparatedSamplesSignificant)
+{
+    std::vector<double> a, b;
+    for (int i = 0; i < 10; ++i) {
+        a.push_back(0.95 + 0.01 * (i % 3));
+        b.push_back(0.80 + 0.01 * (i % 3));
+    }
+    const auto r = welchTTest(a, b);
+    EXPECT_GT(r.t, 10.0);
+    EXPECT_LT(r.pTwoSided, 1e-4);
+}
+
+TEST(WelchTTest, PaperTable1SignificanceShape)
+{
+    // Chrome/Linux closed world: 96.6 +/- 0.8 vs 91.4 +/- 1.2 over 10
+    // folds — the paper reports p < 0.0001.
+    const auto r = welchTTestSummary(0.966, 0.008, 10, 0.914, 0.012, 10);
+    EXPECT_LT(r.pTwoSided, 1e-4);
+    // Tor top-1: 49.8 +/- 4.2 vs 46.7 +/- 4.1 — significant only at 0.05.
+    const auto tor = welchTTestSummary(0.498, 0.042, 10, 0.467, 0.041, 10);
+    EXPECT_LT(tor.pTwoSided, 0.2);
+    EXPECT_GT(tor.pTwoSided, 1e-4);
+}
+
+TEST(WelchTTest, TooFewSamplesReturnsNeutral)
+{
+    const auto r = welchTTest({1.0}, {2.0});
+    EXPECT_DOUBLE_EQ(r.pTwoSided, 1.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(9.5);
+    h.add(-5.0);  // Clamps into bin 0.
+    h.add(100.0); // Clamps into bin 9.
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[9], 2u);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binFraction(0), 0.5);
+}
+
+TEST(Histogram, ModeAndTailFraction)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.addAll({0.5, 1.5, 1.6, 1.7, 3.5});
+    EXPECT_EQ(h.modeBin(), 1u);
+    EXPECT_DOUBLE_EQ(h.fractionAtLeast(1.0), 0.8);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.addAll({0.5, 0.6, 1.5});
+    const std::string out = h.render("us");
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find("us"), std::string::npos);
+}
+
+TEST(Confusion, AccuracyAndRecall)
+{
+    ConfusionMatrix m(3);
+    m.add(0, 0);
+    m.add(0, 1);
+    m.add(1, 1);
+    m.add(2, 2);
+    EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+    EXPECT_DOUBLE_EQ(m.recall(0), 0.5);
+    EXPECT_DOUBLE_EQ(m.recall(1), 1.0);
+    EXPECT_EQ(m.at(0, 1), 1u);
+    EXPECT_EQ(m.total(), 4u);
+}
+
+TEST(Confusion, ReportNamesRecallAndConfusion)
+{
+    ConfusionMatrix m(3);
+    m.add(0, 0);
+    m.add(0, 0);
+    m.add(0, 1);
+    m.add(1, 1);
+    m.add(2, 2);
+    const std::string report = renderClassificationReport(
+        m, {"nytimes.com", "amazon.com", "weather.com"});
+    EXPECT_NE(report.find("nytimes.com"), std::string::npos);
+    EXPECT_NE(report.find("66.7%"), std::string::npos); // class 0 recall
+    EXPECT_NE(report.find("amazon.com (1)"), std::string::npos);
+    EXPECT_NE(report.find("overall accuracy: 80.0%"), std::string::npos);
+}
+
+TEST(Confusion, ReportFallsBackToNumericLabels)
+{
+    ConfusionMatrix m(2);
+    m.add(0, 0);
+    m.add(1, 0);
+    const std::string report = renderClassificationReport(m);
+    EXPECT_NE(report.find("class 0"), std::string::npos);
+    EXPECT_NE(report.find("class 1"), std::string::npos);
+}
+
+TEST(TopK, Top1MatchesArgmax)
+{
+    const std::vector<std::vector<double>> scores = {
+        {0.7, 0.2, 0.1}, {0.1, 0.8, 0.1}, {0.3, 0.4, 0.3}};
+    const std::vector<Label> truths = {0, 1, 0};
+    EXPECT_NEAR(topKAccuracy(scores, truths, 1), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TopK, LargerKIsMonotone)
+{
+    const std::vector<std::vector<double>> scores = {
+        {0.5, 0.3, 0.2}, {0.2, 0.3, 0.5}, {0.4, 0.35, 0.25}};
+    const std::vector<Label> truths = {2, 0, 1};
+    const double t1 = topKAccuracy(scores, truths, 1);
+    const double t2 = topKAccuracy(scores, truths, 2);
+    const double t3 = topKAccuracy(scores, truths, 3);
+    EXPECT_LE(t1, t2);
+    EXPECT_LE(t2, t3);
+    EXPECT_DOUBLE_EQ(t3, 1.0);
+}
+
+TEST(OpenWorld, MetricsSplitCorrectly)
+{
+    // Labels: 0,1 sensitive; 2 = non-sensitive class.
+    const std::vector<Label> truths = {0, 1, 2, 2};
+    const std::vector<Label> preds = {0, 2, 2, 1};
+    const auto m = openWorldMetrics(truths, preds, 2);
+    EXPECT_DOUBLE_EQ(m.sensitiveAccuracy, 0.5);
+    EXPECT_DOUBLE_EQ(m.nonSensitiveAccuracy, 0.5);
+    EXPECT_DOUBLE_EQ(m.combinedAccuracy, 0.5);
+}
+
+TEST(OpenWorld, AllCorrect)
+{
+    const std::vector<Label> truths = {0, 1, 2};
+    const auto m = openWorldMetrics(truths, truths, 2);
+    EXPECT_DOUBLE_EQ(m.sensitiveAccuracy, 1.0);
+    EXPECT_DOUBLE_EQ(m.nonSensitiveAccuracy, 1.0);
+    EXPECT_DOUBLE_EQ(m.combinedAccuracy, 1.0);
+}
+
+} // namespace
+} // namespace bigfish::stats

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit and property tests for the timer models of Section 6.1.
+ *
+ * Key invariants: monotonicity (all timers), determinism between resets,
+ * quantization bounds, Chrome's jitter bound |T_secure - T_real| < 2A,
+ * and the randomized timer's threshold-bounded lag.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "timers/timer.hh"
+
+namespace bigfish::timers {
+namespace {
+
+/** All TimerSpecs under test, instantiated per test. */
+std::vector<TimerSpec>
+allSpecs()
+{
+    return {
+        TimerSpec::precise(),
+        TimerSpec::quantized(100 * kMsec),
+        TimerSpec::quantized(kMsec),
+        TimerSpec::jittered(100 * kUsec),
+        TimerSpec::jittered(kMsec),
+        TimerSpec::randomizedDefense(),
+    };
+}
+
+class AllTimersTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    std::unique_ptr<TimerModel> makeTimer(std::uint64_t seed = 99)
+    {
+        return allSpecs()[GetParam()].make(seed);
+    }
+};
+
+TEST_P(AllTimersTest, MonotoneNonDecreasing)
+{
+    auto timer = makeTimer();
+    TimeNs prev = timer->observe(0);
+    for (TimeNs t = 0; t < 400 * kMsec; t += 137 * kUsec) {
+        const TimeNs now = timer->observe(t);
+        EXPECT_GE(now, prev) << "at t=" << t;
+        prev = now;
+    }
+}
+
+TEST_P(AllTimersTest, DeterministicForSameRealTime)
+{
+    auto timer = makeTimer();
+    // Query out of order and repeatedly: answers must be consistent.
+    const TimeNs a1 = timer->observe(50 * kMsec);
+    const TimeNs b1 = timer->observe(120 * kMsec);
+    const TimeNs a2 = timer->observe(50 * kMsec);
+    const TimeNs b2 = timer->observe(120 * kMsec);
+    EXPECT_EQ(a1, a2);
+    EXPECT_EQ(b1, b2);
+}
+
+TEST_P(AllTimersTest, NeverAheadByMoreThanTwoResolutions)
+{
+    // No secure timer should report a time from the future beyond its
+    // own quantization/jitter allowance.
+    auto timer = makeTimer();
+    const TimeNs a = allSpecs()[GetParam()].resolution;
+    for (TimeNs t = 0; t < 300 * kMsec; t += 113 * kUsec)
+        EXPECT_LE(timer->observe(t), t + 2 * a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timers, AllTimersTest,
+                         ::testing::Range<std::size_t>(0, 6));
+
+TEST(PreciseTimer, IsIdentity)
+{
+    PreciseTimer timer;
+    for (TimeNs t : {TimeNs{0}, kUsec, 123 * kMsec, 7 * kSec})
+        EXPECT_EQ(timer.observe(t), t);
+}
+
+TEST(QuantizedTimer, FloorsToResolution)
+{
+    QuantizedTimer timer(100 * kMsec);
+    EXPECT_EQ(timer.observe(0), 0);
+    EXPECT_EQ(timer.observe(99 * kMsec), 0);
+    EXPECT_EQ(timer.observe(100 * kMsec), 100 * kMsec);
+    EXPECT_EQ(timer.observe(250 * kMsec), 200 * kMsec);
+}
+
+TEST(QuantizedTimer, NeverExceedsRealTime)
+{
+    QuantizedTimer timer(kMsec);
+    for (TimeNs t = 0; t < 50 * kMsec; t += 321 * kUsec) {
+        EXPECT_LE(timer.observe(t), t);
+        EXPECT_GT(timer.observe(t), t - kMsec);
+    }
+}
+
+TEST(JitteredTimer, WithinPaperBound)
+{
+    // Paper: since e is 0 or A, |T_secure - T_real| < 2A.
+    const TimeNs a = 100 * kUsec;
+    JitteredTimer timer(a, 42);
+    for (TimeNs t = 0; t < 100 * kMsec; t += 37 * kUsec) {
+        const TimeNs diff = timer.observe(t) - t;
+        EXPECT_LT(std::abs(diff), 2 * a);
+    }
+}
+
+TEST(JitteredTimer, ActuallyJitters)
+{
+    const TimeNs a = 100 * kUsec;
+    JitteredTimer timer(a, 42);
+    // Over many quanta both e = 0 and e = A must occur.
+    bool saw_up = false, saw_down = false;
+    for (TimeNs t = 0; t < 100 * kMsec; t += a) {
+        const TimeNs quantized = (t / a) * a;
+        if (timer.observe(t) == quantized)
+            saw_down = true;
+        else if (timer.observe(t) == quantized + a)
+            saw_up = true;
+    }
+    EXPECT_TRUE(saw_up);
+    EXPECT_TRUE(saw_down);
+}
+
+TEST(JitteredTimer, SeedChangesJitterPattern)
+{
+    const TimeNs a = 100 * kUsec;
+    JitteredTimer t1(a, 1), t2(a, 2);
+    int diff = 0;
+    for (TimeNs t = 0; t < 100 * kMsec; t += a)
+        if (t1.observe(t) != t2.observe(t))
+            ++diff;
+    EXPECT_GT(diff, 100); // Roughly half of 1000 quanta.
+}
+
+TEST(RandomizedTimer, LagBoundedByThreshold)
+{
+    RandomizedTimerParams params;
+    RandomizedTimer timer(params, 7);
+    for (TimeNs t = 0; t < 2 * kSec; t += 613 * kUsec) {
+        const TimeNs lag = t - timer.observe(t);
+        EXPECT_GE(lag, 0) << "timer ran ahead of real time";
+        // One quantum of slack on top of the threshold: the catch-up
+        // decision is made at quantum boundaries.
+        EXPECT_LE(lag, params.threshold + params.resolution);
+    }
+}
+
+TEST(RandomizedTimer, ProducesIrregularIncrements)
+{
+    RandomizedTimer timer({}, 11);
+    std::vector<TimeNs> increments;
+    TimeNs prev = timer.observe(0);
+    for (TimeNs t = kMsec; t < kSec; t += kMsec) {
+        const TimeNs now = timer.observe(t);
+        if (now != prev)
+            increments.push_back(now - prev);
+        prev = now;
+    }
+    ASSERT_GT(increments.size(), 5u);
+    // Increments should vary (beta is drawn uniformly in [5,25]).
+    std::set<TimeNs> distinct(increments.begin(), increments.end());
+    EXPECT_GT(distinct.size(), 3u);
+}
+
+TEST(RandomizedTimer, ResetChangesRealization)
+{
+    RandomizedTimer timer({}, 3);
+    const TimeNs before = timer.observe(500 * kMsec);
+    timer.reset(4);
+    const TimeNs after = timer.observe(500 * kMsec);
+    // Different seeds almost surely give different update schedules.
+    EXPECT_NE(before, after);
+}
+
+TEST(RandomizedTimer, SameSeedSameRealization)
+{
+    RandomizedTimer a({}, 5);
+    RandomizedTimer b({}, 5);
+    for (TimeNs t = 0; t < kSec; t += 13 * kMsec)
+        EXPECT_EQ(a.observe(t), b.observe(t));
+}
+
+TEST(TimerSpec, FactoryProducesNamedTimers)
+{
+    EXPECT_EQ(TimerSpec::precise().make(1)->name(), "precise");
+    EXPECT_EQ(TimerSpec::quantized(kMsec).make(1)->name(), "quantized");
+    EXPECT_EQ(TimerSpec::jittered(kMsec).make(1)->name(), "jittered");
+    EXPECT_EQ(TimerSpec::randomizedDefense().make(1)->name(), "randomized");
+}
+
+TEST(TimerSpec, ResolutionPropagates)
+{
+    EXPECT_EQ(TimerSpec::quantized(7 * kMsec).make(1)->resolution(),
+              7 * kMsec);
+    EXPECT_EQ(TimerSpec::jittered(100 * kUsec).make(1)->resolution(),
+              100 * kUsec);
+}
+
+} // namespace
+} // namespace bigfish::timers

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Unit tests for src/web: site signatures, workload realization, the
+ * closed-world catalog, browser profiles and attacker-side runtime
+ * effects.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/synthesizer.hh"
+#include "web/browser.hh"
+#include "web/catalog.hh"
+#include "web/session.hh"
+#include "web/site.hh"
+
+namespace bigfish::web {
+namespace {
+
+TEST(PhaseRates, TypesEmphasizeDifferentSubsystems)
+{
+    SiteSignature sig;
+    const auto net = phaseRates(PhaseType::NetworkFetch, 1.0, sig);
+    const auto render = phaseRates(PhaseType::Render, 1.0, sig);
+    const auto script = phaseRates(PhaseType::Script, 1.0, sig);
+    EXPECT_GT(net.netRxRate, render.netRxRate);
+    EXPECT_GT(render.gfxRate, net.gfxRate);
+    EXPECT_GT(script.tlbRate, net.tlbRate);
+}
+
+TEST(PhaseRates, IntensityScalesLinearly)
+{
+    SiteSignature sig;
+    const auto one = phaseRates(PhaseType::NetworkFetch, 1.0, sig);
+    const auto two = phaseRates(PhaseType::NetworkFetch, 2.0, sig);
+    EXPECT_NEAR(two.netRxRate, 2.0 * one.netRxRate, 1e-9);
+    EXPECT_NEAR(two.cpuLoad, 2.0 * one.cpuLoad, 1e-9);
+}
+
+TEST(PhaseRates, BiasesApply)
+{
+    SiteSignature sig;
+    sig.reschedBias = 3.0;
+    const auto biased = phaseRates(PhaseType::Script, 1.0, sig);
+    sig.reschedBias = 1.0;
+    const auto plain = phaseRates(PhaseType::Script, 1.0, sig);
+    EXPECT_NEAR(biased.reschedRate, 3.0 * plain.reschedRate, 1e-9);
+    EXPECT_NEAR(biased.tlbRate, 3.0 * plain.tlbRate, 1e-9);
+}
+
+TEST(RealizeWorkload, ProducesPhysicalTimeline)
+{
+    Rng rng(1);
+    const auto sig = nytimesSignature(0);
+    const auto timeline =
+        realizeWorkload(sig, 15 * kSec, 1.0, RealizationNoise{}, rng);
+    EXPECT_EQ(timeline.duration(), 15 * kSec);
+    for (std::size_t i = 0; i < timeline.numIntervals(); ++i) {
+        const auto &s = timeline.at(i);
+        EXPECT_GE(s.netRxRate, 0.0);
+        EXPECT_GE(s.cacheOccupancy, 0.0);
+        EXPECT_LE(s.cacheOccupancy, 1.0);
+    }
+}
+
+TEST(RealizeWorkload, NytimesFrontLoaded)
+{
+    // Figure 3/5: nytimes.com does nearly all its work in the first 4 s.
+    Rng rng(2);
+    const auto timeline = realizeWorkload(nytimesSignature(0), 15 * kSec,
+                                          1.0, RealizationNoise{}, rng);
+    double early = 0.0, late = 0.0;
+    for (std::size_t i = 0; i < timeline.numIntervals(); ++i) {
+        const auto &s = timeline.at(i);
+        const double total = s.netRxRate + s.gfxRate + 100.0 * s.cpuLoad;
+        if (static_cast<TimeNs>(i) * timeline.interval() < 4 * kSec)
+            early += total;
+        else
+            late += total;
+    }
+    EXPECT_GT(early, late * 2);
+}
+
+TEST(RealizeWorkload, AmazonHasLateSpikes)
+{
+    Rng rng(3);
+    const auto timeline = realizeWorkload(amazonSignature(0), 15 * kSec,
+                                          1.0, RealizationNoise{}, rng);
+    // Integrate activity over windows: jitter shifts spike starts by up
+    // to a few hundred ms, so point probes would be flaky.
+    auto window = [&](TimeNs lo, TimeNs hi) {
+        double total = 0.0;
+        for (TimeNs t = lo; t < hi; t += timeline.interval()) {
+            const auto &s = timeline.at(timeline.indexAt(t));
+            total += s.netRxRate + s.gfxRate;
+        }
+        return total / static_cast<double>((hi - lo) / timeline.interval());
+    };
+    // Spikes near 5 s and 10 s stand out against the quiet 7-8.5 s span.
+    const double quiet = window(6800 * kMsec, 8600 * kMsec);
+    EXPECT_GT(window(4500 * kMsec, 6200 * kMsec), quiet * 2);
+    EXPECT_GT(window(9500 * kMsec, 11200 * kMsec), quiet * 2);
+}
+
+TEST(RealizeWorkload, WeatherIsReschedHeavy)
+{
+    Rng r1(4), r2(4);
+    const auto weather = realizeWorkload(weatherSignature(0), 15 * kSec,
+                                         1.0, RealizationNoise{}, r1);
+    const auto nytimes = realizeWorkload(nytimesSignature(0), 15 * kSec,
+                                         1.0, RealizationNoise{}, r2);
+    double weather_resched = 0.0, nytimes_resched = 0.0;
+    for (std::size_t i = 0; i < weather.numIntervals(); ++i) {
+        weather_resched += weather.at(i).reschedRate;
+        nytimes_resched += nytimes.at(i).reschedRate;
+    }
+    EXPECT_GT(weather_resched, nytimes_resched);
+}
+
+TEST(RealizeWorkload, LoadTimeScaleStretchesActivity)
+{
+    Rng r1(5), r2(5);
+    const auto sig = nytimesSignature(0);
+    const auto fast =
+        realizeWorkload(sig, 50 * kSec, 1.0, RealizationNoise{}, r1);
+    const auto slow =
+        realizeWorkload(sig, 50 * kSec, 3.0, RealizationNoise{}, r2);
+    // With 3x stretch, activity extends past 6 s where the 1x load is done.
+    double fast_late = 0.0, slow_late = 0.0;
+    for (std::size_t i = 0; i < fast.numIntervals(); ++i) {
+        if (static_cast<TimeNs>(i) * fast.interval() > 7 * kSec) {
+            fast_late += fast.at(i).netRxRate;
+            slow_late += slow.at(i).netRxRate;
+        }
+    }
+    EXPECT_GT(slow_late, fast_late);
+}
+
+TEST(RealizeWorkload, RunsVary)
+{
+    Rng r1(6), r2(7);
+    const auto sig = amazonSignature(0);
+    const auto a =
+        realizeWorkload(sig, 15 * kSec, 1.0, RealizationNoise{}, r1);
+    const auto b =
+        realizeWorkload(sig, 15 * kSec, 1.0, RealizationNoise{}, r2);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < a.numIntervals(); ++i)
+        diff += std::abs(a.at(i).netRxRate - b.at(i).netRxRate);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(RealizeWorkload, SameSeedReproduces)
+{
+    Rng r1(8), r2(8);
+    const auto sig = amazonSignature(0);
+    const auto a =
+        realizeWorkload(sig, 15 * kSec, 1.0, RealizationNoise{}, r1);
+    const auto b =
+        realizeWorkload(sig, 15 * kSec, 1.0, RealizationNoise{}, r2);
+    for (std::size_t i = 0; i < a.numIntervals(); ++i)
+        EXPECT_DOUBLE_EQ(a.at(i).netRxRate, b.at(i).netRxRate);
+}
+
+TEST(SiteCatalog, UsesAppendixANames)
+{
+    const SiteCatalog catalog(100, 7);
+    EXPECT_EQ(catalog.size(), 100);
+    EXPECT_EQ(catalog.site(0).name, "1688.com");
+    EXPECT_EQ(catalog.site(6).name, "amazon.com");
+    // Names are unique within the first 100.
+    std::set<std::string> names;
+    for (int i = 0; i < catalog.size(); ++i)
+        names.insert(catalog.site(i).name);
+    EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(SiteCatalog, AppendixAListHas101Entries)
+{
+    // 100 Alexa sites plus weather.com (the Figures 3-5 example).
+    EXPECT_EQ(appendixASiteNames().size(), 101u);
+}
+
+TEST(SiteCatalog, HandCraftedSitesAreWired)
+{
+    const SiteCatalog catalog(101, 7);
+    bool found_amazon = false, found_nytimes = false, found_weather = false;
+    for (int i = 0; i < catalog.size(); ++i) {
+        const auto &site = catalog.site(i);
+        if (site.name == "amazon.com") {
+            found_amazon = true;
+            EXPECT_FALSE(site.spikes.empty());
+        }
+        if (site.name == "nytimes.com")
+            found_nytimes = true;
+        if (site.name == "weather.com") {
+            found_weather = true;
+            EXPECT_GT(site.reschedBias, 1.5);
+        }
+    }
+    EXPECT_TRUE(found_amazon);
+    EXPECT_TRUE(found_nytimes);
+    EXPECT_TRUE(found_weather);
+}
+
+TEST(SiteCatalog, SameSeedSameCatalog)
+{
+    const SiteCatalog a(20, 9), b(20, 9);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_EQ(a.site(i).phases.size(), b.site(i).phases.size());
+        for (std::size_t p = 0; p < a.site(i).phases.size(); ++p) {
+            EXPECT_EQ(a.site(i).phases[p].start, b.site(i).phases[p].start);
+            EXPECT_DOUBLE_EQ(a.site(i).phases[p].intensity,
+                             b.site(i).phases[p].intensity);
+        }
+    }
+}
+
+TEST(SiteCatalog, DifferentSeedsDifferentSites)
+{
+    const SiteCatalog a(20, 9), b(20, 10);
+    int identical = 0;
+    for (int i = 0; i < 20; ++i) {
+        if (a.site(i).phases.size() == b.site(i).phases.size() &&
+            !a.site(i).phases.empty() &&
+            a.site(i).phases.back().start == b.site(i).phases.back().start)
+            ++identical;
+    }
+    EXPECT_LT(identical, 5);
+}
+
+TEST(SiteCatalog, SitesAreMutuallyDistinct)
+{
+    const SiteCatalog catalog(30, 11);
+    // Compare phase programs pairwise; generated sites should differ.
+    int identical_pairs = 0;
+    for (int i = 0; i < 30; ++i) {
+        for (int j = i + 1; j < 30; ++j) {
+            const auto &a = catalog.site(i);
+            const auto &b = catalog.site(j);
+            if (a.phases.size() == b.phases.size() &&
+                a.phases.back().start == b.phases.back().start)
+                ++identical_pairs;
+        }
+    }
+    EXPECT_EQ(identical_pairs, 0);
+}
+
+TEST(SiteCatalog, OpenWorldSitesAreFreshAndDeterministic)
+{
+    const SiteCatalog catalog(10, 3);
+    const auto a0 = catalog.openWorldSite(0);
+    const auto a0_again = catalog.openWorldSite(0);
+    const auto a1 = catalog.openWorldSite(1);
+    EXPECT_EQ(a0.phases.size(), a0_again.phases.size());
+    EXPECT_EQ(a0.id, catalog.size());
+    EXPECT_NE(a0.name, a1.name);
+}
+
+TEST(SiteCatalog, ExtendsBeyondAppendixA)
+{
+    const SiteCatalog catalog(150, 5);
+    EXPECT_EQ(catalog.size(), 150);
+    // Cycled names get a numeric suffix.
+    EXPECT_NE(catalog.site(120).name.find('#'), std::string::npos);
+}
+
+TEST(BrowsingSession, RandomSessionRespectsBounds)
+{
+    const SiteCatalog catalog(10, 7);
+    Rng rng(1);
+    const auto session = BrowsingSession::random(catalog, 5, 10 * kSec,
+                                                 20 * kSec, rng);
+    ASSERT_EQ(session.steps.size(), 5u);
+    for (const auto &step : session.steps) {
+        EXPECT_GE(step.site, 0);
+        EXPECT_LT(step.site, 10);
+        EXPECT_GE(step.dwell, 10 * kSec);
+        EXPECT_LE(step.dwell, 20 * kSec);
+    }
+    EXPECT_EQ(session.duration(),
+              session.navigationTimes().back() +
+                  session.steps.back().dwell);
+}
+
+TEST(BrowsingSession, NavigationTimesAreCumulative)
+{
+    BrowsingSession session;
+    session.steps = {{0, 10 * kSec}, {1, 15 * kSec}, {2, 12 * kSec}};
+    const auto times = session.navigationTimes();
+    ASSERT_EQ(times.size(), 3u);
+    EXPECT_EQ(times[0], 0);
+    EXPECT_EQ(times[1], 10 * kSec);
+    EXPECT_EQ(times[2], 25 * kSec);
+    EXPECT_EQ(session.duration(), 37 * kSec);
+}
+
+TEST(RealizeSession, ActivityAppearsAtNavigations)
+{
+    const SiteCatalog catalog(6, 7);
+    BrowsingSession session;
+    session.steps = {{0, 20 * kSec}, {1, 20 * kSec}};
+    Rng rng(3);
+    const auto timeline =
+        realizeSession(session, catalog, 1.0, RealizationNoise{}, rng);
+    EXPECT_EQ(timeline.duration(), 40 * kSec);
+    // Each visit front-loads its activity: the first seconds after each
+    // navigation are busier than the tail of the dwell.
+    auto window = [&](TimeNs lo, TimeNs hi) {
+        double total = 0.0;
+        for (TimeNs t = lo; t < hi; t += timeline.interval())
+            total += timeline.at(timeline.indexAt(t)).netRxRate;
+        return total;
+    };
+    EXPECT_GT(window(0, 5 * kSec), window(14 * kSec, 19 * kSec));
+    EXPECT_GT(window(20 * kSec, 25 * kSec),
+              window(34 * kSec, 39 * kSec));
+}
+
+TEST(BrowserProfile, TimerResolutionsMatchTable1)
+{
+    EXPECT_EQ(BrowserProfile::chrome().timer.resolution, 100 * kUsec);
+    EXPECT_EQ(BrowserProfile::chrome().timer.kind,
+              timers::TimerKind::Jittered);
+    EXPECT_EQ(BrowserProfile::firefox().timer.resolution, kMsec);
+    EXPECT_EQ(BrowserProfile::firefox().timer.kind,
+              timers::TimerKind::Jittered);
+    EXPECT_EQ(BrowserProfile::safari().timer.resolution, kMsec);
+    EXPECT_EQ(BrowserProfile::safari().timer.kind,
+              timers::TimerKind::Quantized);
+    EXPECT_EQ(BrowserProfile::torBrowser().timer.resolution, 100 * kMsec);
+}
+
+TEST(BrowserProfile, TorUsesLongTracesAndSlowLoads)
+{
+    const auto tor = BrowserProfile::torBrowser();
+    EXPECT_EQ(tor.traceDuration, 50 * kSec);
+    EXPECT_GT(tor.loadTimeScale, 2.0);
+    EXPECT_EQ(BrowserProfile::chrome().traceDuration, 15 * kSec);
+}
+
+TEST(BrowserProfile, NativeProfilesArePrecise)
+{
+    EXPECT_EQ(BrowserProfile::nativePython().timer.kind,
+              timers::TimerKind::Precise);
+    EXPECT_EQ(BrowserProfile::nativeRust().timer.kind,
+              timers::TimerKind::Precise);
+    EXPECT_LT(BrowserProfile::nativeRust().runtimeNoiseSigma,
+              BrowserProfile::chrome().runtimeNoiseSigma);
+}
+
+TEST(ApplyBrowserRuntime, AddsStallsAndJitter)
+{
+    sim::RunTimeline timeline;
+    timeline.duration = kSec;
+    timeline.activityInterval = 10 * kMsec;
+    timeline.iterCostFactor = std::vector<double>(100, 1.0);
+    timeline.occupancy = std::vector<double>(100, 0.0);
+
+    BrowserProfile browser = BrowserProfile::chrome();
+    browser.stallRate = 50.0; // Force stalls for the test.
+    Rng rng(12);
+    applyBrowserRuntime(timeline, browser, rng);
+
+    EXPECT_FALSE(timeline.stolen.empty());
+    for (const auto &s : timeline.stolen) {
+        EXPECT_EQ(s.kind, sim::InterruptKind::Preemption);
+        EXPECT_LT(s.end(), timeline.duration + 1);
+    }
+    bool jittered = false;
+    for (double f : timeline.iterCostFactor)
+        if (f != 1.0)
+            jittered = true;
+    EXPECT_TRUE(jittered);
+}
+
+TEST(ApplyBrowserRuntime, KeepsTimelineSorted)
+{
+    sim::RunTimeline timeline;
+    timeline.duration = kSec;
+    timeline.activityInterval = 10 * kMsec;
+    timeline.iterCostFactor = std::vector<double>(100, 1.0);
+    timeline.occupancy = std::vector<double>(100, 0.0);
+    timeline.stolen.push_back({500 * kMsec, kMsec,
+                               sim::InterruptKind::TimerTick});
+
+    BrowserProfile browser = BrowserProfile::torBrowser();
+    browser.stallRate = 30.0;
+    Rng rng(13);
+    applyBrowserRuntime(timeline, browser, rng);
+    for (std::size_t i = 1; i < timeline.stolen.size(); ++i)
+        EXPECT_GE(timeline.stolen[i].arrival,
+                  timeline.stolen[i - 1].end());
+}
+
+} // namespace
+} // namespace bigfish::web
