@@ -67,7 +67,7 @@ main(int argc, char **argv)
     const web::SiteCatalog catalog(scale.sites, 7);
     const core::TraceCollector collector(config);
     const auto traces =
-        collector.collectClosedWorld(catalog, scale.tracesPerSite);
+        collector.collectClosedWorldOrDie(catalog, scale.tracesPerSite);
 
     ml::EvalConfig eval;
     eval.folds = scale.folds;
@@ -109,7 +109,7 @@ main(int argc, char **argv)
         for (int run = 0; run < scale.tracesPerSite; ++run) {
             const auto timeline =
                 collector.synthesizeTimeline(catalog.site(id), run);
-            attack::Trace t = attack::collectGapTrace(
+            attack::Trace t = attack::collectGapTraceOrDie(
                 timeline, config.effectivePeriod());
             t.siteId = id;
             t.label = id;

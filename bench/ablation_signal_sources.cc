@@ -26,7 +26,7 @@ namespace {
 double
 accuracy(core::CollectionConfig config, core::PipelineConfig pipeline)
 {
-    return core::runFingerprinting(config, pipeline).closedWorld.top1Mean;
+    return core::runFingerprintingOrDie(config, pipeline).closedWorld.top1Mean;
 }
 
 } // namespace

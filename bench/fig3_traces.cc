@@ -61,10 +61,10 @@ main(int argc, char **argv)
                 "time axis: 0 .. 15 s\n\n");
 
     for (const auto &site : web::SiteCatalog::exampleSites()) {
-        const auto trace = collector.collectOne(site, 0);
+        const auto trace = collector.collectOneOrDie(site, 0);
         std::printf("%s\n", site.name.c_str());
         for (int row = 0; row < 3; ++row)
-            renderStrip(collector.collectOne(site, row), 100);
+            renderStrip(collector.collectOneOrDie(site, row), 100);
         std::printf("  counter: min %.0f  mean %.0f  max %.0f  "
                     "(%zu periods)\n\n",
                     stats::minValue(trace.counts),

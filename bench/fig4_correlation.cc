@@ -49,8 +49,8 @@ main(int argc, char **argv)
         std::vector<std::vector<double>> loop_runs, sweep_runs;
         double loop_max = 0.0, sweep_max = 0.0;
         for (int run = 0; run < runs; ++run) {
-            const auto loop = loop_collector.collectOne(site, run);
-            const auto sweep = sweep_collector.collectOne(site, run);
+            const auto loop = loop_collector.collectOneOrDie(site, run);
+            const auto sweep = sweep_collector.collectOneOrDie(site, run);
             loop_runs.push_back(
                 stats::downsample(loop.normalized(), 300));
             sweep_runs.push_back(

@@ -37,7 +37,7 @@ durationsUnder(const char *title, const timers::TimerSpec &spec,
     std::vector<double> durations_ms;
     for (int run = 0; run < 3; ++run) {
         const auto trace =
-            collector.collectOne(web::nytimesSignature(0), run);
+            collector.collectOneOrDie(web::nytimesSignature(0), run);
         for (TimeNs w : trace.wallTimes)
             durations_ms.push_back(static_cast<double>(w) / kMsec);
     }

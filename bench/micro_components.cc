@@ -123,7 +123,7 @@ BM_CollectLoopTrace(benchmark::State &state)
     const auto site = web::nytimesSignature(0);
     int run = 0;
     for (auto _ : state)
-        benchmark::DoNotOptimize(collector.collectOne(site, run++));
+        benchmark::DoNotOptimize(collector.collectOneOrDie(site, run++));
 }
 BENCHMARK(BM_CollectLoopTrace);
 
@@ -136,7 +136,7 @@ BM_CollectSweepTrace(benchmark::State &state)
     const auto site = web::nytimesSignature(0);
     int run = 0;
     for (auto _ : state)
-        benchmark::DoNotOptimize(collector.collectOne(site, run++));
+        benchmark::DoNotOptimize(collector.collectOneOrDie(site, run++));
 }
 BENCHMARK(BM_CollectSweepTrace);
 

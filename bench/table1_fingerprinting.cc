@@ -87,11 +87,11 @@ main(int argc, char **argv)
         pipeline.openWorldExtra = scale.openWorldExtra;
 
         const auto loop_result =
-            core::runFingerprinting(loop_cfg, pipeline);
+            core::runFingerprintingOrDie(loop_cfg, pipeline);
         auto sweep_pipeline = pipeline;
         sweep_pipeline.openWorldExtra = scale.openWorldExtra;
         const auto sweep_result =
-            core::runFingerprinting(sweep_cfg, sweep_pipeline);
+            core::runFingerprintingOrDie(sweep_cfg, sweep_pipeline);
 
         const auto ttest = stats::welchTTest(
             loop_result.closedWorld.foldTop1,

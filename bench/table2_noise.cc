@@ -30,7 +30,7 @@ double
 measure(const core::CollectionConfig &config,
         const core::PipelineConfig &pipeline)
 {
-    return core::runFingerprinting(config, pipeline).closedWorld.top1Mean;
+    return core::runFingerprintingOrDie(config, pipeline).closedWorld.top1Mean;
 }
 
 } // namespace

@@ -60,7 +60,7 @@ main(int argc, char **argv)
                  "top-5 paper", "top-5 meas"});
     for (const auto &step : steps) {
         step.apply(config); // Mechanisms accumulate.
-        const auto result = core::runFingerprinting(config, pipeline);
+        const auto result = core::runFingerprintingOrDie(config, pipeline);
         table.addRow({step.name, formatPercent(step.paperTop1),
                       formatPercentPm(result.closedWorld.top1Mean,
                                       result.closedWorld.top1Std),

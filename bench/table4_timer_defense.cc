@@ -58,7 +58,7 @@ main(int argc, char **argv)
         config.timerOverride = row.spec;
         config.period = row.period_ms * kMsec;
         config.seed = scale.seed;
-        const auto result = core::runFingerprinting(config, pipeline);
+        const auto result = core::runFingerprintingOrDie(config, pipeline);
         table.addRow({row.timer, row.a_ms, std::to_string(row.period_ms),
                       formatPercent(row.paperTop1),
                       formatPercentPm(result.closedWorld.top1Mean,

@@ -34,7 +34,7 @@ main(int argc, char **argv)
     // ---- Train on ordinary per-load traces. ---------------------------
     std::printf("training on %d x 14 aligned traces...\n", sites);
     const core::TraceCollector collector(config);
-    const auto trainset = collector.collectClosedWorld(catalog, 14);
+    const auto trainset = collector.collectClosedWorldOrDie(catalog, 14);
     const auto train_data = core::toDataset(trainset, feature_len, sites);
     auto model = ml::cnnLstmFactory(ml::CnnLstmParams::traceDefaults())(
         sites, train_data.featureLen(), 11);
@@ -59,7 +59,7 @@ main(int argc, char **argv)
     web::applyBrowserRuntime(timeline, config.browser, browser_rng);
 
     auto timer = config.effectiveTimer().make(559);
-    const auto long_trace = attack::collectTrace(
+    const auto long_trace = attack::collectTraceOrDie(
         config.attacker, config.attackerParams, config.machine, timeline,
         *timer, config.effectivePeriod(), 560);
 

@@ -24,7 +24,7 @@ namespace {
 double
 accuracy(core::CollectionConfig config, const core::PipelineConfig &p)
 {
-    return core::runFingerprinting(config, p).closedWorld.top1Mean;
+    return core::runFingerprintingOrDie(config, p).closedWorld.top1Mean;
 }
 
 } // namespace

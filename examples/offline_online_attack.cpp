@@ -48,20 +48,20 @@ main(int argc, char **argv)
                 traces_per_site);
     const core::TraceCollector collector(config);
     const auto trainset =
-        collector.collectClosedWorld(catalog, traces_per_site);
-    attack::saveTraces(trace_path, trainset);
+        collector.collectClosedWorldOrDie(catalog, traces_per_site);
+    attack::saveTracesOrDie(trace_path, trainset);
     std::printf("[offline] saved %zu traces to %s\n", trainset.size(),
                 trace_path.c_str());
 
     // Reload from disk (proving the training pipeline runs off CSV).
-    const auto reloaded = attack::loadTraces(trace_path);
+    const auto reloaded = attack::loadTracesOrDie(trace_path);
     const auto data = core::toDataset(reloaded, feature_len, sites);
 
     ml::CnnLstmParams params = ml::CnnLstmParams::traceDefaults();
     ml::CnnLstmClassifier model(sites, data.featureLen(), params, 42);
     std::printf("[offline] training on reloaded traces...\n");
     model.fit(data, data);
-    ml::saveWeights(weight_path, model.network());
+    ml::saveWeightsOrDie(weight_path, model.network());
     std::printf("[offline] saved weights (%zu parameters) to %s\n",
                 model.network().numParameters(), weight_path.c_str());
 
@@ -70,14 +70,14 @@ main(int argc, char **argv)
     // weights; we simulate that with a second model instance seeded
     // differently (so its random init is provably overwritten).
     ml::CnnLstmClassifier online(sites, data.featureLen(), params, 999);
-    ml::loadWeights(weight_path, online.network());
+    ml::loadWeightsOrDie(weight_path, online.network());
 
     std::printf("[online] classifying 3 fresh victim page loads:\n");
     int hits = 0, total = 0;
     for (SiteId id = 0; id < sites; id += 3) {
         // Run indices beyond the training range = unseen loads.
         const auto victim_trace =
-            collector.collectOne(catalog.site(id), traces_per_site + 5);
+            collector.collectOneOrDie(catalog.site(id), traces_per_site + 5);
         attack::TraceSet one;
         one.add(victim_trace);
         const auto features = core::toDataset(one, feature_len, sites);

@@ -35,7 +35,7 @@ main()
     const auto sites = web::SiteCatalog::exampleSites();
     std::printf("Collecting example traces (15 s victim page loads)...\n");
     for (const auto &site : sites) {
-        const attack::Trace trace = collector.collectOne(site, 0);
+        const attack::Trace trace = collector.collectOneOrDie(site, 0);
         std::printf(
             "  %-14s %4zu periods   counter: min %7.0f  mean %7.0f  "
             "max %7.0f\n",
@@ -54,7 +54,7 @@ main()
 
     std::printf("\nTraining the CNN-LSTM on %d sites x %d traces...\n",
                 pipeline.numSites, pipeline.tracesPerSite);
-    const auto result = core::runFingerprinting(config, pipeline);
+    const auto result = core::runFingerprintingOrDie(config, pipeline);
     std::printf("closed-world accuracy: top-1 %.1f%%  top-5 %.1f%%\n",
                 result.closedWorld.top1Mean * 100.0,
                 result.closedWorld.top5Mean * 100.0);

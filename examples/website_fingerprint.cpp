@@ -30,7 +30,7 @@ perSiteReport(const core::CollectionConfig &config,
               std::size_t feature_len)
 {
     const core::TraceCollector collector(config);
-    const auto set = collector.collectClosedWorld(catalog, traces_per_site);
+    const auto set = collector.collectClosedWorldOrDie(catalog, traces_per_site);
     const auto data =
         core::toDataset(set, feature_len, catalog.size());
 
@@ -90,7 +90,7 @@ main(int argc, char **argv)
 
     // Loop-counting attack (this paper).
     config.attacker = attack::AttackerKind::LoopCounting;
-    const auto loop = core::runFingerprinting(config, pipeline);
+    const auto loop = core::runFingerprintingOrDie(config, pipeline);
     std::printf("\nloop-counting attack:\n");
     std::printf("  closed world: top-1 %.1f%%  top-5 %.1f%%\n",
                 loop.closedWorld.top1Mean * 100.0,
@@ -105,7 +105,7 @@ main(int argc, char **argv)
     config.attacker = attack::AttackerKind::SweepCounting;
     auto sweep_pipeline = pipeline;
     sweep_pipeline.openWorldExtra = 0;
-    const auto sweep = core::runFingerprinting(config, sweep_pipeline);
+    const auto sweep = core::runFingerprintingOrDie(config, sweep_pipeline);
     std::printf("\nsweep-counting (cache-occupancy) baseline:\n");
     std::printf("  closed world: top-1 %.1f%%  top-5 %.1f%%\n",
                 sweep.closedWorld.top1Mean * 100.0,

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification under sanitizers: builds the full tree and runs the
+# test suite once under AddressSanitizer and once under UBSan. Intended
+# as the pre-merge robustness gate; the plain (unsanitized) build stays
+# in build/ untouched.
+#
+# Usage: scripts/check.sh [address|undefined]...
+#   With no arguments, runs both sanitizers.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+    sanitizers=(address undefined)
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for san in "${sanitizers[@]}"; do
+    case "$san" in
+      address|undefined) ;;
+      *)
+        echo "unknown sanitizer '$san' (want address or undefined)" >&2
+        exit 2
+        ;;
+    esac
+    builddir="$repo/build-$san"
+    echo "== [$san] configure -> $builddir"
+    cmake -B "$builddir" -S "$repo" -DBIGFISH_SANITIZE="$san" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    echo "== [$san] build"
+    cmake --build "$builddir" -j "$jobs"
+    echo "== [$san] ctest"
+    (cd "$builddir" && ctest --output-on-failure -j "$jobs")
+done
+
+echo "== all sanitizer runs passed"

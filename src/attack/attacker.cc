@@ -53,13 +53,15 @@ iterationCosts(AttackerKind kind, const AttackerParams &params,
     return costs;
 }
 
-Trace
+Result<Trace>
 collectTrace(AttackerKind kind, const AttackerParams &params,
              const sim::MachineConfig &machine,
              const sim::RunTimeline &timeline, timers::TimerModel &timer,
              TimeNs period, std::uint64_t noise_seed)
 {
-    fatalIf(period <= 0, "attacker period must be positive");
+    if (period <= 0)
+        return Status(
+            invalidArgumentError("attacker period must be positive"));
     Trace trace;
     trace.period = period;
     trace.attacker = attackerKindName(kind);
@@ -80,11 +82,26 @@ collectTrace(AttackerKind kind, const AttackerParams &params,
 }
 
 Trace
+collectTraceOrDie(AttackerKind kind, const AttackerParams &params,
+                  const sim::MachineConfig &machine,
+                  const sim::RunTimeline &timeline,
+                  timers::TimerModel &timer, TimeNs period,
+                  std::uint64_t noise_seed)
+{
+    return collectTrace(kind, params, machine, timeline, timer, period,
+                        noise_seed)
+        .valueOrDie();
+}
+
+Result<Trace>
 collectGapTrace(const sim::RunTimeline &timeline, TimeNs period,
                 TimeNs poll_cost_ns, TimeNs threshold)
 {
-    fatalIf(period <= 0, "gap-trace period must be positive");
-    fatalIf(poll_cost_ns <= 0, "poll cost must be positive");
+    if (period <= 0)
+        return Status(
+            invalidArgumentError("gap-trace period must be positive"));
+    if (poll_cost_ns <= 0)
+        return Status(invalidArgumentError("poll cost must be positive"));
     Trace trace;
     trace.period = period;
     trace.attacker = "gap-trace";
@@ -125,6 +142,14 @@ collectGapTrace(const sim::RunTimeline &timeline, TimeNs period,
         i = j;
     }
     return trace;
+}
+
+Trace
+collectGapTraceOrDie(const sim::RunTimeline &timeline, TimeNs period,
+                     TimeNs poll_cost_ns, TimeNs threshold)
+{
+    return collectGapTrace(timeline, period, poll_cost_ns, threshold)
+        .valueOrDie();
 }
 
 } // namespace bigfish::attack

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "attack/trace.hh"
+#include "base/result.hh"
 #include "base/rng.hh"
 #include "sim/machine.hh"
 #include "sim/run_timeline.hh"
@@ -87,13 +88,21 @@ struct AttackerParams
  * @param period The period length P.
  * @param noise_seed Seed for attacker-side cost noise (memory-system
  *                   variance of the sweeping loop).
- * @return The collected trace (counts and per-period wall times).
+ * @return The collected trace (counts and per-period wall times), or an
+ *         InvalidArgument error for an unusable period.
  */
-Trace collectTrace(AttackerKind kind, const AttackerParams &params,
-                   const sim::MachineConfig &machine,
-                   const sim::RunTimeline &timeline,
-                   timers::TimerModel &timer, TimeNs period,
-                   std::uint64_t noise_seed = 0);
+Result<Trace> collectTrace(AttackerKind kind, const AttackerParams &params,
+                           const sim::MachineConfig &machine,
+                           const sim::RunTimeline &timeline,
+                           timers::TimerModel &timer, TimeNs period,
+                           std::uint64_t noise_seed = 0);
+
+/** collectTrace() that fatal()s on failure (binary boundaries only). */
+Trace collectTraceOrDie(AttackerKind kind, const AttackerParams &params,
+                        const sim::MachineConfig &machine,
+                        const sim::RunTimeline &timeline,
+                        timers::TimerModel &timer, TimeNs period,
+                        std::uint64_t noise_seed = 0);
 
 /**
  * The per-activity-step iteration cost vector an attacker kind uses on a
@@ -121,10 +130,17 @@ std::vector<double> iterationCosts(AttackerKind kind,
  * @param period Trace bin width P.
  * @param poll_cost_ns Cost of one monotonic-clock read (vDSO, ~30 ns).
  * @param threshold Smallest observed jump recorded as lost time.
- * @return A trace whose counts are *nanoseconds lost per period*.
+ * @return A trace whose counts are *nanoseconds lost per period*, or an
+ *         InvalidArgument error for unusable period/poll parameters.
  */
-Trace collectGapTrace(const sim::RunTimeline &timeline, TimeNs period,
-                      TimeNs poll_cost_ns = 30, TimeNs threshold = 100);
+Result<Trace> collectGapTrace(const sim::RunTimeline &timeline,
+                              TimeNs period, TimeNs poll_cost_ns = 30,
+                              TimeNs threshold = 100);
+
+/** collectGapTrace() that fatal()s on failure (binary boundaries only). */
+Trace collectGapTraceOrDie(const sim::RunTimeline &timeline, TimeNs period,
+                           TimeNs poll_cost_ns = 30,
+                           TimeNs threshold = 100);
 
 } // namespace bigfish::attack
 

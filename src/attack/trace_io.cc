@@ -1,5 +1,6 @@
 #include "attack/trace_io.hh"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -10,10 +11,147 @@ namespace bigfish::attack {
 namespace {
 
 constexpr const char *kHeader = "# bigfish-traces v1";
+constexpr const char *kHeaderPrefix = "# bigfish-traces ";
+
+/** Why one row failed to parse (the lenient reader's tally buckets). */
+enum class RowFault
+{
+    None,
+    Short,      ///< Missing fields or no counts.
+    BadNumber,  ///< A field that should be numeric is not.
+    Overlong,   ///< More than kMaxCountsPerRow counts.
+    OutOfRange, ///< site_id/label/period outside the legal range.
+    NonFinite,  ///< NaN or infinite counts.
+};
+
+/** First ~60 chars of a line, for error messages naming found content. */
+std::string
+display(const std::string &line)
+{
+    constexpr std::size_t kMax = 60;
+    if (line.size() <= kMax)
+        return line;
+    return line.substr(0, kMax) + "...";
+}
+
+/**
+ * Parses one data row. On failure, returns the fault category and sets
+ * @p message to a row-local description (the caller adds line context).
+ */
+RowFault
+parseRow(const std::string &line, Trace &trace, std::string &message)
+{
+    std::istringstream row(line);
+    std::string field;
+
+    auto next = [&](const char *what) -> bool {
+        if (!std::getline(row, field, ',') || field.empty()) {
+            message = std::string("missing field: ") + what;
+            return false;
+        }
+        return true;
+    };
+
+    try {
+        if (!next("site_id"))
+            return RowFault::Short;
+        trace.siteId = std::stoi(field);
+        if (!next("label"))
+            return RowFault::Short;
+        trace.label = std::stoi(field);
+        if (!next("period_ns"))
+            return RowFault::Short;
+        trace.period = std::stoll(field);
+        if (!next("attacker"))
+            return RowFault::Short;
+        trace.attacker = field;
+        while (std::getline(row, field, ',')) {
+            if (trace.counts.size() >= kMaxCountsPerRow) {
+                message = "row exceeds " +
+                          std::to_string(kMaxCountsPerRow) + " counts";
+                return RowFault::Overlong;
+            }
+            trace.counts.push_back(std::stod(field));
+        }
+    } catch (const std::exception &e) {
+        message = std::string("malformed trace row: ") + e.what() +
+                  " in field \"" + display(field) + "\"";
+        return RowFault::BadNumber;
+    }
+
+    if (trace.counts.empty()) {
+        message = "trace row has no counts";
+        return RowFault::Short;
+    }
+    if (trace.siteId < -1 || trace.siteId > kMaxTraceId) {
+        message = "site_id " + std::to_string(trace.siteId) +
+                  " out of range [-1, " + std::to_string(kMaxTraceId) + "]";
+        return RowFault::OutOfRange;
+    }
+    if (trace.label < -1 || trace.label > kMaxTraceId) {
+        message = "label " + std::to_string(trace.label) +
+                  " out of range [-1, " + std::to_string(kMaxTraceId) + "]";
+        return RowFault::OutOfRange;
+    }
+    if (trace.period <= 0) {
+        message = "period_ns " + std::to_string(trace.period) +
+                  " must be positive";
+        return RowFault::OutOfRange;
+    }
+    for (double c : trace.counts) {
+        if (!std::isfinite(c)) {
+            message = "non-finite count value";
+            return RowFault::NonFinite;
+        }
+    }
+    return RowFault::None;
+}
+
+/** Maps a row fault to the Status the strict reader reports. */
+Status
+rowFaultStatus(RowFault fault, std::size_t line_no,
+               const std::string &message)
+{
+    const std::string where = "line " + std::to_string(line_no) + ": ";
+    switch (fault) {
+      case RowFault::Short:
+      case RowFault::BadNumber:
+        return parseError(where + message);
+      case RowFault::Overlong:
+      case RowFault::OutOfRange:
+        return outOfRangeError(where + message);
+      case RowFault::NonFinite:
+        return dataError(where + message);
+      case RowFault::None:
+        break;
+    }
+    return Status::ok();
+}
+
+/**
+ * Validates the header line. Names the found header in the error so a
+ * user staring at a v2 file (or a random CSV) sees what was wrong.
+ */
+Status
+checkHeader(bool read_ok, const std::string &line)
+{
+    if (!read_ok)
+        return parseError(std::string("empty stream: expected header \"") +
+                          kHeader + "\"");
+    if (line == kHeader)
+        return Status::ok();
+    if (line.rfind(kHeaderPrefix, 0) == 0)
+        return parseError(std::string("unsupported bigfish-traces "
+                                      "version: expected \"") +
+                          kHeader + "\", found \"" + display(line) + "\"");
+    return parseError(std::string("not a bigfish-traces v1 stream: "
+                                  "expected header \"") +
+                      kHeader + "\", found \"" + display(line) + "\"");
+}
 
 } // namespace
 
-void
+Status
 writeTraces(std::ostream &out, const TraceSet &traces)
 {
     out << kHeader << "\n";
@@ -27,59 +165,168 @@ writeTraces(std::ostream &out, const TraceSet &traces)
             row << ',' << c;
         out << row.str() << "\n";
     }
+    if (!out)
+        return ioError("trace stream write failed");
+    return Status::ok();
 }
 
-void
+Status
 saveTraces(const std::string &path, const TraceSet &traces)
 {
     std::ofstream out(path);
-    fatalIf(!out, "cannot open " + path + " for writing");
-    writeTraces(out, traces);
+    if (!out)
+        return ioError("cannot open " + path + " for writing");
+    BF_RETURN_IF_ERROR(writeTraces(out, traces));
     out.flush();
-    fatalIf(!out, "write to " + path + " failed");
+    if (!out)
+        return ioError("write to " + path + " failed");
+    return Status::ok();
 }
 
-TraceSet
+void
+saveTracesOrDie(const std::string &path, const TraceSet &traces)
+{
+    const Status status = saveTraces(path, traces);
+    fatalIf(!status.isOk(), status.toString());
+}
+
+Result<TraceSet>
 readTraces(std::istream &in)
 {
     std::string line;
-    fatalIf(!std::getline(in, line) || line != kHeader,
-            "not a bigfish-traces v1 stream");
+    const bool read_ok = static_cast<bool>(std::getline(in, line));
+    BF_RETURN_IF_ERROR(checkHeader(read_ok, line));
+
     TraceSet set;
+    std::size_t line_no = 1;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty() || line[0] == '#')
             continue;
-        std::istringstream row(line);
         Trace trace;
-        std::string field;
-
-        auto next = [&](const char *what) {
-            fatalIf(!std::getline(row, field, ','),
-                    std::string("trace row missing field: ") + what);
-            return field;
-        };
-        try {
-            trace.siteId = std::stoi(next("site_id"));
-            trace.label = std::stoi(next("label"));
-            trace.period = std::stoll(next("period_ns"));
-            trace.attacker = next("attacker");
-            while (std::getline(row, field, ','))
-                trace.counts.push_back(std::stod(field));
-        } catch (const std::exception &e) {
-            fatal(std::string("malformed trace row: ") + e.what());
-        }
-        fatalIf(trace.counts.empty(), "trace row has no counts");
+        std::string message;
+        const RowFault fault = parseRow(line, trace, message);
+        if (fault != RowFault::None)
+            return rowFaultStatus(fault, line_no, message);
         set.add(std::move(trace));
     }
     return set;
 }
 
 TraceSet
+readTracesOrDie(std::istream &in)
+{
+    return readTraces(in).valueOrDie();
+}
+
+Result<TraceSet>
 loadTraces(const std::string &path)
 {
     std::ifstream in(path);
-    fatalIf(!in, "cannot open " + path + " for reading");
+    if (!in)
+        return Status(ioError("cannot open " + path + " for reading"));
     return readTraces(in);
+}
+
+TraceSet
+loadTracesOrDie(const std::string &path)
+{
+    return loadTraces(path).valueOrDie();
+}
+
+std::string
+TraceRepairStats::summary() const
+{
+    std::ostringstream out;
+    out << "kept " << rowsKept << "/" << rowsTotal << " rows";
+    if (!headerOk)
+        out << ", bad header \"" << display(headerFound) << "\"";
+    if (shortRows)
+        out << ", " << shortRows << " short";
+    if (badNumberRows)
+        out << ", " << badNumberRows << " bad-number";
+    if (overlongRows)
+        out << ", " << overlongRows << " overlong";
+    if (outOfRangeRows)
+        out << ", " << outOfRangeRows << " out-of-range";
+    if (nonFiniteRows)
+        out << ", " << nonFiniteRows << " non-finite";
+    return out.str();
+}
+
+LenientTraces
+readTracesLenient(std::istream &in)
+{
+    LenientTraces result;
+    TraceRepairStats &stats = result.stats;
+
+    std::string line;
+    if (std::getline(in, line)) {
+        stats.headerFound = display(line);
+        stats.headerOk = (line == kHeader);
+    }
+    if (!stats.headerOk) {
+        warnOnce("trace-io/lenient-header",
+                 "lenient trace read: stream does not start with \"" +
+                     std::string(kHeader) + "\" (found \"" +
+                     stats.headerFound + "\"); parsing rows best-effort");
+        // The first line may itself be a data row; try it below.
+        if (!stats.headerFound.empty() && line[0] != '#') {
+            Trace trace;
+            std::string message;
+            ++stats.rowsTotal;
+            if (parseRow(line, trace, message) == RowFault::None) {
+                ++stats.rowsKept;
+                result.traces.add(std::move(trace));
+            } else {
+                ++stats.rowsDropped;
+                ++stats.shortRows; // Headerish line: count as short.
+            }
+        }
+    }
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        ++stats.rowsTotal;
+        Trace trace;
+        std::string message;
+        switch (parseRow(line, trace, message)) {
+          case RowFault::None:
+            ++stats.rowsKept;
+            result.traces.add(std::move(trace));
+            continue;
+          case RowFault::Short:
+            ++stats.shortRows;
+            break;
+          case RowFault::BadNumber:
+            ++stats.badNumberRows;
+            break;
+          case RowFault::Overlong:
+            ++stats.overlongRows;
+            break;
+          case RowFault::OutOfRange:
+            ++stats.outOfRangeRows;
+            break;
+          case RowFault::NonFinite:
+            ++stats.nonFiniteRows;
+            break;
+        }
+        ++stats.rowsDropped;
+        warnOnce("trace-io/lenient-row",
+                 "lenient trace read: dropping malformed row(s); first: " +
+                     message);
+    }
+    return result;
+}
+
+Result<LenientTraces>
+loadTracesLenient(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return Status(ioError("cannot open " + path + " for reading"));
+    return readTracesLenient(in);
 }
 
 } // namespace bigfish::attack

@@ -13,32 +13,101 @@
  * Counts are written with enough precision to round-trip exactly for
  * integer-valued counters. Wall times are not persisted (they are only
  * needed by the timer-defense analyses, which operate on live traces).
+ *
+ * Error contract: readers/writers return Result/Status instead of
+ * terminating — corrupt trace files are an expected operating condition.
+ * The strict readers reject the whole stream on the first malformed row;
+ * readTracesLenient() skips malformed rows, keeps everything parseable
+ * and reports per-file repair statistics. The ...OrDie() wrappers keep
+ * example/bench binaries one-liners.
  */
 
 #ifndef BF_ATTACK_TRACE_IO_HH
 #define BF_ATTACK_TRACE_IO_HH
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "base/result.hh"
+#include "base/status.hh"
 #include "attack/trace.hh"
 
 namespace bigfish::attack {
 
-/** Writes a TraceSet to a stream in bigfish-traces v1 format. */
-void writeTraces(std::ostream &out, const TraceSet &traces);
+/** Largest count column-count a row may carry before it is rejected. */
+inline constexpr std::size_t kMaxCountsPerRow = 1u << 22;
 
-/** Writes a TraceSet to a file; fatal() on I/O failure. */
-void saveTraces(const std::string &path, const TraceSet &traces);
+/** Largest site_id / label value accepted by the parser. */
+inline constexpr int kMaxTraceId = 10'000'000;
+
+/** Writes a TraceSet to a stream in bigfish-traces v1 format. */
+Status writeTraces(std::ostream &out, const TraceSet &traces);
+
+/** Writes a TraceSet to a file. */
+Status saveTraces(const std::string &path, const TraceSet &traces);
+
+/** saveTraces() that fatal()s on failure (binary boundaries only). */
+void saveTracesOrDie(const std::string &path, const TraceSet &traces);
 
 /**
- * Parses a bigfish-traces v1 stream.
- * fatal() on malformed input (wrong header, short rows, bad numbers).
+ * Parses a bigfish-traces v1 stream strictly: the first malformed row
+ * (wrong header, short row, bad number, non-finite count, out-of-range
+ * site_id/label, overlong row) fails the whole read.
  */
-TraceSet readTraces(std::istream &in);
+Result<TraceSet> readTraces(std::istream &in);
 
-/** Reads a TraceSet from a file; fatal() on I/O failure. */
-TraceSet loadTraces(const std::string &path);
+/** readTraces() that fatal()s on failure (binary boundaries only). */
+TraceSet readTracesOrDie(std::istream &in);
+
+/** Reads a TraceSet from a file (strict). */
+Result<TraceSet> loadTraces(const std::string &path);
+
+/** loadTraces() that fatal()s on failure (binary boundaries only). */
+TraceSet loadTracesOrDie(const std::string &path);
+
+/** Per-stream repair statistics reported by the lenient reader. */
+struct TraceRepairStats
+{
+    /** True when the stream began with the expected v1 header. */
+    bool headerOk = false;
+    /** The header line actually found (possibly truncated for display). */
+    std::string headerFound;
+
+    std::size_t rowsTotal = 0;     ///< Data rows seen (comments excluded).
+    std::size_t rowsKept = 0;      ///< Rows parsed into traces.
+    std::size_t rowsDropped = 0;   ///< Rows skipped (sum of the buckets).
+
+    std::size_t shortRows = 0;     ///< Missing fields or no counts.
+    std::size_t badNumberRows = 0; ///< Unparseable numeric fields.
+    std::size_t overlongRows = 0;  ///< More than kMaxCountsPerRow counts.
+    std::size_t outOfRangeRows = 0;///< site_id/label/period out of range.
+    std::size_t nonFiniteRows = 0; ///< NaN or infinite counts.
+
+    /** One-line human-readable summary for logs. */
+    std::string summary() const;
+};
+
+/** The lenient reader's output: whatever parsed, plus repair stats. */
+struct LenientTraces
+{
+    TraceSet traces;
+    TraceRepairStats stats;
+};
+
+/**
+ * Best-effort parse of a (possibly corrupt) trace stream: malformed rows
+ * are skipped and tallied instead of failing the read, and a wrong or
+ * missing header is recorded in the stats rather than rejected. Never
+ * terminates the process; cannot fail on stream content.
+ */
+LenientTraces readTracesLenient(std::istream &in);
+
+/**
+ * File variant of readTracesLenient(). The only error is failing to
+ * open the file; any content parses (possibly to zero traces).
+ */
+Result<LenientTraces> loadTracesLenient(const std::string &path);
 
 } // namespace bigfish::attack
 

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Result<T>: a value or a Status, with monadic composition.
+ *
+ * This is the return type of every library entry point that can fail on
+ * runtime data (trace parsing, checkpoint loading, degraded collection
+ * runs). Callers either branch on isOk(), chain with map()/andThen(), or
+ * call valueOrDie() at the binary boundary where terminating is the
+ * right answer (examples, bench mains).
+ */
+
+#ifndef BF_BASE_RESULT_HH
+#define BF_BASE_RESULT_HH
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/status.hh"
+
+namespace bigfish {
+
+/** A T on success, a non-OK Status on failure. */
+template <typename T>
+class Result
+{
+  public:
+    /** Success, owning @p value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    /** Failure; @p status must be non-OK (an OK status is a bug). */
+    Result(Status status) : status_(std::move(status))
+    {
+        panicIf(status_.isOk(),
+                "Result constructed from an OK status without a value");
+    }
+
+    /** True when a value is present. */
+    bool isOk() const { return value_.has_value(); }
+
+    /** The status: OK when a value is present, the error otherwise. */
+    const Status &status() const { return status_; }
+
+    /** The value; panics if called on an error Result. */
+    T &
+    value()
+    {
+        panicIf(!isOk(), "Result::value() on error: " + status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        panicIf(!isOk(), "Result::value() on error: " + status_.toString());
+        return *value_;
+    }
+
+    /**
+     * The value, or fatal() with the error message. This is the one
+     * sanctioned process-terminating accessor; use it only at binary
+     * boundaries (examples, bench mains, CLI tools).
+     */
+    T
+    valueOrDie() &&
+    {
+        if (!isOk())
+            fatal(status_.toString());
+        return std::move(*value_);
+    }
+
+    /** The value, or @p fallback when this Result holds an error. */
+    T
+    valueOr(T fallback) &&
+    {
+        return isOk() ? std::move(*value_) : std::move(fallback);
+    }
+
+    /**
+     * Applies @p fn to the value, forwarding the error untouched.
+     * fn: T -> U, giving Result<U>.
+     */
+    template <typename Fn>
+    auto
+    map(Fn &&fn) && -> Result<std::invoke_result_t<Fn, T>>
+    {
+        using U = std::invoke_result_t<Fn, T>;
+        if (!isOk())
+            return Result<U>(status_);
+        return Result<U>(std::forward<Fn>(fn)(std::move(*value_)));
+    }
+
+    /**
+     * Chains a fallible continuation, forwarding the error untouched.
+     * fn: T -> Result<U>, giving Result<U>.
+     */
+    template <typename Fn>
+    auto
+    andThen(Fn &&fn) && -> std::invoke_result_t<Fn, T>
+    {
+        using R = std::invoke_result_t<Fn, T>;
+        static_assert(
+            std::is_constructible_v<R, Status>,
+            "andThen continuation must return a Result<U>");
+        if (!isOk())
+            return R(status_);
+        return std::forward<Fn>(fn)(std::move(*value_));
+    }
+
+  private:
+    std::optional<T> value_;
+    Status status_;
+};
+
+/** Early-returns the error of a Result expression, else binds nothing. */
+#define BF_RETURN_IF_ERROR_RESULT(expr)                                     \
+    do {                                                                    \
+        const auto &bf_result_ = (expr);                                    \
+        if (!bf_result_.isOk())                                             \
+            return bf_result_.status();                                     \
+    } while (false)
+
+} // namespace bigfish
+
+#endif // BF_BASE_RESULT_HH

@@ -1,5 +1,7 @@
 #include "core/collector.hh"
 
+#include <cmath>
+
 #include "base/logging.hh"
 
 namespace bigfish::core {
@@ -15,6 +17,13 @@ TraceCollector::traceRng(SiteId site_id, int run_index) const
     return Rng(mix64(config_.seed) ^
                mix64(static_cast<std::uint64_t>(site_id) * 1000003ULL +
                      static_cast<std::uint64_t>(run_index) + 17ULL));
+}
+
+std::uint64_t
+TraceCollector::faultSalt(SiteId site_id, int run_index) const
+{
+    return mix64(static_cast<std::uint64_t>(site_id) * 2654435761ULL +
+                 static_cast<std::uint64_t>(run_index) + 101ULL);
 }
 
 sim::RunTimeline
@@ -55,13 +64,28 @@ TraceCollector::synthesizeTimeline(const web::SiteSignature &site,
 
     sim::RunTimeline timeline = synthesizer_.synthesize(activity, synth_rng);
     web::applyBrowserRuntime(timeline, config_.browser, browser_rng);
+
+    // Injected delivery faults and stalls mutate the shared ground
+    // truth, so the kernel tracer / gap detector observe the same
+    // faulted schedule the attacker measured.
+    if (config_.faults.enabled()) {
+        const sim::FaultPlan plan(config_.faults,
+                                  faultSalt(site.id, run_index));
+        plan.applyToTimeline(timeline);
+    }
     return timeline;
 }
 
-attack::Trace
+Result<attack::Trace>
 TraceCollector::collectOne(const web::SiteSignature &site,
                            int run_index) const
 {
+    const TimeNs period = config_.effectivePeriod();
+    if (period <= 0)
+        return Status(invalidArgumentError(
+            "collection period must be positive (browser default and "
+            "override are both unset)"));
+
     const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
     const auto timer_seed =
         mix64(config_.seed ^ 0x71e4aeedULL) ^
@@ -69,43 +93,140 @@ TraceCollector::collectOne(const web::SiteSignature &site,
               static_cast<std::uint64_t>(run_index));
     auto timer = config_.effectiveTimer().make(timer_seed);
 
-    attack::Trace trace = attack::collectTrace(
+    const sim::FaultPlan plan(config_.faults,
+                              faultSalt(site.id, run_index));
+    if (plan.enabled())
+        timer = plan.wrapTimer(std::move(timer));
+
+    Result<attack::Trace> collected = attack::collectTrace(
         config_.attacker, config_.attackerParams, config_.machine, timeline,
-        *timer, config_.effectivePeriod(), timer_seed ^ 0x5eedULL);
+        *timer, period, timer_seed ^ 0x5eedULL);
+    if (!collected.isOk())
+        return collected;
+    attack::Trace trace = std::move(collected.value());
     trace.siteId = site.id;
     trace.label = site.id;
+
+    if (plan.enabled()) {
+        // Truncation faults cut the recorded suffix (victim navigated
+        // away, tab killed); the counts/wallTimes stay aligned.
+        const std::size_t keep = plan.truncatedLength(trace.counts.size());
+        if (keep < trace.counts.size()) {
+            trace.counts.resize(keep);
+            if (trace.wallTimes.size() > keep)
+                trace.wallTimes.resize(keep);
+        }
+    }
+
+    if (trace.counts.size() < kMinViablePeriods) {
+        return Status(dataError(
+            "trace of site " + std::to_string(site.id) + " run " +
+            std::to_string(run_index) + " has " +
+            std::to_string(trace.counts.size()) + " periods (< " +
+            std::to_string(kMinViablePeriods) + " required)"));
+    }
+    for (double c : trace.counts) {
+        if (!std::isfinite(c))
+            return Status(dataError(
+                "trace of site " + std::to_string(site.id) + " run " +
+                std::to_string(run_index) + " has non-finite counts"));
+    }
     return trace;
 }
 
-attack::TraceSet
-TraceCollector::collectClosedWorld(const web::SiteCatalog &catalog,
-                                   int traces_per_site) const
+attack::Trace
+TraceCollector::collectOneOrDie(const web::SiteSignature &site,
+                                int run_index) const
 {
-    fatalIf(traces_per_site <= 0, "traces_per_site must be positive");
+    return collectOne(site, run_index).valueOrDie();
+}
+
+Result<attack::TraceSet>
+TraceCollector::collectClosedWorld(const web::SiteCatalog &catalog,
+                                   int traces_per_site,
+                                   CollectionStats *stats) const
+{
+    if (traces_per_site <= 0)
+        return Status(
+            invalidArgumentError("traces_per_site must be positive"));
+    CollectionStats local;
     attack::TraceSet set;
     set.traces.reserve(static_cast<std::size_t>(catalog.size()) *
                        traces_per_site);
-    for (SiteId id = 0; id < catalog.size(); ++id)
-        for (int run = 0; run < traces_per_site; ++run)
-            set.add(collectOne(catalog.site(id), run));
+    for (SiteId id = 0; id < catalog.size(); ++id) {
+        for (int run = 0; run < traces_per_site; ++run) {
+            ++local.attempted;
+            Result<attack::Trace> trace = collectOne(catalog.site(id), run);
+            if (!trace.isOk()) {
+                ++local.dropped;
+                warnOnce("collector/dropped-trace",
+                         "dropping unusable trace(s); first: " +
+                             trace.status().toString());
+                continue;
+            }
+            ++local.collected;
+            set.add(std::move(trace.value()));
+        }
+    }
+    if (stats != nullptr)
+        *stats = local;
+    if (set.traces.empty())
+        return Status(exhaustedError(
+            "closed-world collection dropped all " +
+            std::to_string(local.attempted) + " traces"));
     return set;
 }
 
 attack::TraceSet
-TraceCollector::collectOpenWorld(const web::SiteCatalog &catalog,
-                                 int num_extra,
-                                 Label non_sensitive_label) const
+TraceCollector::collectClosedWorldOrDie(const web::SiteCatalog &catalog,
+                                        int traces_per_site,
+                                        CollectionStats *stats) const
 {
+    return collectClosedWorld(catalog, traces_per_site, stats).valueOrDie();
+}
+
+Result<attack::TraceSet>
+TraceCollector::collectOpenWorld(const web::SiteCatalog &catalog,
+                                 int num_extra, Label non_sensitive_label,
+                                 CollectionStats *stats) const
+{
+    CollectionStats local;
     attack::TraceSet set;
-    set.traces.reserve(static_cast<std::size_t>(num_extra));
+    set.traces.reserve(static_cast<std::size_t>(std::max(num_extra, 0)));
     for (int i = 0; i < num_extra; ++i) {
         // Each open-world trace visits a distinct one-off site (the
         // paper's 5,000 unique non-sensitive pages).
-        attack::Trace trace = collectOne(catalog.openWorldSite(i), 0);
-        trace.label = non_sensitive_label;
-        set.add(std::move(trace));
+        ++local.attempted;
+        Result<attack::Trace> trace =
+            collectOne(catalog.openWorldSite(i), 0);
+        if (!trace.isOk()) {
+            ++local.dropped;
+            warnOnce("collector/dropped-trace",
+                     "dropping unusable trace(s); first: " +
+                         trace.status().toString());
+            continue;
+        }
+        ++local.collected;
+        trace.value().label = non_sensitive_label;
+        set.add(std::move(trace.value()));
     }
+    if (stats != nullptr)
+        *stats = local;
+    if (num_extra > 0 && set.traces.empty())
+        return Status(exhaustedError(
+            "open-world collection dropped all " +
+            std::to_string(local.attempted) + " traces"));
     return set;
+}
+
+attack::TraceSet
+TraceCollector::collectOpenWorldOrDie(const web::SiteCatalog &catalog,
+                                      int num_extra,
+                                      Label non_sensitive_label,
+                                      CollectionStats *stats) const
+{
+    return collectOpenWorld(catalog, num_extra, non_sensitive_label, stats)
+        .valueOrDie();
 }
 
 } // namespace bigfish::core

@@ -5,13 +5,21 @@
  * One CollectionConfig describes a full experimental configuration — the
  * machine and OS (Table 1 rows, Table 3 isolation knobs), the browser
  * (timer + load behavior), the attacker kind (Figure 2a vs 2b), an
- * optional timer override (Table 4 defenses), and optional noise
- * countermeasures (Table 2). TraceCollector realizes victim workloads,
- * synthesizes interrupt timelines, applies browser runtime effects and
- * defense overlays, runs the attacker, and returns labeled traces.
+ * optional timer override (Table 4 defenses), optional noise
+ * countermeasures (Table 2), and an optional FaultConfig (dropped or
+ * duplicated interrupts, skewed/non-monotonic timers, attacker stalls,
+ * truncated traces). TraceCollector realizes victim workloads,
+ * synthesizes interrupt timelines, applies browser runtime effects,
+ * defense overlays and injected faults, runs the attacker, and returns
+ * labeled traces.
  *
  * Seeding is fully deterministic: trace (site, run) under the same
- * config always reproduces bit-identically.
+ * config always reproduces bit-identically, faults included.
+ *
+ * Error contract: per-trace collection returns Result<Trace>; a trace
+ * degraded below usability (e.g. truncated to a handful of periods) is
+ * an error, not a crash. The closed/open-world collectors drop such
+ * traces with accounting (CollectionStats) instead of aborting the run.
  */
 
 #ifndef BF_CORE_COLLECTOR_HH
@@ -22,7 +30,9 @@
 
 #include "attack/attacker.hh"
 #include "attack/trace.hh"
+#include "base/result.hh"
 #include "defense/noise.hh"
+#include "sim/faults.hh"
 #include "sim/machine.hh"
 #include "sim/synthesizer.hh"
 #include "timers/timer.hh"
@@ -56,6 +66,13 @@ struct CollectionConfig
     /** Run-to-run victim variation. */
     web::RealizationNoise realization;
 
+    /**
+     * Injected faults (sim/faults.hh); disabled by default. Fault
+     * randomness derives from (faults.seed, site, run), so any
+     * Table-1/2/3 configuration re-runs bit-identically under faults.
+     */
+    sim::FaultConfig faults;
+
     /** Master seed; everything derives from it. */
     std::uint64_t seed = 42;
 
@@ -72,10 +89,21 @@ struct CollectionConfig
     }
 };
 
+/** Accounting of one closed/open-world collection sweep. */
+struct CollectionStats
+{
+    std::size_t attempted = 0; ///< Traces collection was attempted for.
+    std::size_t collected = 0; ///< Traces that made it into the set.
+    std::size_t dropped = 0;   ///< Traces dropped as unusable.
+};
+
 /** Collects traces for one configuration. */
 class TraceCollector
 {
   public:
+    /** Fewest periods a trace must keep to be usable by the pipeline. */
+    static constexpr std::size_t kMinViablePeriods = 4;
+
     explicit TraceCollector(CollectionConfig config);
 
     const CollectionConfig &config() const { return config_; }
@@ -84,33 +112,63 @@ class TraceCollector
      * Synthesizes the attacker-core timeline for (site, run) —
      * deterministic in (config seed, site id, run index). Exposed so the
      * kernel tracer and gap detector can observe the same ground truth
-     * the attacker measured.
+     * the attacker measured. Timeline-level faults (dropped/duplicated
+     * interrupts, stalls) are already applied, so observers and the
+     * attacker keep sharing one ground truth under injected faults.
      */
     sim::RunTimeline synthesizeTimeline(const web::SiteSignature &site,
                                         int run_index) const;
 
-    /** Collects one trace of @p site. */
-    attack::Trace collectOne(const web::SiteSignature &site,
-                             int run_index) const;
+    /**
+     * Collects one trace of @p site. Fails (without terminating) when
+     * the trace comes back unusable — e.g. fault-truncated below
+     * kMinViablePeriods or empty.
+     */
+    Result<attack::Trace> collectOne(const web::SiteSignature &site,
+                                     int run_index) const;
+
+    /** collectOne() that fatal()s on failure (binary boundaries only). */
+    attack::Trace collectOneOrDie(const web::SiteSignature &site,
+                                  int run_index) const;
 
     /**
      * Closed-world dataset: @p traces_per_site traces of every catalog
-     * site, labeled by site id.
+     * site, labeled by site id. Unusable traces are dropped with
+     * accounting in @p stats (optional); the call fails only when the
+     * configuration is invalid or no trace at all survived.
      */
-    attack::TraceSet collectClosedWorld(const web::SiteCatalog &catalog,
-                                        int traces_per_site) const;
+    Result<attack::TraceSet>
+    collectClosedWorld(const web::SiteCatalog &catalog, int traces_per_site,
+                       CollectionStats *stats = nullptr) const;
+
+    /** collectClosedWorld() that fatal()s on failure. */
+    attack::TraceSet
+    collectClosedWorldOrDie(const web::SiteCatalog &catalog,
+                            int traces_per_site,
+                            CollectionStats *stats = nullptr) const;
 
     /**
      * Open-world extension: @p num_extra traces, each of a distinct
-     * one-off site, all labeled @p non_sensitive_label.
+     * one-off site, all labeled @p non_sensitive_label. Unusable traces
+     * are dropped with accounting in @p stats (optional).
      */
-    attack::TraceSet collectOpenWorld(const web::SiteCatalog &catalog,
-                                      int num_extra,
-                                      Label non_sensitive_label) const;
+    Result<attack::TraceSet>
+    collectOpenWorld(const web::SiteCatalog &catalog, int num_extra,
+                     Label non_sensitive_label,
+                     CollectionStats *stats = nullptr) const;
+
+    /** collectOpenWorld() that fatal()s on failure. */
+    attack::TraceSet
+    collectOpenWorldOrDie(const web::SiteCatalog &catalog, int num_extra,
+                          Label non_sensitive_label,
+                          CollectionStats *stats = nullptr) const;
 
   private:
     /** Per-(site, run) root randomness. */
     Rng traceRng(SiteId site_id, int run_index) const;
+
+    /** Per-(site, run) fault-plan salt (independent of traceRng). */
+    std::uint64_t faultSalt(SiteId site_id, int run_index) const;
 
     CollectionConfig config_;
     sim::InterruptSynthesizer synthesizer_;

@@ -1,5 +1,7 @@
 #include "core/pipeline.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "stats/descriptive.hh"
 
@@ -32,18 +34,62 @@ toDataset(const attack::TraceSet &traces, std::size_t feature_len,
     return data;
 }
 
-FingerprintResult
+namespace {
+
+/**
+ * Distinct labels present in a (possibly fault-degraded) trace set —
+ * dropping traces can silently empty out whole classes, which would
+ * make the k-fold split degenerate.
+ */
+int
+distinctLabels(const attack::TraceSet &traces)
+{
+    std::vector<Label> labels = traces.labels();
+    std::sort(labels.begin(), labels.end());
+    labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+    return static_cast<int>(labels.size());
+}
+
+} // namespace
+
+Result<FingerprintResult>
 runFingerprinting(const CollectionConfig &collection,
                   const PipelineConfig &pipeline)
 {
-    fatalIf(pipeline.numSites < 2, "need at least two sites");
+    if (pipeline.numSites < 2)
+        return Status(invalidArgumentError("need at least two sites"));
+    if (pipeline.eval.folds < 2)
+        return Status(
+            invalidArgumentError("cross-validation needs >= 2 folds"));
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
     const TraceCollector collector(collection);
 
     FingerprintResult result;
 
-    attack::TraceSet closed =
-        collector.collectClosedWorld(catalog, pipeline.tracesPerSite);
+    CollectionStats closed_stats;
+    Result<attack::TraceSet> closed_result = collector.collectClosedWorld(
+        catalog, pipeline.tracesPerSite, &closed_stats);
+    if (!closed_result.isOk())
+        return Status(closed_result.status());
+    attack::TraceSet closed = std::move(closed_result.value());
+    result.droppedTraces += closed_stats.dropped;
+    result.collectedTraces += closed_stats.collected;
+
+    // Dropped traces must leave enough data for the evaluation protocol
+    // to be meaningful; otherwise fail recoverably rather than letting
+    // the CV machinery hit its own preconditions.
+    if (distinctLabels(closed) < 2)
+        return Status(exhaustedError(
+            "degraded collection left fewer than two closed-world "
+            "classes (" + std::to_string(closed_stats.dropped) +
+            " of " + std::to_string(closed_stats.attempted) +
+            " traces dropped)"));
+    if (closed.size() < static_cast<std::size_t>(pipeline.eval.folds))
+        return Status(exhaustedError(
+            "degraded collection left " + std::to_string(closed.size()) +
+            " closed-world traces, fewer than the " +
+            std::to_string(pipeline.eval.folds) + " CV folds"));
+
     const ml::Dataset closed_data =
         toDataset(closed, pipeline.featureLen, pipeline.numSites);
     result.closedWorld =
@@ -54,10 +100,16 @@ runFingerprinting(const CollectionConfig &collection,
         // labels ("sensitive"); one extra class holds all one-off
         // "non-sensitive" traces.
         const Label non_sensitive = pipeline.numSites;
+        CollectionStats open_stats;
+        Result<attack::TraceSet> extra_result = collector.collectOpenWorld(
+            catalog, pipeline.openWorldExtra, non_sensitive, &open_stats);
+        if (!extra_result.isOk())
+            return Status(extra_result.status());
+        result.droppedTraces += open_stats.dropped;
+        result.collectedTraces += open_stats.collected;
+
         attack::TraceSet open = closed;
-        attack::TraceSet extra = collector.collectOpenWorld(
-            catalog, pipeline.openWorldExtra, non_sensitive);
-        for (auto &trace : extra.traces)
+        for (auto &trace : extra_result.value().traces)
             open.add(std::move(trace));
         const ml::Dataset open_data =
             toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
@@ -66,6 +118,13 @@ runFingerprinting(const CollectionConfig &collection,
         result.hasOpenWorld = true;
     }
     return result;
+}
+
+FingerprintResult
+runFingerprintingOrDie(const CollectionConfig &collection,
+                       const PipelineConfig &pipeline)
+{
+    return runFingerprinting(collection, pipeline).valueOrDie();
 }
 
 } // namespace bigfish::core

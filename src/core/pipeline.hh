@@ -7,11 +7,18 @@
  * scale + classifier), it reproduces the paper's evaluation protocol and
  * returns Table-ready accuracy numbers for the closed-world and
  * open-world settings.
+ *
+ * Error contract: runFingerprinting() returns Result<FingerprintResult>.
+ * Traces that come back unusable (fault-truncated, empty) are dropped
+ * with accounting in FingerprintResult::droppedTraces rather than
+ * aborting the evaluation; the run fails only when the configuration is
+ * invalid or so few traces survive that cross-validation is impossible.
  */
 
 #ifndef BF_CORE_PIPELINE_HH
 #define BF_CORE_PIPELINE_HH
 
+#include "base/result.hh"
 #include "core/collector.hh"
 #include "ml/classifier.hh"
 #include "ml/evaluation.hh"
@@ -47,6 +54,11 @@ struct FingerprintResult
     /** Present only when openWorldExtra > 0. */
     ml::EvalResult openWorld;
     bool hasOpenWorld = false;
+
+    /** Traces dropped as unusable across both worlds (fault accounting). */
+    std::size_t droppedTraces = 0;
+    /** Traces that made it into the evaluation across both worlds. */
+    std::size_t collectedTraces = 0;
 };
 
 /**
@@ -56,9 +68,18 @@ struct FingerprintResult
  * Open world (when enabled): the closed-world traces become "sensitive"
  * classes and openWorldExtra one-off traces form the "non-sensitive"
  * class, mirroring the paper's 101-class design.
+ *
+ * Degraded collection (injected faults, truncated traces) drops traces
+ * with accounting instead of failing; see FingerprintResult.
  */
-FingerprintResult runFingerprinting(const CollectionConfig &collection,
-                                    const PipelineConfig &pipeline);
+Result<FingerprintResult>
+runFingerprinting(const CollectionConfig &collection,
+                  const PipelineConfig &pipeline);
+
+/** runFingerprinting() that fatal()s on failure (binary boundaries). */
+FingerprintResult
+runFingerprintingOrDie(const CollectionConfig &collection,
+                       const PipelineConfig &pipeline);
 
 /** Converts a TraceSet into an ml::Dataset of fixed-length features. */
 ml::Dataset toDataset(const attack::TraceSet &traces,

@@ -116,6 +116,7 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
     double best_val = -1.0;
     int epochs_since_best = 0;
     history_.clear();
+    skippedBatches_ = 0;
 
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
@@ -123,6 +124,7 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
     for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
         std::shuffle(order.begin(), order.end(), rng.engine());
         double epoch_loss = 0.0;
+        std::size_t loss_samples = 0;
         std::size_t i = 0;
         while (i < order.size()) {
             net_.zeroGrads();
@@ -130,24 +132,41 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
                 i + static_cast<std::size_t>(params_.batchSize),
                 order.size());
             const std::size_t batch = batch_end - i;
+            double batch_loss = 0.0;
             for (; i < batch_end; ++i) {
                 const std::size_t s = order[i];
                 const Matrix logits =
                     net_.forward(toInput(train.features[s]), true);
-                epoch_loss +=
+                batch_loss +=
                     SoftmaxCrossEntropy::loss(logits, train.labels[s]);
                 net_.backward(SoftmaxCrossEntropy::gradient(
                     logits, train.labels[s]));
             }
-            adam.step(net_.params(), net_.grads(),
-                      1.0 / static_cast<double>(batch));
+            // A NaN in the loss or gradients would poison the weights
+            // permanently; skip the batch and keep training.
+            const bool stepped =
+                std::isfinite(batch_loss) &&
+                adam.stepIfFinite(net_.params(), net_.grads(),
+                                  1.0 / static_cast<double>(batch));
+            if (!stepped) {
+                ++skippedBatches_;
+                warnOnce("ml/non-finite-batch",
+                         "skipping training batch(es) with non-finite "
+                         "loss or gradients");
+                continue;
+            }
+            epoch_loss += batch_loss;
+            loss_samples += batch;
         }
 
         // Early stopping: stop when validation accuracy stops improving.
         const double val_acc = validation.size() > 0 ? accuracy(validation)
                                                      : accuracy(train);
         history_.push_back(
-            {epoch_loss / static_cast<double>(train.size()), val_acc});
+            {loss_samples > 0
+                 ? epoch_loss / static_cast<double>(loss_samples)
+                 : 0.0,
+             val_acc});
         if (val_acc > best_val + 1e-9) {
             best_val = val_acc;
             epochs_since_best = 0;
@@ -210,6 +229,7 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
 
     double best_val = -1.0;
     int epochs_since_best = 0;
+    skippedBatches_ = 0;
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
 
@@ -229,8 +249,13 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
                 net_.backward(SoftmaxCrossEntropy::gradient(
                     logits, train.labels[s]));
             }
-            adam.step(net_.params(), net_.grads(),
-                      1.0 / static_cast<double>(batch));
+            if (!adam.stepIfFinite(net_.params(), net_.grads(),
+                                   1.0 / static_cast<double>(batch))) {
+                ++skippedBatches_;
+                warnOnce("ml/non-finite-batch",
+                         "skipping training batch(es) with non-finite "
+                         "loss or gradients");
+            }
         }
         const double val_acc = validation.size() > 0 ? accuracy(validation)
                                                      : accuracy(train);

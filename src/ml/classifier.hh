@@ -111,11 +111,20 @@ class CnnLstmClassifier : public Classifier
     /** Per-epoch loss/validation-accuracy curve of the last fit(). */
     const std::vector<EpochStats> &history() const { return history_; }
 
+    /**
+     * Batches skipped during the last fit() because their loss or
+     * gradients were non-finite (NaN-poisoned inputs, exploding
+     * gradients). Training recovers by leaving the parameters untouched
+     * for that batch instead of silently diverging.
+     */
+    std::size_t skippedBatches() const { return skippedBatches_; }
+
   private:
     /** Converts a feature vector into the network's (1 x T) input. */
     Matrix toInput(const std::vector<double> &x) const;
 
     std::vector<EpochStats> history_;
+    std::size_t skippedBatches_ = 0;
 
     int numClasses_;
     std::size_t featureLen_;
@@ -178,9 +187,13 @@ class MlpClassifier : public Classifier
     /** The underlying network (for weight persistence). */
     Sequential &network() { return net_; }
 
+    /** Batches skipped in the last fit() due to non-finite gradients. */
+    std::size_t skippedBatches() const { return skippedBatches_; }
+
   private:
     Matrix toInput(const std::vector<double> &x) const;
 
+    std::size_t skippedBatches_ = 0;
     int numClasses_;
     std::size_t featureLen_;
     MlpParams params_;

@@ -106,9 +106,29 @@ SoftmaxCrossEntropy::gradient(const Matrix &logits, Label truth)
     return grad;
 }
 
+bool
+allFinite(const std::vector<Matrix *> &tensors)
+{
+    for (const Matrix *t : tensors)
+        for (std::size_t i = 0; i < t->size(); ++i)
+            if (!std::isfinite(t->data()[i]))
+                return false;
+    return true;
+}
+
 Adam::Adam(double lr, double beta1, double beta2, double eps)
     : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
 {
+}
+
+bool
+Adam::stepIfFinite(const std::vector<Matrix *> &params,
+                   const std::vector<Matrix *> &grads, double scale)
+{
+    if (!allFinite(grads))
+        return false;
+    step(params, grads, scale);
+    return true;
 }
 
 void

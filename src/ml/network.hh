@@ -66,6 +66,9 @@ struct SoftmaxCrossEntropy
     static Matrix gradient(const Matrix &logits, Label truth);
 };
 
+/** True when every element of every tensor is finite. */
+bool allFinite(const std::vector<Matrix *> &tensors);
+
 /** Adam optimizer (the paper uses Adam with lr = 0.001). */
 class Adam
 {
@@ -87,6 +90,18 @@ class Adam
      */
     void step(const std::vector<Matrix *> &params,
               const std::vector<Matrix *> &grads, double scale = 1.0);
+
+    /**
+     * Applies one update step unless any gradient is non-finite, in
+     * which case the parameters and optimizer state are left untouched.
+     * Exploding LSTM gradients or NaN-poisoned inputs would otherwise
+     * silently destroy the model; skipping the batch recovers.
+     *
+     * @return true when the step was applied.
+     */
+    bool stepIfFinite(const std::vector<Matrix *> &params,
+                      const std::vector<Matrix *> &grads,
+                      double scale = 1.0);
 
   private:
     double lr_, beta1_, beta2_, eps_;

@@ -1,5 +1,6 @@
 #include "ml/serialize.hh"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -13,7 +14,7 @@ constexpr const char *kHeader = "# bigfish-weights v1";
 
 } // namespace
 
-void
+Status
 saveWeights(std::ostream &out, Sequential &net)
 {
     const auto params = net.params();
@@ -25,50 +26,102 @@ saveWeights(std::ostream &out, Sequential &net)
             out << ' ' << p->data()[i];
         out << "\n";
     }
+    if (!out)
+        return ioError("weight stream write failed");
+    return Status::ok();
 }
 
-void
+Status
 saveWeights(const std::string &path, Sequential &net)
 {
     std::ofstream out(path);
-    fatalIf(!out, "cannot open " + path + " for writing");
-    saveWeights(out, net);
+    if (!out)
+        return ioError("cannot open " + path + " for writing");
+    BF_RETURN_IF_ERROR(saveWeights(out, net));
     out.flush();
-    fatalIf(!out, "write to " + path + " failed");
+    if (!out)
+        return ioError("write to " + path + " failed");
+    return Status::ok();
 }
 
 void
+saveWeightsOrDie(const std::string &path, Sequential &net)
+{
+    const Status status = saveWeights(path, net);
+    fatalIf(!status.isOk(), status.toString());
+}
+
+void
+saveWeightsOrDie(std::ostream &out, Sequential &net)
+{
+    const Status status = saveWeights(out, net);
+    fatalIf(!status.isOk(), status.toString());
+}
+
+Status
 loadWeights(std::istream &in, Sequential &net)
 {
     std::string header;
-    fatalIf(!std::getline(in, header) || header != kHeader,
-            "not a bigfish-weights v1 stream");
+    if (!std::getline(in, header) || header != kHeader)
+        return parseError(std::string("not a bigfish-weights v1 stream: "
+                                      "expected header \"") +
+                          kHeader + "\", found \"" +
+                          header.substr(0, 60) + "\"");
     std::size_t count = 0;
-    fatalIf(!(in >> count), "weight stream missing tensor count");
+    if (!(in >> count))
+        return parseError("weight stream missing tensor count");
     const auto params = net.params();
-    fatalIf(count != params.size(),
+    if (count != params.size())
+        return shapeMismatchError(
             "weight file has " + std::to_string(count) +
-                " tensors but the network has " +
-                std::to_string(params.size()));
-    for (Matrix *p : params) {
+            " tensors but the network has " +
+            std::to_string(params.size()));
+    for (std::size_t t = 0; t < params.size(); ++t) {
+        Matrix *p = params[t];
         std::size_t rows = 0, cols = 0;
-        fatalIf(!(in >> rows >> cols), "weight stream truncated");
-        fatalIf(rows != p->rows() || cols != p->cols(),
-                "weight tensor shape mismatch: file " +
-                    std::to_string(rows) + "x" + std::to_string(cols) +
-                    ", network " + std::to_string(p->rows()) + "x" +
-                    std::to_string(p->cols()));
-        for (std::size_t i = 0; i < p->size(); ++i)
-            fatalIf(!(in >> p->data()[i]), "weight stream truncated");
+        if (!(in >> rows >> cols))
+            return parseError("weight stream truncated at tensor " +
+                              std::to_string(t));
+        if (rows != p->rows() || cols != p->cols())
+            return shapeMismatchError(
+                "weight tensor " + std::to_string(t) +
+                " shape mismatch: file " + std::to_string(rows) + "x" +
+                std::to_string(cols) + ", network " +
+                std::to_string(p->rows()) + "x" +
+                std::to_string(p->cols()));
+        for (std::size_t i = 0; i < p->size(); ++i) {
+            if (!(in >> p->data()[i]))
+                return parseError("weight stream truncated inside tensor " +
+                                  std::to_string(t));
+            if (!std::isfinite(p->data()[i]))
+                return dataError("non-finite weight in tensor " +
+                                 std::to_string(t));
+        }
     }
+    return Status::ok();
 }
 
-void
+Status
 loadWeights(const std::string &path, Sequential &net)
 {
     std::ifstream in(path);
-    fatalIf(!in, "cannot open " + path + " for reading");
-    loadWeights(in, net);
+    if (!in)
+        return ioError("cannot open " + path + " for reading");
+    return loadWeights(in, net);
+}
+
+void
+loadWeightsOrDie(const std::string &path, Sequential &net)
+{
+    const Status status = loadWeights(path, net);
+    fatalIf(!status.isOk(), status.toString());
+}
+
+void
+loadWeightsOrDie(std::istream &in, Sequential &net)
+{
+    const Status status = loadWeights(in, net);
+    fatalIf(!status.isOk(), status.toString());
 }
 
 } // namespace bigfish::ml

@@ -12,6 +12,12 @@
  * stores only the *parameter tensors* in layer order; the loader
  * validates that shapes match the freshly constructed architecture, so
  * a weight file can never be silently applied to the wrong model.
+ *
+ * Error contract: load/save return Status instead of terminating — a
+ * truncated or mismatched checkpoint is an expected operating condition
+ * for a long-running service. On any load error the destination network
+ * should be considered partially written; reconstruct it before retrying.
+ * The ...OrDie() wrappers keep example binaries one-liners.
  */
 
 #ifndef BF_ML_SERIALIZE_HH
@@ -20,25 +26,34 @@
 #include <iosfwd>
 #include <string>
 
+#include "base/status.hh"
 #include "ml/network.hh"
 
 namespace bigfish::ml {
 
 /** Writes every parameter tensor of @p net to the stream. */
-void saveWeights(std::ostream &out, Sequential &net);
+Status saveWeights(std::ostream &out, Sequential &net);
 
-/** Writes weights to a file; fatal() on I/O failure. */
-void saveWeights(const std::string &path, Sequential &net);
+/** Writes weights to a file. */
+Status saveWeights(const std::string &path, Sequential &net);
+
+/** saveWeights() that fatal()s on failure (binary boundaries only). */
+void saveWeightsOrDie(const std::string &path, Sequential &net);
+void saveWeightsOrDie(std::ostream &out, Sequential &net);
 
 /**
- * Loads weights into an already-constructed network.
- * fatal() if the stream is malformed or any tensor shape differs from
- * the network's current parameters.
+ * Loads weights into an already-constructed network. Fails if the
+ * stream is malformed or truncated, any tensor shape differs from the
+ * network's current parameters, or a stored value is non-finite.
  */
-void loadWeights(std::istream &in, Sequential &net);
+Status loadWeights(std::istream &in, Sequential &net);
 
-/** Reads weights from a file; fatal() on I/O failure. */
-void loadWeights(const std::string &path, Sequential &net);
+/** Reads weights from a file. */
+Status loadWeights(const std::string &path, Sequential &net);
+
+/** loadWeights() that fatal()s on failure (binary boundaries only). */
+void loadWeightsOrDie(const std::string &path, Sequential &net);
+void loadWeightsOrDie(std::istream &in, Sequential &net);
 
 } // namespace bigfish::ml
 

@@ -115,9 +115,9 @@ TEST(Attackers, LoopCountsAreOrdersOfMagnitudeLarger)
     const auto timeline = exampleTimeline(3);
     AttackerParams params;
     timers::PreciseTimer t1, t2;
-    const Trace loop = collectTrace(AttackerKind::LoopCounting, params,
+    const Trace loop = collectTraceOrDie(AttackerKind::LoopCounting, params,
                                     machine, timeline, t1, 5 * kMsec);
-    const Trace sweep = collectTrace(AttackerKind::SweepCounting, params,
+    const Trace sweep = collectTraceOrDie(AttackerKind::SweepCounting, params,
                                      machine, timeline, t2, 5 * kMsec);
     EXPECT_NEAR(loop.maxCount(), 27000.0, 3000.0);
     // ~32 sweeps per idle period; the max over a trace rides the
@@ -132,7 +132,7 @@ TEST(Attackers, TraceLengthMatchesDurationOverPeriod)
     const auto timeline = exampleTimeline(4, 10 * kSec);
     AttackerParams params;
     timers::PreciseTimer timer;
-    const Trace trace = collectTrace(AttackerKind::LoopCounting, params,
+    const Trace trace = collectTraceOrDie(AttackerKind::LoopCounting, params,
                                      machine, timeline, timer, 5 * kMsec);
     EXPECT_NEAR(static_cast<double>(trace.size()), 2000.0, 20.0);
     EXPECT_EQ(trace.counts.size(), trace.wallTimes.size());
@@ -147,7 +147,7 @@ TEST(Attackers, BusyPhasesDepressCounts)
     const auto timeline = exampleTimeline(5, 10 * kSec);
     AttackerParams params;
     timers::PreciseTimer timer;
-    const Trace trace = collectTrace(AttackerKind::LoopCounting, params,
+    const Trace trace = collectTraceOrDie(AttackerKind::LoopCounting, params,
                                      machine, timeline, timer, 5 * kMsec);
     ASSERT_GT(trace.size(), 1800u);
     double busy = 0.0, quiet = 0.0;
@@ -176,10 +176,10 @@ TEST(Attackers, LoopAndSweepTracesCorrelate)
         const auto timeline = exampleTimeline(100 + run, 10 * kSec);
         timers::PreciseTimer t1, t2;
         const Trace loop =
-            collectTrace(AttackerKind::LoopCounting, params, machine,
+            collectTraceOrDie(AttackerKind::LoopCounting, params, machine,
                          timeline, t1, 5 * kMsec);
         const Trace sweep =
-            collectTrace(AttackerKind::SweepCounting, params, machine,
+            collectTraceOrDie(AttackerKind::SweepCounting, params, machine,
                          timeline, t2, 5 * kMsec);
         loop_runs.push_back(
             stats::downsample(loop.normalized(), 100));
@@ -197,7 +197,7 @@ TEST(Attackers, WallTimesMatchPeriodUnderPreciseTimer)
     const auto timeline = exampleTimeline(6);
     AttackerParams params;
     timers::PreciseTimer timer;
-    const Trace trace = collectTrace(AttackerKind::LoopCounting, params,
+    const Trace trace = collectTraceOrDie(AttackerKind::LoopCounting, params,
                                      machine, timeline, timer, 5 * kMsec);
     for (std::size_t i = 0; i + 1 < trace.wallTimes.size(); ++i) {
         EXPECT_GE(trace.wallTimes[i], 5 * kMsec);
@@ -287,7 +287,7 @@ TEST(Segmentation, EndToEndOnRealSessionTrace)
     const auto timeline = synth.synthesize(activity, synth_rng);
     timers::PreciseTimer timer;
     AttackerParams params;
-    const auto trace = collectTrace(
+    const auto trace = collectTraceOrDie(
         AttackerKind::LoopCounting, params,
         sim::MachineConfig::linuxDesktop(), timeline, timer, 5 * kMsec);
 
@@ -318,7 +318,7 @@ TEST(GapTrace, ChargesStolenTimePerPeriod)
         // In the second 5 ms period:
         {6 * kMsec, 200 * kUsec, sim::InterruptKind::SoftirqNetRx},
     };
-    const Trace trace = collectGapTrace(timeline, 5 * kMsec);
+    const Trace trace = collectGapTraceOrDie(timeline, 5 * kMsec);
     ASSERT_EQ(trace.size(), 4u);
     EXPECT_DOUBLE_EQ(trace.counts[0], 150.0 * kUsec);
     EXPECT_DOUBLE_EQ(trace.counts[1], 200.0 * kUsec);
@@ -336,7 +336,7 @@ TEST(GapTrace, SplitsSpanAcrossPeriodBoundary)
     // 2 ms handler straddling the 5 ms boundary: 1 ms in each period.
     timeline.stolen = {
         {4 * kMsec, 2 * kMsec, sim::InterruptKind::Preemption}};
-    const Trace trace = collectGapTrace(timeline, 5 * kMsec);
+    const Trace trace = collectGapTraceOrDie(timeline, 5 * kMsec);
     ASSERT_EQ(trace.size(), 2u);
     EXPECT_DOUBLE_EQ(trace.counts[0], 1.0 * kMsec);
     EXPECT_DOUBLE_EQ(trace.counts[1], 1.0 * kMsec);
@@ -351,7 +351,7 @@ TEST(GapTrace, ThresholdFiltersTinyGaps)
     timeline.occupancy = {0.0};
     timeline.stolen = {{kMsec, 40, sim::InterruptKind::TimerTick}};
     // 40 ns + 30 ns poll = 70 ns < 100 ns threshold: invisible.
-    const Trace trace = collectGapTrace(timeline, 5 * kMsec, 30, 100);
+    const Trace trace = collectGapTraceOrDie(timeline, 5 * kMsec, 30, 100);
     EXPECT_DOUBLE_EQ(trace.counts[0], 0.0);
 }
 
@@ -363,9 +363,9 @@ TEST(GapTrace, CorrelatesWithLoopTrace)
     const auto timeline = exampleTimeline(77, 10 * kSec);
     AttackerParams params;
     timers::PreciseTimer timer;
-    const Trace loop = collectTrace(AttackerKind::LoopCounting, params,
+    const Trace loop = collectTraceOrDie(AttackerKind::LoopCounting, params,
                                     machine, timeline, timer, 5 * kMsec);
-    const Trace gaps = collectGapTrace(timeline, 5 * kMsec);
+    const Trace gaps = collectGapTraceOrDie(timeline, 5 * kMsec);
     const auto loop_ds = stats::downsample(loop.normalized(), 200);
     const auto gap_ds = stats::downsample(gaps.counts, 200);
     EXPECT_LT(stats::pearson(loop_ds, gap_ds), -0.5);
@@ -391,7 +391,7 @@ TEST(TraceIo, RoundTripsExactly)
 
     std::stringstream stream;
     writeTraces(stream, set);
-    const TraceSet loaded = readTraces(stream);
+    const TraceSet loaded = readTracesOrDie(stream);
     ASSERT_EQ(loaded.size(), 2u);
     EXPECT_EQ(loaded.traces[0].siteId, 3);
     EXPECT_EQ(loaded.traces[0].label, 3);
@@ -409,11 +409,11 @@ TEST(TraceIo, RoundTripsRealCollectedTraces)
     AttackerParams params;
     timers::PreciseTimer timer;
     TraceSet set;
-    set.add(collectTrace(AttackerKind::LoopCounting, params, machine,
+    set.add(collectTraceOrDie(AttackerKind::LoopCounting, params, machine,
                          timeline, timer, 5 * kMsec));
     std::stringstream stream;
     writeTraces(stream, set);
-    const TraceSet loaded = readTraces(stream);
+    const TraceSet loaded = readTracesOrDie(stream);
     ASSERT_EQ(loaded.traces[0].counts.size(), set.traces[0].counts.size());
     for (std::size_t i = 0; i < set.traces[0].counts.size(); ++i)
         EXPECT_DOUBLE_EQ(loaded.traces[0].counts[i],
@@ -427,37 +427,51 @@ TEST(TraceIo, SkipsCommentsAndBlankLines)
            << "# a comment\n"
            << "\n"
            << "1,1,5000000,loop-counting,10,20,30\n";
-    const TraceSet loaded = readTraces(stream);
+    const TraceSet loaded = readTracesOrDie(stream);
     ASSERT_EQ(loaded.size(), 1u);
     EXPECT_EQ(loaded.traces[0].counts.size(), 3u);
 }
 
-using TraceIoDeath = ::testing::Test;
-
-TEST(TraceIoDeath, RejectsWrongHeader)
+TEST(TraceIoErrors, RejectsWrongHeaderNamingWhatWasFound)
 {
     std::stringstream stream;
     stream << "not a trace file\n";
-    EXPECT_EXIT(readTraces(stream), ::testing::ExitedWithCode(1),
-                "bigfish-traces");
+    const auto result = readTraces(stream);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(result.status().message().find("bigfish-traces"),
+              std::string::npos);
+    EXPECT_NE(result.status().message().find("not a trace file"),
+              std::string::npos);
 }
 
-TEST(TraceIoDeath, RejectsRowWithoutCounts)
+TEST(TraceIoErrors, RejectsRowWithoutCounts)
 {
     std::stringstream stream;
     stream << "# bigfish-traces v1\n"
            << "1,1,5000000,loop-counting\n";
-    EXPECT_EXIT(readTraces(stream), ::testing::ExitedWithCode(1),
-                "no counts|missing field");
+    const auto result = readTraces(stream);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
 }
 
-TEST(TraceIoDeath, RejectsGarbageNumbers)
+TEST(TraceIoErrors, RejectsGarbageNumbers)
 {
     std::stringstream stream;
     stream << "# bigfish-traces v1\n"
            << "x,1,5000000,loop-counting,10\n";
-    EXPECT_EXIT(readTraces(stream), ::testing::ExitedWithCode(1),
-                "malformed");
+    const auto result = readTraces(stream);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("malformed"),
+              std::string::npos);
+}
+
+TEST(TraceIoErrors, ReadTracesOrDieStillAbortsOnBadInput)
+{
+    std::stringstream stream;
+    stream << "not a trace file\n";
+    EXPECT_EXIT(readTracesOrDie(stream), ::testing::ExitedWithCode(1),
+                "bigfish-traces");
 }
 
 TEST(Attackers, KindNames)

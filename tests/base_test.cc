@@ -9,7 +9,10 @@
 #include <algorithm>
 #include <set>
 
+#include "base/logging.hh"
+#include "base/result.hh"
 #include "base/rng.hh"
+#include "base/status.hh"
 #include "base/table.hh"
 #include "base/types.hh"
 
@@ -174,6 +177,101 @@ TEST(Table, FormatHelpers)
     EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
     EXPECT_EQ(formatPercent(0.966, 1), "96.6%");
     EXPECT_EQ(formatPercentPm(0.966, 0.008, 1), "96.6 +/- 0.8");
+}
+
+TEST(Status, OkAndErrorBasics)
+{
+    const Status ok = Status::ok();
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.code(), ErrorCode::Ok);
+
+    const Status err = parseError("bad row");
+    EXPECT_FALSE(err.isOk());
+    EXPECT_EQ(err.code(), ErrorCode::ParseError);
+    EXPECT_EQ(err.message(), "bad row");
+    EXPECT_EQ(err.toString(), "parse-error: bad row");
+    EXPECT_EQ(err, parseError("different message, same code"));
+    EXPECT_NE(err, dataError("bad row"));
+}
+
+TEST(Result, HoldsValueOrStatus)
+{
+    Result<int> good(42);
+    ASSERT_TRUE(good.isOk());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_TRUE(good.status().isOk());
+
+    Result<int> bad(invalidArgumentError("nope"));
+    ASSERT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(std::move(bad).valueOr(-1), -1);
+}
+
+TEST(Result, MapAndAndThenForwardErrors)
+{
+    const auto doubled =
+        Result<int>(21).map([](int v) { return v * 2; });
+    ASSERT_TRUE(doubled.isOk());
+    EXPECT_EQ(doubled.value(), 42);
+
+    const auto from_error = Result<int>(dataError("gone"))
+                                .map([](int v) { return v * 2; });
+    ASSERT_FALSE(from_error.isOk());
+    EXPECT_EQ(from_error.status().code(), ErrorCode::DataError);
+
+    const auto chained =
+        Result<int>(10).andThen([](int v) -> Result<std::string> {
+            if (v < 0)
+                return Status(outOfRangeError("negative"));
+            return std::string(static_cast<std::size_t>(v), 'x');
+        });
+    ASSERT_TRUE(chained.isOk());
+    EXPECT_EQ(chained.value().size(), 10u);
+
+    const auto chained_err =
+        Result<int>(exhaustedError("dry"))
+            .andThen([](int) -> Result<std::string> {
+                return std::string("unreachable");
+            });
+    ASSERT_FALSE(chained_err.isOk());
+    EXPECT_EQ(chained_err.status().code(), ErrorCode::Exhausted);
+}
+
+TEST(ResultDeath, ValueOrDieTerminatesWithMessage)
+{
+    EXPECT_EXIT(
+        {
+            Result<int> bad(ioError("disk on fire"));
+            std::move(bad).valueOrDie();
+        },
+        ::testing::ExitedWithCode(1), "disk on fire");
+}
+
+TEST(Logging, WarnOncePrintsOncePerKey)
+{
+    ::testing::internal::CaptureStderr();
+    warnOnce("base-test/key-a", "first message");
+    warnOnce("base-test/key-a", "second message");
+    warnOnce("base-test/key-b", "other key");
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("first message"), std::string::npos);
+    EXPECT_EQ(err.find("second message"), std::string::npos);
+    EXPECT_NE(err.find("other key"), std::string::npos);
+}
+
+TEST(LoggingDeath, BfLogLevelSilentSuppressesWarnings)
+{
+    // threadsafe style re-executes the binary, so the child process
+    // evaluates warningsEnabled()'s cached getenv under the modified
+    // environment.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            setenv("BF_LOG_LEVEL", "silent", 1);
+            warn("this must not appear");
+            std::exit(warningsEnabled() ? 2 : 0);
+        },
+        ::testing::ExitedWithCode(0), "");
 }
 
 } // namespace

@@ -36,8 +36,8 @@ TEST(TraceCollector, DeterministicPerSeed)
     config.seed = 77;
     const TraceCollector c1(config), c2(config);
     const auto site = web::amazonSignature(3);
-    const auto a = c1.collectOne(site, 5);
-    const auto b = c2.collectOne(site, 5);
+    const auto a = c1.collectOneOrDie(site, 5);
+    const auto b = c2.collectOneOrDie(site, 5);
     ASSERT_EQ(a.counts.size(), b.counts.size());
     for (std::size_t i = 0; i < a.counts.size(); ++i)
         EXPECT_DOUBLE_EQ(a.counts[i], b.counts[i]);
@@ -48,8 +48,8 @@ TEST(TraceCollector, RunsDiffer)
     CollectionConfig config;
     const TraceCollector collector(config);
     const auto site = web::amazonSignature(3);
-    const auto a = collector.collectOne(site, 0);
-    const auto b = collector.collectOne(site, 1);
+    const auto a = collector.collectOneOrDie(site, 0);
+    const auto b = collector.collectOneOrDie(site, 1);
     double diff = 0.0;
     for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i)
         diff += std::abs(a.counts[i] - b.counts[i]);
@@ -61,7 +61,7 @@ TEST(TraceCollector, LabelsFollowSiteIds)
     CollectionConfig config;
     const TraceCollector collector(config);
     const web::SiteCatalog catalog(4, 7);
-    const auto set = collector.collectClosedWorld(catalog, 3);
+    const auto set = collector.collectClosedWorldOrDie(catalog, 3);
     ASSERT_EQ(set.size(), 12u);
     EXPECT_EQ(set.traces[0].label, 0);
     EXPECT_EQ(set.traces[11].label, 3);
@@ -73,7 +73,7 @@ TEST(TraceCollector, OpenWorldLabeledAsCatchAll)
     CollectionConfig config;
     const TraceCollector collector(config);
     const web::SiteCatalog catalog(4, 7);
-    const auto set = collector.collectOpenWorld(catalog, 5, 4);
+    const auto set = collector.collectOpenWorldOrDie(catalog, 5, 4);
     ASSERT_EQ(set.size(), 5u);
     for (const auto &trace : set.traces)
         EXPECT_EQ(trace.label, 4);
@@ -106,8 +106,8 @@ TEST(TraceCollector, NoiseCountermeasureChangesTraces)
     CollectionConfig noisy = plain;
     noisy.spuriousInterruptNoise = true;
     const auto site = web::amazonSignature(1);
-    const auto a = TraceCollector(plain).collectOne(site, 0);
-    const auto b = TraceCollector(noisy).collectOne(site, 0);
+    const auto a = TraceCollector(plain).collectOneOrDie(site, 0);
+    const auto b = TraceCollector(noisy).collectOneOrDie(site, 0);
     // Under injected interrupts the attacker completes fewer iterations.
     EXPECT_LT(stats::mean(b.counts), stats::mean(a.counts));
 }
@@ -126,14 +126,14 @@ TEST(TraceCollector, CacheSweepSlowsOnlySweepAttacker)
 
     const auto site = web::nytimesSignature(0);
     const double loop_drop =
-        stats::mean(TraceCollector(loop_cfg).collectOne(site, 0).counts) /
+        stats::mean(TraceCollector(loop_cfg).collectOneOrDie(site, 0).counts) /
         std::max(1.0, stats::mean(TraceCollector(loop_noise)
-                                      .collectOne(site, 0)
+                                      .collectOneOrDie(site, 0)
                                       .counts));
     const double sweep_drop =
-        stats::mean(TraceCollector(sweep_cfg).collectOne(site, 0).counts) /
+        stats::mean(TraceCollector(sweep_cfg).collectOneOrDie(site, 0).counts) /
         std::max(1.0, stats::mean(TraceCollector(sweep_noise)
-                                      .collectOne(site, 0)
+                                      .collectOneOrDie(site, 0)
                                       .counts));
     // The sweeping attacker's iterations slow under full-LLC occupancy
     // (prefetch-amortized misses on every victim-touched line); the
@@ -235,7 +235,7 @@ TEST(Pipeline, EndToEndBeatsChanceClearly)
     pipeline.featureLen = 192;
     pipeline.eval.folds = 4;
     pipeline.factory = ml::knnFactory(3); // Fast and adequate here.
-    const auto result = runFingerprinting(config, pipeline);
+    const auto result = runFingerprintingOrDie(config, pipeline);
     EXPECT_GT(result.closedWorld.top1Mean, 0.6); // Chance is 0.2.
     EXPECT_FALSE(result.hasOpenWorld);
 }
@@ -251,7 +251,7 @@ TEST(Pipeline, OpenWorldProducesMetrics)
     pipeline.featureLen = 192;
     pipeline.eval.folds = 4;
     pipeline.factory = ml::knnFactory(3);
-    const auto result = runFingerprinting(config, pipeline);
+    const auto result = runFingerprintingOrDie(config, pipeline);
     ASSERT_TRUE(result.hasOpenWorld);
     EXPECT_GT(result.openWorld.openWorld.combinedAccuracy, 0.5);
     EXPECT_GT(result.openWorld.openWorld.sensitiveAccuracy, 0.0);

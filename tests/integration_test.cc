@@ -36,7 +36,7 @@ double
 accuracyOf(const core::CollectionConfig &config,
            core::PipelineConfig pipeline = smallPipeline())
 {
-    return core::runFingerprinting(config, pipeline).closedWorld.top1Mean;
+    return core::runFingerprintingOrDie(config, pipeline).closedWorld.top1Mean;
 }
 
 TEST(Integration, LoopAttackBeatsChanceByWideMargin)
@@ -144,10 +144,10 @@ TEST(Integration, TracesReproducibleAcrossProcessRestarts)
     config.seed = 424242;
     const core::TraceCollector collector(config);
     const auto trace =
-        collector.collectOne(web::nytimesSignature(0), 0);
+        collector.collectOneOrDie(web::nytimesSignature(0), 0);
     ASSERT_GT(trace.size(), 2900u);
     // Self-consistency rather than brittle exact values: re-collect.
-    const auto again = collector.collectOne(web::nytimesSignature(0), 0);
+    const auto again = collector.collectOneOrDie(web::nytimesSignature(0), 0);
     ASSERT_EQ(trace.counts.size(), again.counts.size());
     for (std::size_t i = 0; i < trace.counts.size(); i += 97)
         EXPECT_DOUBLE_EQ(trace.counts[i], again.counts[i]);

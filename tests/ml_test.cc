@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include <sstream>
@@ -677,29 +678,107 @@ TEST(Serialize, CnnLstmRoundTripPreservesPredictions)
     }
 }
 
-TEST(SerializeDeath, RejectsWrongArchitecture)
+TEST(Training, MlpRecoversFromNanPoisonedSample)
+{
+    Dataset train = syntheticDataset(3, 20, 32, 9);
+    train.features[5][3] = std::nan("");
+
+    MlpParams params;
+    params.maxEpochs = 4;
+    params.patience = 4;
+    MlpClassifier model(3, 32, params, 11);
+    model.fit(train, train);
+
+    // The poisoned batch was skipped every epoch it was visited, and
+    // the parameters never absorbed a NaN.
+    EXPECT_GT(model.skippedBatches(), 0u);
+    EXPECT_TRUE(allFinite(model.network().params()));
+    Dataset clean = syntheticDataset(3, 20, 32, 9);
+    for (double s : model.predictScores(clean.features[0]))
+        EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(Training, CnnLstmRecoversFromNanPoisonedSample)
+{
+    Dataset train = syntheticDataset(3, 20, 64, 10);
+    train.features[7][0] =
+        std::numeric_limits<double>::infinity();
+
+    CnnLstmParams params;
+    params.convFilters = 8;
+    params.lstmUnits = 8;
+    params.maxEpochs = 3;
+    params.patience = 3;
+    CnnLstmClassifier model(3, 64, params, 12);
+    model.fit(train, train);
+
+    EXPECT_GT(model.skippedBatches(), 0u);
+    EXPECT_TRUE(allFinite(model.network().params()));
+    // The loss history only aggregates finite batches.
+    for (const auto &epoch : model.history())
+        EXPECT_TRUE(std::isfinite(epoch.trainLoss));
+}
+
+TEST(Training, AdamStepIfFiniteLeavesParamsUntouched)
+{
+    Rng rng(13);
+    Matrix p(2, 2), g(2, 2);
+    p.randomize(rng, 1.0);
+    g.randomize(rng, 1.0);
+    const Matrix before = p;
+    g(1, 1) = std::numeric_limits<float>::quiet_NaN();
+    Adam adam(1e-2);
+    EXPECT_FALSE(adam.stepIfFinite({&p}, {&g}));
+    for (std::size_t i = 0; i < p.size(); ++i)
+        EXPECT_EQ(p.data()[i], before.data()[i]);
+    g(1, 1) = 0.5f;
+    EXPECT_TRUE(adam.stepIfFinite({&p}, {&g}));
+    bool moved = false;
+    for (std::size_t i = 0; i < p.size(); ++i)
+        moved = moved || p.data()[i] != before.data()[i];
+    EXPECT_TRUE(moved);
+}
+
+TEST(SerializeErrors, RejectsWrongArchitecture)
 {
     Rng rng(22);
     Sequential net;
     net.add(std::make_unique<Dense>(4, 4, rng));
     std::stringstream stream;
-    saveWeights(stream, net);
+    ASSERT_TRUE(saveWeights(stream, net).isOk());
 
     Sequential other;
     other.add(std::make_unique<Dense>(4, 5, rng)); // Different shape.
-    EXPECT_EXIT(loadWeights(stream, other), ::testing::ExitedWithCode(1),
-                "shape mismatch");
+    const Status status = loadWeights(stream, other);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), ErrorCode::ShapeMismatch);
+    EXPECT_NE(status.message().find("shape mismatch"), std::string::npos);
+    // The failed load must not have touched the destination weights.
 }
 
-TEST(SerializeDeath, RejectsWrongHeader)
+TEST(SerializeErrors, RejectsWrongHeaderNamingWhatWasFound)
 {
     std::stringstream stream;
     stream << "junk\n";
     Rng rng(23);
     Sequential net;
     net.add(std::make_unique<Dense>(2, 2, rng));
-    EXPECT_EXIT(loadWeights(stream, net), ::testing::ExitedWithCode(1),
-                "bigfish-weights");
+    const Status status = loadWeights(stream, net);
+    ASSERT_FALSE(status.isOk());
+    EXPECT_EQ(status.code(), ErrorCode::ParseError);
+    EXPECT_NE(status.message().find("bigfish-weights"), std::string::npos);
+    EXPECT_NE(status.message().find("junk"), std::string::npos);
+}
+
+TEST(SerializeErrors, LoadWeightsOrDieStillAbortsOnBadInput)
+{
+    std::stringstream stream;
+    stream << "junk\n";
+    Rng rng(24);
+    Sequential net;
+    net.add(std::make_unique<Dense>(2, 2, rng));
+    EXPECT_EXIT(loadWeightsOrDie(stream, net),
+                ::testing::ExitedWithCode(1), "bigfish-weights");
 }
 
 TEST(OpenWorldEval, ReportsSplitMetrics)

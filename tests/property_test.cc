@@ -78,7 +78,7 @@ TEST_P(AttackProperties, TraceIsSaneAndDeterministic)
     const auto config = makeConfig();
     const core::TraceCollector collector(config);
     const auto site = web::amazonSignature(1);
-    const auto trace = collector.collectOne(site, 0);
+    const auto trace = collector.collectOneOrDie(site, 0);
 
     // Non-empty, all counts >= 1 (do-while semantics), wall times cover
     // the run without exceeding it.
@@ -92,7 +92,7 @@ TEST_P(AttackProperties, TraceIsSaneAndDeterministic)
     EXPECT_LE(wall_total, config.browser.traceDuration + 100 * kMsec);
 
     // Bit-identical on re-collection.
-    const auto again = collector.collectOne(site, 0);
+    const auto again = collector.collectOneOrDie(site, 0);
     ASSERT_EQ(trace.counts.size(), again.counts.size());
     for (std::size_t i = 0; i < trace.counts.size(); ++i)
         EXPECT_DOUBLE_EQ(trace.counts[i], again.counts[i]);
@@ -102,7 +102,7 @@ TEST_P(AttackProperties, PeriodsRespectTimerSemantics)
 {
     const auto config = makeConfig();
     const core::TraceCollector collector(config);
-    const auto trace = collector.collectOne(web::nytimesSignature(0), 1);
+    const auto trace = collector.collectOneOrDie(web::nytimesSignature(0), 1);
     const TimeNs period = config.effectivePeriod();
     const auto spec = config.effectiveTimer();
 

@@ -474,10 +474,10 @@ TEST(KernelSim, AttackerTracesFromBothModelsLookAlike)
 
     bigfish::attack::AttackerParams params;
     timers::PreciseTimer timer_a, timer_b;
-    const auto trace_kernel = bigfish::attack::collectTrace(
+    const auto trace_kernel = bigfish::attack::collectTraceOrDie(
         bigfish::attack::AttackerKind::LoopCounting, params, config,
         kernel.run(site_activity_a, r1), timer_a, 5 * kMsec);
-    const auto trace_synth = bigfish::attack::collectTrace(
+    const auto trace_synth = bigfish::attack::collectTraceOrDie(
         bigfish::attack::AttackerKind::LoopCounting, params, config,
         synth.synthesize(site_activity_b, r2), timer_b, 5 * kMsec);
 
