@@ -57,6 +57,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("ablation_featurization", scale);
     bench::printBanner(
         "ablation_featurization: classifier input channels & primitives",
         "DESIGN.md decision #6 (not a paper table)", scale);
@@ -87,6 +88,7 @@ main(int argc, char **argv)
     };
 
     Table table({"featurization", "top-1", "top-5"});
+    int variant_index = 0;
     for (const auto &v : variants) {
         const auto data = makeDataset(traces, scale.featureLen,
                                       scale.sites, v.mean, v.dip,
@@ -95,6 +97,11 @@ main(int argc, char **argv)
         params.inputChannels = v.channels;
         const auto result =
             ml::crossValidate(ml::cnnLstmFactory(params), data, eval);
+        report.addMetric("variant" + std::to_string(variant_index++) +
+                             "_top1",
+                         result.top1Mean);
+        report.addPhaseSeconds("train", result.trainSeconds);
+        report.addPhaseSeconds("eval", result.evalSeconds);
         table.addRow({v.name, formatPercentPm(result.top1Mean,
                                               result.top1Std),
                       formatPercent(result.top5Mean)});
@@ -138,5 +145,14 @@ main(int argc, char **argv)
     std::printf("\nexpected: both primitives fingerprint websites — the "
                 "channel is the interrupt\nactivity itself, not any one "
                 "way of observing it (Section 5.2).\n");
+    report.addMetric("loop_primitive_top1", loop_result.top1Mean);
+    report.addMetric("gap_primitive_top1", gap_result.top1Mean);
+    report.addPhaseSeconds("train",
+                           loop_result.trainSeconds +
+                               gap_result.trainSeconds);
+    report.addPhaseSeconds("eval",
+                           loop_result.evalSeconds +
+                               gap_result.evalSeconds);
+    report.write();
     return 0;
 }

@@ -24,9 +24,12 @@ using namespace bigfish;
 namespace {
 
 double
-accuracy(core::CollectionConfig config, core::PipelineConfig pipeline)
+accuracy(core::CollectionConfig config, core::PipelineConfig pipeline,
+         bench::BenchReport &report, const std::string &label)
 {
-    return core::runFingerprintingOrDie(config, pipeline).closedWorld.top1Mean;
+    const auto result = core::runFingerprintingOrDie(config, pipeline);
+    report.addResult(label, result);
+    return result.closedWorld.top1Mean;
 }
 
 } // namespace
@@ -35,6 +38,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("ablation_signal_sources", scale);
     bench::printBanner(
         "ablation_signal_sources: per-channel leakage contributions",
         "DESIGN.md ablations (not a paper table)", scale);
@@ -88,9 +92,12 @@ main(int argc, char **argv)
     Table table({"model (cumulative deletions)", "top-1", "delta"});
     core::CollectionConfig config = base;
     double prev = -1.0;
+    int step_index = 0;
     for (const auto &step : steps) {
         step.apply(config);
-        const double acc = accuracy(config, pipeline);
+        const double acc =
+            accuracy(config, pipeline, report,
+                     "channel_step" + std::to_string(step_index++));
         table.addRow({step.name, formatPercent(acc),
                       prev < 0 ? std::string("-")
                                : formatDouble((acc - prev) * 100.0, 1)});
@@ -112,10 +119,15 @@ main(int argc, char **argv)
         {"softmax regression", ml::softmaxRegressionFactory()},
         {"kNN (k=5)", ml::knnFactory(5)},
     };
+    int clf_index = 0;
     for (const auto &row : classifiers) {
         auto p = pipeline;
         p.factory = row.factory;
-        clf.addRow({row.name, formatPercent(accuracy(base, p))});
+        clf.addRow(
+            {row.name,
+             formatPercent(accuracy(
+                 base, p, report,
+                 "classifier" + std::to_string(clf_index++)))});
         std::printf("finished classifier: %s\n", row.name);
     }
     std::printf("\nCLASSIFIER ABLATION\n%s", clf.render().c_str());
@@ -126,9 +138,12 @@ main(int argc, char **argv)
         auto p = pipeline;
         p.featureLen = len;
         feat.addRow({std::to_string(len),
-                     formatPercent(accuracy(base, p))});
+                     formatPercent(accuracy(base, p, report,
+                                            "features" +
+                                                std::to_string(len)))});
         std::printf("finished feature length: %zu\n", len);
     }
     std::printf("\nFEATURE-LENGTH ABLATION\n%s", feat.render().c_str());
+    report.write();
     return 0;
 }

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace bigfish::bench {
 
@@ -23,6 +24,17 @@ parseFlag(const char *arg, const char *name, long &out)
     const std::size_t len = std::strlen(name);
     if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
         out = std::atol(arg + len + 1);
+        return true;
+    }
+    return false;
+}
+
+bool
+parseStringFlag(const char *arg, const char *name, std::string &out)
+{
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        out = arg + len + 1;
         return true;
     }
     return false;
@@ -59,6 +71,10 @@ parseScale(int argc, char **argv)
             scale.folds = static_cast<int>(value);
         } else if (parseFlag(arg, "--seed", value)) {
             scale.seed = static_cast<std::uint64_t>(value);
+        } else if (parseFlag(arg, "--threads", value)) {
+            scale.threads = static_cast<int>(value);
+        } else if (parseStringFlag(arg, "--json", scale.jsonPath)) {
+            // Parsed into scale.jsonPath.
         } else if (std::strcmp(arg, "--paper-model") == 0) {
             scale.paperModel = true;
         } else if (std::strcmp(arg, "--full") == 0) {
@@ -69,12 +85,96 @@ parseScale(int argc, char **argv)
         } else {
             fatal(std::string("unknown flag: ") + arg +
                   " (supported: --sites= --traces= --open= --features= "
-                  "--folds= --seed= --paper-model --full)");
+                  "--folds= --seed= --threads= --json= --paper-model "
+                  "--full)");
         }
     }
     fatalIf(scale.sites < 2 || scale.tracesPerSite < 1,
             "bench scale must include >=2 sites and >=1 trace");
+    if (scale.threads > 0)
+        setGlobalThreads(scale.threads);
     return scale;
+}
+
+BenchReport::BenchReport(std::string experiment, BenchScale scale)
+    : experiment_(std::move(experiment)), scale_(std::move(scale)),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReport::addResult(const std::string &label,
+                       const core::FingerprintResult &result)
+{
+    collectSeconds_ += result.collectSeconds;
+    featurizeSeconds_ += result.featurizeSeconds;
+    trainSeconds_ += result.trainSeconds;
+    evalSeconds_ += result.evalSeconds;
+    addMetric(label + "_top1", result.closedWorld.top1Mean);
+    if (result.hasOpenWorld)
+        addMetric(label + "_open_combined",
+                  result.openWorld.openWorld.combinedAccuracy);
+}
+
+void
+BenchReport::addMetric(const std::string &name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+BenchReport::addPhaseSeconds(const std::string &phase, double seconds)
+{
+    if (phase == "collect")
+        collectSeconds_ += seconds;
+    else if (phase == "featurize")
+        featurizeSeconds_ += seconds;
+    else if (phase == "train")
+        trainSeconds_ += seconds;
+    else if (phase == "eval")
+        evalSeconds_ += seconds;
+    else
+        fatal("unknown bench phase: " + phase);
+}
+
+void
+BenchReport::write() const
+{
+    if (scale_.jsonPath.empty())
+        return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    FILE *f = std::fopen(scale_.jsonPath.c_str(), "w");
+    fatalIf(f == nullptr,
+            "cannot open --json report path " + scale_.jsonPath);
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"experiment\": \"%s\",\n", experiment_.c_str());
+    std::fprintf(f, "  \"threads\": %d,\n", globalThreadCount());
+    std::fprintf(f,
+                 "  \"scale\": {\"sites\": %d, \"tracesPerSite\": %d, "
+                 "\"openWorldExtra\": %d, \"featureLen\": %zu, "
+                 "\"folds\": %d, \"seed\": %llu, \"paperModel\": %s},\n",
+                 scale_.sites, scale_.tracesPerSite, scale_.openWorldExtra,
+                 scale_.featureLen, scale_.folds,
+                 static_cast<unsigned long long>(scale_.seed),
+                 scale_.paperModel ? "true" : "false");
+    std::fprintf(f, "  \"wallSeconds\": %.3f,\n", wall);
+    std::fprintf(f,
+                 "  \"phases\": {\"collectSeconds\": %.3f, "
+                 "\"featurizeSeconds\": %.3f, \"trainSeconds\": %.3f, "
+                 "\"evalSeconds\": %.3f},\n",
+                 collectSeconds_, featurizeSeconds_, trainSeconds_,
+                 evalSeconds_);
+    std::fprintf(f, "  \"metrics\": {");
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+        std::fprintf(f, "%s\n    \"%s\": %.6f", i > 0 ? "," : "",
+                     metrics_[i].first.c_str(), metrics_[i].second);
+    std::fprintf(f, "%s}\n", metrics_.empty() ? "" : "\n  ");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("report written: %s\n", scale_.jsonPath.c_str());
 }
 
 ml::ClassifierFactory
@@ -117,6 +217,8 @@ printBanner(const std::string &experiment,
                 scale.paperModel ? ", paper-scale model" : "");
     std::printf("(paper scale: 100 sites x 100 traces, 10 folds; run with "
                 "--full)\n");
+    std::printf("threads: %d (--threads=N or BF_THREADS to change)\n",
+                globalThreadCount());
     std::printf("================================================------\n");
 }
 

@@ -14,6 +14,8 @@
  *   --seed=N      master seed                   (default 2022)
  *   --paper-model use the paper's exact CNN-LSTM hyperparameters
  *   --full        paper-scale dataset (implies 100/100/5000, 10 folds)
+ *   --threads=N   worker threads (default: BF_THREADS, else hardware)
+ *   --json=PATH   write a machine-readable run report to PATH
  *
  * Environment variables BF_SITES, BF_TRACES, BF_OPEN, BF_FEATURES,
  * BF_FOLDS, BF_SEED override the defaults before flags are applied.
@@ -22,8 +24,10 @@
 #ifndef BF_BENCH_COMMON_HH
 #define BF_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/collector.hh"
 #include "core/pipeline.hh"
@@ -40,10 +44,51 @@ struct BenchScale
     int folds = 5;
     std::uint64_t seed = 2022;
     bool paperModel = false;
+    /** Worker threads (0 = pool default: BF_THREADS, else hardware). */
+    int threads = 0;
+    /** --json=PATH: where to write the run report; empty disables it. */
+    std::string jsonPath;
 };
 
 /** Parses env vars then command-line flags. Unknown flags are fatal. */
 BenchScale parseScale(int argc, char **argv);
+
+/**
+ * Machine-readable run report: wall-clock per pipeline phase
+ * (collect/featurize/train/eval), thread count and headline metrics,
+ * written as JSON to the --json=PATH target. Construct right after
+ * parseScale() (it starts the wall clock), feed it every
+ * FingerprintResult plus any headline metrics, and call write() before
+ * exit; write() is a no-op when --json was not given.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string experiment, BenchScale scale);
+
+    /** Accumulates the run's phase timings; @p label prefixes metrics. */
+    void addResult(const std::string &label,
+                   const core::FingerprintResult &result);
+
+    /** Records one headline metric (e.g. "chrome_linux_top1"). */
+    void addMetric(const std::string &name, double value);
+
+    /** Adds seconds to one phase bucket by name. */
+    void addPhaseSeconds(const std::string &phase, double seconds);
+
+    /** Writes the JSON report; no-op without --json=PATH. */
+    void write() const;
+
+  private:
+    std::string experiment_;
+    BenchScale scale_;
+    std::chrono::steady_clock::time_point start_;
+    double collectSeconds_ = 0.0;
+    double featurizeSeconds_ = 0.0;
+    double trainSeconds_ = 0.0;
+    double evalSeconds_ = 0.0;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /** Builds a PipelineConfig from the scale (closed world only). */
 core::PipelineConfig makePipeline(const BenchScale &scale);

@@ -45,6 +45,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig3_traces", scale);
     bench::printBanner(
         "fig3_traces: example loop-counting traces",
         "Figure 3 (three 15 s traces, P = 5 ms, Chrome on Linux)", scale);
@@ -76,5 +77,6 @@ main(int argc, char **argv)
                 "amazon dark for ~2 s with spikes near 5 s and 10 s;\n"
                 "weather shows recurring dark bands from periodic "
                 "activity.\n");
+    report.write();
     return 0;
 }

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig4_correlation", scale);
     bench::printBanner(
         "fig4_correlation: loop-counting vs sweep-counting trace shapes",
         "Figure 4 (averaged normalized traces; r = 0.87/0.79/0.94)",
@@ -70,5 +71,6 @@ main(int argc, char **argv)
     std::printf("paper context: maximum counts were ~27,000 iterations for "
                 "the loop attacker\nand ~32 sweeps for the sweep attacker; "
                 "averaged traces are strongly correlated.\n");
+    report.write();
     return 0;
 }

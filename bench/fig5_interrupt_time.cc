@@ -43,6 +43,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig5_interrupt_time", scale);
     bench::printBanner(
         "fig5_interrupt_time: time spent in interrupt handlers",
         "Figure 5 + Section 5.2 (>99% of gaps >100 ns are interrupts)",
@@ -97,5 +98,6 @@ main(int argc, char **argv)
     std::printf("\nexpected shape: nytimes interrupt time concentrated in "
                 "the first ~4 s;\namazon spikes near 5 s and 10 s; weather "
                 "shows recurring resched activity.\n");
+    report.write();
     return 0;
 }

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig6_gap_distributions", scale);
     bench::printBanner(
         "fig6_gap_distributions: gap lengths per interrupt type",
         "Figure 6 (50 loads over 10 sites; all gaps > 1.5 us)", scale);
@@ -86,5 +87,6 @@ main(int argc, char **argv)
     std::printf("note: softirq/IRQ-work gaps include the timer tick they "
                 "piggyback on,\nso their distributions sit above the "
                 "resched-IPI distribution.\n");
+    report.write();
     return 0;
 }

@@ -38,6 +38,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig7_timer_outputs", scale);
     bench::printBanner("fig7_timer_outputs: secure timer behaviours",
                        "Figure 7 (quantized / jittered / randomized)",
                        scale);
@@ -62,5 +63,6 @@ main(int argc, char **argv)
                 "(b) tracks real time within 0.2 ms;\n"
                 "(c) irregular staircase lagging real time by a random "
                 "amount bounded by 100 ms.\n");
+    report.write();
     return 0;
 }

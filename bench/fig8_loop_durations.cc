@@ -58,6 +58,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("fig8_loop_durations", scale);
     bench::printBanner(
         "fig8_loop_durations: one 5 ms attacker loop under secure timers",
         "Figure 8 (quantized ~100 ms; jittered ~4.8-5.2 ms; randomized "
@@ -74,5 +75,6 @@ main(int argc, char **argv)
     durationsUnder("(c) randomized timer (ours)",
                    timers::TimerSpec::randomizedDefense(), scale, 0.0,
                    100.0);
+    report.write();
     return 0;
 }

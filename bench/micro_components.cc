@@ -15,6 +15,7 @@
 #include "ml/classifier.hh"
 #include "ml/conv.hh"
 #include "ml/lstm.hh"
+#include "ml/matrix.hh"
 #include "sim/engine.hh"
 #include "sim/synthesizer.hh"
 #include "web/catalog.hh"
@@ -165,6 +166,63 @@ BM_GapDetectionAndAttribution(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GapDetectionAndAttribution);
+
+/**
+ * Old-vs-new dense-kernel comparison: matmulReference is the naive
+ * i-j-k triple loop every layer used before the blocked kernels landed;
+ * the optimized pairs below quantify the rewrite on a conv-sized GEMM
+ * (32x48 * 48x83) and a classifier-head GEMV (20x1024 * 1024x1).
+ */
+void
+BM_MatmulNaiveReference(benchmark::State &state)
+{
+    Rng rng(7);
+    ml::Matrix a(32, 48), b(48, 83);
+    a.randomize(rng, 1.0);
+    b.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::matmulReference(a, b));
+    state.SetLabel("naive i-j-k loop (pre-rewrite kernel)");
+}
+BENCHMARK(BM_MatmulNaiveReference);
+
+void
+BM_MatmulOptimized(benchmark::State &state)
+{
+    Rng rng(7);
+    ml::Matrix a(32, 48), b(48, 83);
+    a.randomize(rng, 1.0);
+    b.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::matmul(a, b));
+    state.SetLabel("blocked k-unrolled kernel (same shape)");
+}
+BENCHMARK(BM_MatmulOptimized);
+
+void
+BM_GemvNaiveReference(benchmark::State &state)
+{
+    Rng rng(8);
+    ml::Matrix a(20, 1024), x(1024, 1);
+    a.randomize(rng, 1.0);
+    x.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::matmulReference(a, x));
+}
+BENCHMARK(BM_GemvNaiveReference);
+
+void
+BM_GemvOptimized(benchmark::State &state)
+{
+    Rng rng(8);
+    ml::Matrix a(20, 1024), x(1024, 1);
+    a.randomize(rng, 1.0);
+    x.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::gemv(a, x));
+    state.SetLabel("multi-accumulator dot kernel");
+}
+BENCHMARK(BM_GemvOptimized);
 
 void
 BM_Conv1DForward(benchmark::State &state)

@@ -39,6 +39,7 @@ int
 main(int argc, char **argv)
 {
     auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("table1_fingerprinting", scale);
     bench::printBanner(
         "table1_fingerprinting: closed/open world accuracy per browser x OS",
         "Table 1 (loop-counting vs cache-occupancy attack [65])", scale);
@@ -75,27 +76,33 @@ main(int argc, char **argv)
                 "cache comb meas"});
 
     for (const auto &row : rows) {
-        core::CollectionConfig loop_cfg;
-        loop_cfg.machine = row.machine;
-        loop_cfg.browser = row.profile;
-        loop_cfg.attacker = attack::AttackerKind::LoopCounting;
-        loop_cfg.seed = scale.seed;
-        core::CollectionConfig sweep_cfg = loop_cfg;
-        sweep_cfg.attacker = attack::AttackerKind::SweepCounting;
+        core::CollectionConfig cfg;
+        cfg.machine = row.machine;
+        cfg.browser = row.profile;
+        cfg.seed = scale.seed;
 
         auto pipeline = bench::makePipeline(scale);
         pipeline.openWorldExtra = scale.openWorldExtra;
 
-        const auto loop_result =
-            core::runFingerprintingOrDie(loop_cfg, pipeline);
-        auto sweep_pipeline = pipeline;
-        sweep_pipeline.openWorldExtra = scale.openWorldExtra;
-        const auto sweep_result =
-            core::runFingerprintingOrDie(sweep_cfg, sweep_pipeline);
+        // Both attackers observe the same victim: one shared-timeline
+        // collection halves the dominant phase without changing either
+        // attacker's traces.
+        const attack::AttackerKind kinds[] = {
+            attack::AttackerKind::LoopCounting,
+            attack::AttackerKind::SweepCounting};
+        const auto results =
+            core::runFingerprintingSharedOrDie(cfg, kinds, pipeline);
+        const auto &loop_result = results[0];
+        const auto &sweep_result = results[1];
 
         const auto ttest = stats::welchTTest(
             loop_result.closedWorld.foldTop1,
             sweep_result.closedWorld.foldTop1);
+
+        const std::string slug =
+            std::string(row.browser) + "_" + row.os + "_";
+        report.addResult(slug + "loop", loop_result);
+        report.addResult(slug + "sweep", sweep_result);
 
         closed.addRow({row.browser, row.os, fmt(row.paperLoopClosed),
                        formatPercentPm(loop_result.closedWorld.top1Mean,
@@ -141,5 +148,6 @@ main(int argc, char **argv)
                 open.render().c_str());
     std::printf("\nexpected shape: loop >= cache everywhere; Tor lowest; "
                 "Windows below Linux.\n");
+    report.write();
     return 0;
 }

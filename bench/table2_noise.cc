@@ -28,9 +28,12 @@ namespace {
 
 double
 measure(const core::CollectionConfig &config,
-        const core::PipelineConfig &pipeline)
+        const core::PipelineConfig &pipeline, bench::BenchReport &report,
+        const std::string &label)
 {
-    return core::runFingerprintingOrDie(config, pipeline).closedWorld.top1Mean;
+    const auto result = core::runFingerprintingOrDie(config, pipeline);
+    report.addResult(label, result);
+    return result.closedWorld.top1Mean;
 }
 
 } // namespace
@@ -39,6 +42,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("table2_noise", scale);
     bench::printBanner(
         "table2_noise: attacks under noise-injection countermeasures",
         "Table 2 + Sections 4.2/6.2 (Chrome on Linux, closed world)",
@@ -54,50 +58,68 @@ main(int argc, char **argv)
     const struct
     {
         const char *name;
-        attack::AttackerKind kind;
         double paperNone, paperCache, paperIrq;
     } attackers[] = {
-        {"loop-counting", attack::AttackerKind::LoopCounting, 0.957, 0.926,
-         0.620},
-        {"sweep-counting", attack::AttackerKind::SweepCounting, 0.784,
-         0.762, 0.553},
+        {"loop-counting", 0.957, 0.926, 0.620},
+        {"sweep-counting", 0.784, 0.762, 0.553},
     };
+    const attack::AttackerKind kinds[] = {
+        attack::AttackerKind::LoopCounting,
+        attack::AttackerKind::SweepCounting};
+
+    core::CollectionConfig cache_noise = base;
+    cache_noise.cacheSweepNoise = true;
+    core::CollectionConfig irq_noise = base;
+    irq_noise.spuriousInterruptNoise = true;
+    const struct
+    {
+        const char *name;
+        const char *slug;
+        const core::CollectionConfig &config;
+    } variants[] = {
+        {"no noise", "none", base},
+        {"cache-sweep noise", "cache_noise", cache_noise},
+        {"interrupt noise", "irq_noise", irq_noise},
+    };
+
+    // Loop- and sweep-counting attack the same victim under each noise
+    // condition: shared-timeline collection runs the expensive synthesis
+    // once per condition instead of once per (attacker, condition).
+    double acc[2][3];
+    for (std::size_t v = 0; v < 3; ++v) {
+        const auto results = core::runFingerprintingSharedOrDie(
+            variants[v].config, kinds, pipeline);
+        for (std::size_t a = 0; a < 2; ++a) {
+            report.addResult(std::string(attackers[a].name) + "_" +
+                                 variants[v].slug,
+                             results[a]);
+            acc[a][v] = results[a].closedWorld.top1Mean;
+        }
+        std::printf("finished loop+sweep / %s\n", variants[v].name);
+    }
 
     Table table({"attack", "no noise (paper/meas)",
                  "cache-sweep noise (paper/meas)",
                  "interrupt noise (paper/meas)"});
-
-    for (const auto &attacker : attackers) {
-        core::CollectionConfig none = base;
-        none.attacker = attacker.kind;
-        core::CollectionConfig cache_noise = none;
-        cache_noise.cacheSweepNoise = true;
-        core::CollectionConfig irq_noise = none;
-        irq_noise.spuriousInterruptNoise = true;
-
-        const double a = measure(none, pipeline);
-        std::printf("finished %s / no noise\n", attacker.name);
-        const double b = measure(cache_noise, pipeline);
-        std::printf("finished %s / cache-sweep noise\n", attacker.name);
-        const double c = measure(irq_noise, pipeline);
-        std::printf("finished %s / interrupt noise\n", attacker.name);
-
-        table.addRow({attacker.name,
-                      formatPercent(attacker.paperNone) + " / " +
-                          formatPercent(a),
-                      formatPercent(attacker.paperCache) + " / " +
-                          formatPercent(b),
-                      formatPercent(attacker.paperIrq) + " / " +
-                          formatPercent(c)});
+    for (std::size_t a = 0; a < 2; ++a) {
+        table.addRow({attackers[a].name,
+                      formatPercent(attackers[a].paperNone) + " / " +
+                          formatPercent(acc[a][0]),
+                      formatPercent(attackers[a].paperCache) + " / " +
+                          formatPercent(acc[a][1]),
+                      formatPercent(attackers[a].paperIrq) + " / " +
+                          formatPercent(acc[a][2])});
     }
     std::printf("\n%s", table.render().c_str());
 
     // Section 4.2: robustness to realistic background noise.
     core::CollectionConfig background = base;
     background.backgroundApps = true;
-    const double bg_acc = measure(background, pipeline);
+    const double bg_acc =
+        measure(background, pipeline, report, "loop-counting_background");
     core::CollectionConfig quiet = base;
-    const double quiet_acc = measure(quiet, pipeline);
+    const double quiet_acc =
+        measure(quiet, pipeline, report, "loop-counting_quiet");
     std::printf("\nbackground noise (Slack + Spotify playing music):\n");
     std::printf("  paper:    96.6%% -> 93.4%%\n");
     std::printf("  measured: %s -> %s\n", formatPercent(quiet_acc).c_str(),
@@ -116,5 +138,7 @@ main(int argc, char **argv)
     std::printf("\nexpected shape: interrupt noise >> cache noise for "
                 "both attacks;\nloop-counting > sweep-counting in every "
                 "column; background apps cost only a few points.\n");
+    report.addMetric("load_overhead_factor", overhead);
+    report.write();
     return 0;
 }

@@ -23,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("table3_isolation", scale);
     bench::printBanner(
         "table3_isolation: isolation mechanisms vs the Python attacker",
         "Table 3 (incremental isolation; top-1/top-5 accuracy)", scale);
@@ -58,9 +59,12 @@ main(int argc, char **argv)
 
     Table table({"isolation mechanism", "top-1 paper", "top-1 meas",
                  "top-5 paper", "top-5 meas"});
+    int step_index = 0;
     for (const auto &step : steps) {
         step.apply(config); // Mechanisms accumulate.
         const auto result = core::runFingerprintingOrDie(config, pipeline);
+        report.addResult("isolation_step" + std::to_string(step_index++),
+                         result);
         table.addRow({step.name, formatPercent(step.paperTop1),
                       formatPercentPm(result.closedWorld.top1Mean,
                                       result.closedWorld.top1Std),
@@ -74,5 +78,6 @@ main(int argc, char **argv)
                 "dip when movable IRQs\nare removed; accuracy *recovers* "
                 "under VM isolation (handler amplification).\n"
                 "Takeaway 3: no isolation mechanism stops the attack.\n");
+    report.write();
     return 0;
 }

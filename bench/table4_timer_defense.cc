@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const auto scale = bench::parseScale(argc, argv);
+    bench::BenchReport report("table4_timer_defense", scale);
     bench::printBanner(
         "table4_timer_defense: the randomized-timer countermeasure",
         "Table 4 (Python attacker; accuracy vs timer and period P)",
@@ -59,6 +60,9 @@ main(int argc, char **argv)
         config.period = row.period_ms * kMsec;
         config.seed = scale.seed;
         const auto result = core::runFingerprintingOrDie(config, pipeline);
+        report.addResult(std::string(row.timer) + "_p" +
+                             std::to_string(row.period_ms),
+                         result);
         table.addRow({row.timer, row.a_ms, std::to_string(row.period_ms),
                       formatPercent(row.paperTop1),
                       formatPercentPm(result.closedWorld.top1Mean,
@@ -75,5 +79,6 @@ main(int argc, char **argv)
     std::printf("expected shape: quantization alone leaves the attack far "
                 "above chance;\nthe randomized timer collapses it to "
                 "near-chance at every period length.\n");
+    report.write();
     return 0;
 }

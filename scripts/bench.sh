@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Performance trajectory harness: runs the kernel micro-benchmarks and the
+# headline table1_fingerprinting experiment, then merges both into a single
+# BENCH_pr2.json at the repo root together with the recorded pre-PR serial
+# baseline so the speedup is tracked across PRs.
+#
+# Usage: scripts/bench.sh [OUTPUT_JSON] [--threads=N]
+#   OUTPUT_JSON defaults to BENCH_pr2.json at the repo root.
+#   --threads defaults to 4 (the acceptance configuration).
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="$repo/BENCH_pr2.json"
+threads=4
+for arg in "$@"; do
+    case "$arg" in
+      --threads=*) threads="${arg#--threads=}" ;;
+      *) out="$arg" ;;
+    esac
+done
+
+builddir="$repo/build"
+cmake -B "$builddir" -S "$repo" >/dev/null
+cmake --build "$builddir" -j "$(nproc 2>/dev/null || echo 4)" >/dev/null
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== micro kernel benchmarks"
+"$builddir/bench/micro_components" \
+    --benchmark_filter='Matmul|Gemv|Matvec|Dot' \
+    --benchmark_out="$tmpdir/micro.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2
+
+echo "== table1_fingerprinting (default scale, --threads=$threads)"
+start="$(date +%s.%N)"
+"$builddir/bench/table1_fingerprinting" --threads="$threads" \
+    --json="$tmpdir/table1.json" > "$tmpdir/table1.log"
+end="$(date +%s.%N)"
+tail -n 40 "$tmpdir/table1.log"
+
+python3 - "$tmpdir" "$out" "$threads" "$start" "$end" <<'PY'
+import json
+import sys
+
+tmpdir, out, threads, start, end = sys.argv[1:6]
+wall = float(end) - float(start)
+
+# Serial wall-clock of bench/table1_fingerprinting at default scale on the
+# reference container, measured at the seed commit (9af0416) before this
+# PR's parallel engine + kernel/sampler rewrites landed.
+baseline = {
+    "commit": "9af0416",
+    "experiment": "table1_fingerprinting",
+    "scale": "default",
+    "threads": 1,
+    "wallSeconds": 385.9,
+}
+
+with open(f"{tmpdir}/table1.json") as f:
+    table1 = json.load(f)
+with open(f"{tmpdir}/micro.json") as f:
+    micro = json.load(f)
+
+kernels = {
+    b["name"]: {"timeNs": b["real_time"], "cpuNs": b["cpu_time"]}
+    for b in micro.get("benchmarks", [])
+}
+
+report = {
+    "bench": "pr2",
+    "baseline": baseline,
+    "table1": table1,
+    "table1WallSeconds": round(wall, 3),
+    "threads": int(threads),
+    "speedupVsBaseline": round(baseline["wallSeconds"] / wall, 2),
+    "microKernels": kernels,
+}
+with open(out, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: {wall:.1f}s vs baseline "
+      f"{baseline['wallSeconds']}s -> {report['speedupVsBaseline']}x")
+PY

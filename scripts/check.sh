@@ -1,38 +1,53 @@
 #!/usr/bin/env bash
 # Tier-1 verification under sanitizers: builds the full tree and runs the
-# test suite once under AddressSanitizer and once under UBSan. Intended
-# as the pre-merge robustness gate; the plain (unsanitized) build stays
-# in build/ untouched.
+# test suite under AddressSanitizer, UBSan and ThreadSanitizer, then
+# repeats the plain suite with BF_THREADS=8 to exercise the parallel
+# execution paths. Intended as the pre-merge robustness gate; the plain
+# (unsanitized) build stays in build/ untouched.
 #
-# Usage: scripts/check.sh [address|undefined]...
-#   With no arguments, runs both sanitizers.
+# Usage: scripts/check.sh [address|undefined|thread|threads8]...
+#   With no arguments, runs every stage.
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-sanitizers=("$@")
-if [ ${#sanitizers[@]} -eq 0 ]; then
-    sanitizers=(address undefined)
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+    stages=(address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-for san in "${sanitizers[@]}"; do
-    case "$san" in
-      address|undefined) ;;
+for stage in "${stages[@]}"; do
+    case "$stage" in
+      address|undefined|thread)
+        san="$stage"
+        builddir="$repo/build-$san"
+        echo "== [$san] configure -> $builddir"
+        cmake -B "$builddir" -S "$repo" -DBIGFISH_SANITIZE="$san" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        echo "== [$san] build"
+        cmake --build "$builddir" -j "$jobs"
+        echo "== [$san] ctest"
+        # Sanitizers only see threading bugs on paths that actually spawn
+        # workers, so force a multi-threaded pool even on small machines.
+        (cd "$builddir" && BF_THREADS=8 ctest --output-on-failure -j 1)
+        ;;
+      threads8)
+        builddir="$repo/build"
+        echo "== [threads8] configure -> $builddir"
+        cmake -B "$builddir" -S "$repo"
+        echo "== [threads8] build"
+        cmake --build "$builddir" -j "$jobs"
+        echo "== [threads8] ctest with BF_THREADS=8"
+        (cd "$builddir" && BF_THREADS=8 ctest --output-on-failure -j "$jobs")
+        ;;
       *)
-        echo "unknown sanitizer '$san' (want address or undefined)" >&2
+        echo "unknown stage '$stage' (want address, undefined, thread" \
+             "or threads8)" >&2
         exit 2
         ;;
     esac
-    builddir="$repo/build-$san"
-    echo "== [$san] configure -> $builddir"
-    cmake -B "$builddir" -S "$repo" -DBIGFISH_SANITIZE="$san" \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo
-    echo "== [$san] build"
-    cmake --build "$builddir" -j "$jobs"
-    echo "== [$san] ctest"
-    (cd "$builddir" && ctest --output-on-failure -j "$jobs")
 done
 
-echo "== all sanitizer runs passed"
+echo "== all verification stages passed"

@@ -12,12 +12,38 @@
 #ifndef BF_BASE_RNG_HH
 #define BF_BASE_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
 #include "base/types.hh"
 
+#if defined(__GLIBC__)
+// Strict -std=c++20 hides glibc's lgamma_r declaration behind feature
+// macros, so declare it directly.
+extern "C" double lgamma_r(double, int *);
+#endif
+
 namespace bigfish {
+
+/**
+ * Computes log|Gamma(x)| without touching the global `signgam`.
+ *
+ * POSIX lgamma() stores the sign of Gamma(x) in a process-global as a
+ * side effect, which is a data race when pool workers draw Poisson
+ * deviates concurrently. lgamma_r returns the identical value and
+ * writes the sign to a caller-local instead.
+ */
+inline double
+lgammaLocal(double x)
+{
+#if defined(__GLIBC__)
+    int sign = 0;
+    return lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
 
 /**
  * Mixes a 64-bit value into a well-distributed hash (splitmix64 finalizer).
@@ -95,7 +121,19 @@ class Rng
     double
     lognormal(double median, double sigma)
     {
-        std::lognormal_distribution<double> dist(std::log(median), sigma);
+        return lognormalFromLogMedian(std::log(median), sigma);
+    }
+
+    /**
+     * lognormal() for callers that can precompute log(median) — the
+     * handler-cost model samples millions of times from a fixed table,
+     * where the per-draw std::log was measurable. Identical deviate
+     * stream to lognormal(median, sigma).
+     */
+    double
+    lognormalFromLogMedian(double log_median, double sigma)
+    {
+        std::lognormal_distribution<double> dist(log_median, sigma);
         return dist(engine_);
     }
 
@@ -106,13 +144,49 @@ class Rng
         return std::exponential_distribution<double>(1.0 / mean)(engine_);
     }
 
-    /** Poisson-distributed count with the given mean. */
+    /**
+     * Poisson-distributed count with the given mean.
+     *
+     * std::poisson_distribution recomputes its rejection-method tables on
+     * every fresh-mean construction, which dominated trace collection
+     * (the synthesizer draws with a different rate*dt mean each sample).
+     * Small means use Knuth's product method; large means use Hörmann's
+     * PTRS transformed rejection — both exact and setup-free.
+     */
     int
     poisson(double mean)
     {
         if (mean <= 0.0)
             return 0;
-        return std::poisson_distribution<int>(mean)(engine_);
+        if (mean < 10.0) {
+            const double limit = std::exp(-mean);
+            double prod = uniform();
+            int k = 0;
+            while (prod > limit) {
+                ++k;
+                prod *= uniform();
+            }
+            return k;
+        }
+        const double loglam = std::log(mean);
+        const double b = 0.931 + 2.53 * std::sqrt(mean);
+        const double a = -0.059 + 0.02483 * b;
+        const double invalpha = 1.1239 + 1.1328 / (b - 3.4);
+        const double vr = 0.9277 - 3.6224 / (b - 2.0);
+        while (true) {
+            const double u = uniform() - 0.5;
+            double v = uniform();
+            const double us = 0.5 - std::fabs(u);
+            const double k =
+                std::floor((2.0 * a / us + b) * u + mean + 0.43);
+            if (us >= 0.07 && v <= vr)
+                return static_cast<int>(k);
+            if (k < 0.0 || (us < 0.013 && v > us))
+                continue;
+            if (std::log(v * invalpha / (a / (us * us) + b)) <=
+                k * loglam - mean - lgammaLocal(k + 1.0))
+                return static_cast<int>(k);
+        }
     }
 
     /** True with probability p. */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace bigfish::core {
 
@@ -77,30 +78,20 @@ TraceCollector::synthesizeTimeline(const web::SiteSignature &site,
 }
 
 Result<attack::Trace>
-TraceCollector::collectOne(const web::SiteSignature &site,
-                           int run_index) const
+TraceCollector::collectForAttacker(attack::AttackerKind attacker,
+                                   const web::SiteSignature &site,
+                                   int run_index,
+                                   const sim::RunTimeline &timeline,
+                                   const sim::FaultPlan &plan,
+                                   std::uint64_t timer_seed) const
 {
-    const TimeNs period = config_.effectivePeriod();
-    if (period <= 0)
-        return Status(invalidArgumentError(
-            "collection period must be positive (browser default and "
-            "override are both unset)"));
-
-    const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
-    const auto timer_seed =
-        mix64(config_.seed ^ 0x71e4aeedULL) ^
-        mix64(static_cast<std::uint64_t>(site.id) * 7919ULL +
-              static_cast<std::uint64_t>(run_index));
     auto timer = config_.effectiveTimer().make(timer_seed);
-
-    const sim::FaultPlan plan(config_.faults,
-                              faultSalt(site.id, run_index));
     if (plan.enabled())
         timer = plan.wrapTimer(std::move(timer));
 
     Result<attack::Trace> collected = attack::collectTrace(
-        config_.attacker, config_.attackerParams, config_.machine, timeline,
-        *timer, period, timer_seed ^ 0x5eedULL);
+        attacker, config_.attackerParams, config_.machine, timeline,
+        *timer, config_.effectivePeriod(), timer_seed ^ 0x5eedULL);
     if (!collected.isOk())
         return collected;
     attack::Trace trace = std::move(collected.value());
@@ -134,6 +125,56 @@ TraceCollector::collectOne(const web::SiteSignature &site,
     return trace;
 }
 
+Result<attack::Trace>
+TraceCollector::collectOne(const web::SiteSignature &site,
+                           int run_index) const
+{
+    if (config_.effectivePeriod() <= 0)
+        return Status(invalidArgumentError(
+            "collection period must be positive (browser default and "
+            "override are both unset)"));
+    const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
+    const auto timer_seed =
+        mix64(config_.seed ^ 0x71e4aeedULL) ^
+        mix64(static_cast<std::uint64_t>(site.id) * 7919ULL +
+              static_cast<std::uint64_t>(run_index));
+    const sim::FaultPlan plan(config_.faults,
+                              faultSalt(site.id, run_index));
+    return collectForAttacker(config_.attacker, site, run_index, timeline,
+                              plan, timer_seed);
+}
+
+std::vector<Result<attack::Trace>>
+TraceCollector::collectOneMulti(
+    const web::SiteSignature &site, int run_index,
+    std::span<const attack::AttackerKind> attackers) const
+{
+    std::vector<Result<attack::Trace>> out;
+    out.reserve(attackers.size());
+    if (config_.effectivePeriod() <= 0) {
+        for (std::size_t i = 0; i < attackers.size(); ++i)
+            out.emplace_back(Status(invalidArgumentError(
+                "collection period must be positive (browser default and "
+                "override are both unset)")));
+        return out;
+    }
+    // Everything up to the attack itself — victim workload, timeline
+    // synthesis, browser runtime, fault plan, timer seed — depends only
+    // on (config seed, site, run). Synthesize once and run each attacker
+    // over the shared ground truth with its own freshly seeded timer.
+    const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
+    const auto timer_seed =
+        mix64(config_.seed ^ 0x71e4aeedULL) ^
+        mix64(static_cast<std::uint64_t>(site.id) * 7919ULL +
+              static_cast<std::uint64_t>(run_index));
+    const sim::FaultPlan plan(config_.faults,
+                              faultSalt(site.id, run_index));
+    for (attack::AttackerKind attacker : attackers)
+        out.push_back(collectForAttacker(attacker, site, run_index,
+                                         timeline, plan, timer_seed));
+    return out;
+}
+
 attack::Trace
 TraceCollector::collectOneOrDie(const web::SiteSignature &site,
                                 int run_index) const
@@ -146,35 +187,73 @@ TraceCollector::collectClosedWorld(const web::SiteCatalog &catalog,
                                    int traces_per_site,
                                    CollectionStats *stats) const
 {
+    const attack::AttackerKind attackers[] = {config_.attacker};
+    std::vector<CollectionStats> multi_stats;
+    Result<std::vector<attack::TraceSet>> sets = collectClosedWorldMulti(
+        catalog, traces_per_site, attackers,
+        stats != nullptr ? &multi_stats : nullptr);
+    if (!sets.isOk())
+        return Status(sets.status());
+    if (stats != nullptr)
+        *stats = multi_stats[0];
+    return std::move(sets.value()[0]);
+}
+
+Result<std::vector<attack::TraceSet>>
+TraceCollector::collectClosedWorldMulti(
+    const web::SiteCatalog &catalog, int traces_per_site,
+    std::span<const attack::AttackerKind> attackers,
+    std::vector<CollectionStats> *stats) const
+{
     if (traces_per_site <= 0)
         return Status(
             invalidArgumentError("traces_per_site must be positive"));
-    CollectionStats local;
-    attack::TraceSet set;
-    set.traces.reserve(static_cast<std::size_t>(catalog.size()) *
-                       traces_per_site);
-    for (SiteId id = 0; id < catalog.size(); ++id) {
-        for (int run = 0; run < traces_per_site; ++run) {
-            ++local.attempted;
-            Result<attack::Trace> trace = collectOne(catalog.site(id), run);
-            if (!trace.isOk()) {
-                ++local.dropped;
+    if (attackers.empty())
+        return Status(
+            invalidArgumentError("need at least one attacker kind"));
+    const std::size_t cells =
+        static_cast<std::size_t>(catalog.size()) *
+        static_cast<std::size_t>(traces_per_site);
+
+    // Every (site, run) cell derives its randomness from the config seed
+    // alone, so the cells are independent and collect in parallel; each
+    // result lands in its own pre-sized slot. The accounting pass below
+    // walks the slots in serial order, so the produced TraceSets (and the
+    // dropped-trace stats) are identical at any thread count.
+    auto results = parallelMap(cells, [&](std::size_t idx) {
+        const SiteId id = static_cast<SiteId>(
+            idx / static_cast<std::size_t>(traces_per_site));
+        const int run = static_cast<int>(
+            idx % static_cast<std::size_t>(traces_per_site));
+        return collectOneMulti(catalog.site(id), run, attackers);
+    });
+    std::vector<CollectionStats> local(attackers.size());
+    std::vector<attack::TraceSet> sets(attackers.size());
+    for (attack::TraceSet &set : sets)
+        set.traces.reserve(cells);
+    for (auto &cell : results) {
+        for (std::size_t a = 0; a < attackers.size(); ++a) {
+            ++local[a].attempted;
+            if (!cell[a].isOk()) {
+                ++local[a].dropped;
                 warnOnce("collector/dropped-trace",
                          "dropping unusable trace(s); first: " +
-                             trace.status().toString());
+                             cell[a].status().toString());
                 continue;
             }
-            ++local.collected;
-            set.add(std::move(trace.value()));
+            ++local[a].collected;
+            sets[a].add(std::move(cell[a].value()));
         }
     }
     if (stats != nullptr)
         *stats = local;
-    if (set.traces.empty())
-        return Status(exhaustedError(
-            "closed-world collection dropped all " +
-            std::to_string(local.attempted) + " traces"));
-    return set;
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        if (sets[a].traces.empty())
+            return Status(exhaustedError(
+                "closed-world collection dropped all " +
+                std::to_string(local[a].attempted) + " traces"));
+    }
+    return sets;
 }
 
 attack::TraceSet
@@ -190,33 +269,66 @@ TraceCollector::collectOpenWorld(const web::SiteCatalog &catalog,
                                  int num_extra, Label non_sensitive_label,
                                  CollectionStats *stats) const
 {
-    CollectionStats local;
-    attack::TraceSet set;
-    set.traces.reserve(static_cast<std::size_t>(std::max(num_extra, 0)));
-    for (int i = 0; i < num_extra; ++i) {
-        // Each open-world trace visits a distinct one-off site (the
-        // paper's 5,000 unique non-sensitive pages).
-        ++local.attempted;
-        Result<attack::Trace> trace =
-            collectOne(catalog.openWorldSite(i), 0);
-        if (!trace.isOk()) {
-            ++local.dropped;
-            warnOnce("collector/dropped-trace",
-                     "dropping unusable trace(s); first: " +
-                         trace.status().toString());
-            continue;
+    const attack::AttackerKind attackers[] = {config_.attacker};
+    std::vector<CollectionStats> multi_stats;
+    Result<std::vector<attack::TraceSet>> sets = collectOpenWorldMulti(
+        catalog, num_extra, non_sensitive_label, attackers,
+        stats != nullptr ? &multi_stats : nullptr);
+    if (!sets.isOk())
+        return Status(sets.status());
+    if (stats != nullptr)
+        *stats = multi_stats[0];
+    return std::move(sets.value()[0]);
+}
+
+Result<std::vector<attack::TraceSet>>
+TraceCollector::collectOpenWorldMulti(
+    const web::SiteCatalog &catalog, int num_extra,
+    Label non_sensitive_label,
+    std::span<const attack::AttackerKind> attackers,
+    std::vector<CollectionStats> *stats) const
+{
+    if (attackers.empty())
+        return Status(
+            invalidArgumentError("need at least one attacker kind"));
+    const std::size_t cells =
+        static_cast<std::size_t>(std::max(num_extra, 0));
+    // Each open-world trace visits a distinct one-off site (the paper's
+    // 5,000 unique non-sensitive pages); the cells are independent, so
+    // they collect in parallel with the same slot-then-account scheme as
+    // the closed world.
+    auto results = parallelMap(cells, [&](std::size_t i) {
+        return collectOneMulti(catalog.openWorldSite(static_cast<int>(i)),
+                               0, attackers);
+    });
+    std::vector<CollectionStats> local(attackers.size());
+    std::vector<attack::TraceSet> sets(attackers.size());
+    for (attack::TraceSet &set : sets)
+        set.traces.reserve(cells);
+    for (auto &cell : results) {
+        for (std::size_t a = 0; a < attackers.size(); ++a) {
+            ++local[a].attempted;
+            if (!cell[a].isOk()) {
+                ++local[a].dropped;
+                warnOnce("collector/dropped-trace",
+                         "dropping unusable trace(s); first: " +
+                             cell[a].status().toString());
+                continue;
+            }
+            ++local[a].collected;
+            cell[a].value().label = non_sensitive_label;
+            sets[a].add(std::move(cell[a].value()));
         }
-        ++local.collected;
-        trace.value().label = non_sensitive_label;
-        set.add(std::move(trace.value()));
     }
     if (stats != nullptr)
         *stats = local;
-    if (num_extra > 0 && set.traces.empty())
-        return Status(exhaustedError(
-            "open-world collection dropped all " +
-            std::to_string(local.attempted) + " traces"));
-    return set;
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        if (num_extra > 0 && sets[a].traces.empty())
+            return Status(exhaustedError(
+                "open-world collection dropped all " +
+                std::to_string(local[a].attempted) + " traces"));
+    }
+    return sets;
 }
 
 attack::TraceSet

@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "attack/attacker.hh"
 #include "attack/trace.hh"
@@ -132,6 +134,19 @@ class TraceCollector
                                   int run_index) const;
 
     /**
+     * Collects one trace of @p site per attacker in @p attackers, all
+     * from a single timeline synthesis. Timeline synthesis, timer
+     * seeding and fault planning are attacker-independent, so each
+     * returned trace is bit-identical to a separate collectOne() call
+     * under a config whose only difference is `attacker` — but the
+     * expensive synthesis runs once instead of attackers.size() times.
+     * The config's own `attacker` field is ignored.
+     */
+    std::vector<Result<attack::Trace>>
+    collectOneMulti(const web::SiteSignature &site, int run_index,
+                    std::span<const attack::AttackerKind> attackers) const;
+
+    /**
      * Closed-world dataset: @p traces_per_site traces of every catalog
      * site, labeled by site id. Unusable traces are dropped with
      * accounting in @p stats (optional); the call fails only when the
@@ -146,6 +161,20 @@ class TraceCollector
     collectClosedWorldOrDie(const web::SiteCatalog &catalog,
                             int traces_per_site,
                             CollectionStats *stats = nullptr) const;
+
+    /**
+     * Closed-world collection for several attackers sharing every
+     * synthesized timeline (see collectOneMulti). Returns one TraceSet
+     * per attacker, each bit-identical to a collectClosedWorld() under
+     * the corresponding single-attacker config; @p stats (optional) is
+     * resized to one entry per attacker.
+     */
+    Result<std::vector<attack::TraceSet>>
+    collectClosedWorldMulti(const web::SiteCatalog &catalog,
+                            int traces_per_site,
+                            std::span<const attack::AttackerKind> attackers,
+                            std::vector<CollectionStats> *stats =
+                                nullptr) const;
 
     /**
      * Open-world extension: @p num_extra traces, each of a distinct
@@ -163,12 +192,34 @@ class TraceCollector
                           Label non_sensitive_label,
                           CollectionStats *stats = nullptr) const;
 
+    /** Open-world counterpart of collectClosedWorldMulti(). */
+    Result<std::vector<attack::TraceSet>>
+    collectOpenWorldMulti(const web::SiteCatalog &catalog, int num_extra,
+                          Label non_sensitive_label,
+                          std::span<const attack::AttackerKind> attackers,
+                          std::vector<CollectionStats> *stats =
+                              nullptr) const;
+
   private:
     /** Per-(site, run) root randomness. */
     Rng traceRng(SiteId site_id, int run_index) const;
 
     /** Per-(site, run) fault-plan salt (independent of traceRng). */
     std::uint64_t faultSalt(SiteId site_id, int run_index) const;
+
+    /**
+     * Runs @p attacker over an already-synthesized timeline: fresh timer
+     * from the (attacker-independent) @p timer_seed, fault wrapping,
+     * attack, truncation and viability checks. collectOne() and
+     * collectOneMulti() share this path, which is what makes the shared
+     * timeline bit-compatible with separate single-attacker collections.
+     */
+    Result<attack::Trace>
+    collectForAttacker(attack::AttackerKind attacker,
+                       const web::SiteSignature &site, int run_index,
+                       const sim::RunTimeline &timeline,
+                       const sim::FaultPlan &plan,
+                       std::uint64_t timer_seed) const;
 
     CollectionConfig config_;
     sim::InterruptSynthesizer synthesizer_;

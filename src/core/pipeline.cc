@@ -1,8 +1,10 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::core {
@@ -23,13 +25,18 @@ toDataset(const attack::TraceSet &traces, std::size_t feature_len,
     //   classifier train efficiently);
     //   channel 1 — sub-bucket dip depth, the fine-timescale interrupt
     //   texture that bucket averages smooth away.
-    for (std::size_t i = 0; i < means.size(); ++i) {
-        std::vector<double> x =
-            stats::zscore(stats::winsorize(means[i]));
+    // Traces featurize independently into pre-sized slots, then append
+    // in order, so the dataset is identical at any thread count.
+    auto rows = parallelMap(means.size(), [&](std::size_t i) {
+        std::vector<double> x = stats::zscore(stats::winsorize(means[i]));
         const auto dip = stats::zscore(dips[i]);
         x.insert(x.end(), dip.begin(), dip.end());
-        data.add(std::move(x), labels[i]);
-    }
+        return x;
+    });
+    data.features.reserve(rows.size());
+    data.labels.reserve(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        data.add(std::move(rows[i]), labels[i]);
     data.numClasses = std::max(data.numClasses, num_classes);
     return data;
 }
@@ -52,10 +59,14 @@ distinctLabels(const attack::TraceSet &traces)
 
 } // namespace
 
-Result<FingerprintResult>
-runFingerprinting(const CollectionConfig &collection,
-                  const PipelineConfig &pipeline)
+Result<std::vector<FingerprintResult>>
+runFingerprintingShared(const CollectionConfig &collection,
+                        std::span<const attack::AttackerKind> attackers,
+                        const PipelineConfig &pipeline)
 {
+    if (attackers.empty())
+        return Status(
+            invalidArgumentError("need at least one attacker kind"));
     if (pipeline.numSites < 2)
         return Status(invalidArgumentError("need at least two sites"));
     if (pipeline.eval.folds < 2)
@@ -64,60 +75,121 @@ runFingerprinting(const CollectionConfig &collection,
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
     const TraceCollector collector(collection);
 
-    FingerprintResult result;
+    using clock = std::chrono::steady_clock;
+    const auto seconds_since = [](clock::time_point start) {
+        return std::chrono::duration<double>(clock::now() - start).count();
+    };
 
-    CollectionStats closed_stats;
-    Result<attack::TraceSet> closed_result = collector.collectClosedWorld(
-        catalog, pipeline.tracesPerSite, &closed_stats);
+    // Collect every attacker's trace sets from shared timelines, then
+    // split the shared wall-clock evenly so summing per-attacker results
+    // reports the collection cost once.
+    std::vector<CollectionStats> closed_stats;
+    auto phase_start = clock::now();
+    Result<std::vector<attack::TraceSet>> closed_result =
+        collector.collectClosedWorldMulti(catalog, pipeline.tracesPerSite,
+                                          attackers, &closed_stats);
+    double collect_share =
+        seconds_since(phase_start) / static_cast<double>(attackers.size());
     if (!closed_result.isOk())
         return Status(closed_result.status());
-    attack::TraceSet closed = std::move(closed_result.value());
-    result.droppedTraces += closed_stats.dropped;
-    result.collectedTraces += closed_stats.collected;
+    std::vector<attack::TraceSet> closed = std::move(closed_result.value());
 
-    // Dropped traces must leave enough data for the evaluation protocol
-    // to be meaningful; otherwise fail recoverably rather than letting
-    // the CV machinery hit its own preconditions.
-    if (distinctLabels(closed) < 2)
-        return Status(exhaustedError(
-            "degraded collection left fewer than two closed-world "
-            "classes (" + std::to_string(closed_stats.dropped) +
-            " of " + std::to_string(closed_stats.attempted) +
-            " traces dropped)"));
-    if (closed.size() < static_cast<std::size_t>(pipeline.eval.folds))
-        return Status(exhaustedError(
-            "degraded collection left " + std::to_string(closed.size()) +
-            " closed-world traces, fewer than the " +
-            std::to_string(pipeline.eval.folds) + " CV folds"));
-
-    const ml::Dataset closed_data =
-        toDataset(closed, pipeline.featureLen, pipeline.numSites);
-    result.closedWorld =
-        ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
-
+    std::vector<attack::TraceSet> open_extra;
+    std::vector<CollectionStats> open_stats(attackers.size());
+    const Label non_sensitive = pipeline.numSites;
     if (pipeline.openWorldExtra > 0) {
-        // The paper's open world: closed-world traces keep their site
-        // labels ("sensitive"); one extra class holds all one-off
-        // "non-sensitive" traces.
-        const Label non_sensitive = pipeline.numSites;
-        CollectionStats open_stats;
-        Result<attack::TraceSet> extra_result = collector.collectOpenWorld(
-            catalog, pipeline.openWorldExtra, non_sensitive, &open_stats);
+        phase_start = clock::now();
+        Result<std::vector<attack::TraceSet>> extra_result =
+            collector.collectOpenWorldMulti(catalog,
+                                            pipeline.openWorldExtra,
+                                            non_sensitive, attackers,
+                                            &open_stats);
+        collect_share += seconds_since(phase_start) /
+                         static_cast<double>(attackers.size());
         if (!extra_result.isOk())
             return Status(extra_result.status());
-        result.droppedTraces += open_stats.dropped;
-        result.collectedTraces += open_stats.collected;
-
-        attack::TraceSet open = closed;
-        for (auto &trace : extra_result.value().traces)
-            open.add(std::move(trace));
-        const ml::Dataset open_data =
-            toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
-        result.openWorld = ml::evaluateOpenWorld(
-            pipeline.factory, open_data, non_sensitive, pipeline.eval);
-        result.hasOpenWorld = true;
+        open_extra = std::move(extra_result.value());
     }
-    return result;
+
+    std::vector<FingerprintResult> results(attackers.size());
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        FingerprintResult &result = results[a];
+        result.collectSeconds = collect_share;
+        result.droppedTraces += closed_stats[a].dropped;
+        result.collectedTraces += closed_stats[a].collected;
+
+        // Dropped traces must leave enough data for the evaluation
+        // protocol to be meaningful; otherwise fail recoverably rather
+        // than letting the CV machinery hit its own preconditions.
+        if (distinctLabels(closed[a]) < 2)
+            return Status(exhaustedError(
+                "degraded collection left fewer than two closed-world "
+                "classes (" + std::to_string(closed_stats[a].dropped) +
+                " of " + std::to_string(closed_stats[a].attempted) +
+                " traces dropped)"));
+        if (closed[a].size() <
+            static_cast<std::size_t>(pipeline.eval.folds))
+            return Status(exhaustedError(
+                "degraded collection left " +
+                std::to_string(closed[a].size()) +
+                " closed-world traces, fewer than the " +
+                std::to_string(pipeline.eval.folds) + " CV folds"));
+
+        phase_start = clock::now();
+        const ml::Dataset closed_data =
+            toDataset(closed[a], pipeline.featureLen, pipeline.numSites);
+        result.featurizeSeconds += seconds_since(phase_start);
+        result.closedWorld =
+            ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
+        result.trainSeconds += result.closedWorld.trainSeconds;
+        result.evalSeconds += result.closedWorld.evalSeconds;
+
+        if (pipeline.openWorldExtra > 0) {
+            // The paper's open world: closed-world traces keep their
+            // site labels ("sensitive"); one extra class holds all
+            // one-off "non-sensitive" traces.
+            result.droppedTraces += open_stats[a].dropped;
+            result.collectedTraces += open_stats[a].collected;
+
+            attack::TraceSet open = closed[a];
+            open.traces.reserve(closed[a].size() +
+                                open_extra[a].traces.size());
+            for (auto &trace : open_extra[a].traces)
+                open.add(std::move(trace));
+            phase_start = clock::now();
+            const ml::Dataset open_data =
+                toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
+            result.featurizeSeconds += seconds_since(phase_start);
+            result.openWorld = ml::evaluateOpenWorld(
+                pipeline.factory, open_data, non_sensitive, pipeline.eval);
+            result.trainSeconds += result.openWorld.trainSeconds;
+            result.evalSeconds += result.openWorld.evalSeconds;
+            result.hasOpenWorld = true;
+        }
+    }
+    return results;
+}
+
+std::vector<FingerprintResult>
+runFingerprintingSharedOrDie(
+    const CollectionConfig &collection,
+    std::span<const attack::AttackerKind> attackers,
+    const PipelineConfig &pipeline)
+{
+    return runFingerprintingShared(collection, attackers, pipeline)
+        .valueOrDie();
+}
+
+Result<FingerprintResult>
+runFingerprinting(const CollectionConfig &collection,
+                  const PipelineConfig &pipeline)
+{
+    const attack::AttackerKind attackers[] = {collection.attacker};
+    Result<std::vector<FingerprintResult>> results =
+        runFingerprintingShared(collection, attackers, pipeline);
+    if (!results.isOk())
+        return Status(results.status());
+    return std::move(results.value()[0]);
 }
 
 FingerprintResult

@@ -18,6 +18,9 @@
 #ifndef BF_CORE_PIPELINE_HH
 #define BF_CORE_PIPELINE_HH
 
+#include <span>
+#include <vector>
+
 #include "base/result.hh"
 #include "core/collector.hh"
 #include "ml/classifier.hh"
@@ -59,6 +62,15 @@ struct FingerprintResult
     std::size_t droppedTraces = 0;
     /** Traces that made it into the evaluation across both worlds. */
     std::size_t collectedTraces = 0;
+
+    /** Wall-clock seconds collecting traces (closed + open world). */
+    double collectSeconds = 0.0;
+    /** Wall-clock seconds featurizing trace sets into datasets. */
+    double featurizeSeconds = 0.0;
+    /** Per-fold fit() seconds summed across both worlds' evaluations. */
+    double trainSeconds = 0.0;
+    /** Per-fold test-scoring seconds summed across both evaluations. */
+    double evalSeconds = 0.0;
 };
 
 /**
@@ -80,6 +92,32 @@ runFingerprinting(const CollectionConfig &collection,
 FingerprintResult
 runFingerprintingOrDie(const CollectionConfig &collection,
                        const PipelineConfig &pipeline);
+
+/**
+ * Runs the complete evaluation for several attackers that differ ONLY in
+ * attacker kind (the benchmarks compare loop-counting vs sweep-counting
+ * over otherwise-identical configurations). Victim timelines are
+ * synthesized once and shared across attackers, so collection costs
+ * ~1/attackers.size() of separate runFingerprinting() calls while every
+ * returned result is bit-identical to its single-attacker run —
+ * synthesis and timer seeding never depend on the attacker.
+ *
+ * @p collection's own `attacker` field is ignored; results are returned
+ * in @p attackers order. The shared collection wall-clock is split
+ * evenly across the per-attacker collectSeconds so summing results does
+ * not double-count.
+ */
+Result<std::vector<FingerprintResult>>
+runFingerprintingShared(const CollectionConfig &collection,
+                        std::span<const attack::AttackerKind> attackers,
+                        const PipelineConfig &pipeline);
+
+/** runFingerprintingShared() that fatal()s on failure. */
+std::vector<FingerprintResult>
+runFingerprintingSharedOrDie(
+    const CollectionConfig &collection,
+    std::span<const attack::AttackerKind> attackers,
+    const PipelineConfig &pipeline);
 
 /** Converts a TraceSet into an ml::Dataset of fixed-length features. */
 ml::Dataset toDataset(const attack::TraceSet &traces,

@@ -10,6 +10,32 @@
 
 namespace bigfish::ml {
 
+namespace {
+
+/**
+ * Packs the selected samples column-wise into one (rows x B*steps)
+ * minibatch matrix (see layer.hh for the batched layout).
+ */
+Matrix
+packBatch(const std::vector<Matrix> &inputs, const std::size_t *idx,
+          std::size_t count)
+{
+    const std::size_t rows = inputs[idx[0]].rows();
+    const std::size_t steps = inputs[idx[0]].cols();
+    Matrix out(rows, count * steps);
+    float *__restrict dst = out.data();
+    for (std::size_t r = 0; r < rows; ++r) {
+        float *__restrict drow = dst + r * count * steps;
+        for (std::size_t s = 0; s < count; ++s) {
+            const float *__restrict src = inputs[idx[s]].data() + r * steps;
+            std::copy(src, src + steps, drow + s * steps);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
 Label
 Classifier::predict(const std::vector<double> &x) const
 {
@@ -106,6 +132,46 @@ CnnLstmClassifier::accuracy(const Dataset &data) const
     return static_cast<double>(hits) / static_cast<double>(data.size());
 }
 
+double
+CnnLstmClassifier::accuracyOn(const std::vector<Matrix> &inputs,
+                              const std::vector<Label> &labels) const
+{
+    if (inputs.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    if (net_.supportsBatch()) {
+        const std::size_t chunk =
+            static_cast<std::size_t>(std::max(params_.batchSize, 1));
+        std::vector<std::size_t> idx(inputs.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        for (std::size_t i = 0; i < inputs.size(); i += chunk) {
+            const std::size_t count = std::min(chunk, inputs.size() - i);
+            const Matrix logits =
+                net_.forwardBatch(packBatch(inputs, idx.data() + i, count),
+                                  count, false);
+            for (std::size_t s = 0; s < count; ++s) {
+                std::size_t best = 0;
+                for (std::size_t c = 1; c < logits.rows(); ++c)
+                    if (logits(c, s) > logits(best, s))
+                        best = c;
+                if (static_cast<Label>(best) == labels[i + s])
+                    ++hits;
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const Matrix logits = net_.forward(inputs[i], false);
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < logits.rows(); ++c)
+                if (logits(c, 0) > logits(best, 0))
+                    best = c;
+            if (static_cast<Label>(best) == labels[i])
+                ++hits;
+        }
+    }
+    return static_cast<double>(hits) / static_cast<double>(inputs.size());
+}
+
 void
 CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
 {
@@ -121,6 +187,24 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
 
+    // Convert every sample to the network's float input layout once; the
+    // conversion used to be paid per sample per epoch.
+    std::vector<Matrix> inputs;
+    inputs.reserve(train.size());
+    for (const auto &f : train.features)
+        inputs.push_back(toInput(f));
+    std::vector<Matrix> val_inputs;
+    val_inputs.reserve(validation.size());
+    for (const auto &f : validation.features)
+        val_inputs.push_back(toInput(f));
+
+    // Minibatches run through the whole network as one column-stacked
+    // matrix when every layer supports it: the per-layer GEMMs see B
+    // columns at once instead of B separate matrix-vector products.
+    const bool batched = net_.supportsBatch();
+    std::vector<Label> batch_labels;
+
+    Matrix grad;
     for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
         std::shuffle(order.begin(), order.end(), rng.engine());
         double epoch_loss = 0.0;
@@ -133,14 +217,25 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
                 order.size());
             const std::size_t batch = batch_end - i;
             double batch_loss = 0.0;
-            for (; i < batch_end; ++i) {
-                const std::size_t s = order[i];
-                const Matrix logits =
-                    net_.forward(toInput(train.features[s]), true);
-                batch_loss +=
-                    SoftmaxCrossEntropy::loss(logits, train.labels[s]);
-                net_.backward(SoftmaxCrossEntropy::gradient(
-                    logits, train.labels[s]));
+            if (batched) {
+                batch_labels.resize(batch);
+                for (std::size_t j = 0; j < batch; ++j)
+                    batch_labels[j] = train.labels[order[i + j]];
+                const Matrix logits = net_.forwardBatch(
+                    packBatch(inputs, order.data() + i, batch), batch,
+                    true);
+                batch_loss = SoftmaxCrossEntropy::lossAndGradientBatch(
+                    logits, batch_labels, grad);
+                net_.backwardBatch(grad, batch);
+                i = batch_end;
+            } else {
+                for (; i < batch_end; ++i) {
+                    const std::size_t s = order[i];
+                    const Matrix logits = net_.forward(inputs[s], true);
+                    batch_loss += SoftmaxCrossEntropy::lossAndGradient(
+                        logits, train.labels[s], grad);
+                    net_.backward(grad);
+                }
             }
             // A NaN in the loss or gradients would poison the weights
             // permanently; skip the batch and keep training.
@@ -160,8 +255,9 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
         }
 
         // Early stopping: stop when validation accuracy stops improving.
-        const double val_acc = validation.size() > 0 ? accuracy(validation)
-                                                     : accuracy(train);
+        const double val_acc =
+            validation.size() > 0 ? accuracyOn(val_inputs, validation.labels)
+                                  : accuracyOn(inputs, train.labels);
         history_.push_back(
             {loss_samples > 0
                  ? epoch_loss / static_cast<double>(loss_samples)
@@ -233,6 +329,12 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
     std::vector<std::size_t> order(train.size());
     std::iota(order.begin(), order.end(), 0);
 
+    std::vector<Matrix> inputs;
+    inputs.reserve(train.size());
+    for (const auto &f : train.features)
+        inputs.push_back(toInput(f));
+
+    Matrix grad;
     for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
         std::shuffle(order.begin(), order.end(), rng.engine());
         std::size_t i = 0;
@@ -244,10 +346,10 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
             const std::size_t batch = end - i;
             for (; i < end; ++i) {
                 const std::size_t s = order[i];
-                const Matrix logits =
-                    net_.forward(toInput(train.features[s]), true);
-                net_.backward(SoftmaxCrossEntropy::gradient(
-                    logits, train.labels[s]));
+                const Matrix logits = net_.forward(inputs[s], true);
+                SoftmaxCrossEntropy::lossAndGradient(logits,
+                                                     train.labels[s], grad);
+                net_.backward(grad);
             }
             if (!adam.stepIfFinite(net_.params(), net_.grads(),
                                    1.0 / static_cast<double>(batch))) {

@@ -123,6 +123,10 @@ class CnnLstmClassifier : public Classifier
     /** Converts a feature vector into the network's (1 x T) input. */
     Matrix toInput(const std::vector<double> &x) const;
 
+    /** Fraction of @p inputs predicted as the matching @p labels. */
+    double accuracyOn(const std::vector<Matrix> &inputs,
+                      const std::vector<Label> &labels) const;
+
     std::vector<EpochStats> history_;
     std::size_t skippedBatches_ = 0;
 

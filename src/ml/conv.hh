@@ -27,6 +27,11 @@ class Conv1D : public Layer
 
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::vector<Matrix *> params() override { return {&w_, &b_}; }
     std::vector<Matrix *> grads() override { return {&gw_, &gb_}; }
     std::string name() const override { return "conv1d"; }
@@ -35,10 +40,28 @@ class Conv1D : public Layer
     std::size_t outLength(std::size_t in_t) const;
 
   private:
+    /**
+     * Rebuilds patches_ (the im2col buffer) from @p in, holding
+     * @p samples column-concatenated samples; windows never cross a
+     * sample boundary.
+     */
+    void packPatches(const Matrix &in, std::size_t samples,
+                     std::size_t out_t);
+
     std::size_t inChannels_, outChannels_, kernel_, stride_;
     /** Weights laid out (out_channels x in_channels*kernel). */
     Matrix w_, b_, gw_, gb_;
     Matrix input_;
+    /** Sample count of the most recent (batched) forward. */
+    std::size_t samples_ = 1;
+    /**
+     * im2col buffer: column s*out_t + t holds the flattened
+     * (channel-major) input window of sample s's output step t, so
+     * forward/backward are plain GEMMs over contiguous memory — one wide
+     * GEMM for a whole minibatch on the batched path. Reused across
+     * calls to avoid reallocation.
+     */
+    Matrix patches_;
 };
 
 } // namespace bigfish::ml

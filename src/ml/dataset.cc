@@ -49,7 +49,9 @@ kFoldSplits(std::size_t n, int folds, double valFraction, std::uint64_t seed)
         const std::size_t lo = n * f / folds;
         const std::size_t hi = n * (f + 1) / folds;
         FoldSplit &split = splits[f];
+        split.test.reserve(hi - lo);
         std::vector<std::size_t> rest;
+        rest.reserve(n - (hi - lo));
         for (std::size_t i = 0; i < n; ++i) {
             if (i >= lo && i < hi)
                 split.test.push_back(order[i]);
@@ -59,6 +61,8 @@ kFoldSplits(std::size_t n, int folds, double valFraction, std::uint64_t seed)
         const std::size_t val_count = std::max<std::size_t>(
             1, static_cast<std::size_t>(
                    static_cast<double>(rest.size()) * valFraction));
+        split.validation.reserve(val_count);
+        split.train.reserve(rest.size() - val_count);
         for (std::size_t i = 0; i < rest.size(); ++i) {
             if (i < val_count)
                 split.validation.push_back(rest[i]);

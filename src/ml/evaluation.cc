@@ -1,29 +1,68 @@
 #include "ml/evaluation.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::ml {
 
 namespace {
 
-/** Trains on one fold and returns test scores plus truth labels. */
-void
-runFold(const ClassifierFactory &factory, const Dataset &data,
-        const FoldSplit &split, std::uint64_t seed,
-        std::vector<std::vector<double>> &scores, std::vector<Label> &truths,
-        std::vector<Label> &predictions)
+/** Everything one fold produces; folds train concurrently, so each owns
+ *  its buffers outright instead of sharing scratch space. */
+struct FoldOutput
 {
+    std::vector<std::vector<double>> scores;
+    std::vector<Label> truths;
+    std::vector<Label> predictions;
+    double fitSeconds = 0.0;
+    double scoreSeconds = 0.0;
+};
+
+/** Trains on one fold and returns test scores plus truth labels. */
+FoldOutput
+runFold(const ClassifierFactory &factory, const Dataset &data,
+        const FoldSplit &split, std::uint64_t seed)
+{
+    using clock = std::chrono::steady_clock;
+    FoldOutput out;
     auto model = factory(data.numClasses, data.featureLen(), seed);
+
+    const auto fit_start = clock::now();
     model->fit(data.subset(split.train), data.subset(split.validation));
-    scores.clear();
-    truths.clear();
-    predictions.clear();
+    const auto fit_end = clock::now();
+
+    out.scores.reserve(split.test.size());
+    out.truths.reserve(split.test.size());
+    out.predictions.reserve(split.test.size());
     for (std::size_t i : split.test) {
-        scores.push_back(model->predictScores(data.features[i]));
-        truths.push_back(data.labels[i]);
-        predictions.push_back(model->predict(data.features[i]));
+        out.scores.push_back(model->predictScores(data.features[i]));
+        out.truths.push_back(data.labels[i]);
+        out.predictions.push_back(model->predict(data.features[i]));
     }
+    const auto score_end = clock::now();
+
+    out.fitSeconds = std::chrono::duration<double>(fit_end - fit_start)
+                         .count();
+    out.scoreSeconds = std::chrono::duration<double>(score_end - fit_end)
+                           .count();
+    return out;
+}
+
+/**
+ * Runs every fold (concurrently when the global pool has threads; each
+ * fold's RNG stream depends only on its seed, so fold results are
+ * identical at any thread count) and aggregates in fold order.
+ */
+std::vector<FoldOutput>
+runFolds(const ClassifierFactory &factory, const Dataset &data,
+         const std::vector<FoldSplit> &splits, std::uint64_t seed_base)
+{
+    return parallelMap(splits.size(), [&](std::size_t f) {
+        return runFold(factory, data, splits[f], seed_base + f);
+    });
 }
 
 } // namespace
@@ -36,13 +75,14 @@ crossValidate(const ClassifierFactory &factory, const Dataset &data,
     const auto splits = kFoldSplits(data.size(), config.folds,
                                     config.valFraction, config.seed);
     EvalResult result;
-    std::vector<std::vector<double>> scores;
-    std::vector<Label> truths, predictions;
-    for (std::size_t f = 0; f < splits.size(); ++f) {
-        runFold(factory, data, splits[f], config.seed + 1000 + f, scores,
-                truths, predictions);
-        result.foldTop1.push_back(stats::topKAccuracy(scores, truths, 1));
-        result.foldTop5.push_back(stats::topKAccuracy(scores, truths, 5));
+    const auto folds = runFolds(factory, data, splits, config.seed + 1000);
+    for (const FoldOutput &fold : folds) {
+        result.foldTop1.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, 1));
+        result.foldTop5.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, 5));
+        result.trainSeconds += fold.fitSeconds;
+        result.evalSeconds += fold.scoreSeconds;
     }
     result.top1Mean = stats::mean(result.foldTop1);
     result.top1Std = stats::sampleStddev(result.foldTop1);
@@ -60,15 +100,16 @@ evaluateOpenWorld(const ClassifierFactory &factory, const Dataset &data,
                                     config.valFraction, config.seed);
     EvalResult result;
     std::vector<double> sensitive, non_sensitive, combined;
-    std::vector<std::vector<double>> scores;
-    std::vector<Label> truths, predictions;
-    for (std::size_t f = 0; f < splits.size(); ++f) {
-        runFold(factory, data, splits[f], config.seed + 2000 + f, scores,
-                truths, predictions);
-        result.foldTop1.push_back(stats::topKAccuracy(scores, truths, 1));
-        result.foldTop5.push_back(stats::topKAccuracy(scores, truths, 5));
-        const auto metrics =
-            stats::openWorldMetrics(truths, predictions, nonSensitiveLabel);
+    const auto folds = runFolds(factory, data, splits, config.seed + 2000);
+    for (const FoldOutput &fold : folds) {
+        result.foldTop1.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, 1));
+        result.foldTop5.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, 5));
+        result.trainSeconds += fold.fitSeconds;
+        result.evalSeconds += fold.scoreSeconds;
+        const auto metrics = stats::openWorldMetrics(
+            fold.truths, fold.predictions, nonSensitiveLabel);
         sensitive.push_back(metrics.sensitiveAccuracy);
         non_sensitive.push_back(metrics.nonSensitiveAccuracy);
         combined.push_back(metrics.combinedAccuracy);

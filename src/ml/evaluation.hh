@@ -38,6 +38,14 @@ struct EvalResult
     stats::OpenWorldMetrics openWorld;
     double openWorldSensitiveStd = 0.0;
     double openWorldCombinedStd = 0.0;
+
+    /**
+     * Seconds spent in fit() summed over folds, and seconds spent
+     * scoring the test splits summed over folds. Sums of per-fold
+     * durations, so with parallel folds they exceed wall-clock time.
+     */
+    double trainSeconds = 0.0;
+    double evalSeconds = 0.0;
 };
 
 /** Evaluation protocol parameters. */

@@ -34,42 +34,46 @@ Gru::forward(const Matrix &in, bool)
     panicIf(in.rows() != input_, "Gru input feature mismatch");
     inSeq_ = in;
     const std::size_t steps = in.cols();
-    gates_.assign(steps, Matrix(3 * hidden_, 1));
-    hiddens_.assign(steps, Matrix(hidden_, 1));
-    hPre_.assign(steps, Matrix(hidden_, 1));
+    gates_.resize(steps);
+    hiddens_.resize(steps);
+    hPre_.resize(steps);
+
+    // Input-side pre-activations for every step in one fused GEMM; the
+    // sequential loop then only pays the recurrent product per step.
+    const Matrix zx = matmulBias(wx_, in, b_);
+    const float *__restrict zxd = zx.data();
 
     Matrix h(hidden_, 1);
     for (std::size_t t = 0; t < steps; ++t) {
         Matrix &g = gates_[t];
         Matrix &hcand = hPre_[t];
-        // Pre-activations: r and z rows get Wx x + Wh h + b directly;
-        // the candidate's recurrent product is cached separately so the
-        // reset gate can modulate it.
-        for (std::size_t row = 0; row < 3 * hidden_; ++row) {
-            float acc = b_(row, 0);
-            for (std::size_t k = 0; k < input_; ++k)
-                acc += wx_(row, k) * in(k, t);
-            if (row < 2 * hidden_) {
-                for (std::size_t k = 0; k < hidden_; ++k)
-                    acc += wh_(row, k) * h(k, 0);
-            }
-            g(row, 0) = acc;
-        }
+        g.resize(3 * hidden_, 1);
+        hcand.resize(hidden_, 1);
+
+        // whh = Wh * h covers all three gate blocks; the candidate's
+        // recurrent rows are cached separately so the reset gate can
+        // modulate them.
+        const Matrix whh = gemv(wh_, h);
+        const float *__restrict whhd = whh.data();
+        float *__restrict gd = g.data();
+        float *__restrict hcd = hcand.data();
+        float *__restrict hd = h.data();
         for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            float rec = 0.0f;
-            for (std::size_t k = 0; k < hidden_; ++k)
-                rec += wh_(2 * hidden_ + hI, k) * h(k, 0);
-            hcand(hI, 0) = rec;
-        }
-        for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float r = sigmoid(g(hI, 0));
-            const float z = sigmoid(g(hidden_ + hI, 0));
+            const float r =
+                sigmoid(zxd[hI * steps + t] + whhd[hI]);
+            const float z =
+                sigmoid(zxd[(hidden_ + hI) * steps + t] +
+                        whhd[hidden_ + hI]);
+            const float rec = whhd[2 * hidden_ + hI];
             const float n =
-                std::tanh(g(2 * hidden_ + hI, 0) + r * hcand(hI, 0));
-            g(hI, 0) = r;
-            g(hidden_ + hI, 0) = z;
-            g(2 * hidden_ + hI, 0) = n;
-            h(hI, 0) = (1.0f - z) * n + z * h(hI, 0);
+                std::tanh(zxd[(2 * hidden_ + hI) * steps + t] + r * rec);
+            // Cache post-activation gate values (and the raw candidate
+            // recurrent product) for BPTT.
+            gd[hI] = r;
+            gd[hidden_ + hI] = z;
+            gd[2 * hidden_ + hI] = n;
+            hcd[hI] = rec;
+            hd[hI] = (1.0f - z) * n + z * hd[hI];
         }
         hiddens_[t] = h;
     }
@@ -83,71 +87,89 @@ Gru::backward(const Matrix &grad_out)
     panicIf(grad_out.rows() != hidden_ || grad_out.cols() != 1,
             "Gru backward shape mismatch");
 
-    Matrix grad_in(input_, steps);
+    // dPre holds pre-activation gate gradients [dr; dz; dn] per step;
+    // dRec holds what each step's recurrent product receives: the r and z
+    // rows verbatim plus d(hcand) = dn * r for the candidate rows. The
+    // parameter gradients then batch into three GEMMs after the sweep.
+    Matrix dpreAll(3 * hidden_, steps);
+    Matrix drecAll(3 * hidden_, steps);
+    // Column t holds h_{t-1} (zeros for t = 0).
+    Matrix hprev(hidden_, steps);
+    for (std::size_t t = 1; t < steps; ++t)
+        for (std::size_t k = 0; k < hidden_; ++k)
+            hprev(k, t) = hiddens_[t - 1](k, 0);
+
     Matrix dh = grad_out;
-    Matrix dpre(3 * hidden_, 1);
+    std::vector<float> dpre(3 * hidden_, 0.0f);
+    std::vector<float> drec(3 * hidden_, 0.0f);
 
     for (std::size_t ti = steps; ti-- > 0;) {
         const Matrix &g = gates_[ti];
         const Matrix &hcand = hPre_[ti];
-        const Matrix *h_prev = ti > 0 ? &hiddens_[ti - 1] : nullptr;
+        const float *__restrict gd = g.data();
+        const float *__restrict hcd = hcand.data();
+        const float *__restrict hpd = hprev.data();
+        float *__restrict dhd = dh.data();
 
-        Matrix dh_prev(hidden_, 1);
         for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float r = g(hI, 0);
-            const float z = g(hidden_ + hI, 0);
-            const float n = g(2 * hidden_ + hI, 0);
-            const float hp = h_prev ? (*h_prev)(hI, 0) : 0.0f;
-            const float dh_v = dh(hI, 0);
+            const float r = gd[hI];
+            const float z = gd[hidden_ + hI];
+            const float n = gd[2 * hidden_ + hI];
+            const float hp = hpd[hI * steps + ti];
+            const float dh_v = dhd[hI];
 
             const float dz = dh_v * (hp - n);
             const float dn = dh_v * (1.0f - z);
-            dh_prev(hI, 0) += dh_v * z;
+            dhd[hI] = dh_v * z; // Direct carry; recurrent part added below.
 
             const float dn_pre = dn * (1.0f - n * n);
-            const float dr = dn_pre * hcand(hI, 0);
-            // d(hcand) = dn_pre * r, handled via gwh/n rows below.
-            dpre(hI, 0) = dr * r * (1.0f - r);
-            dpre(hidden_ + hI, 0) = dz * z * (1.0f - z);
-            dpre(2 * hidden_ + hI, 0) = dn_pre;
+            const float dr = dn_pre * hcd[hI];
+            dpre[hI] = dr * r * (1.0f - r);
+            dpre[hidden_ + hI] = dz * z * (1.0f - z);
+            dpre[2 * hidden_ + hI] = dn_pre;
+            drec[hI] = dpre[hI];
+            drec[hidden_ + hI] = dpre[hidden_ + hI];
+            drec[2 * hidden_ + hI] = dn_pre * r;
         }
 
-        for (std::size_t row = 0; row < 3 * hidden_; ++row) {
-            const float d = dpre(row, 0);
-            if (d == 0.0f)
-                continue;
-            gb_(row, 0) += d;
-            for (std::size_t k = 0; k < input_; ++k) {
-                gwx_(row, k) += d * inSeq_(k, ti);
-                grad_in(k, ti) += d * wx_(row, k);
-            }
+        float *__restrict dpc = dpreAll.data();
+        float *__restrict drc = drecAll.data();
+        for (std::size_t r = 0; r < 3 * hidden_; ++r) {
+            dpc[r * steps + ti] = dpre[r];
+            drc[r * steps + ti] = drec[r];
         }
-        if (h_prev) {
-            // r and z recurrent weights see h_prev directly; the n rows
-            // see it through the reset gate.
-            for (std::size_t row = 0; row < 2 * hidden_; ++row) {
-                const float d = dpre(row, 0);
+
+        // dLoss/dh_{t-1} through the recurrent weights: dh += Wh^T * drec.
+        if (ti > 0) {
+            const float *__restrict whd = wh_.data();
+            for (std::size_t r = 0; r < 3 * hidden_; ++r) {
+                const float d = drec[r];
                 if (d == 0.0f)
                     continue;
-                for (std::size_t k = 0; k < hidden_; ++k) {
-                    gwh_(row, k) += d * (*h_prev)(k, 0);
-                    dh_prev(k, 0) += d * wh_(row, k);
-                }
-            }
-            for (std::size_t hI = 0; hI < hidden_; ++hI) {
-                const float dhcand =
-                    dpre(2 * hidden_ + hI, 0) * g(hI, 0);
-                if (dhcand == 0.0f)
-                    continue;
-                for (std::size_t k = 0; k < hidden_; ++k) {
-                    gwh_(2 * hidden_ + hI, k) += dhcand * (*h_prev)(k, 0);
-                    dh_prev(k, 0) += dhcand * wh_(2 * hidden_ + hI, k);
-                }
+                const float *__restrict whrow = whd + r * hidden_;
+                for (std::size_t k = 0; k < hidden_; ++k)
+                    dhd[k] += d * whrow[k];
             }
         }
-        dh = dh_prev;
     }
-    return grad_in;
+
+    // Batched parameter gradients (same math as per-step accumulation):
+    //   dWx += dPre * X^T,  dWh += dRec * Hprev^T,  db += rowsum(dPre),
+    //   dX   = Wx^T * dPre.
+    accumulateMatmulTransB(gwx_, dpreAll, inSeq_);
+    accumulateMatmulTransB(gwh_, drecAll, hprev);
+    {
+        const float *__restrict dpd = dpreAll.data();
+        float *__restrict gbd = gb_.data();
+        for (std::size_t r = 0; r < 3 * hidden_; ++r) {
+            float acc = 0.0f;
+            const float *__restrict row = dpd + r * steps;
+            for (std::size_t t = 0; t < steps; ++t)
+                acc += row[t];
+            gbd[r] += acc;
+        }
+    }
+    return matmulTransA(wx_, dpreAll);
 }
 
 } // namespace bigfish::ml

@@ -7,6 +7,15 @@
  * pass needs. Gradients accumulate across samples in the layer's grad
  * buffers until the optimizer consumes them, giving exact minibatch
  * gradients without a batch dimension in the code.
+ *
+ * Layers may additionally implement the *batched* interface
+ * (forwardBatch/backwardBatch): B same-shaped samples are concatenated
+ * along the column axis into one (rows x B*T) matrix, sample b occupying
+ * columns [b*T, (b+1)*T). Batched passes replace B small matrix-vector
+ * products with one wide GEMM — the training-loop hot path at paper
+ * scale — while computing the same minibatch gradient (summation order
+ * differs, so results are numerically close but not bitwise equal to B
+ * per-sample passes).
  */
 
 #ifndef BF_ML_LAYER_HH
@@ -42,6 +51,21 @@ class Layer
      */
     virtual Matrix backward(const Matrix &grad_out) = 0;
 
+    /** True when the batched interface below is implemented. */
+    virtual bool supportsBatch() const { return false; }
+
+    /**
+     * forward() over @p samples same-shaped samples packed column-wise
+     * into one (rows x samples*T) matrix. Layers without a batched
+     * implementation panic; gate on supportsBatch().
+     */
+    virtual Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                                bool train);
+
+    /** Backpropagates through the most recent forwardBatch() call. */
+    virtual Matrix backwardBatch(const Matrix &grad_out,
+                                 std::size_t samples);
+
     /** Trainable parameter tensors (empty for stateless layers). */
     virtual std::vector<Matrix *> params() { return {}; }
 
@@ -61,6 +85,11 @@ class ReLU : public Layer
   public:
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::string name() const override { return "relu"; }
 
   private:
@@ -76,9 +105,18 @@ class MaxPool1D : public Layer
 
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::string name() const override { return "maxpool1d"; }
 
   private:
+    /** Pooling pass shared by the single and batched paths: windows
+     * never cross the per-sample boundary. */
+    Matrix pool(const Matrix &in, std::size_t samples);
+
     std::size_t pool_;
     std::vector<std::size_t> argmax_;
     std::size_t inRows_ = 0, inCols_ = 0;
@@ -96,6 +134,11 @@ class Dropout : public Layer
 
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::string name() const override { return "dropout"; }
 
   private:
@@ -111,6 +154,11 @@ class Flatten : public Layer
   public:
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::string name() const override { return "flatten"; }
 
   private:
@@ -130,6 +178,11 @@ class Dense : public Layer
 
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::vector<Matrix *> params() override { return {&w_, &b_}; }
     std::vector<Matrix *> grads() override { return {&gw_, &gb_}; }
     std::string name() const override { return "dense"; }

@@ -36,42 +36,225 @@ Lstm::forward(const Matrix &in, bool)
 {
     panicIf(in.rows() != input_, "Lstm input feature mismatch");
     inSeq_ = in;
+    samples_ = 1;
     const std::size_t steps = in.cols();
-    gates_.assign(steps, Matrix(4 * hidden_, 1));
-    cells_.assign(steps, Matrix(hidden_, 1));
-    hiddens_.assign(steps, Matrix(hidden_, 1));
+    gates_.resize(steps);
+    cells_.resize(steps);
+    hiddens_.resize(steps);
+
+    // Input-side pre-activations for every step in one fused GEMM:
+    // ZX = Wx * X + b, so the sequential loop only pays the recurrent
+    // product.
+    const Matrix zx = matmulBias(wx_, in, b_);
+    const float *__restrict zxd = zx.data();
 
     Matrix h(hidden_, 1);
     Matrix c(hidden_, 1);
     for (std::size_t t = 0; t < steps; ++t) {
         Matrix &z = gates_[t];
-        // z = Wx * x_t + Wh * h + b
-        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
-            float acc = b_(r, 0);
-            for (std::size_t k = 0; k < input_; ++k)
-                acc += wx_(r, k) * in(k, t);
-            for (std::size_t k = 0; k < hidden_; ++k)
-                acc += wh_(r, k) * h(k, 0);
-            z(r, 0) = acc;
-        }
+        z.resize(4 * hidden_, 1);
+        // z = ZX[:, t] + Wh * h
+        const Matrix zr = gemv(wh_, h);
+        float *__restrict zd = z.data();
+        const float *__restrict zrd = zr.data();
+        for (std::size_t r = 0; r < 4 * hidden_; ++r)
+            zd[r] = zxd[r * steps + t] + zrd[r];
+
+        float *__restrict cd = c.data();
+        float *__restrict hd = h.data();
         for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float i_g = sigmoid(z(hI, 0));
-            const float f_g = sigmoid(z(hidden_ + hI, 0));
-            const float g_g = std::tanh(z(2 * hidden_ + hI, 0));
-            const float o_g = sigmoid(z(3 * hidden_ + hI, 0));
+            const float i_g = sigmoid(zd[hI]);
+            const float f_g = sigmoid(zd[hidden_ + hI]);
+            const float g_g = std::tanh(zd[2 * hidden_ + hI]);
+            const float o_g = sigmoid(zd[3 * hidden_ + hI]);
             // Cache post-activation gate values for BPTT.
-            z(hI, 0) = i_g;
-            z(hidden_ + hI, 0) = f_g;
-            z(2 * hidden_ + hI, 0) = g_g;
-            z(3 * hidden_ + hI, 0) = o_g;
-            const float c_new = f_g * c(hI, 0) + i_g * g_g;
-            c(hI, 0) = c_new;
-            h(hI, 0) = o_g * std::tanh(c_new);
+            zd[hI] = i_g;
+            zd[hidden_ + hI] = f_g;
+            zd[2 * hidden_ + hI] = g_g;
+            zd[3 * hidden_ + hI] = o_g;
+            const float c_new = f_g * cd[hI] + i_g * g_g;
+            cd[hI] = c_new;
+            hd[hI] = o_g * std::tanh(c_new);
         }
         cells_[t] = c;
         hiddens_[t] = h;
     }
     return h;
+}
+
+Matrix
+Lstm::forwardBatch(const Matrix &in, std::size_t samples, bool)
+{
+    panicIf(in.rows() != input_, "Lstm input feature mismatch");
+    panicIf(samples == 0 || in.cols() % samples != 0,
+            "Lstm batch column count mismatch");
+    inSeq_ = in;
+    samples_ = samples;
+    const std::size_t steps = in.cols() / samples;
+    gates_.resize(steps);
+    cells_.resize(steps);
+    hiddens_.resize(steps);
+
+    // Input-side pre-activations for the whole batch and every step in
+    // one fused GEMM; the sequential loop only pays one (4H x H)x(H x B)
+    // recurrent product per step instead of B matrix-vector products.
+    const Matrix zx = matmulBias(wx_, in, b_);
+    const float *__restrict zxd = zx.data();
+    const std::size_t zx_cols = in.cols();
+
+    Matrix h(hidden_, samples);
+    Matrix c(hidden_, samples);
+    for (std::size_t t = 0; t < steps; ++t) {
+        Matrix &z = gates_[t];
+        z.resize(4 * hidden_, samples);
+        // z[:, s] = ZX[:, s*steps + t] + (Wh * h)[:, s]
+        const Matrix zr = matmul(wh_, h);
+        float *__restrict zd = z.data();
+        const float *__restrict zrd = zr.data();
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            const float *__restrict zxrow = zxd + r * zx_cols + t;
+            float *__restrict zrow = zd + r * samples;
+            const float *__restrict zrrow = zrd + r * samples;
+            for (std::size_t s = 0; s < samples; ++s)
+                zrow[s] = zxrow[s * steps] + zrrow[s];
+        }
+
+        float *__restrict cd = c.data();
+        float *__restrict hd = h.data();
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            float *__restrict zi = zd + hI * samples;
+            float *__restrict zf = zd + (hidden_ + hI) * samples;
+            float *__restrict zg = zd + (2 * hidden_ + hI) * samples;
+            float *__restrict zo = zd + (3 * hidden_ + hI) * samples;
+            float *__restrict crow = cd + hI * samples;
+            float *__restrict hrow = hd + hI * samples;
+            for (std::size_t s = 0; s < samples; ++s) {
+                const float i_g = sigmoid(zi[s]);
+                const float f_g = sigmoid(zf[s]);
+                const float g_g = std::tanh(zg[s]);
+                const float o_g = sigmoid(zo[s]);
+                // Cache post-activation gate values for BPTT.
+                zi[s] = i_g;
+                zf[s] = f_g;
+                zg[s] = g_g;
+                zo[s] = o_g;
+                const float c_new = f_g * crow[s] + i_g * g_g;
+                crow[s] = c_new;
+                hrow[s] = o_g * std::tanh(c_new);
+            }
+        }
+        cells_[t] = c;
+        hiddens_[t] = h;
+    }
+    return h;
+}
+
+Matrix
+Lstm::backwardBatch(const Matrix &grad_out, std::size_t samples)
+{
+    panicIf(samples != samples_, "Lstm batched backward sample mismatch");
+    const std::size_t steps = inSeq_.cols() / samples;
+    panicIf(grad_out.rows() != hidden_ || grad_out.cols() != samples,
+            "Lstm batched backward shape mismatch");
+
+    // Pre-activation gate gradients for every (sample, step) column,
+    // laid out to match inSeq_ so the parameter gradients are three
+    // batched GEMMs over the whole minibatch.
+    Matrix dzAll(4 * hidden_, samples * steps);
+    // Column s*steps + t holds h_{t-1} of sample s (zeros for t = 0).
+    Matrix hprev(hidden_, samples * steps);
+    for (std::size_t t = 1; t < steps; ++t) {
+        const Matrix &hp = hiddens_[t - 1];
+        for (std::size_t k = 0; k < hidden_; ++k)
+            for (std::size_t s = 0; s < samples; ++s)
+                hprev(k, s * steps + t) = hp(k, s);
+    }
+
+    Matrix dh = grad_out;         // dLoss/dh_t, accumulated backwards.
+    Matrix dc(hidden_, samples);  // dLoss/dc_t carried across steps.
+    Matrix dz(4 * hidden_, samples);
+
+    for (std::size_t ti = steps; ti-- > 0;) {
+        const Matrix &z = gates_[ti];
+        const Matrix &c = cells_[ti];
+        const Matrix *c_prev = ti > 0 ? &cells_[ti - 1] : nullptr;
+        const float *__restrict zd = z.data();
+        const float *__restrict cdat = c.data();
+        float *__restrict dhd = dh.data();
+        float *__restrict dcd = dc.data();
+        float *__restrict dzd = dz.data();
+
+        for (std::size_t hI = 0; hI < hidden_; ++hI) {
+            const float *__restrict zi = zd + hI * samples;
+            const float *__restrict zf = zd + (hidden_ + hI) * samples;
+            const float *__restrict zg = zd + (2 * hidden_ + hI) * samples;
+            const float *__restrict zo = zd + (3 * hidden_ + hI) * samples;
+            const float *__restrict crow = cdat + hI * samples;
+            const float *__restrict cprow =
+                c_prev ? c_prev->data() + hI * samples : nullptr;
+            float *__restrict dhrow = dhd + hI * samples;
+            float *__restrict dcrow = dcd + hI * samples;
+            float *__restrict dzi = dzd + hI * samples;
+            float *__restrict dzf = dzd + (hidden_ + hI) * samples;
+            float *__restrict dzg = dzd + (2 * hidden_ + hI) * samples;
+            float *__restrict dzo = dzd + (3 * hidden_ + hI) * samples;
+            for (std::size_t s = 0; s < samples; ++s) {
+                const float i_g = zi[s];
+                const float f_g = zf[s];
+                const float g_g = zg[s];
+                const float o_g = zo[s];
+                const float tanh_c = std::tanh(crow[s]);
+                const float dh_v = dhrow[s];
+
+                const float do_v = dh_v * tanh_c;
+                const float dc_v =
+                    dcrow[s] + dh_v * o_g * (1.0f - tanh_c * tanh_c);
+
+                const float di_v = dc_v * g_g;
+                const float dg_v = dc_v * i_g;
+                const float cp = cprow ? cprow[s] : 0.0f;
+                const float df_v = dc_v * cp;
+
+                dzi[s] = di_v * i_g * (1.0f - i_g);
+                dzf[s] = df_v * f_g * (1.0f - f_g);
+                dzg[s] = dg_v * (1.0f - g_g * g_g);
+                dzo[s] = do_v * o_g * (1.0f - o_g);
+
+                dcrow[s] = dc_v * f_g; // Carried to step t-1.
+            }
+        }
+
+        float *__restrict dza = dzAll.data();
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            const float *__restrict src = dzd + r * samples;
+            float *__restrict dst = dza + r * samples * steps + ti;
+            for (std::size_t s = 0; s < samples; ++s)
+                dst[s * steps] = src[s];
+        }
+
+        // dLoss/dh_{t-1} via the recurrent weights: dh = Wh^T * dz.
+        if (ti > 0)
+            dh = matmulTransA(wh_, dz);
+    }
+
+    // Batched parameter gradients, one GEMM each for the whole batch:
+    //   dWx += dZ * X^T,  dWh += dZ * Hprev^T,  db += rowsum(dZ),
+    //   dX   = Wx^T * dZ.
+    accumulateMatmulTransB(gwx_, dzAll, inSeq_);
+    accumulateMatmulTransB(gwh_, dzAll, hprev);
+    {
+        const float *__restrict dzc = dzAll.data();
+        float *__restrict gbd = gb_.data();
+        const std::size_t cols = samples * steps;
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            float acc = 0.0f;
+            const float *__restrict row = dzc + r * cols;
+            for (std::size_t t = 0; t < cols; ++t)
+                acc += row[t];
+            gbd[r] += acc;
+        }
+    }
+    return matmulTransA(wx_, dzAll);
 }
 
 Matrix
@@ -81,67 +264,91 @@ Lstm::backward(const Matrix &grad_out)
     panicIf(grad_out.rows() != hidden_ || grad_out.cols() != 1,
             "Lstm backward shape mismatch");
 
-    Matrix grad_in(input_, steps);
+    // Pre-activation gate gradients for every step, accumulated during
+    // the reverse sweep and turned into parameter gradients with three
+    // batched GEMMs afterwards.
+    Matrix dzAll(4 * hidden_, steps);
+    // Column t holds h_{t-1} (zeros for t = 0).
+    Matrix hprev(hidden_, steps);
+    for (std::size_t t = 1; t < steps; ++t)
+        for (std::size_t k = 0; k < hidden_; ++k)
+            hprev(k, t) = hiddens_[t - 1](k, 0);
+
     Matrix dh = grad_out;       // dLoss/dh_t, accumulated backwards.
     Matrix dc(hidden_, 1);      // dLoss/dc_t carried across steps.
-    Matrix dz(4 * hidden_, 1);  // Pre-activation gate gradients.
+    std::vector<float> dz(4 * hidden_, 0.0f);
 
     for (std::size_t ti = steps; ti-- > 0;) {
         const Matrix &z = gates_[ti];
         const Matrix &c = cells_[ti];
         const Matrix *c_prev = ti > 0 ? &cells_[ti - 1] : nullptr;
-        const Matrix *h_prev = ti > 0 ? &hiddens_[ti - 1] : nullptr;
+        const float *__restrict zd = z.data();
+        const float *__restrict cdat = c.data();
+        float *__restrict dhd = dh.data();
+        float *__restrict dcd = dc.data();
 
         for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float i_g = z(hI, 0);
-            const float f_g = z(hidden_ + hI, 0);
-            const float g_g = z(2 * hidden_ + hI, 0);
-            const float o_g = z(3 * hidden_ + hI, 0);
-            const float tanh_c = std::tanh(c(hI, 0));
-            const float dh_v = dh(hI, 0);
+            const float i_g = zd[hI];
+            const float f_g = zd[hidden_ + hI];
+            const float g_g = zd[2 * hidden_ + hI];
+            const float o_g = zd[3 * hidden_ + hI];
+            const float tanh_c = std::tanh(cdat[hI]);
+            const float dh_v = dhd[hI];
 
             const float do_v = dh_v * tanh_c;
-            float dc_v = dc(hI, 0) + dh_v * o_g * (1.0f - tanh_c * tanh_c);
+            float dc_v = dcd[hI] + dh_v * o_g * (1.0f - tanh_c * tanh_c);
 
             const float di_v = dc_v * g_g;
             const float dg_v = dc_v * i_g;
-            const float cp = c_prev ? (*c_prev)(hI, 0) : 0.0f;
+            const float cp = c_prev ? c_prev->data()[hI] : 0.0f;
             const float df_v = dc_v * cp;
 
-            dz(hI, 0) = di_v * i_g * (1.0f - i_g);
-            dz(hidden_ + hI, 0) = df_v * f_g * (1.0f - f_g);
-            dz(2 * hidden_ + hI, 0) = dg_v * (1.0f - g_g * g_g);
-            dz(3 * hidden_ + hI, 0) = do_v * o_g * (1.0f - o_g);
+            dz[hI] = di_v * i_g * (1.0f - i_g);
+            dz[hidden_ + hI] = df_v * f_g * (1.0f - f_g);
+            dz[2 * hidden_ + hI] = dg_v * (1.0f - g_g * g_g);
+            dz[3 * hidden_ + hI] = do_v * o_g * (1.0f - o_g);
 
-            dc(hI, 0) = dc_v * f_g; // Carried to step t-1.
+            dcd[hI] = dc_v * f_g; // Carried to step t-1.
         }
 
-        // Parameter gradients and input gradient for this step.
-        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
-            const float dz_v = dz(r, 0);
-            if (dz_v == 0.0f)
-                continue;
-            gb_(r, 0) += dz_v;
-            for (std::size_t k = 0; k < input_; ++k) {
-                gwx_(r, k) += dz_v * inSeq_(k, ti);
-                grad_in(k, ti) += dz_v * wx_(r, k);
-            }
-            if (h_prev)
-                for (std::size_t k = 0; k < hidden_; ++k)
-                    gwh_(r, k) += dz_v * (*h_prev)(k, 0);
-        }
+        float *__restrict dzc = dzAll.data();
+        for (std::size_t r = 0; r < 4 * hidden_; ++r)
+            dzc[r * steps + ti] = dz[r];
 
-        // dLoss/dh_{t-1} via the recurrent weights.
+        // dLoss/dh_{t-1} via the recurrent weights: dh = Wh^T * dz.
         if (ti > 0) {
-            for (std::size_t k = 0; k < hidden_; ++k) {
-                float acc = 0.0f;
-                for (std::size_t r = 0; r < 4 * hidden_; ++r)
-                    acc += wh_(r, k) * dz(r, 0);
-                dh(k, 0) = acc;
+            for (std::size_t k = 0; k < hidden_; ++k)
+                dhd[k] = 0.0f;
+            const float *__restrict whd = wh_.data();
+            for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+                const float dz_v = dz[r];
+                if (dz_v == 0.0f)
+                    continue;
+                const float *__restrict whrow = whd + r * hidden_;
+                for (std::size_t k = 0; k < hidden_; ++k)
+                    dhd[k] += dz_v * whrow[k];
             }
         }
     }
-    return grad_in;
+
+    // Batched parameter gradients (identical math to the per-step
+    // accumulation, reordered into cache-friendly GEMMs):
+    //   dWx += dZ * X^T,  dWh += dZ * Hprev^T,  db += rowsum(dZ),
+    //   dX   = Wx^T * dZ.
+    accumulateMatmulTransB(gwx_, dzAll, inSeq_);
+    accumulateMatmulTransB(gwh_, dzAll, hprev);
+    {
+        const float *__restrict dzd = dzAll.data();
+        float *__restrict gbd = gb_.data();
+        for (std::size_t r = 0; r < 4 * hidden_; ++r) {
+            float acc = 0.0f;
+            const float *__restrict row = dzd + r * steps;
+            for (std::size_t t = 0; t < steps; ++t)
+                acc += row[t];
+            gbd[r] += acc;
+        }
+    }
+    return matmulTransA(wx_, dzAll);
 }
 
 } // namespace bigfish::ml

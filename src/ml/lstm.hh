@@ -30,6 +30,11 @@ class Lstm : public Layer
 
     Matrix forward(const Matrix &in, bool train) override;
     Matrix backward(const Matrix &grad_out) override;
+    bool supportsBatch() const override { return true; }
+    Matrix forwardBatch(const Matrix &in, std::size_t samples,
+                        bool train) override;
+    Matrix backwardBatch(const Matrix &grad_out,
+                         std::size_t samples) override;
     std::vector<Matrix *> params() override { return {&wx_, &wh_, &b_}; }
     std::vector<Matrix *> grads() override { return {&gwx_, &gwh_, &gb_}; }
     std::string name() const override { return "lstm"; }
@@ -42,11 +47,14 @@ class Lstm : public Layer
     Matrix wx_, wh_, b_;
     Matrix gwx_, gwh_, gb_;
 
-    // Per-timestep caches for BPTT.
+    // Per-timestep caches for BPTT. On the batched path the per-step
+    // matrices carry one column per sample (4H x B / H x B) and inSeq_
+    // holds the whole (input x B*T) batch.
     Matrix inSeq_;
-    std::vector<Matrix> gates_; ///< Post-activation gates per step (4H x 1).
-    std::vector<Matrix> cells_; ///< Cell states per step (H x 1).
-    std::vector<Matrix> hiddens_; ///< Hidden states per step (H x 1).
+    std::size_t samples_ = 1;
+    std::vector<Matrix> gates_; ///< Post-activation gates per step (4H x B).
+    std::vector<Matrix> cells_; ///< Cell states per step (H x B).
+    std::vector<Matrix> hiddens_; ///< Hidden states per step (H x B).
 };
 
 } // namespace bigfish::ml

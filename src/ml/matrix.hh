@@ -1,12 +1,17 @@
 /**
  * @file
- * A minimal dense float matrix for the from-scratch neural network.
+ * A minimal dense float matrix plus the optimized kernels the
+ * from-scratch neural network runs on.
  *
- * Row-major, value-semantic, no expression templates: the models in this
- * reproduction are small (hundreds of KFLOPs per sample), so clarity and
- * testability win over BLAS-grade performance. Convention used by the
- * layers: a 1-D time series sample is a (channels x time) matrix; a
- * feature vector is (features x 1).
+ * Row-major and value-semantic. The kernels (matmul and friends) are
+ * blocked, __restrict-annotated implementations with an optional
+ * row-parallel path for large shapes; matmulReference() keeps the naive
+ * triple loop as the correctness oracle for property tests and the
+ * old-vs-new microbenchmarks. Row-parallelism splits output rows only —
+ * every output element is accumulated in the same order at any thread
+ * count, so results are bit-identical whether the pool has 1 or N
+ * threads. Convention used by the layers: a 1-D time series sample is a
+ * (channels x time) matrix; a feature vector is (features x 1).
  */
 
 #ifndef BF_ML_MATRIX_HH
@@ -48,6 +53,13 @@ class Matrix
     float *data() { return data_.data(); }
     const float *data() const { return data_.data(); }
 
+    /**
+     * Reshapes to rows x cols, reusing the existing allocation when it
+     * is large enough (hot-path buffers). Contents are unspecified
+     * afterwards unless @p zeroed is true.
+     */
+    void resize(std::size_t rows, std::size_t cols, bool zeroed = false);
+
     /** Sets every element to @p value. */
     void fill(float value);
 
@@ -78,11 +90,47 @@ class Matrix
 /** C = A * B (inner dimensions must agree). */
 Matrix matmul(const Matrix &a, const Matrix &b);
 
+/**
+ * Fused C = A * B + bias: @p bias is a (rows x 1) column broadcast
+ * across every output column (the GEMM epilogue the conv/dense/recurrent
+ * layers all need, saving one full pass over the output).
+ */
+Matrix matmulBias(const Matrix &a, const Matrix &b, const Matrix &bias);
+
 /** C = A^T * B. */
 Matrix matmulTransA(const Matrix &a, const Matrix &b);
 
 /** C = A * B^T. */
 Matrix matmulTransB(const Matrix &a, const Matrix &b);
+
+/** C += A * B (shapes must already agree). */
+void accumulateMatmul(Matrix &c, const Matrix &a, const Matrix &b);
+
+/** C += A^T * B. */
+void accumulateMatmulTransA(Matrix &c, const Matrix &a, const Matrix &b);
+
+/** C += A * B^T. */
+void accumulateMatmulTransB(Matrix &c, const Matrix &a, const Matrix &b);
+
+/**
+ * Matrix-vector product y = A * x for a (n x 1) column @p x — the
+ * recurrent-layer hot path, dispatched to a dot-product kernel instead
+ * of the general GEMM.
+ */
+Matrix gemv(const Matrix &a, const Matrix &x);
+
+/** Fused y = A * x + b for (n x 1) columns. */
+Matrix gemvBias(const Matrix &a, const Matrix &x, const Matrix &b);
+
+/** max(v, 0) over every element, in place (vectorizable epilogue). */
+void reluInPlace(Matrix &m);
+
+/**
+ * The naive i-j-k triple-loop matmul the optimized kernels replaced.
+ * Kept as the oracle for kernel property tests and the old-vs-new
+ * microbenchmark; never used on the hot path.
+ */
+Matrix matmulReference(const Matrix &a, const Matrix &b);
 
 } // namespace bigfish::ml
 

@@ -32,6 +32,33 @@ Sequential::backward(const Matrix &grad_out)
     return g;
 }
 
+bool
+Sequential::supportsBatch() const
+{
+    for (const auto &layer : layers_)
+        if (!layer->supportsBatch())
+            return false;
+    return true;
+}
+
+Matrix
+Sequential::forwardBatch(const Matrix &in, std::size_t samples, bool train)
+{
+    Matrix x = in;
+    for (auto &layer : layers_)
+        x = layer->forwardBatch(x, samples, train);
+    return x;
+}
+
+Matrix
+Sequential::backwardBatch(const Matrix &grad_out, std::size_t samples)
+{
+    Matrix g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backwardBatch(g, samples);
+    return g;
+}
+
 std::vector<Matrix *>
 Sequential::params()
 {
@@ -106,6 +133,55 @@ SoftmaxCrossEntropy::gradient(const Matrix &logits, Label truth)
     return grad;
 }
 
+double
+SoftmaxCrossEntropy::lossAndGradient(const Matrix &logits, Label truth,
+                                     Matrix &grad)
+{
+    const auto probs = probabilities(logits);
+    panicIf(truth < 0 || truth >= static_cast<Label>(probs.size()),
+            "loss label out of range");
+    grad.resize(logits.rows(), 1);
+    for (std::size_t i = 0; i < logits.rows(); ++i)
+        grad(i, 0) = static_cast<float>(probs[i]);
+    grad(truth, 0) -= 1.0f;
+    return -std::log(std::max(probs[truth], 1e-12));
+}
+
+double
+SoftmaxCrossEntropy::lossAndGradientBatch(const Matrix &logits,
+                                          const std::vector<Label> &truths,
+                                          Matrix &grad)
+{
+    const std::size_t classes = logits.rows();
+    const std::size_t batch = logits.cols();
+    panicIf(truths.size() != batch, "batched loss label count mismatch");
+    grad.resize(classes, batch);
+    double total = 0.0;
+    for (std::size_t s = 0; s < batch; ++s) {
+        const Label truth = truths[s];
+        panicIf(truth < 0 || truth >= static_cast<Label>(classes),
+                "loss label out of range");
+        float max_logit = logits(0, s);
+        for (std::size_t i = 1; i < classes; ++i)
+            max_logit = std::max(max_logit, logits(i, s));
+        double sum = 0.0;
+        for (std::size_t i = 0; i < classes; ++i) {
+            const double e =
+                std::exp(static_cast<double>(logits(i, s) - max_logit));
+            grad(i, s) = static_cast<float>(e);
+            sum += e;
+        }
+        const double inv = 1.0 / sum;
+        for (std::size_t i = 0; i < classes; ++i)
+            grad(i, s) = static_cast<float>(grad(i, s) * inv);
+        total -= std::log(std::max(
+            static_cast<double>(grad(static_cast<std::size_t>(truth), s)),
+            1e-12));
+        grad(static_cast<std::size_t>(truth), s) -= 1.0f;
+    }
+    return total;
+}
+
 bool
 allFinite(const std::vector<Matrix *> &tensors)
 {
@@ -145,23 +221,37 @@ Adam::step(const std::vector<Matrix *> &params,
         }
     }
     ++t_;
-    const double bc1 = 1.0 - std::pow(beta1_, t_);
-    const double bc2 = 1.0 - std::pow(beta2_, t_);
+    // Per-step scalars stay in double (pow over t accumulates error in
+    // float); the per-parameter loop is pure float so it vectorizes —
+    // the moments are stored as float anyway, so double intermediates
+    // only added cost, not meaningful precision.
+    const float inv_bc1 =
+        static_cast<float>(1.0 / (1.0 - std::pow(beta1_, t_)));
+    const float inv_bc2 =
+        static_cast<float>(1.0 / (1.0 - std::pow(beta2_, t_)));
+    const float b1 = static_cast<float>(beta1_);
+    const float b2 = static_cast<float>(beta2_);
+    const float c1 = 1.0f - b1;
+    const float c2 = 1.0f - b2;
+    const float lr = static_cast<float>(lr_);
+    const float eps = static_cast<float>(eps_);
+    const float fscale = static_cast<float>(scale);
     for (std::size_t i = 0; i < params.size(); ++i) {
-        float *p = params[i]->data();
-        const float *g = grads[i]->data();
+        float *__restrict p = params[i]->data();
+        const float *__restrict g = grads[i]->data();
+        float *__restrict m = m_[i].data();
+        float *__restrict v = v_[i].data();
         panicIf(params[i]->size() != grads[i]->size(),
                 "Adam tensor size mismatch");
-        for (std::size_t j = 0; j < params[i]->size(); ++j) {
-            const double gj = static_cast<double>(g[j]) * scale;
-            m_[i][j] = static_cast<float>(beta1_ * m_[i][j] +
-                                          (1.0 - beta1_) * gj);
-            v_[i][j] = static_cast<float>(beta2_ * v_[i][j] +
-                                          (1.0 - beta2_) * gj * gj);
-            const double mhat = m_[i][j] / bc1;
-            const double vhat = v_[i][j] / bc2;
-            p[j] -= static_cast<float>(lr_ * mhat /
-                                       (std::sqrt(vhat) + eps_));
+        const std::size_t n = params[i]->size();
+        for (std::size_t j = 0; j < n; ++j) {
+            const float gj = g[j] * fscale;
+            const float mj = b1 * m[j] + c1 * gj;
+            const float vj = b2 * v[j] + c2 * gj * gj;
+            m[j] = mj;
+            v[j] = vj;
+            p[j] -= lr * (mj * inv_bc1) /
+                    (std::sqrt(vj * inv_bc2) + eps);
         }
     }
 }

@@ -29,6 +29,18 @@ class Sequential
     /** Backpropagates through all layers (after a forward call). */
     Matrix backward(const Matrix &grad_out);
 
+    /** True when every layer implements the batched interface. */
+    bool supportsBatch() const;
+
+    /**
+     * forward() over a column-concatenated minibatch (see layer.hh for
+     * the layout). Requires supportsBatch().
+     */
+    Matrix forwardBatch(const Matrix &in, std::size_t samples, bool train);
+
+    /** Backpropagates through the most recent forwardBatch(). */
+    Matrix backwardBatch(const Matrix &grad_out, std::size_t samples);
+
     /** All trainable parameter tensors. */
     std::vector<Matrix *> params();
 
@@ -64,6 +76,23 @@ struct SoftmaxCrossEntropy
 
     /** dLoss/dLogits = softmax(logits) - onehot(truth). */
     static Matrix gradient(const Matrix &logits, Label truth);
+
+    /**
+     * Loss and gradient from a single softmax evaluation (the training
+     * hot path; calling loss() + gradient() separately computes the
+     * probabilities twice). @p grad is resized to (classes x 1).
+     */
+    static double lossAndGradient(const Matrix &logits, Label truth,
+                                  Matrix &grad);
+
+    /**
+     * Summed loss and per-column gradients over a (classes x B) logit
+     * batch; @p truths supplies the B labels in column order and @p grad
+     * is resized to (classes x B).
+     */
+    static double lossAndGradientBatch(const Matrix &logits,
+                                       const std::vector<Label> &truths,
+                                       Matrix &grad);
 };
 
 /** True when every element of every tensor is finite. */

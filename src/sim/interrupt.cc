@@ -1,6 +1,7 @@
 #include "sim/interrupt.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/logging.hh"
 
@@ -79,7 +80,7 @@ HandlerCostModel::HandlerCostModel()
     // second mode at ~5.5us when IRQ work piggybacks; network RX spreads
     // wider; rescheduling IPIs are the cheapest.
     auto set = [&](InterruptKind k, TimeNs median, double sigma) {
-        table_[static_cast<int>(k)] = {median, sigma};
+        setParams(k, {median, sigma});
     };
     set(InterruptKind::TimerTick, 2100, 0.35);
     set(InterruptKind::NetworkRx, 3400, 0.50);
@@ -102,6 +103,8 @@ void
 HandlerCostModel::setParams(InterruptKind kind, HandlerCostParams params)
 {
     table_[static_cast<int>(kind)] = params;
+    logMedian_[static_cast<int>(kind)] =
+        std::log(static_cast<double>(params.median));
 }
 
 HandlerCostParams
@@ -115,7 +118,9 @@ HandlerCostModel::sample(InterruptKind kind, Rng &rng, bool vmIsolated,
                          double workScale) const
 {
     const HandlerCostParams &p = table_[static_cast<int>(kind)];
-    double body = rng.lognormal(static_cast<double>(p.median), p.sigma);
+    double body =
+        rng.lognormalFromLogMedian(logMedian_[static_cast<int>(kind)],
+                                   p.sigma);
     body *= std::max(workScale, 0.0);
     double total = body;
     if (kind != InterruptKind::UntraceableStall)
@@ -128,13 +133,109 @@ HandlerCostModel::sample(InterruptKind kind, Rng &rng, bool vmIsolated,
     return static_cast<TimeNs>(std::max(total, 1.0));
 }
 
+namespace {
+
+constexpr auto byArrival = [](const StolenInterval &a,
+                              const StolenInterval &b) {
+    return a.arrival < b.arrival;
+};
+
+/**
+ * Sorts intervals by arrival with a bucket sort: arrivals are
+ * near-uniform over the run (the synthesizer emits them clustered by
+ * activity step), so scattering into ~size/16 arrival-range buckets and
+ * insertion-sorting each bucket is O(n) where a comparison sort was a
+ * quarter of trace-collection time at paper scale. Bucket assignment is
+ * pure arithmetic on the arrival, so the result is deterministic and
+ * independent of thread count.
+ */
+void
+bucketSortByArrival(std::vector<StolenInterval> &stolen)
+{
+    TimeNs lo = stolen[0].arrival;
+    TimeNs hi = lo;
+    for (const StolenInterval &s : stolen) {
+        lo = std::min(lo, s.arrival);
+        hi = std::max(hi, s.arrival);
+    }
+    const std::size_t buckets =
+        std::max<std::size_t>(stolen.size() / 16, 1);
+    const double scale = static_cast<double>(buckets) /
+                         (static_cast<double>(hi - lo) + 1.0);
+    const auto bucket_of = [&](const StolenInterval &s) {
+        return std::min<std::size_t>(
+            static_cast<std::size_t>(
+                static_cast<double>(s.arrival - lo) * scale),
+            buckets - 1);
+    };
+    std::vector<std::size_t> offsets(buckets + 1, 0);
+    for (const StolenInterval &s : stolen)
+        ++offsets[bucket_of(s) + 1];
+    for (std::size_t b = 1; b <= buckets; ++b)
+        offsets[b] += offsets[b - 1];
+    std::vector<StolenInterval> sorted(stolen.size());
+    {
+        std::vector<std::size_t> cursor(offsets.begin(),
+                                        offsets.end() - 1);
+        for (const StolenInterval &s : stolen)
+            sorted[cursor[bucket_of(s)]++] = s;
+    }
+    // Buckets average ~16 elements: insertion sort handles those
+    // allocation-free, while softirq-storm clusters that land many
+    // intervals in one bucket fall back to std::sort.
+    for (std::size_t b = 0; b < buckets; ++b) {
+        const std::size_t len = offsets[b + 1] - offsets[b];
+        if (len < 2)
+            continue;
+        if (len > 48) {
+            std::sort(sorted.begin() +
+                          static_cast<std::ptrdiff_t>(offsets[b]),
+                      sorted.begin() +
+                          static_cast<std::ptrdiff_t>(offsets[b + 1]),
+                      byArrival);
+            continue;
+        }
+        for (std::size_t i = offsets[b] + 1; i < offsets[b + 1]; ++i) {
+            StolenInterval v = sorted[i];
+            std::size_t j = i;
+            while (j > offsets[b] && v.arrival < sorted[j - 1].arrival) {
+                sorted[j] = sorted[j - 1];
+                --j;
+            }
+            sorted[j] = v;
+        }
+    }
+    stolen.swap(sorted);
+}
+
+} // namespace
+
 void
 normalizeTimeline(std::vector<StolenInterval> &stolen)
 {
-    std::sort(stolen.begin(), stolen.end(),
-              [](const StolenInterval &a, const StolenInterval &b) {
-                  return a.arrival < b.arrival;
-              });
+    if (stolen.size() > 1) {
+        // Re-normalization after appending a few intervals to an
+        // already-normalized stream (browser stalls, injected faults) is
+        // common: detect the sorted prefix and merge the short tail
+        // instead of re-sorting everything.
+        std::size_t sorted_prefix = 1;
+        while (sorted_prefix < stolen.size() &&
+               stolen[sorted_prefix].arrival >=
+                   stolen[sorted_prefix - 1].arrival)
+            ++sorted_prefix;
+        const std::size_t tail = stolen.size() - sorted_prefix;
+        if (tail == 0) {
+            // Already sorted: only the clamp pass below is needed.
+        } else if (tail <= 256) {
+            const auto mid =
+                stolen.begin() + static_cast<std::ptrdiff_t>(sorted_prefix);
+            std::sort(mid, stolen.end(), byArrival);
+            std::inplace_merge(stolen.begin(), mid, stolen.end(),
+                               byArrival);
+        } else {
+            bucketSortByArrival(stolen);
+        }
+    }
     TimeNs busy_until = 0;
     for (auto &interval : stolen) {
         if (interval.arrival < busy_until)

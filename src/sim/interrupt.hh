@@ -135,6 +135,8 @@ class HandlerCostModel
 
   private:
     HandlerCostParams table_[kNumInterruptKinds];
+    /** log(median) per kind, cached so sample() skips a std::log. */
+    double logMedian_[kNumInterruptKinds];
 };
 
 /**

@@ -157,6 +157,12 @@ InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
     }
     noisy.clampPhysical();
 
+    // Ticks (plus their piggybacked softirq/irq-work entries) are the
+    // bulk of the stream; reserving up front avoids repeated multi-MB
+    // regrowth of the interval vector on the collection hot path.
+    out.reserve(static_cast<std::size_t>(
+        activity.duration() / std::max<TimeNs>(config_.tickPeriod(), 1) + 1) *
+        2);
     emitTicks(noisy, rng, out);
 
     // Slow turbo-budget drift (Ornstein-Uhlenbeck over activity steps):

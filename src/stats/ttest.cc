@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "base/rng.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::stats {
@@ -62,8 +63,8 @@ regularizedIncompleteBeta(double a, double b, double x)
         return 0.0;
     if (x >= 1.0)
         return 1.0;
-    const double ln_beta = std::lgamma(a + b) - std::lgamma(a) -
-                           std::lgamma(b) + a * std::log(x) +
+    const double ln_beta = lgammaLocal(a + b) - lgammaLocal(a) -
+                           lgammaLocal(b) + a * std::log(x) +
                            b * std::log(1.0 - x);
     const double front = std::exp(ln_beta);
     // Use the symmetry relation to keep the continued fraction convergent.

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Property tests of the optimized dense kernels against the naive
+ * reference implementation: random shapes (including degenerate 0/1
+ * dimensions) must agree within float tolerance, and the row-parallel
+ * path must produce bits identical to the serial path.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hh"
+#include "base/thread_pool.hh"
+#include "ml/conv.hh"
+#include "ml/lstm.hh"
+#include "ml/matrix.hh"
+#include "ml/network.hh"
+
+namespace bigfish::ml {
+namespace {
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data()[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    return m;
+}
+
+Matrix
+transposed(const Matrix &m)
+{
+    Matrix t(m.cols(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            t(c, r) = m(r, c);
+    return t;
+}
+
+void
+expectNear(const Matrix &got, const Matrix &want, float tol = 1e-5f)
+{
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        // 1e-5 relative: blocked/parallel kernels reorder float adds, so
+        // exact equality with the naive loop is not expected.
+        const float w = want.data()[i];
+        EXPECT_NEAR(got.data()[i], w, tol * (1.0f + std::fabs(w)))
+            << "element " << i << " of " << got.rows() << "x" << got.cols();
+    }
+}
+
+/** Shapes covering square, skinny, fat, vector and degenerate cases. */
+struct Shape
+{
+    std::size_t m, k, n;
+};
+
+const Shape kShapes[] = {
+    {1, 1, 1},  {1, 7, 1},   {5, 1, 5},   {3, 4, 5},    {16, 16, 16},
+    {2, 64, 3}, {64, 2, 33}, {31, 17, 1}, {1, 1, 40},   {7, 300, 9},
+    {0, 4, 4},  {4, 0, 4},   {4, 4, 0},   {128, 48, 56}};
+
+TEST(Kernel, MatmulMatchesReference)
+{
+    Rng rng(1);
+    for (const Shape &s : kShapes) {
+        const Matrix a = randomMatrix(s.m, s.k, rng);
+        const Matrix b = randomMatrix(s.k, s.n, rng);
+        expectNear(matmul(a, b), matmulReference(a, b));
+    }
+}
+
+TEST(Kernel, MatmulBiasMatchesReference)
+{
+    Rng rng(2);
+    for (const Shape &s : kShapes) {
+        const Matrix a = randomMatrix(s.m, s.k, rng);
+        const Matrix b = randomMatrix(s.k, s.n, rng);
+        const Matrix bias = randomMatrix(s.m, 1, rng);
+        Matrix want = matmulReference(a, b);
+        for (std::size_t r = 0; r < want.rows(); ++r)
+            for (std::size_t c = 0; c < want.cols(); ++c)
+                want(r, c) += bias(r, 0);
+        expectNear(matmulBias(a, b, bias), want);
+    }
+}
+
+TEST(Kernel, MatmulTransAMatchesReference)
+{
+    Rng rng(3);
+    for (const Shape &s : kShapes) {
+        const Matrix a = randomMatrix(s.k, s.m, rng);
+        const Matrix b = randomMatrix(s.k, s.n, rng);
+        expectNear(matmulTransA(a, b), matmulReference(transposed(a), b));
+    }
+}
+
+TEST(Kernel, MatmulTransBMatchesReference)
+{
+    Rng rng(4);
+    for (const Shape &s : kShapes) {
+        const Matrix a = randomMatrix(s.m, s.k, rng);
+        const Matrix b = randomMatrix(s.n, s.k, rng);
+        expectNear(matmulTransB(a, b), matmulReference(a, transposed(b)));
+    }
+}
+
+TEST(Kernel, AccumulateVariantsMatchReference)
+{
+    Rng rng(5);
+    for (const Shape &s : kShapes) {
+        const Matrix a = randomMatrix(s.m, s.k, rng);
+        const Matrix b = randomMatrix(s.k, s.n, rng);
+        const Matrix init = randomMatrix(s.m, s.n, rng);
+
+        Matrix got = init;
+        accumulateMatmul(got, a, b);
+        Matrix want = matmulReference(a, b);
+        want += init;
+        expectNear(got, want);
+
+        got = init;
+        accumulateMatmulTransA(got, transposed(a), b);
+        expectNear(got, want);
+
+        got = init;
+        accumulateMatmulTransB(got, a, transposed(b));
+        expectNear(got, want);
+    }
+}
+
+TEST(Kernel, GemvMatchesReference)
+{
+    Rng rng(6);
+    for (const std::size_t rows : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{64}, std::size_t{301}}) {
+        for (const std::size_t cols : {std::size_t{1}, std::size_t{13},
+                                       std::size_t{256}}) {
+            const Matrix a = randomMatrix(rows, cols, rng);
+            const Matrix x = randomMatrix(cols, 1, rng);
+            const Matrix bias = randomMatrix(rows, 1, rng);
+            expectNear(gemv(a, x), matmulReference(a, x));
+
+            Matrix want = matmulReference(a, x);
+            want += bias;
+            expectNear(gemvBias(a, x, bias), want);
+        }
+    }
+}
+
+TEST(Kernel, ThreadedPathBitIdenticalToSerial)
+{
+    // Large enough to clear the kernels' parallel-dispatch threshold.
+    Rng rng(7);
+    const Matrix a = randomMatrix(96, 200, rng);
+    const Matrix b = randomMatrix(200, 150, rng);
+
+    setGlobalThreads(1);
+    const Matrix serial = matmul(a, b);
+    setGlobalThreads(8);
+    const Matrix parallel = matmul(a, b);
+    setGlobalThreads(0);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial.data()[i], parallel.data()[i]) << "element " << i;
+}
+
+TEST(Kernel, ReluInPlaceClampsNegatives)
+{
+    Rng rng(8);
+    Matrix m = randomMatrix(9, 33, rng);
+    const Matrix before = m;
+    reluInPlace(m);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], std::max(before.data()[i], 0.0f));
+}
+
+TEST(KernelDeathTest, ElementwiseOpsRejectShapeMismatch)
+{
+    Matrix a(3, 4), b(4, 3);
+    EXPECT_DEATH(a += b, "shape mismatch");
+}
+
+TEST(Kernel, ResizeReusesAndZeroes)
+{
+    Matrix m(4, 4);
+    m.fill(7.0f);
+    m.resize(2, 3, /*zeroed=*/true);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+/** The CNN-LSTM topology at toy scale, deterministic per seed. */
+Sequential
+makeToyNet(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Sequential net;
+    net.add(std::make_unique<Conv1D>(2, 6, 4, 2, rng));
+    net.add(std::make_unique<ReLU>());
+    net.add(std::make_unique<MaxPool1D>(2));
+    net.add(std::make_unique<Lstm>(6, 5, rng));
+    net.add(std::make_unique<Dropout>(0.4, rng()));
+    net.add(std::make_unique<Dense>(5, 3, rng));
+    return net;
+}
+
+TEST(BatchedNetwork, ForwardMatchesPerSample)
+{
+    constexpr std::size_t kSamples = 5, kChannels = 2, kSteps = 24;
+    Rng rng(99);
+    std::vector<Matrix> samples;
+    Matrix batch(kChannels, kSamples * kSteps);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        samples.push_back(randomMatrix(kChannels, kSteps, rng));
+        for (std::size_t r = 0; r < kChannels; ++r)
+            for (std::size_t t = 0; t < kSteps; ++t)
+                batch(r, s * kSteps + t) = samples[s](r, t);
+    }
+
+    Sequential net = makeToyNet(7);
+    ASSERT_TRUE(net.supportsBatch());
+    const Matrix out = net.forwardBatch(batch, kSamples, false);
+    ASSERT_EQ(out.cols(), kSamples);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        const Matrix one = net.forward(samples[s], false);
+        ASSERT_EQ(one.rows(), out.rows());
+        for (std::size_t r = 0; r < out.rows(); ++r)
+            EXPECT_NEAR(out(r, s), one(r, 0),
+                        1e-4f * (1.0f + std::fabs(one(r, 0))))
+                << "sample " << s << " row " << r;
+    }
+}
+
+TEST(BatchedNetwork, GradientsMatchPerSampleAccumulation)
+{
+    constexpr std::size_t kSamples = 6, kChannels = 2, kSteps = 24;
+    Rng rng(123);
+    std::vector<Matrix> samples;
+    std::vector<Label> labels;
+    Matrix batch(kChannels, kSamples * kSteps);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        samples.push_back(randomMatrix(kChannels, kSteps, rng));
+        labels.push_back(static_cast<Label>(s % 3));
+        for (std::size_t r = 0; r < kChannels; ++r)
+            for (std::size_t t = 0; t < kSteps; ++t)
+                batch(r, s * kSteps + t) = samples[s](r, t);
+    }
+
+    // Same seed -> identical weights and dropout mask stream, so the
+    // batched pass must reproduce the per-sample minibatch gradient up
+    // to float summation order.
+    Sequential serial = makeToyNet(31);
+    Sequential batched = makeToyNet(31);
+
+    Matrix grad;
+    double serial_loss = 0.0;
+    serial.zeroGrads();
+    for (std::size_t s = 0; s < kSamples; ++s) {
+        const Matrix logits = serial.forward(samples[s], true);
+        serial_loss +=
+            SoftmaxCrossEntropy::lossAndGradient(logits, labels[s], grad);
+        serial.backward(grad);
+    }
+
+    batched.zeroGrads();
+    const Matrix logits = batched.forwardBatch(batch, kSamples, true);
+    const double batch_loss =
+        SoftmaxCrossEntropy::lossAndGradientBatch(logits, labels, grad);
+    batched.backwardBatch(grad, kSamples);
+
+    EXPECT_NEAR(batch_loss, serial_loss,
+                1e-3 * (1.0 + std::fabs(serial_loss)));
+    const auto sg = serial.grads();
+    const auto bg = batched.grads();
+    ASSERT_EQ(sg.size(), bg.size());
+    for (std::size_t i = 0; i < sg.size(); ++i)
+        expectNear(*bg[i], *sg[i], 1e-3f);
+}
+
+} // namespace
+} // namespace bigfish::ml

@@ -370,7 +370,7 @@ TEST(Synthesizer, VmIsolationIncreasesStolenTime)
 TEST(Synthesizer, OccupancyMirrorsActivity)
 {
     InterruptSynthesizer synth(MachineConfig::linuxDesktop());
-    Rng rng(27);
+    Rng rng(29);
     const auto timeline = synth.synthesize(busyActivity(), rng);
     const std::size_t mid = timeline.occupancy.size() / 2;
     EXPECT_GT(timeline.occupancy[mid], 0.3);
