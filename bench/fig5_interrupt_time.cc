@@ -75,10 +75,10 @@ main(int argc, char **argv)
             resched_runs.push_back(profile.reschedFraction);
             total_runs.push_back(profile.totalFraction);
 
-            const auto report = ktrace::summarize(ktrace::attributeGaps(
+            const auto gap_report = ktrace::summarize(ktrace::attributeGaps(
                 ktrace::GapDetector().detect(timeline), records));
-            total_gaps += report.totalGaps;
-            attributed += report.attributedToInterrupt;
+            total_gaps += gap_report.totalGaps;
+            attributed += gap_report.attributedToInterrupt;
         }
         std::printf("%s (0 .. 15 s)\n", site.name.c_str());
         renderSeries("softirq", stats::elementwiseMean(softirq_runs));

@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
-# Tier-1 verification under sanitizers: builds the full tree and runs the
-# test suite under AddressSanitizer, UBSan and ThreadSanitizer, then
-# repeats the plain suite with BF_THREADS=8 to exercise the parallel
-# execution paths. Intended as the pre-merge robustness gate; the plain
-# (unsanitized) build stays in build/ untouched.
+# Pre-merge verification gate. Stages, in default order:
 #
-# Usage: scripts/check.sh [address|undefined|thread|threads8]...
+#   lint      — bigfish-lint over src/ bench/ examples/ tests/ with the
+#               checked-in config (tools/lint/bigfish-lint.toml): the
+#               determinism and error-propagation invariants, enforced
+#               statically. Fails on any finding.
+#   cppcheck  — general C++ static analysis; skipped with a notice when
+#               cppcheck is not installed.
+#   address   — full build + ctest under AddressSanitizer.
+#   undefined — full build + ctest under UBSan.
+#   thread    — full build + ctest under ThreadSanitizer.
+#   threads8  — plain build + ctest with BF_THREADS=8 to exercise the
+#               parallel execution paths (and the bit-identity tests).
+#
+# Sanitizer and threads8 stages build with BIGFISH_WERROR=ON so the
+# hardened warning set (-Wall -Wextra -Wshadow -Wconversion) gates the
+# merge as well. The plain (unsanitized) build stays in build/.
+#
+# Usage: scripts/check.sh [lint|cppcheck|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -13,19 +25,40 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(address undefined thread threads8)
+    stages=(lint cppcheck address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
 for stage in "${stages[@]}"; do
     case "$stage" in
+      lint)
+        echo "== [lint] build bigfish-lint"
+        cmake -B "$repo/build" -S "$repo" > /dev/null
+        cmake --build "$repo/build" --target bigfish-lint -j "$jobs"
+        echo "== [lint] bigfish-lint over src/ bench/ examples/ tests/"
+        "$repo/build/tools/lint/bigfish-lint" \
+            --root="$repo" \
+            --config="$repo/tools/lint/bigfish-lint.toml" \
+            "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests"
+        ;;
+      cppcheck)
+        if command -v cppcheck > /dev/null 2>&1; then
+            echo "== [cppcheck] src/"
+            cppcheck --enable=warning,performance,portability \
+                --suppress=missingIncludeSystem --inline-suppr \
+                --error-exitcode=1 --quiet -j "$jobs" \
+                -I "$repo/src" "$repo/src"
+        else
+            echo "== [cppcheck] not installed, skipping"
+        fi
+        ;;
       address|undefined|thread)
         san="$stage"
         builddir="$repo/build-$san"
         echo "== [$san] configure -> $builddir"
         cmake -B "$builddir" -S "$repo" -DBIGFISH_SANITIZE="$san" \
-            -DCMAKE_BUILD_TYPE=RelWithDebInfo
+            -DBIGFISH_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
         echo "== [$san] build"
         cmake --build "$builddir" -j "$jobs"
         echo "== [$san] ctest"
@@ -36,15 +69,15 @@ for stage in "${stages[@]}"; do
       threads8)
         builddir="$repo/build"
         echo "== [threads8] configure -> $builddir"
-        cmake -B "$builddir" -S "$repo"
+        cmake -B "$builddir" -S "$repo" -DBIGFISH_WERROR=ON
         echo "== [threads8] build"
         cmake --build "$builddir" -j "$jobs"
         echo "== [threads8] ctest with BF_THREADS=8"
         (cd "$builddir" && BF_THREADS=8 ctest --output-on-failure -j "$jobs")
         ;;
       *)
-        echo "unknown stage '$stage' (want address, undefined, thread" \
-             "or threads8)" >&2
+        echo "unknown stage '$stage' (want lint, cppcheck, address," \
+             "undefined, thread or threads8)" >&2
         exit 2
         ;;
     esac

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: runs every checker available on this
+# machine and fails on the first finding.
+#
+#   1. bigfish-lint  — always (built from tools/lint/ if needed): the
+#                      project-specific determinism and error-propagation
+#                      rules, configured by tools/lint/bigfish-lint.toml.
+#   2. clang-tidy    — if installed: .clang-tidy checks over src/ using
+#                      the compile database from build/.
+#   3. cppcheck      — if installed: general C++ static analysis.
+#
+# Usage: scripts/lint.sh [--json]
+#   --json  passes machine-readable output through from bigfish-lint.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+json=""
+[ "${1:-}" = "--json" ] && json="--json"
+
+echo "== [lint] bigfish-lint"
+cmake -B "$repo/build" -S "$repo" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    > /dev/null
+cmake --build "$repo/build" --target bigfish-lint -j "$jobs" > /dev/null
+"$repo/build/tools/lint/bigfish-lint" \
+    --root="$repo" \
+    --config="$repo/tools/lint/bigfish-lint.toml" \
+    $json \
+    "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests"
+
+if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== [lint] clang-tidy"
+    find "$repo/src" -name '*.cc' -print0 |
+        xargs -0 -P "$jobs" -n 8 clang-tidy -p "$repo/build" --quiet
+else
+    echo "== [lint] clang-tidy not installed, skipping"
+fi
+
+if command -v cppcheck > /dev/null 2>&1; then
+    echo "== [lint] cppcheck"
+    cppcheck --enable=warning,performance,portability \
+        --suppress=missingIncludeSystem --inline-suppr \
+        --error-exitcode=1 --quiet -j "$jobs" \
+        -I "$repo/src" "$repo/src"
+else
+    echo "== [lint] cppcheck not installed, skipping"
+fi
+
+echo "== [lint] all available checkers passed"

@@ -91,7 +91,7 @@ struct AttackerParams
  * @return The collected trace (counts and per-period wall times), or an
  *         InvalidArgument error for an unusable period.
  */
-Result<Trace> collectTrace(AttackerKind kind, const AttackerParams &params,
+[[nodiscard]] Result<Trace> collectTrace(AttackerKind kind, const AttackerParams &params,
                            const sim::MachineConfig &machine,
                            const sim::RunTimeline &timeline,
                            timers::TimerModel &timer, TimeNs period,
@@ -133,7 +133,7 @@ std::vector<double> iterationCosts(AttackerKind kind,
  * @return A trace whose counts are *nanoseconds lost per period*, or an
  *         InvalidArgument error for unusable period/poll parameters.
  */
-Result<Trace> collectGapTrace(const sim::RunTimeline &timeline,
+[[nodiscard]] Result<Trace> collectGapTrace(const sim::RunTimeline &timeline,
                               TimeNs period, TimeNs poll_cost_ns = 30,
                               TimeNs threshold = 100);
 

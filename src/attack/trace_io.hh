@@ -42,10 +42,10 @@ inline constexpr std::size_t kMaxCountsPerRow = 1u << 22;
 inline constexpr int kMaxTraceId = 10'000'000;
 
 /** Writes a TraceSet to a stream in bigfish-traces v1 format. */
-Status writeTraces(std::ostream &out, const TraceSet &traces);
+[[nodiscard]] Status writeTraces(std::ostream &out, const TraceSet &traces);
 
 /** Writes a TraceSet to a file. */
-Status saveTraces(const std::string &path, const TraceSet &traces);
+[[nodiscard]] Status saveTraces(const std::string &path, const TraceSet &traces);
 
 /** saveTraces() that fatal()s on failure (binary boundaries only). */
 void saveTracesOrDie(const std::string &path, const TraceSet &traces);
@@ -55,13 +55,13 @@ void saveTracesOrDie(const std::string &path, const TraceSet &traces);
  * (wrong header, short row, bad number, non-finite count, out-of-range
  * site_id/label, overlong row) fails the whole read.
  */
-Result<TraceSet> readTraces(std::istream &in);
+[[nodiscard]] Result<TraceSet> readTraces(std::istream &in);
 
 /** readTraces() that fatal()s on failure (binary boundaries only). */
 TraceSet readTracesOrDie(std::istream &in);
 
 /** Reads a TraceSet from a file (strict). */
-Result<TraceSet> loadTraces(const std::string &path);
+[[nodiscard]] Result<TraceSet> loadTraces(const std::string &path);
 
 /** loadTraces() that fatal()s on failure (binary boundaries only). */
 TraceSet loadTracesOrDie(const std::string &path);
@@ -107,7 +107,7 @@ LenientTraces readTracesLenient(std::istream &in);
  * File variant of readTracesLenient(). The only error is failing to
  * open the file; any content parses (possibly to zero traces).
  */
-Result<LenientTraces> loadTracesLenient(const std::string &path);
+[[nodiscard]] Result<LenientTraces> loadTracesLenient(const std::string &path);
 
 } // namespace bigfish::attack
 

@@ -23,7 +23,7 @@ namespace bigfish {
 
 /** A T on success, a non-OK Status on failure. */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     /** Success, owning @p value. */

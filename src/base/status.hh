@@ -64,7 +64,7 @@ errorCodeName(ErrorCode code)
  * The outcome of an operation that can fail recoverably: an error code
  * plus a human-readable message. A default-constructed Status is OK.
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     /** An OK status. */
@@ -77,7 +77,7 @@ class Status
     }
 
     /** Named constructor for the OK status. */
-    static Status ok() { return Status(); }
+    [[nodiscard]] static Status ok() { return Status(); }
 
     /** True when the operation succeeded. */
     bool isOk() const { return code_ == ErrorCode::Ok; }
@@ -110,43 +110,43 @@ class Status
 };
 
 /** Convenience constructors mirroring the ErrorCode values. */
-inline Status
+[[nodiscard]] inline Status
 invalidArgumentError(std::string message)
 {
     return Status(ErrorCode::InvalidArgument, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 parseError(std::string message)
 {
     return Status(ErrorCode::ParseError, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 outOfRangeError(std::string message)
 {
     return Status(ErrorCode::OutOfRange, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 ioError(std::string message)
 {
     return Status(ErrorCode::IoError, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 shapeMismatchError(std::string message)
 {
     return Status(ErrorCode::ShapeMismatch, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 dataError(std::string message)
 {
     return Status(ErrorCode::DataError, std::move(message));
 }
 
-inline Status
+[[nodiscard]] inline Status
 exhaustedError(std::string message)
 {
     return Status(ErrorCode::Exhausted, std::move(message));

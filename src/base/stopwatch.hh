@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Stopwatch: the sanctioned wall-clock accessor for phase-duration
+ * *reporting*.
+ *
+ * bigfish-lint bans raw std::chrono clock access in library code (rule
+ * `nondeterminism`): wall-clock values that leak into computed results
+ * silently break the bitwise-determinism contract the reproduction's
+ * tables depend on. Durations are still worth reporting (train/eval
+ * seconds in FingerprintResult, bench phases), so this header is the
+ * one library file allowlisted to touch steady_clock — and the type it
+ * exposes can only produce elapsed seconds, never absolute timestamps,
+ * which keeps the temptation surface small. Measured seconds must only
+ * ever be *reported*; feeding them back into anything that affects
+ * results is a determinism bug the linter cannot see.
+ */
+
+#ifndef BF_BASE_STOPWATCH_HH
+#define BF_BASE_STOPWATCH_HH
+
+#include <chrono>
+
+namespace bigfish {
+
+/** Measures elapsed wall-clock seconds from construction or reset(). */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restarts the measurement window. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    [[nodiscard]] double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** seconds() then reset(): per-phase splits in one call. */
+    [[nodiscard]] double
+    lap()
+    {
+        const double elapsed = seconds();
+        reset();
+        return elapsed;
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace bigfish
+
+#endif // BF_BASE_STOPWATCH_HH

@@ -110,13 +110,13 @@ ThreadPool::parallelFor(std::size_t n,
                     for (std::size_t i = lo; i < hi; ++i)
                         body(i);
                 } catch (...) {
-                    std::lock_guard<std::mutex> lock(region->errorMutex);
+                    std::lock_guard<std::mutex> error_lock(region->errorMutex);
                     if (!region->error)
                         region->error = std::current_exception();
                 }
                 if (region->remaining.fetch_sub(
                         1, std::memory_order_acq_rel) == 1) {
-                    std::lock_guard<std::mutex> lock(region->doneMutex);
+                    std::lock_guard<std::mutex> done_lock(region->doneMutex);
                     region->done.notify_all();
                 }
             });

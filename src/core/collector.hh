@@ -126,7 +126,7 @@ class TraceCollector
      * the trace comes back unusable — e.g. fault-truncated below
      * kMinViablePeriods or empty.
      */
-    Result<attack::Trace> collectOne(const web::SiteSignature &site,
+    [[nodiscard]] Result<attack::Trace> collectOne(const web::SiteSignature &site,
                                      int run_index) const;
 
     /** collectOne() that fatal()s on failure (binary boundaries only). */
@@ -142,7 +142,7 @@ class TraceCollector
      * expensive synthesis runs once instead of attackers.size() times.
      * The config's own `attacker` field is ignored.
      */
-    std::vector<Result<attack::Trace>>
+    [[nodiscard]] std::vector<Result<attack::Trace>>
     collectOneMulti(const web::SiteSignature &site, int run_index,
                     std::span<const attack::AttackerKind> attackers) const;
 
@@ -152,7 +152,7 @@ class TraceCollector
      * accounting in @p stats (optional); the call fails only when the
      * configuration is invalid or no trace at all survived.
      */
-    Result<attack::TraceSet>
+    [[nodiscard]] Result<attack::TraceSet>
     collectClosedWorld(const web::SiteCatalog &catalog, int traces_per_site,
                        CollectionStats *stats = nullptr) const;
 
@@ -169,7 +169,7 @@ class TraceCollector
      * the corresponding single-attacker config; @p stats (optional) is
      * resized to one entry per attacker.
      */
-    Result<std::vector<attack::TraceSet>>
+    [[nodiscard]] Result<std::vector<attack::TraceSet>>
     collectClosedWorldMulti(const web::SiteCatalog &catalog,
                             int traces_per_site,
                             std::span<const attack::AttackerKind> attackers,
@@ -181,7 +181,7 @@ class TraceCollector
      * one-off site, all labeled @p non_sensitive_label. Unusable traces
      * are dropped with accounting in @p stats (optional).
      */
-    Result<attack::TraceSet>
+    [[nodiscard]] Result<attack::TraceSet>
     collectOpenWorld(const web::SiteCatalog &catalog, int num_extra,
                      Label non_sensitive_label,
                      CollectionStats *stats = nullptr) const;
@@ -193,7 +193,7 @@ class TraceCollector
                           CollectionStats *stats = nullptr) const;
 
     /** Open-world counterpart of collectClosedWorldMulti(). */
-    Result<std::vector<attack::TraceSet>>
+    [[nodiscard]] Result<std::vector<attack::TraceSet>>
     collectOpenWorldMulti(const web::SiteCatalog &catalog, int num_extra,
                           Label non_sensitive_label,
                           std::span<const attack::AttackerKind> attackers,
@@ -214,7 +214,7 @@ class TraceCollector
      * collectOneMulti() share this path, which is what makes the shared
      * timeline bit-compatible with separate single-attacker collections.
      */
-    Result<attack::Trace>
+    [[nodiscard]] Result<attack::Trace>
     collectForAttacker(attack::AttackerKind attacker,
                        const web::SiteSignature &site, int run_index,
                        const sim::RunTimeline &timeline,

@@ -1,9 +1,9 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
-#include <chrono>
 
 #include "base/logging.hh"
+#include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
 #include "stats/descriptive.hh"
 
@@ -75,21 +75,16 @@ runFingerprintingShared(const CollectionConfig &collection,
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
     const TraceCollector collector(collection);
 
-    using clock = std::chrono::steady_clock;
-    const auto seconds_since = [](clock::time_point start) {
-        return std::chrono::duration<double>(clock::now() - start).count();
-    };
-
     // Collect every attacker's trace sets from shared timelines, then
     // split the shared wall-clock evenly so summing per-attacker results
     // reports the collection cost once.
     std::vector<CollectionStats> closed_stats;
-    auto phase_start = clock::now();
+    Stopwatch watch;
     Result<std::vector<attack::TraceSet>> closed_result =
         collector.collectClosedWorldMulti(catalog, pipeline.tracesPerSite,
                                           attackers, &closed_stats);
     double collect_share =
-        seconds_since(phase_start) / static_cast<double>(attackers.size());
+        watch.lap() / static_cast<double>(attackers.size());
     if (!closed_result.isOk())
         return Status(closed_result.status());
     std::vector<attack::TraceSet> closed = std::move(closed_result.value());
@@ -98,13 +93,13 @@ runFingerprintingShared(const CollectionConfig &collection,
     std::vector<CollectionStats> open_stats(attackers.size());
     const Label non_sensitive = pipeline.numSites;
     if (pipeline.openWorldExtra > 0) {
-        phase_start = clock::now();
+        watch.reset();
         Result<std::vector<attack::TraceSet>> extra_result =
             collector.collectOpenWorldMulti(catalog,
                                             pipeline.openWorldExtra,
                                             non_sensitive, attackers,
                                             &open_stats);
-        collect_share += seconds_since(phase_start) /
+        collect_share += watch.lap() /
                          static_cast<double>(attackers.size());
         if (!extra_result.isOk())
             return Status(extra_result.status());
@@ -135,10 +130,10 @@ runFingerprintingShared(const CollectionConfig &collection,
                 " closed-world traces, fewer than the " +
                 std::to_string(pipeline.eval.folds) + " CV folds"));
 
-        phase_start = clock::now();
+        watch.reset();
         const ml::Dataset closed_data =
             toDataset(closed[a], pipeline.featureLen, pipeline.numSites);
-        result.featurizeSeconds += seconds_since(phase_start);
+        result.featurizeSeconds += watch.lap();
         result.closedWorld =
             ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
         result.trainSeconds += result.closedWorld.trainSeconds;
@@ -156,10 +151,10 @@ runFingerprintingShared(const CollectionConfig &collection,
                                 open_extra[a].traces.size());
             for (auto &trace : open_extra[a].traces)
                 open.add(std::move(trace));
-            phase_start = clock::now();
+            watch.reset();
             const ml::Dataset open_data =
                 toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
-            result.featurizeSeconds += seconds_since(phase_start);
+            result.featurizeSeconds += watch.lap();
             result.openWorld = ml::evaluateOpenWorld(
                 pipeline.factory, open_data, non_sensitive, pipeline.eval);
             result.trainSeconds += result.openWorld.trainSeconds;

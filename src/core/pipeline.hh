@@ -84,7 +84,7 @@ struct FingerprintResult
  * Degraded collection (injected faults, truncated traces) drops traces
  * with accounting instead of failing; see FingerprintResult.
  */
-Result<FingerprintResult>
+[[nodiscard]] Result<FingerprintResult>
 runFingerprinting(const CollectionConfig &collection,
                   const PipelineConfig &pipeline);
 
@@ -107,7 +107,7 @@ runFingerprintingOrDie(const CollectionConfig &collection,
  * evenly across the per-attacker collectSeconds so summing results does
  * not double-count.
  */
-Result<std::vector<FingerprintResult>>
+[[nodiscard]] Result<std::vector<FingerprintResult>>
 runFingerprintingShared(const CollectionConfig &collection,
                         std::span<const attack::AttackerKind> attackers,
                         const PipelineConfig &pipeline);

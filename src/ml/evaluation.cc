@@ -1,8 +1,7 @@
 #include "ml/evaluation.hh"
 
-#include <chrono>
-
 #include "base/logging.hh"
+#include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
 #include "stats/descriptive.hh"
 
@@ -26,13 +25,12 @@ FoldOutput
 runFold(const ClassifierFactory &factory, const Dataset &data,
         const FoldSplit &split, std::uint64_t seed)
 {
-    using clock = std::chrono::steady_clock;
     FoldOutput out;
     auto model = factory(data.numClasses, data.featureLen(), seed);
 
-    const auto fit_start = clock::now();
+    Stopwatch watch;
     model->fit(data.subset(split.train), data.subset(split.validation));
-    const auto fit_end = clock::now();
+    out.fitSeconds = watch.lap();
 
     out.scores.reserve(split.test.size());
     out.truths.reserve(split.test.size());
@@ -42,12 +40,7 @@ runFold(const ClassifierFactory &factory, const Dataset &data,
         out.truths.push_back(data.labels[i]);
         out.predictions.push_back(model->predict(data.features[i]));
     }
-    const auto score_end = clock::now();
-
-    out.fitSeconds = std::chrono::duration<double>(fit_end - fit_start)
-                         .count();
-    out.scoreSeconds = std::chrono::duration<double>(score_end - fit_end)
-                           .count();
+    out.scoreSeconds = watch.lap();
     return out;
 }
 

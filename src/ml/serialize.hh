@@ -32,10 +32,10 @@
 namespace bigfish::ml {
 
 /** Writes every parameter tensor of @p net to the stream. */
-Status saveWeights(std::ostream &out, Sequential &net);
+[[nodiscard]] Status saveWeights(std::ostream &out, Sequential &net);
 
 /** Writes weights to a file. */
-Status saveWeights(const std::string &path, Sequential &net);
+[[nodiscard]] Status saveWeights(const std::string &path, Sequential &net);
 
 /** saveWeights() that fatal()s on failure (binary boundaries only). */
 void saveWeightsOrDie(const std::string &path, Sequential &net);
@@ -46,10 +46,10 @@ void saveWeightsOrDie(std::ostream &out, Sequential &net);
  * stream is malformed or truncated, any tensor shape differs from the
  * network's current parameters, or a stored value is non-finite.
  */
-Status loadWeights(std::istream &in, Sequential &net);
+[[nodiscard]] Status loadWeights(std::istream &in, Sequential &net);
 
 /** Reads weights from a file. */
-Status loadWeights(const std::string &path, Sequential &net);
+[[nodiscard]] Status loadWeights(const std::string &path, Sequential &net);
 
 /** loadWeights() that fatal()s on failure (binary boundaries only). */
 void loadWeightsOrDie(const std::string &path, Sequential &net);

@@ -230,8 +230,9 @@ KernelSim::run(const ActivityTimeline &activity, Rng &rng) const
         s.arrival = at;
         s.kind = kind;
         s.duration = static_cast<TimeNs>(
-            config_.handlerCosts.sample(kind, rng, config_.vmIsolation,
-                                        work) *
+            static_cast<double>(
+                config_.handlerCosts.sample(kind, rng, config_.vmIsolation,
+                                        work)) *
             config_.os.handlerScale);
         out.push_back(s);
         return s.end();

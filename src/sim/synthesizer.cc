@@ -43,8 +43,9 @@ InterruptSynthesizer::emitPoisson(InterruptKind kind, double expected_count,
                                      static_cast<double>(hi - lo));
         interval.kind = kind;
         interval.duration = static_cast<TimeNs>(
-            config_.handlerCosts.sample(kind, rng, config_.vmIsolation,
-                                        work_scale) *
+            static_cast<double>(
+                config_.handlerCosts.sample(kind, rng, config_.vmIsolation,
+                                        work_scale)) *
             config_.os.handlerScale);
         out.push_back(interval);
 
@@ -55,9 +56,10 @@ InterruptSynthesizer::emitPoisson(InterruptKind kind, double expected_count,
             softirq.arrival = interval.end();
             softirq.kind = InterruptKind::SoftirqNetRx;
             softirq.duration = static_cast<TimeNs>(
-                config_.handlerCosts.sample(InterruptKind::SoftirqNetRx, rng,
+                static_cast<double>(
+                    config_.handlerCosts.sample(InterruptKind::SoftirqNetRx, rng,
                                             config_.vmIsolation,
-                                            work_scale) *
+                                            work_scale)) *
                 config_.os.handlerScale);
             out.push_back(softirq);
         }
@@ -79,8 +81,9 @@ InterruptSynthesizer::emitTicks(const ActivityTimeline &activity, Rng &rng,
         // The tick handler does more work when deferred work is pending.
         const double work = 1.0 + 0.5 * sample.softirqWork;
         tick.duration = static_cast<TimeNs>(
-            config_.handlerCosts.sample(InterruptKind::TimerTick, rng,
-                                        config_.vmIsolation, work) *
+            static_cast<double>(
+                config_.handlerCosts.sample(InterruptKind::TimerTick, rng,
+                                        config_.vmIsolation, work)) *
             config_.os.handlerScale);
         out.push_back(tick);
 
@@ -90,9 +93,10 @@ InterruptSynthesizer::emitTicks(const ActivityTimeline &activity, Rng &rng,
             softirq.arrival = tick.end();
             softirq.kind = InterruptKind::SoftirqTimer;
             softirq.duration = static_cast<TimeNs>(
-                config_.handlerCosts.sample(InterruptKind::SoftirqTimer, rng,
+                static_cast<double>(
+                    config_.handlerCosts.sample(InterruptKind::SoftirqTimer, rng,
                                             config_.vmIsolation,
-                                            1.0 + sample.softirqWork) *
+                                            1.0 + sample.softirqWork)) *
                 config_.os.handlerScale);
             out.push_back(softirq);
         }
@@ -105,8 +109,9 @@ InterruptSynthesizer::emitTicks(const ActivityTimeline &activity, Rng &rng,
             irq_work.arrival = tick.end();
             irq_work.kind = InterruptKind::IrqWork;
             irq_work.duration = static_cast<TimeNs>(
-                config_.handlerCosts.sample(InterruptKind::IrqWork, rng,
-                                            config_.vmIsolation, 1.0) *
+                static_cast<double>(
+                    config_.handlerCosts.sample(InterruptKind::IrqWork, rng,
+                                            config_.vmIsolation, 1.0)) *
                 config_.os.handlerScale);
             out.push_back(irq_work);
         }
@@ -221,9 +226,10 @@ InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
                 softirq.arrival = at;
                 softirq.kind = InterruptKind::SoftirqNetRx;
                 softirq.duration = static_cast<TimeNs>(
-                    config_.handlerCosts.sample(
+                    static_cast<double>(
+                        config_.handlerCosts.sample(
                         InterruptKind::SoftirqNetRx, rng,
-                        config_.vmIsolation, rng.uniform(0.8, 1.6)) *
+                        config_.vmIsolation, rng.uniform(0.8, 1.6))) *
                     config_.os.handlerScale);
                 at = softirq.end() + static_cast<TimeNs>(
                                          rng.exponential(12.0 * kUsec));

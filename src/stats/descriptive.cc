@@ -138,8 +138,8 @@ downsampleMin(const std::vector<double> &values, std::size_t targetLen)
     const double step =
         static_cast<double>(values.size()) / static_cast<double>(targetLen);
     for (std::size_t i = 0; i < targetLen; ++i) {
-        const std::size_t lo = static_cast<std::size_t>(i * step);
-        std::size_t hi = static_cast<std::size_t>((i + 1) * step);
+        const std::size_t lo = static_cast<std::size_t>(static_cast<double>(i) * step);
+        std::size_t hi = static_cast<std::size_t>(static_cast<double>(i + 1) * step);
         hi = std::max(hi, lo + 1);
         hi = std::min(hi, values.size());
         double m = values[lo];
@@ -213,8 +213,8 @@ downsample(const std::vector<double> &values, std::size_t targetLen)
     const double step =
         static_cast<double>(values.size()) / static_cast<double>(targetLen);
     for (std::size_t i = 0; i < targetLen; ++i) {
-        const std::size_t lo = static_cast<std::size_t>(i * step);
-        std::size_t hi = static_cast<std::size_t>((i + 1) * step);
+        const std::size_t lo = static_cast<std::size_t>(static_cast<double>(i) * step);
+        std::size_t hi = static_cast<std::size_t>(static_cast<double>(i + 1) * step);
         hi = std::max(hi, lo + 1);
         hi = std::min(hi, values.size());
         double sum = 0.0;

@@ -390,7 +390,7 @@ TEST(TraceIo, RoundTripsExactly)
     set.add(b);
 
     std::stringstream stream;
-    writeTraces(stream, set);
+    ASSERT_TRUE(writeTraces(stream, set).isOk());
     const TraceSet loaded = readTracesOrDie(stream);
     ASSERT_EQ(loaded.size(), 2u);
     EXPECT_EQ(loaded.traces[0].siteId, 3);
@@ -412,7 +412,7 @@ TEST(TraceIo, RoundTripsRealCollectedTraces)
     set.add(collectTraceOrDie(AttackerKind::LoopCounting, params, machine,
                          timeline, timer, 5 * kMsec));
     std::stringstream stream;
-    writeTraces(stream, set);
+    ASSERT_TRUE(writeTraces(stream, set).isOk());
     const TraceSet loaded = readTracesOrDie(stream);
     ASSERT_EQ(loaded.traces[0].counts.size(), set.traces[0].counts.size());
     for (std::size_t i = 0; i < set.traces[0].counts.size(); ++i)

@@ -93,7 +93,8 @@ TEST(BackgroundApps, ModerateStationaryActivity)
         // Slack + Spotify use some CPU but nowhere near a full core each.
         EXPECT_LT(overlay.at(i).cpuLoad, 1.5);
     }
-    EXPECT_GT(total_net / overlay.numIntervals(), 50.0);
+    EXPECT_GT(total_net / static_cast<double>(overlay.numIntervals()),
+              50.0);
 }
 
 TEST(Overhead, SpuriousInterruptsCostAround15Percent)

@@ -489,7 +489,9 @@ TEST(Gru, LearnsAsRecurrentBackbone)
         if (pred == train.labels[i])
             ++hits;
     }
-    EXPECT_GT(static_cast<double>(hits) / train.size(), 0.9);
+    EXPECT_GT(static_cast<double>(hits) /
+                  static_cast<double>(train.size()),
+              0.9);
 }
 
 TEST(CnnLstm, LearnsSyntheticProblem)
@@ -559,7 +561,9 @@ TEST(SoftmaxRegression, LearnsLinearProblem)
     for (std::size_t i = 0; i < test.size(); ++i)
         if (model.predict(test.features[i]) == test.labels[i])
             ++hits;
-    EXPECT_GT(static_cast<double>(hits) / test.size(), 0.9);
+    EXPECT_GT(static_cast<double>(hits) /
+                  static_cast<double>(test.size()),
+              0.9);
 }
 
 TEST(Mlp, LearnsSyntheticProblem)
@@ -599,7 +603,9 @@ TEST(Knn, NearestNeighbourRecall)
     for (std::size_t i = 0; i < test.size(); ++i)
         if (model.predict(test.features[i]) == test.labels[i])
             ++hits;
-    EXPECT_GT(static_cast<double>(hits) / test.size(), 0.9);
+    EXPECT_GT(static_cast<double>(hits) /
+                  static_cast<double>(test.size()),
+              0.9);
 }
 
 TEST(CrossValidate, PerfectClassifierScoresPerfect)
@@ -639,7 +645,7 @@ TEST(Serialize, WeightsRoundTrip)
     const Matrix before = net.forward(probe, false);
 
     std::stringstream stream;
-    saveWeights(stream, net);
+    ASSERT_TRUE(saveWeights(stream, net).isOk());
 
     // A differently initialized clone must reproduce the original's
     // outputs once the weights are loaded.
@@ -648,7 +654,7 @@ TEST(Serialize, WeightsRoundTrip)
     clone.add(std::make_unique<Dense>(6, 5, rng2));
     clone.add(std::make_unique<ReLU>());
     clone.add(std::make_unique<Dense>(5, 3, rng2));
-    loadWeights(stream, clone);
+    ASSERT_TRUE(loadWeights(stream, clone).isOk());
     const Matrix after = clone.forward(probe, false);
     ASSERT_EQ(after.size(), before.size());
     for (std::size_t i = 0; i < before.size(); ++i)
@@ -666,9 +672,9 @@ TEST(Serialize, CnnLstmRoundTripPreservesPredictions)
     model.fit(train, train);
 
     std::stringstream stream;
-    saveWeights(stream, model.network());
+    ASSERT_TRUE(saveWeights(stream, model.network()).isOk());
     CnnLstmClassifier clone(3, 64, params, 777);
-    loadWeights(stream, clone.network());
+    ASSERT_TRUE(loadWeights(stream, clone.network()).isOk());
 
     for (std::size_t i = 0; i < train.size(); i += 5) {
         const auto a = model.predictScores(train.features[i]);

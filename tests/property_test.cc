@@ -164,8 +164,9 @@ TEST_P(MachineProperties, SynthesizedTimelinesAreWellFormed)
         EXPECT_GE(s.arrival, 0);
         EXPECT_GT(s.duration, 0);
         EXPECT_LE(s.end(), timeline.duration);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(s.arrival, timeline.stolen[i - 1].end());
+        }
     }
     for (double f : timeline.iterCostFactor) {
         EXPECT_GT(f, 0.4);
@@ -224,8 +225,9 @@ TEST_P(SitePropertyTest, EverySiteYieldsDistinctButStableWorkloads)
         total += a.at(i).netRxRate;
     }
     EXPECT_DOUBLE_EQ(same, 0.0); // Same seed: identical realization.
-    if (total > 0.0)
+    if (total > 0.0) {
         EXPECT_GT(diff, 0.0); // Different run: some variation.
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sites, SitePropertyTest, ::testing::Range(0, 24));

@@ -364,7 +364,8 @@ TEST(Synthesizer, VmIsolationIncreasesStolenTime)
         InterruptSynthesizer(native).synthesize(busyActivity(), r1);
     const auto t_vm = InterruptSynthesizer(vm).synthesize(busyActivity(), r2);
     EXPECT_GT(t_vm.totalStolenAll(),
-              static_cast<TimeNs>(t_native.totalStolenAll() * 1.5));
+              static_cast<TimeNs>(
+        static_cast<double>(t_native.totalStolenAll()) * 1.5));
 }
 
 TEST(Synthesizer, OccupancyMirrorsActivity)

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * bigfish-lint: project-specific static analysis for the bigger-fish
+ * reproduction.
+ *
+ * Enforces the two load-bearing invariants of the codebase at commit
+ * time instead of at runtime: bitwise-deterministic results at any
+ * thread count, and Status/Result error propagation instead of aborts.
+ * See tools/lint/rules.hh for the rule list and DESIGN.md for the
+ * rationale.
+ *
+ * Usage:
+ *   bigfish-lint [options] <file-or-directory>...
+ *
+ * Options:
+ *   --config=FILE    Load rule toggles + allowlists (TOML subset).
+ *   --root=DIR       Paths in diagnostics/allowlists are relative to
+ *                    DIR (default: current directory).
+ *   --json           Machine-readable output on stdout.
+ *   --enable=RULE    Force-enable one rule (overrides config).
+ *   --disable=RULE   Force-disable one rule (overrides config).
+ *   --list-rules     Print the rule names and exit.
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/config/IO error.
+ *
+ * Suppressions: `// bigfish-lint: allow(rule-name)` on the offending
+ * line or the line directly above silences that rule for that line;
+ * `allow(all)` silences every rule.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+using namespace bigfish::lint;
+
+namespace {
+
+bool
+hasSourceExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" || ext == ".h" ||
+           ext == ".cxx" || ext == ".hpp";
+}
+
+bool
+isHeaderExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".h" || ext == ".hpp";
+}
+
+/** @p path relative to @p root with forward slashes, for diagnostics. */
+std::string
+relPath(const fs::path &path, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::proximate(path, root, ec);
+    if (ec || rel.empty())
+        rel = path;
+    return rel.generic_string();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+int
+usageError(const std::string &message)
+{
+    std::cerr << "bigfish-lint: " << message
+              << "\nusage: bigfish-lint [--config=FILE] [--root=DIR] "
+                 "[--json] [--enable=RULE] [--disable=RULE] <path>...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config config;
+    fs::path root = fs::current_path();
+    bool json = false;
+    std::vector<fs::path> inputs;
+    // Apply --enable/--disable after the config file regardless of
+    // argument order: the command line always wins.
+    std::vector<std::pair<std::string, bool>> overrides;
+    std::string config_path;
+
+    for (int a = 1; a < argc; ++a) {
+        const std::string arg = argv[a];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-rules") {
+            for (const std::string &rule : allRuleNames())
+                std::cout << rule << "\n";
+            return 0;
+        } else if (arg.rfind("--config=", 0) == 0) {
+            config_path = arg.substr(9);
+        } else if (arg.rfind("--root=", 0) == 0) {
+            root = fs::path(arg.substr(7));
+        } else if (arg.rfind("--enable=", 0) == 0) {
+            overrides.emplace_back(arg.substr(9), true);
+        } else if (arg.rfind("--disable=", 0) == 0) {
+            overrides.emplace_back(arg.substr(10), false);
+        } else if (arg.rfind("--", 0) == 0) {
+            return usageError("unknown option '" + arg + "'");
+        } else {
+            inputs.emplace_back(arg);
+        }
+    }
+    if (inputs.empty())
+        return usageError("no files or directories to scan");
+
+    if (!config_path.empty()) {
+        std::ifstream in(config_path);
+        if (!in)
+            return usageError("cannot open config '" + config_path + "'");
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        const std::string error = config.parse(buffer.str());
+        if (!error.empty())
+            return usageError("config " + config_path + ": " + error);
+    }
+    for (const auto &[rule, on] : overrides) {
+        if (!config.setRuleEnabled(rule, on))
+            return usageError("unknown rule '" + rule + "'");
+    }
+
+    // Expand directories into a deterministic, sorted file list.
+    std::vector<fs::path> files;
+    for (const fs::path &input : inputs) {
+        std::error_code ec;
+        if (fs::is_directory(input, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(input, ec)) {
+                if (entry.is_regular_file() &&
+                    hasSourceExtension(entry.path()))
+                    files.push_back(entry.path());
+            }
+        } else if (fs::is_regular_file(input, ec)) {
+            files.push_back(input);
+        } else {
+            return usageError("no such file or directory: '" +
+                              input.string() + "'");
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 1: lex everything and harvest Status/Result returner names
+    // so call-site checks work across translation units.
+    std::vector<LexedFile> lexed;
+    lexed.reserve(files.size());
+    std::set<std::string> returners;
+    for (const fs::path &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << "bigfish-lint: cannot read " << path << "\n";
+            return 2;
+        }
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        lexed.push_back(lex(buffer.str()));
+        const auto names = collectStatusReturners(lexed.back());
+        returners.insert(names.begin(), names.end());
+    }
+
+    // Pass 2: run the rules.
+    std::vector<Diagnostic> diagnostics;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string rel = relPath(files[i], root);
+        auto diags = runRules(rel, lexed[i], isHeaderExtension(files[i]),
+                              config, returners);
+        diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
+    }
+    std::sort(diagnostics.begin(), diagnostics.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    // One line can trip the same rule twice (e.g. `.begin()` and
+    // `.end()` in one loop header); report it once.
+    diagnostics.erase(
+        std::unique(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic &a, const Diagnostic &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.rule == b.rule;
+                    }),
+        diagnostics.end());
+
+    if (json) {
+        std::cout << "{\n  \"files_scanned\": " << files.size()
+                  << ",\n  \"count\": " << diagnostics.size()
+                  << ",\n  \"diagnostics\": [";
+        for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+            const Diagnostic &d = diagnostics[i];
+            std::cout << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+                      << jsonEscape(d.file) << "\", \"line\": " << d.line
+                      << ", \"rule\": \"" << jsonEscape(d.rule)
+                      << "\", \"message\": \"" << jsonEscape(d.message)
+                      << "\"}";
+        }
+        std::cout << (diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
+    } else {
+        for (const Diagnostic &d : diagnostics)
+            std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+                      << d.message << "\n";
+        std::cerr << "bigfish-lint: " << diagnostics.size()
+                  << " finding(s) in " << files.size()
+                  << " file(s) scanned\n";
+    }
+    return diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,164 @@
+#include "config.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bigfish::lint {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Strips a trailing # comment that is not inside a string literal. */
+std::string
+stripComment(const std::string &line)
+{
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"')
+            in_string = !in_string;
+        else if (line[i] == '#' && !in_string)
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+} // namespace
+
+std::vector<std::string>
+allRuleNames()
+{
+    return {"nondeterminism", "unordered-iteration", "discarded-status",
+            "raw-thread", "parallel-float-accum"};
+}
+
+Config::Config()
+{
+    for (const std::string &rule : allRuleNames())
+        enabled_[rule] = true;
+}
+
+std::string
+Config::parse(const std::string &text)
+{
+    std::string section;
+    std::size_t start = 0;
+    int lineno = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string raw = text.substr(start, end - start);
+        start = end + 1;
+        ++lineno;
+
+        const std::string line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+        const std::string where = "line " + std::to_string(lineno) + ": ";
+
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                return where + "unterminated section header";
+            section = trim(line.substr(1, line.size() - 2));
+            continue;
+        }
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return where + "expected 'key = value'";
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+
+        if (section == "rules") {
+            bool on;
+            if (value == "true")
+                on = true;
+            else if (value == "false")
+                on = false;
+            else
+                return where + "rule value must be true or false";
+            if (!setRuleEnabled(key, on))
+                return where + "unknown rule '" + key + "'";
+            continue;
+        }
+        if (section.rfind("allow.", 0) == 0) {
+            const std::string rule = section.substr(6);
+            const auto names = allRuleNames();
+            if (std::find(names.begin(), names.end(), rule) == names.end())
+                return where + "unknown rule in section '" + section + "'";
+            if (key != "paths")
+                return where + "allow sections take only 'paths'";
+            if (value.size() < 2 || value.front() != '[' ||
+                value.back() != ']')
+                return where + "paths must be a [\"...\"] array";
+            // Parse the ["a", "b"] array body.
+            std::string body = value.substr(1, value.size() - 2);
+            std::size_t pos = 0;
+            while (pos < body.size()) {
+                const std::size_t open = body.find('"', pos);
+                if (open == std::string::npos) {
+                    if (!trim(body.substr(pos)).empty() &&
+                        trim(body.substr(pos)) != ",")
+                        return where + "malformed paths array";
+                    break;
+                }
+                const std::size_t close = body.find('"', open + 1);
+                if (close == std::string::npos)
+                    return where + "unterminated string in paths array";
+                addAllowlist(rule, body.substr(open + 1, close - open - 1));
+                pos = close + 1;
+            }
+            continue;
+        }
+        return where + "unknown section '" + section + "'";
+    }
+    return "";
+}
+
+bool
+Config::setRuleEnabled(const std::string &rule, bool enabled)
+{
+    const auto it = enabled_.find(rule);
+    if (it == enabled_.end())
+        return false;
+    it->second = enabled;
+    return true;
+}
+
+bool
+Config::ruleEnabled(const std::string &rule) const
+{
+    const auto it = enabled_.find(rule);
+    return it != enabled_.end() && it->second;
+}
+
+bool
+Config::isAllowlisted(const std::string &rule,
+                      const std::string &relPath) const
+{
+    const auto it = allowlists_.find(rule);
+    if (it == allowlists_.end())
+        return false;
+    for (const std::string &prefix : it->second)
+        if (relPath.rfind(prefix, 0) == 0)
+            return true;
+    return false;
+}
+
+void
+Config::addAllowlist(const std::string &rule, const std::string &prefix)
+{
+    allowlists_[rule].push_back(prefix);
+}
+
+} // namespace bigfish::lint

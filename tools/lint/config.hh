@@ -1,0 +1,62 @@
+/**
+ * @file
+ * bigfish-lint configuration: rule toggles and per-rule path allowlists.
+ *
+ * Loaded from a TOML subset (tools/lint/bigfish-lint.toml) so the config
+ * needs no third-party parser. Supported grammar:
+ *
+ *   # comment
+ *   [rules]
+ *   nondeterminism = true          # booleans toggle rules
+ *   [allow.nondeterminism]
+ *   paths = ["bench/", "src/base/thread_pool.cc"]
+ *
+ * Allowlist entries are path prefixes, matched against the path of the
+ * scanned file relative to the scan root with forward slashes; a prefix
+ * ending in '/' allowlists a whole directory.
+ */
+
+#ifndef BIGFISH_LINT_CONFIG_HH
+#define BIGFISH_LINT_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bigfish::lint {
+
+/** Stable identifiers of every rule the linter implements. */
+std::vector<std::string> allRuleNames();
+
+class Config
+{
+  public:
+    /** All rules enabled, empty allowlists. */
+    Config();
+
+    /**
+     * Parses the TOML subset in @p text. Returns an empty error string
+     * on success, else a human-readable parse error; the config is
+     * unspecified after a failure.
+     */
+    std::string parse(const std::string &text);
+
+    /** Enables or disables one rule; unknown names return false. */
+    bool setRuleEnabled(const std::string &rule, bool enabled);
+
+    bool ruleEnabled(const std::string &rule) const;
+
+    /** True when @p relPath starts with an allowlisted prefix of @p rule. */
+    bool isAllowlisted(const std::string &rule,
+                       const std::string &relPath) const;
+
+    void addAllowlist(const std::string &rule, const std::string &prefix);
+
+  private:
+    std::map<std::string, bool> enabled_;
+    std::map<std::string, std::vector<std::string>> allowlists_;
+};
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_CONFIG_HH

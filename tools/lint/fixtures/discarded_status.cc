@@ -1,0 +1,49 @@
+// Fixture for the call-site half of the `discarded-status` rule: a
+// Status/Result return value must be consumed (assigned, returned,
+// branched on, macro-wrapped or explicitly (void)-cast).
+//
+// The declarations below are the fixture's own returner set; pass 1
+// harvests them before pass 2 checks the call sites.
+
+namespace fixture {
+
+struct Status
+{
+    bool isOk() const { return true; }
+};
+
+template <typename T>
+struct Result
+{
+    bool isOk() const { return true; }
+    Status status() const { return {}; }
+};
+
+Status doWork();
+Result<int> compute();
+
+struct Store
+{
+    Status flush();
+};
+
+Status
+caller(Store &store, bool flag)
+{
+    doWork();                                 // expect-lint: discarded-status
+    if (flag)
+        doWork();                             // expect-lint: discarded-status
+    compute();                                // expect-lint: discarded-status
+    store.flush();                            // expect-lint: discarded-status
+
+    Status kept = doWork();                   // assigned: clean
+    const Result<int> r = compute();          // assigned: clean
+    if (!doWork().isOk())                     // branched on: clean
+        return doWork();                      // returned: clean
+    (void)doWork();                           // explicit discard: clean
+    while (compute().isOk())                  // consumed in condition: clean
+        break;
+    return kept.isOk() && r.isOk() ? doWork() : Status{};
+}
+
+} // namespace fixture

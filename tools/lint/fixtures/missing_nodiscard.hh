@@ -1,0 +1,35 @@
+// Fixture for the declaration half of the `discarded-status` rule:
+// header declarations returning Status/Result must carry
+// [[nodiscard]] so the compiler enforces consumption even on paths the
+// linter's call-site heuristic cannot see.
+#ifndef BIGFISH_LINT_FIXTURE_MISSING_NODISCARD_HH
+#define BIGFISH_LINT_FIXTURE_MISSING_NODISCARD_HH
+
+namespace fixture_nd {
+
+struct Status
+{
+    bool isOk() const { return true; }
+};
+
+template <typename T>
+struct Result
+{
+    bool isOk() const { return true; }
+};
+
+Status plainDeclaration();                    // expect-lint: discarded-status
+Result<int> plainResultDeclaration();         // expect-lint: discarded-status
+
+[[nodiscard]] Status attributedDeclaration();           // clean
+[[nodiscard]] Result<int> attributedResultDeclaration(); // clean
+
+struct Store
+{
+    Status unmarkedMethod();                  // expect-lint: discarded-status
+    [[nodiscard]] Status markedMethod();      // clean
+};
+
+} // namespace fixture_nd
+
+#endif // BIGFISH_LINT_FIXTURE_MISSING_NODISCARD_HH

@@ -1,0 +1,34 @@
+// Fixture for the `nondeterminism` rule. Annotated lines must produce
+// exactly the named diagnostic; every other line must stay clean
+// (tests/lint_test.cc asserts both directions).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long softirq_time(long x) { return x; } // name *contains* time: clean
+
+struct Sampler
+{
+    long time(long x) { return x; } // member named time: clean
+};
+
+int
+fixtureBody(Sampler &sampler)
+{
+    std::srand(42);                       // expect-lint: nondeterminism
+    int a = std::rand();                  // expect-lint: nondeterminism
+    std::random_device device;            // expect-lint: nondeterminism
+    a += static_cast<int>(device());
+    long b = std::time(nullptr);          // expect-lint: nondeterminism
+    auto t0 = std::chrono::steady_clock::now();  // expect-lint: nondeterminism
+    auto t1 = std::chrono::system_clock::now();  // expect-lint: nondeterminism
+    const char *env = std::getenv("HOME");       // expect-lint: nondeterminism
+    // Banned names inside strings and comments are fine: rand() time()
+    const char *doc = "call rand() and getenv() at your peril";
+    b += softirq_time(a);      // identifier merely containing 'time'
+    b += sampler.time(a);      // member access: clean
+    (void)t0;
+    (void)t1;
+    return static_cast<int>(b) + (env != nullptr) + (doc != nullptr);
+}

@@ -1,0 +1,39 @@
+// Fixture for the `parallel-float-accum` rule: `x += ...` onto a
+// captured variable inside a parallelFor/parallelMap body is both a
+// race and (for floats) an ordering-dependent reduction. The
+// deterministic pattern writes per-index results into pre-sized slots
+// and reduces serially afterwards.
+#include <cstddef>
+#include <vector>
+
+// Stand-ins so the fixture scans like real call sites.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn &&fn);
+template <typename Fn>
+int parallelMap(std::size_t n, Fn &&fn);
+
+double
+fixtureBody(const std::vector<double> &values)
+{
+    double total = 0.0;
+    std::vector<double> slots(values.size());
+
+    parallelFor(values.size(), [&](std::size_t i) {
+        total += values[i];                 // expect-lint: parallel-float-accum
+        slots[i] += values[i];              // pre-sized slot: clean
+        double local = 0.0;
+        local += values[i];                 // lambda-local accumulator: clean
+        slots[i] = local;
+    });
+
+    int count = parallelMap(values.size(), [&](std::size_t i) {
+        total -= values[i];                 // expect-lint: parallel-float-accum
+        return static_cast<int>(i);
+    });
+
+    // Serial reduction outside the parallel region is the sanctioned
+    // pattern and stays clean.
+    for (double v : slots)
+        total += v;
+    return total + count;
+}

@@ -1,0 +1,24 @@
+// Fixture for the `raw-thread` rule: thread creation outside
+// base/thread_pool bypasses the deterministic scheduler (static
+// chunking, serial N=1 path, exception draining), so raw primitives
+// are banned everywhere else.
+#include <future>
+#include <thread>
+
+void work(int);
+
+void
+fixtureBody()
+{
+    std::thread worker(work, 1);              // expect-lint: raw-thread
+    auto task = std::async(work, 2);          // expect-lint: raw-thread
+    std::jthread helper(work, 3);             // expect-lint: raw-thread
+    worker.join();
+    task.wait();
+
+    // Querying concurrency and yielding are clean: neither creates an
+    // execution context.
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::this_thread::yield();
+    (void)hw;
+}

@@ -1,0 +1,25 @@
+// Fixture for inline suppressions: every violation below carries a
+// `bigfish-lint: allow(<rule>)` comment (same-line or preceding-line),
+// so this file must produce zero diagnostics. tests/lint_test.cc also
+// flips the rules off via --disable to prove each fixture's findings
+// come from its own rule.
+#include <cstdlib>
+#include <thread>
+
+void work(int);
+
+int
+fixtureBody()
+{
+    int a = std::rand(); // bigfish-lint: allow(nondeterminism)
+
+    // bigfish-lint: allow(nondeterminism)
+    a += static_cast<int>(std::time(nullptr));
+
+    // bigfish-lint: allow(raw-thread)
+    std::thread worker(work, a);
+    worker.join();
+
+    a += std::rand(); // bigfish-lint: allow(all)
+    return a;
+}

@@ -1,0 +1,39 @@
+// Fixture for the `unordered-iteration` rule: iterating a hash
+// container lets bucket order leak into results. Lookup/insert is
+// fine; only iteration is flagged.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int
+fixtureBody()
+{
+    std::unordered_map<std::string, int> counts;
+    std::unordered_set<int> seen;
+    std::map<std::string, int> ordered;
+    int total = 0;
+
+    counts["a"] = 1;      // lookup/insert on unordered: clean
+    seen.insert(7);       // insert-only use: clean
+
+    for (const auto &entry : counts)          // expect-lint: unordered-iteration
+        total += entry.second;
+
+    for (auto it = counts.begin(); it != counts.end(); ++it)  // expect-lint: unordered-iteration
+        total += it->second;
+
+    for (const auto &entry : ordered)  // ordered container: clean
+        total += entry.second;
+
+    // Deterministic pattern: extract keys, sort, iterate the vector.
+    std::vector<std::string> keys;
+    keys.reserve(counts.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        total += static_cast<int>(keys[i].size());
+    std::sort(keys.begin(), keys.end());
+
+    return total + static_cast<int>(seen.count(7));
+}

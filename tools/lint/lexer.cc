@@ -1,0 +1,203 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace bigfish::lint {
+
+namespace {
+
+/** Longest-match puncutator set; order within a length is irrelevant. */
+const char *const kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char *const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=",
+                               ">=", "==", "!=", "&&", "||", "+=", "-=",
+                               "*=", "/=", "%=", "&=", "|=", "^=", "##"};
+
+bool
+startsWith(const std::string &s, std::size_t pos, const char *prefix)
+{
+    for (std::size_t i = 0; prefix[i] != '\0'; ++i) {
+        if (pos + i >= s.size() || s[pos + i] != prefix[i])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Records the rules named by a `bigfish-lint: allow(a, b)` marker in
+ * @p comment, covering @p line and the line after it.
+ */
+void
+recordSuppressions(const std::string &comment, int line, LexedFile &out)
+{
+    const std::string marker = "bigfish-lint:";
+    const std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    std::size_t pos = comment.find("allow(", at);
+    if (pos == std::string::npos)
+        return;
+    pos += 6;
+    const std::size_t end = comment.find(')', pos);
+    if (end == std::string::npos)
+        return;
+    std::string name;
+    for (std::size_t i = pos; i <= end; ++i) {
+        const char c = i < end ? comment[i] : ',';
+        if (c == ',' || c == ' ' || c == '\t') {
+            if (!name.empty()) {
+                out.suppressions[line].insert(name);
+                out.suppressions[line + 1].insert(name);
+                name.clear();
+            }
+        } else {
+            name.push_back(c);
+        }
+    }
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    const auto advanceLines = [&](const std::string &text) {
+        for (char c : text)
+            if (c == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment: strip to end of line, mining suppressions.
+        if (c == '/' && startsWith(source, i, "//")) {
+            std::size_t end = i;
+            while (end < n && source[end] != '\n')
+                ++end;
+            recordSuppressions(source.substr(i, end - i), line, out);
+            i = end;
+            continue;
+        }
+        // Block comment: strip to the closing marker.
+        if (c == '/' && startsWith(source, i, "/*")) {
+            std::size_t end = source.find("*/", i + 2);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += 2;
+            const std::string body = source.substr(i, end - i);
+            recordSuppressions(body, line, out);
+            advanceLines(body);
+            i = end;
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && startsWith(source, i, "R\"")) {
+            std::size_t d = i + 2;
+            while (d < n && source[d] != '(')
+                ++d;
+            const std::string delim = source.substr(i + 2, d - (i + 2));
+            const std::string close = ")" + delim + "\"";
+            std::size_t end = source.find(close, d);
+            if (end == std::string::npos)
+                end = n;
+            else
+                end += close.size();
+            const std::string body = source.substr(i, end - i);
+            out.tokens.push_back({TokenKind::String, "\"\"", line});
+            advanceLines(body);
+            i = end;
+            continue;
+        }
+        // String / char literal with escape handling.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t end = i + 1;
+            while (end < n && source[end] != quote) {
+                if (source[end] == '\\' && end + 1 < n)
+                    ++end;
+                if (source[end] == '\n')
+                    ++line;
+                ++end;
+            }
+            out.tokens.push_back({TokenKind::String,
+                                  quote == '"' ? "\"\"" : "''", line});
+            i = end < n ? end + 1 : n;
+            continue;
+        }
+        // Identifier or keyword.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t end = i;
+            while (end < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[end])) ||
+                    source[end] == '_'))
+                ++end;
+            out.tokens.push_back(
+                {TokenKind::Identifier, source.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        // Number (loose: the rules never read numeric values).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t end = i;
+            while (end < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[end])) ||
+                    source[end] == '.' || source[end] == '\''))
+                ++end;
+            out.tokens.push_back(
+                {TokenKind::Number, source.substr(i, end - i), line});
+            i = end;
+            continue;
+        }
+        // Punctuation, longest match first.
+        bool matched = false;
+        for (const char *p : kPunct3) {
+            if (startsWith(source, i, p)) {
+                out.tokens.push_back({TokenKind::Punct, p, line});
+                i += 3;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        for (const char *p : kPunct2) {
+            if (startsWith(source, i, p)) {
+                out.tokens.push_back({TokenKind::Punct, p, line});
+                i += 2;
+                matched = true;
+                break;
+            }
+        }
+        if (matched)
+            continue;
+        out.tokens.push_back({TokenKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+bool
+isSuppressed(const LexedFile &file, int line, const std::string &rule)
+{
+    const auto it = file.suppressions.find(line);
+    if (it == file.suppressions.end())
+        return false;
+    return it->second.count(rule) > 0 || it->second.count("all") > 0;
+}
+
+} // namespace bigfish::lint

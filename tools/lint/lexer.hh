@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Token-level C++ lexer for bigfish-lint.
+ *
+ * The linter's rules operate on token streams, never raw text, so a
+ * banned name inside a string literal or a comment can never fire a
+ * diagnostic, and `softirq_time(` never matches a ban on `time(`.
+ * The lexer therefore:
+ *
+ *  - strips // and C-style comments (recording any
+ *    `bigfish-lint: allow(rule, ...)` suppressions they carry),
+ *  - collapses string, char and raw-string literals to single String
+ *    tokens,
+ *  - splits punctuation into the multi-character operators the rules
+ *    care about (`+=`, `::`, `->`, ...), and
+ *  - tags every token with its 1-based source line.
+ *
+ * This is deliberately not a preprocessor: macros are scanned as
+ * written, which is exactly what a determinism audit wants (the banned
+ * call is banned whether or not the macro expands today).
+ */
+
+#ifndef BIGFISH_LINT_LEXER_HH
+#define BIGFISH_LINT_LEXER_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bigfish::lint {
+
+enum class TokenKind
+{
+    Identifier, ///< Names and keywords (rules distinguish by text).
+    Number,     ///< Numeric literal, value irrelevant to every rule.
+    String,     ///< Collapsed string/char/raw-string literal.
+    Punct,      ///< Operator or punctuator, possibly multi-character.
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line; ///< 1-based source line.
+};
+
+/** A lexed file: its tokens plus the suppressions its comments carry. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+
+    /**
+     * Lines on which a `// bigfish-lint: allow(rule)` comment silences
+     * the named rules. A suppression comment covers its own line and
+     * the line after it, so both trailing and preceding-line placement
+     * work. The wildcard rule name "all" silences every rule.
+     */
+    std::map<int, std::set<std::string>> suppressions;
+};
+
+/** Lexes @p source (the contents of @p path, used in messages only). */
+LexedFile lex(const std::string &source);
+
+/** True when @p file suppresses @p rule on @p line. */
+bool isSuppressed(const LexedFile &file, int line, const std::string &rule);
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_LEXER_HH

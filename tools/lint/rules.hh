@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The five bigfish-lint rules. Each rule encodes one invariant the
+ * reproduction's results depend on (see DESIGN.md "Static analysis"):
+ *
+ *  nondeterminism       — no ambient entropy (rand, random_device,
+ *                         time, system/steady clocks, getenv) outside
+ *                         allowlisted timing/infrastructure files.
+ *  unordered-iteration  — no iteration over std::unordered_{map,set}:
+ *                         bucket order leaks into results.
+ *  discarded-status     — a call returning Status/Result must be
+ *                         consumed; Status/Result-returning
+ *                         declarations in headers carry [[nodiscard]].
+ *  raw-thread           — std::thread/std::async only inside
+ *                         base/thread_pool; everything else goes
+ *                         through parallelFor/parallelMap.
+ *  parallel-float-accum — no `x += ...` reductions onto captured
+ *                         variables inside parallelFor/parallelMap
+ *                         bodies; accumulate into pre-sized slots or
+ *                         lambda-local variables instead.
+ */
+
+#ifndef BIGFISH_LINT_RULES_HH
+#define BIGFISH_LINT_RULES_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "lexer.hh"
+
+namespace bigfish::lint {
+
+struct Diagnostic
+{
+    std::string file; ///< Path relative to the scan root.
+    int line;
+    std::string rule;
+    std::string message;
+};
+
+/**
+ * Pass 1 of the discarded-status rule: harvests the names of functions
+ * declared (or defined) with a Status / Result<...> return type from
+ * one file's tokens. The union over all scanned files is the call-site
+ * ban set for pass 2.
+ */
+std::set<std::string> collectStatusReturners(const LexedFile &file);
+
+/**
+ * Runs every enabled, non-allowlisted rule over one file.
+ *
+ * @param relPath          File path relative to the scan root (used in
+ *                         diagnostics and for allowlist matching).
+ * @param isHeader         True for .hh/.h files; the missing-nodiscard
+ *                         half of discarded-status only fires here.
+ * @param statusReturners  Union of collectStatusReturners over the scan
+ *                         set.
+ */
+std::vector<Diagnostic> runRules(const std::string &relPath,
+                                 const LexedFile &file, bool isHeader,
+                                 const Config &config,
+                                 const std::set<std::string> &statusReturners);
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_RULES_HH
