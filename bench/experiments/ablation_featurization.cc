@@ -5,7 +5,7 @@
  *
  * Featurization: the pipeline feeds the CNN-LSTM two channels per time
  * bucket — bucket mean (coarse profile) and sub-bucket dip depth (fine
- * interrupt texture). This harness measures each channel alone, the
+ * interrupt texture). This experiment measures each channel alone, the
  * combination, and the effect of dropping winsorization.
  *
  * Primitive: compares the loop-counting trace against the gap-trace
@@ -14,13 +14,14 @@
  * same channel.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "base/table.hh"
-#include "bench_common.hh"
+#include "experiments.hh"
 #include "stats/descriptive.hh"
 
-using namespace bigfish;
+namespace bigfish::bench {
 
 namespace {
 
@@ -51,24 +52,22 @@ makeDataset(const attack::TraceSet &traces, std::size_t feature_len,
     return data;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
 {
-    const auto scale = bench::parseScale(argc, argv);
-    bench::BenchReport report("ablation_featurization", scale);
-    bench::printBanner(
-        "ablation_featurization: classifier input channels & primitives",
-        "DESIGN.md decision #6 (not a paper table)", scale);
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
 
     core::CollectionConfig config;
     config.browser = web::BrowserProfile::chrome();
     config.seed = scale.seed;
     const web::SiteCatalog catalog(scale.sites, 7);
     const core::TraceCollector collector(config);
-    const auto traces =
-        collector.collectClosedWorldOrDie(catalog, scale.tracesPerSite);
+    auto collected =
+        collector.collectClosedWorld(catalog, scale.tracesPerSite);
+    if (!collected.isOk())
+        return collected.status();
+    const auto &traces = collected.value();
 
     ml::EvalConfig eval;
     eval.folds = scale.folds;
@@ -97,13 +96,13 @@ main(int argc, char **argv)
         params.inputChannels = v.channels;
         const auto result =
             ml::crossValidate(ml::cnnLstmFactory(params), data, eval);
-        report.addMetric("variant" + std::to_string(variant_index++) +
-                             "_top1",
-                         result.top1Mean);
-        report.addPhaseSeconds("train", result.trainSeconds);
-        report.addPhaseSeconds("eval", result.evalSeconds);
-        table.addRow({v.name, formatPercentPm(result.top1Mean,
-                                              result.top1Std),
+        artifact.addMetric("variant" + std::to_string(variant_index++) +
+                               "_top1",
+                           result.top1Mean);
+        artifact.addPhaseSeconds("train", result.trainSeconds);
+        artifact.addPhaseSeconds("eval", result.evalSeconds);
+        table.addRow({v.name,
+                      formatPercentPm(result.top1Mean, result.top1Std),
                       formatPercent(result.top5Mean)});
         std::printf("finished: %s\n", v.name);
     }
@@ -113,11 +112,15 @@ main(int argc, char **argv)
     // Measurement-primitive comparison: loop counter vs gap trace.
     attack::TraceSet gap_traces;
     for (SiteId id = 0; id < catalog.size(); ++id) {
-        for (int run = 0; run < scale.tracesPerSite; ++run) {
+        for (int run_index = 0; run_index < scale.tracesPerSite;
+             ++run_index) {
             const auto timeline =
-                collector.synthesizeTimeline(catalog.site(id), run);
-            attack::Trace t = attack::collectGapTraceOrDie(
-                timeline, config.effectivePeriod());
+                collector.synthesizeTimeline(catalog.site(id), run_index);
+            auto gap = attack::collectGapTrace(timeline,
+                                               config.effectivePeriod());
+            if (!gap.isOk())
+                return gap.status();
+            attack::Trace t = std::move(gap).value();
             t.siteId = id;
             t.label = id;
             gap_traces.add(std::move(t));
@@ -126,11 +129,11 @@ main(int argc, char **argv)
     const auto gap_data = core::toDataset(gap_traces, scale.featureLen,
                                           scale.sites);
     const auto gap_result = ml::crossValidate(
-        bench::makeClassifier(scale), gap_data, eval);
+        core::classifierForScale(scale), gap_data, eval);
     const auto loop_data =
         core::toDataset(traces, scale.featureLen, scale.sites);
     const auto loop_result = ml::crossValidate(
-        bench::makeClassifier(scale), loop_data, eval);
+        core::classifierForScale(scale), loop_data, eval);
 
     Table prim({"measurement primitive", "top-1", "top-5"});
     prim.addRow({"loop counter (throughput)",
@@ -145,14 +148,27 @@ main(int argc, char **argv)
     std::printf("\nexpected: both primitives fingerprint websites — the "
                 "channel is the interrupt\nactivity itself, not any one "
                 "way of observing it (Section 5.2).\n");
-    report.addMetric("loop_primitive_top1", loop_result.top1Mean);
-    report.addMetric("gap_primitive_top1", gap_result.top1Mean);
-    report.addPhaseSeconds("train",
-                           loop_result.trainSeconds +
-                               gap_result.trainSeconds);
-    report.addPhaseSeconds("eval",
-                           loop_result.evalSeconds +
-                               gap_result.evalSeconds);
-    report.write();
-    return 0;
+    artifact.addMetric("loop_primitive_top1", loop_result.top1Mean);
+    artifact.addMetric("gap_primitive_top1", gap_result.top1Mean);
+    artifact.addPhaseSeconds("train", loop_result.trainSeconds +
+                                          gap_result.trainSeconds);
+    artifact.addPhaseSeconds("eval", loop_result.evalSeconds +
+                                         gap_result.evalSeconds);
+    return artifact;
 }
+
+} // namespace
+
+void
+registerAblationFeaturization(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "ablation_featurization";
+    d.title = "classifier input channels & measurement primitives";
+    d.paperReference = "DESIGN.md decision #6 (not a paper table)";
+    d.schema = core::commonScaleSchema();
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

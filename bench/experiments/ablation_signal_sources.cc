@@ -3,7 +3,7 @@
  * Ablation: which simulated leakage channels carry the attack?
  *
  * DESIGN.md calls out the interrupt-stream decomposition as the central
- * modelling decision; this harness deletes one channel at a time from
+ * modelling decision; this experiment deletes one channel at a time from
  * the machine model and re-measures closed-world accuracy, quantifying
  * each channel's contribution. It also ablates the classifier (CNN-LSTM
  * vs softmax regression vs kNN) and the feature length.
@@ -17,33 +17,30 @@
 #include <cstdio>
 
 #include "base/table.hh"
-#include "bench_common.hh"
+#include "experiments.hh"
 
-using namespace bigfish;
+namespace bigfish::bench {
 
 namespace {
 
-double
-accuracy(core::CollectionConfig config, core::PipelineConfig pipeline,
-         bench::BenchReport &report, const std::string &label)
+Result<double>
+accuracy(const core::CollectionConfig &config,
+         const core::PipelineConfig &pipeline,
+         core::RunArtifact &artifact, const std::string &label)
 {
-    const auto result = core::runFingerprintingOrDie(config, pipeline);
-    report.addResult(label, result);
-    return result.closedWorld.top1Mean;
+    auto result = core::runFingerprinting(config, pipeline);
+    if (!result.isOk())
+        return result.status();
+    artifact.addResult(label, result.value());
+    return result.value().closedWorld.top1Mean;
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
 {
-    const auto scale = bench::parseScale(argc, argv);
-    bench::BenchReport report("ablation_signal_sources", scale);
-    bench::printBanner(
-        "ablation_signal_sources: per-channel leakage contributions",
-        "DESIGN.md ablations (not a paper table)", scale);
-
-    const auto pipeline = bench::makePipeline(scale);
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
+    const auto pipeline = core::pipelineForScale(scale);
 
     core::CollectionConfig base;
     base.browser = web::BrowserProfile::nativePython();
@@ -67,9 +64,8 @@ main(int argc, char **argv)
          }},
         {"- victim resched/TLB IPIs",
          [](core::CollectionConfig &c) {
-             // Zeroing the victim's IPI activity is modelled by scaling
-             // its rates away in the handler-cost table is not possible
-             // from config, so approximate by muting the IPI handlers.
+             // Zeroing the victim's IPI activity is not possible from
+             // config, so approximate by muting the IPI handlers.
              c.machine.handlerCosts.setParams(
                  sim::InterruptKind::ReschedIpi, {1, 0.01});
              c.machine.handlerCosts.setParams(
@@ -95,13 +91,17 @@ main(int argc, char **argv)
     int step_index = 0;
     for (const auto &step : steps) {
         step.apply(config);
-        const double acc =
-            accuracy(config, pipeline, report,
-                     "channel_step" + std::to_string(step_index++));
-        table.addRow({step.name, formatPercent(acc),
-                      prev < 0 ? std::string("-")
-                               : formatDouble((acc - prev) * 100.0, 1)});
-        prev = acc;
+        auto acc = accuracy(config, pipeline, artifact,
+                            "channel_step" +
+                                std::to_string(step_index++));
+        if (!acc.isOk())
+            return acc.status();
+        table.addRow({step.name, formatPercent(acc.value()),
+                      prev < 0
+                          ? std::string("-")
+                          : formatDouble((acc.value() - prev) * 100.0,
+                                         1)});
+        prev = acc.value();
         std::printf("finished: %s\n", step.name);
     }
     std::printf("\nLEAKAGE-CHANNEL ABLATION (chance = %.1f%%)\n%s",
@@ -115,7 +115,8 @@ main(int argc, char **argv)
         ml::ClassifierFactory factory;
     };
     const ClfRow classifiers[] = {
-        {"cnn-lstm (paper architecture)", bench::makeClassifier(scale)},
+        {"cnn-lstm (paper architecture)",
+         core::classifierForScale(scale)},
         {"softmax regression", ml::softmaxRegressionFactory()},
         {"kNN (k=5)", ml::knnFactory(5)},
     };
@@ -123,11 +124,11 @@ main(int argc, char **argv)
     for (const auto &row : classifiers) {
         auto p = pipeline;
         p.factory = row.factory;
-        clf.addRow(
-            {row.name,
-             formatPercent(accuracy(
-                 base, p, report,
-                 "classifier" + std::to_string(clf_index++)))});
+        auto acc = accuracy(base, p, artifact,
+                            "classifier" + std::to_string(clf_index++));
+        if (!acc.isOk())
+            return acc.status();
+        clf.addRow({row.name, formatPercent(acc.value())});
         std::printf("finished classifier: %s\n", row.name);
     }
     std::printf("\nCLASSIFIER ABLATION\n%s", clf.render().c_str());
@@ -137,13 +138,29 @@ main(int argc, char **argv)
     for (std::size_t len : {64u, 128u, 256u, 512u}) {
         auto p = pipeline;
         p.featureLen = len;
-        feat.addRow({std::to_string(len),
-                     formatPercent(accuracy(base, p, report,
-                                            "features" +
-                                                std::to_string(len)))});
+        auto acc = accuracy(base, p, artifact,
+                            "features" + std::to_string(len));
+        if (!acc.isOk())
+            return acc.status();
+        feat.addRow({std::to_string(len), formatPercent(acc.value())});
         std::printf("finished feature length: %zu\n", len);
     }
     std::printf("\nFEATURE-LENGTH ABLATION\n%s", feat.render().c_str());
-    report.write();
-    return 0;
+    return artifact;
 }
+
+} // namespace
+
+void
+registerAblationSignalSources(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "ablation_signal_sources";
+    d.title = "per-channel leakage contributions";
+    d.paperReference = "DESIGN.md ablations (not a paper table)";
+    d.schema = core::commonScaleSchema();
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

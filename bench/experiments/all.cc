@@ -1,0 +1,25 @@
+#include "experiments.hh"
+
+namespace bigfish::bench {
+
+void
+registerAllExperiments(core::ExperimentRegistry &registry)
+{
+    registerAblationFeaturization(registry);
+    registerAblationSignalSources(registry);
+    registerBackgroundNoise(registry);
+    registerDefenseOverhead(registry);
+    registerFig3Traces(registry);
+    registerFig4Correlation(registry);
+    registerFig5InterruptTime(registry);
+    registerFig6GapDistributions(registry);
+    registerFig7TimerOutputs(registry);
+    registerFig8LoopDurations(registry);
+    registerGapAttribution(registry);
+    registerTable1Fingerprinting(registry);
+    registerTable2Noise(registry);
+    registerTable3Isolation(registry);
+    registerTable4TimerDefense(registry);
+}
+
+} // namespace bigfish::bench

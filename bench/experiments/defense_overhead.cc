@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Section 6.2: page-load overhead of the spurious-interrupt
+ * countermeasure.
+ *
+ * Expected shape (paper): average page-load time grows from 3.12 s to
+ * 3.61 s — about +15.7% — when the defense floods the victim's cores
+ * with spurious interrupts.
+ */
+
+#include <cstdio>
+
+#include "defense/noise.hh"
+#include "experiments.hh"
+
+namespace bigfish::bench {
+
+namespace {
+
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
+{
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
+
+    Rng rng(scale.seed);
+    const auto overlay = defense::spuriousInterruptOverlay(
+        15 * kSec, defense::SpuriousInterruptParams{}, rng);
+    const double overhead =
+        defense::loadTimeOverheadFactor(overlay, 4) - 1.0;
+
+    std::printf("\ncountermeasure page-load overhead:\n");
+    std::printf("  paper:    3.12 s -> 3.61 s (+15.7%%)\n");
+    std::printf("  measured: +%.1f%%\n", overhead * 100.0);
+
+    artifact.addMetric("load_overhead_factor", overhead);
+    return artifact;
+}
+
+} // namespace
+
+void
+registerDefenseOverhead(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "defense_overhead";
+    d.title = "page-load cost of the spurious-interrupt countermeasure";
+    d.paperReference = "Section 6.2 (3.12 s -> 3.61 s, +15.7%)";
+    d.schema = core::commonScaleSchema();
+    d.expected = {
+        {"load_overhead_factor", 0.157},
+    };
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Registration entry points for every experiment in the suite.
+ *
+ * Each paper table, figure and ablation lives in its own TU in this
+ * directory as an ExperimentDescriptor (schema + expected numbers + run
+ * function) and registers itself here; registerAllExperiments() is what
+ * the `bigfish` CLI and the registry tests call. The old per-experiment
+ * main()s are gone — the CLI is the only binary entry point.
+ */
+
+#ifndef BF_BENCH_EXPERIMENTS_HH
+#define BF_BENCH_EXPERIMENTS_HH
+
+#include "core/registry.hh"
+
+namespace bigfish::bench {
+
+void registerTable1Fingerprinting(core::ExperimentRegistry &registry);
+void registerTable2Noise(core::ExperimentRegistry &registry);
+void registerTable3Isolation(core::ExperimentRegistry &registry);
+void registerTable4TimerDefense(core::ExperimentRegistry &registry);
+void registerBackgroundNoise(core::ExperimentRegistry &registry);
+void registerDefenseOverhead(core::ExperimentRegistry &registry);
+void registerFig3Traces(core::ExperimentRegistry &registry);
+void registerFig4Correlation(core::ExperimentRegistry &registry);
+void registerFig5InterruptTime(core::ExperimentRegistry &registry);
+void registerGapAttribution(core::ExperimentRegistry &registry);
+void registerFig6GapDistributions(core::ExperimentRegistry &registry);
+void registerFig7TimerOutputs(core::ExperimentRegistry &registry);
+void registerFig8LoopDurations(core::ExperimentRegistry &registry);
+void registerAblationFeaturization(core::ExperimentRegistry &registry);
+void registerAblationSignalSources(core::ExperimentRegistry &registry);
+
+/** Registers every experiment above. */
+void registerAllExperiments(core::ExperimentRegistry &registry);
+
+} // namespace bigfish::bench
+
+#endif // BF_BENCH_EXPERIMENTS_HH

@@ -4,18 +4,19 @@
  * weather.com, collected over 15 seconds with P = 5 ms in Chrome.
  *
  * The paper renders traces as shaded strips (darker = smaller counter =
- * more interrupt activity); this harness renders the same strips in
+ * more interrupt activity); this experiment renders the same strips in
  * ASCII and reports the counter range, which the paper gives as roughly
  * 21,000-27,000 iterations.
  */
 
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "experiments.hh"
 #include "stats/descriptive.hh"
 #include "web/catalog.hh"
 
-using namespace bigfish;
+namespace bigfish::bench {
 
 namespace {
 
@@ -31,24 +32,18 @@ renderStrip(const attack::Trace &trace, int width)
     std::printf("  |");
     for (double v : norm) {
         // Invert: darker (higher index) = lower counter value.
-        const double darkness =
-            hi > lo ? (hi - v) / (hi - lo) : 0.0;
+        const double darkness = hi > lo ? (hi - v) / (hi - lo) : 0.0;
         const int idx = std::min(9, static_cast<int>(darkness * 10.0));
         std::printf("%c", shades[idx]);
     }
     std::printf("|\n");
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
 {
-    const auto scale = bench::parseScale(argc, argv);
-    bench::BenchReport report("fig3_traces", scale);
-    bench::printBanner(
-        "fig3_traces: example loop-counting traces",
-        "Figure 3 (three 15 s traces, P = 5 ms, Chrome on Linux)", scale);
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
 
     core::CollectionConfig config;
     config.machine = sim::MachineConfig::linuxDesktop();
@@ -62,21 +57,47 @@ main(int argc, char **argv)
                 "time axis: 0 .. 15 s\n\n");
 
     for (const auto &site : web::SiteCatalog::exampleSites()) {
-        const auto trace = collector.collectOneOrDie(site, 0);
+        auto trace = collector.collectOne(site, 0);
+        if (!trace.isOk())
+            return trace.status();
         std::printf("%s\n", site.name.c_str());
-        for (int row = 0; row < 3; ++row)
-            renderStrip(collector.collectOneOrDie(site, row), 100);
+        for (int row = 0; row < 3; ++row) {
+            auto strip = collector.collectOne(site, row);
+            if (!strip.isOk())
+                return strip.status();
+            renderStrip(strip.value(), 100);
+        }
         std::printf("  counter: min %.0f  mean %.0f  max %.0f  "
                     "(%zu periods)\n\n",
-                    stats::minValue(trace.counts),
-                    stats::mean(trace.counts), trace.maxCount(),
-                    trace.size());
+                    stats::minValue(trace.value().counts),
+                    stats::mean(trace.value().counts),
+                    trace.value().maxCount(), trace.value().size());
+        artifact.addMetric(site.name + "_counter_mean",
+                           stats::mean(trace.value().counts));
+        artifact.addMetric(site.name + "_counter_max",
+                           trace.value().maxCount());
     }
 
     std::printf("expected shape: nytimes dark in the first ~4 s;\n"
                 "amazon dark for ~2 s with spikes near 5 s and 10 s;\n"
                 "weather shows recurring dark bands from periodic "
                 "activity.\n");
-    report.write();
-    return 0;
+    return artifact;
 }
+
+} // namespace
+
+void
+registerFig3Traces(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "fig3_traces";
+    d.title = "example loop-counting traces";
+    d.paperReference =
+        "Figure 3 (three 15 s traces, P = 5 ms, Chrome on Linux)";
+    d.schema = core::commonScaleSchema();
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

@@ -10,24 +10,24 @@
  * late timer-interrupt mode (~5.5 us in the paper).
  */
 
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_common.hh"
+#include "experiments.hh"
 #include "ktrace/attribution.hh"
 #include "stats/descriptive.hh"
 #include "stats/histogram.hh"
 #include "web/catalog.hh"
 
-using namespace bigfish;
+namespace bigfish::bench {
 
-int
-main(int argc, char **argv)
+namespace {
+
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
 {
-    const auto scale = bench::parseScale(argc, argv);
-    bench::BenchReport report("fig6_gap_distributions", scale);
-    bench::printBanner(
-        "fig6_gap_distributions: gap lengths per interrupt type",
-        "Figure 6 (50 loads over 10 sites; all gaps > 1.5 us)", scale);
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
 
     // Paper: a core that does not receive network IRQs or IRQ work is
     // used for most series; we keep the spread policy so network RX and
@@ -39,7 +39,7 @@ main(int argc, char **argv)
     const core::TraceCollector collector(config);
 
     const web::SiteCatalog catalog(std::max(scale.sites, 10), 7);
-    const int loads = 50;
+    const int loads = static_cast<int>(ctx.spec.getInt("loads"));
 
     std::vector<ktrace::AttributedGap> all_gaps;
     for (int load = 0; load < loads; ++load) {
@@ -75,11 +75,14 @@ main(int argc, char **argv)
         }
         stats::Histogram hist(0.0, 10.0, 20);
         hist.addAll(lengths);
+        const double median = stats::quantile(lengths, 0.5);
         std::printf("%s  (%zu gaps, median %.1f us, mode bin %.2f us)\n",
                     sim::interruptKindName(kind).c_str(), lengths.size(),
-                    stats::quantile(lengths, 0.5),
-                    hist.binCenter(hist.modeBin()));
+                    median, hist.binCenter(hist.modeBin()));
         std::printf("%s\n", hist.render(" us", 46).c_str());
+        artifact.addMetric(sim::interruptKindName(kind) +
+                               "_median_gap_us",
+                           median);
     }
 
     std::printf("minimum observed gap: %.2f us "
@@ -87,6 +90,28 @@ main(int argc, char **argv)
     std::printf("note: softirq/IRQ-work gaps include the timer tick they "
                 "piggyback on,\nso their distributions sit above the "
                 "resched-IPI distribution.\n");
-    report.write();
-    return 0;
+    artifact.addMetric("min_gap_us", min_gap_us);
+    return artifact;
 }
+
+} // namespace
+
+void
+registerFig6GapDistributions(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "fig6_gap_distributions";
+    d.title = "gap lengths per interrupt type";
+    d.paperReference = "Figure 6 (50 loads over 10 sites; gaps > 1.5 us)";
+    d.schema = core::commonScaleSchema();
+    d.schema.addInt("loads", "", 50, 1, 1000000,
+                    "page loads to aggregate gaps over");
+    d.expected = {
+        {"min_gap_us", 1.5},
+    };
+    d.smokeOverrides = {{"loads", "6"}};
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

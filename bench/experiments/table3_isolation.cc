@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Table 3: the Python loop-counting attacker under incrementally
+ * stronger isolation mechanisms.
+ *
+ * Each configuration inherits all previous mechanisms:
+ *   default -> +disable frequency scaling -> +pin to separate cores
+ *   -> +remove (movable) IRQ interrupts -> +run in separate VMs.
+ *
+ * Expected shape (paper): 95.2 / 94.2 / 94.0 / 88.2 / 91.6 top-1 —
+ * small dips for DVFS and pinning, a visible dip when movable IRQs
+ * leave, and a *rise* under VM isolation (interrupt amplification).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "experiments.hh"
+
+namespace bigfish::bench {
+
+namespace {
+
+Result<core::RunArtifact>
+run(const core::RunContext &ctx)
+{
+    const auto scale = core::scaleFromSpec(ctx.spec);
+    auto artifact = core::makeArtifact(ctx);
+    const auto pipeline = core::pipelineForScale(scale);
+
+    core::CollectionConfig config;
+    config.machine = sim::MachineConfig::linuxDesktop();
+    config.browser = web::BrowserProfile::nativePython();
+    config.seed = scale.seed;
+
+    struct Step
+    {
+        const char *name;
+        void (*apply)(core::CollectionConfig &);
+    };
+    const Step steps[] = {
+        {"default", [](core::CollectionConfig &) {}},
+        {"+ disable frequency scaling",
+         [](core::CollectionConfig &c) {
+             c.machine.frequencyScaling = false;
+         }},
+        {"+ pin to separate cores",
+         [](core::CollectionConfig &c) { c.machine.pinnedCores = true; }},
+        {"+ remove IRQ interrupts",
+         [](core::CollectionConfig &c) {
+             c.machine.routing = sim::IrqRoutingPolicy::PinnedAway;
+         }},
+        {"+ run in separate VMs",
+         [](core::CollectionConfig &c) { c.machine.vmIsolation = true; }},
+    };
+
+    const auto expected = [&ctx](const std::string &metric) {
+        return formatPercent(
+            ctx.descriptor->expectedValue(metric).value_or(0.0));
+    };
+    Table table({"isolation mechanism", "top-1 paper", "top-1 meas",
+                 "top-5 paper", "top-5 meas"});
+    int step_index = 0;
+    for (const auto &step : steps) {
+        step.apply(config); // Mechanisms accumulate.
+        auto result = core::runFingerprinting(config, pipeline);
+        if (!result.isOk())
+            return result.status();
+        const std::string label =
+            "isolation_step" + std::to_string(step_index++);
+        artifact.addResult(label, result.value());
+        table.addRow({step.name, expected(label + "_top1"),
+                      formatPercentPm(result.value().closedWorld.top1Mean,
+                                      result.value().closedWorld.top1Std),
+                      expected(label + "_top5"),
+                      formatPercent(
+                          result.value().closedWorld.top5Mean)});
+        std::printf("finished: %s\n", step.name);
+    }
+
+    std::printf("\n%s", table.render().c_str());
+    std::printf("\nexpected shape: small dips from DVFS/pinning; a clear "
+                "dip when movable IRQs\nare removed; accuracy *recovers* "
+                "under VM isolation (handler amplification).\n"
+                "Takeaway 3: no isolation mechanism stops the attack.\n");
+    return artifact;
+}
+
+} // namespace
+
+void
+registerTable3Isolation(core::ExperimentRegistry &registry)
+{
+    core::ExperimentDescriptor d;
+    d.name = "table3_isolation";
+    d.title = "isolation mechanisms vs the Python attacker";
+    d.paperReference = "Table 3 (incremental isolation; top-1/top-5)";
+    d.schema = core::commonScaleSchema();
+    d.expected = {
+        {"isolation_step0_top1", 0.952}, {"isolation_step0_top5", 0.991},
+        {"isolation_step1_top1", 0.942}, {"isolation_step1_top5", 0.986},
+        {"isolation_step2_top1", 0.940}, {"isolation_step2_top5", 0.983},
+        {"isolation_step3_top1", 0.882}, {"isolation_step3_top5", 0.973},
+        {"isolation_step4_top1", 0.916}, {"isolation_step4_top5", 0.973},
+    };
+    d.run = run;
+    registry.add(std::move(d));
+}
+
+} // namespace bigfish::bench

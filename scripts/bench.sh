@@ -36,7 +36,7 @@ echo "== micro kernel benchmarks"
 
 echo "== table1_fingerprinting (default scale, --threads=$threads)"
 start="$(date +%s.%N)"
-"$builddir/bench/table1_fingerprinting" --threads="$threads" \
+"$builddir/bigfish" run table1_fingerprinting --threads="$threads" \
     --json="$tmpdir/table1.json" > "$tmpdir/table1.log"
 end="$(date +%s.%N)"
 tail -n 40 "$tmpdir/table1.log"

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Pre-merge verification gate. Stages, in default order:
 #
-#   lint      — bigfish-lint over src/ bench/ examples/ tests/ with the
-#               checked-in config (tools/lint/bigfish-lint.toml): the
-#               determinism and error-propagation invariants, enforced
-#               statically. Fails on any finding.
+#   lint      — bigfish-lint over src/ bench/ examples/ tests/ and
+#               tools/bigfish/ with the checked-in config
+#               (tools/lint/bigfish-lint.toml): the determinism and
+#               error-propagation invariants, enforced statically.
+#               Fails on any finding.
 #   cppcheck  — general C++ static analysis; skipped with a notice when
 #               cppcheck is not installed.
+#   cli-smoke — `bigfish run --all --smoke`: every registered experiment
+#               end-to-end at tiny scale, plus CLI exit-code/usage
+#               checks (strict env validation, unknown-flag rejection).
 #   address   — full build + ctest under AddressSanitizer.
 #   undefined — full build + ctest under UBSan.
 #   thread    — full build + ctest under ThreadSanitizer.
@@ -17,7 +21,8 @@
 # hardened warning set (-Wall -Wextra -Wshadow -Wconversion) gates the
 # merge as well. The plain (unsanitized) build stays in build/.
 #
-# Usage: scripts/check.sh [lint|cppcheck|address|undefined|thread|threads8]...
+# Usage:
+#   scripts/check.sh [lint|cppcheck|cli-smoke|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -25,7 +30,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint cppcheck address undefined thread threads8)
+    stages=(lint cppcheck cli-smoke address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -36,11 +41,13 @@ for stage in "${stages[@]}"; do
         echo "== [lint] build bigfish-lint"
         cmake -B "$repo/build" -S "$repo" > /dev/null
         cmake --build "$repo/build" --target bigfish-lint -j "$jobs"
-        echo "== [lint] bigfish-lint over src/ bench/ examples/ tests/"
+        echo "== [lint] bigfish-lint over src/ bench/ examples/ tests/" \
+             "tools/bigfish/"
         "$repo/build/tools/lint/bigfish-lint" \
             --root="$repo" \
             --config="$repo/tools/lint/bigfish-lint.toml" \
-            "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests"
+            "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
+            "$repo/tools/bigfish"
         ;;
       cppcheck)
         if command -v cppcheck > /dev/null 2>&1; then
@@ -52,6 +59,35 @@ for stage in "${stages[@]}"; do
         else
             echo "== [cppcheck] not installed, skipping"
         fi
+        ;;
+      cli-smoke)
+        builddir="$repo/build"
+        echo "== [cli-smoke] build bigfish"
+        cmake -B "$builddir" -S "$repo" > /dev/null
+        cmake --build "$builddir" --target bigfish -j "$jobs"
+        smokedir="$(mktemp -d)"
+        trap 'rm -rf "$smokedir"' EXIT
+        echo "== [cli-smoke] bigfish run --all --smoke"
+        "$builddir/bigfish" run --all --smoke --threads=2 \
+            --json-dir="$smokedir" > "$smokedir/run.log"
+        count="$(ls "$smokedir"/*.json | wc -l)"
+        listed="$("$builddir/bigfish" list | grep -c '\[')"
+        echo "== [cli-smoke] $count artifact(s) for $listed experiment(s)"
+        [ "$count" -eq "$listed" ]
+        echo "== [cli-smoke] usage and validation exit codes"
+        # Strict env validation (satellite invariant): a garbage BF_*
+        # value must fail naming the variable, not be silently eaten.
+        if BF_SITES=abc "$builddir/bigfish" run fig7_timer_outputs \
+            > /dev/null 2> "$smokedir/err.log"; then
+            echo "BF_SITES=abc unexpectedly accepted" >&2; exit 1
+        fi
+        grep -q "environment variable BF_SITES" "$smokedir/err.log"
+        if "$builddir/bigfish" run no_such_experiment > /dev/null 2>&1
+        then
+            echo "unknown experiment unexpectedly accepted" >&2; exit 1
+        fi
+        "$builddir/bigfish" list > /dev/null
+        "$builddir/bigfish" describe table1_fingerprinting > /dev/null
         ;;
       address|undefined|thread)
         san="$stage"
@@ -76,8 +112,8 @@ for stage in "${stages[@]}"; do
         (cd "$builddir" && BF_THREADS=8 ctest --output-on-failure -j "$jobs")
         ;;
       *)
-        echo "unknown stage '$stage' (want lint, cppcheck, address," \
-             "undefined, thread or threads8)" >&2
+        echo "unknown stage '$stage' (want lint, cppcheck, cli-smoke," \
+             "address, undefined, thread or threads8)" >&2
         exit 2
         ;;
     esac

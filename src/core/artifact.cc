@@ -1,0 +1,155 @@
+#include "core/artifact.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace bigfish::core {
+
+namespace {
+
+std::string
+quoteString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+formatDouble(const char *fmt, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+} // namespace
+
+RunArtifact::RunArtifact(std::string experiment, spec::RunSpec spec)
+    : experiment_(std::move(experiment)), spec_(std::move(spec))
+{
+}
+
+void
+RunArtifact::addResult(const std::string &label,
+                       const FingerprintResult &result)
+{
+    collectSeconds_ += result.collectSeconds;
+    featurizeSeconds_ += result.featurizeSeconds;
+    trainSeconds_ += result.trainSeconds;
+    evalSeconds_ += result.evalSeconds;
+    addMetric(label + "_top1", result.closedWorld.top1Mean);
+    if (result.hasOpenWorld)
+        addMetric(label + "_open_combined",
+                  result.openWorld.openWorld.combinedAccuracy);
+}
+
+void
+RunArtifact::addMetric(const std::string &name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+RunArtifact::addPhaseSeconds(const std::string &phase, double seconds)
+{
+    if (phase == "collect")
+        collectSeconds_ += seconds;
+    else if (phase == "featurize")
+        featurizeSeconds_ += seconds;
+    else if (phase == "train")
+        trainSeconds_ += seconds;
+    else if (phase == "eval")
+        evalSeconds_ += seconds;
+    else
+        panic("unknown experiment phase: " + phase);
+}
+
+void
+RunArtifact::setSeedProvenance(SeedProvenance provenance)
+{
+    provenance_ = std::move(provenance);
+}
+
+void
+RunArtifact::setExpected(std::vector<ExpectedValue> expected)
+{
+    expected_ = std::move(expected);
+}
+
+std::optional<double>
+RunArtifact::findMetric(const std::string &name) const
+{
+    for (const auto &[metric, value] : metrics_)
+        if (metric == name)
+            return value;
+    return std::nullopt;
+}
+
+std::string
+RunArtifact::toJson() const
+{
+    std::string out = "{\n";
+    out += "  \"experiment\": " + quoteString(experiment_) + ",\n";
+    out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+    out += "  \"spec\": " + spec_.paramsJson("  ") + ",\n";
+    out += "  \"seed_provenance\": {\"masterSeed\": " +
+           std::to_string(provenance_.masterSeed) +
+           ", \"catalogSeed\": " + std::to_string(provenance_.catalogSeed) +
+           ", \"derivation\": " + quoteString(provenance_.derivation) +
+           "},\n";
+    out += "  \"expected\": {";
+    bool first = true;
+    for (const ExpectedValue &e : expected_) {
+        if (e.name.empty())
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + quoteString(e.name) + ": " +
+               formatDouble("%.6f", e.value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+    out += "  \"wallSeconds\": " + formatDouble("%.3f", wallSeconds_) +
+           ",\n";
+    out += "  \"phases\": {\"collectSeconds\": " +
+           formatDouble("%.3f", collectSeconds_) +
+           ", \"featurizeSeconds\": " +
+           formatDouble("%.3f", featurizeSeconds_) +
+           ", \"trainSeconds\": " + formatDouble("%.3f", trainSeconds_) +
+           ", \"evalSeconds\": " + formatDouble("%.3f", evalSeconds_) +
+           "},\n";
+    out += "  \"metrics\": {";
+    first = true;
+    for (const auto &[name, value] : metrics_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + quoteString(name) + ": " +
+               formatDouble("%.6f", value);
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+Status
+RunArtifact::writeJson(const std::string &path) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return ioError("cannot open artifact path " + path);
+    const std::string json = toJson();
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = written == json.size() && std::fclose(f) == 0;
+    if (!ok)
+        return ioError("short write to artifact path " + path);
+    return Status::ok();
+}
+
+} // namespace bigfish::core

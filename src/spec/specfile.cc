@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Spec-file parsing: a flat TOML subset and a small JSON reader.
+ *
+ * Both formats produce the same SpecFile (raw key/value entries plus an
+ * optional experiment name); type coercion against the schema happens in
+ * resolveSpec(), which is also where unknown keys are rejected.
+ */
+
+#include "spec/spec.hh"
+
+#include <cctype>
+
+namespace bigfish::spec {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Strips a trailing # comment that is not inside a string literal. */
+std::string
+stripComment(const std::string &line)
+{
+    bool in_string = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '"')
+            in_string = !in_string;
+        else if (line[i] == '#' && !in_string)
+            return line.substr(0, i);
+    }
+    return line;
+}
+
+/** Unquotes a `"..."` literal (minimal \" and \\ escapes). */
+Result<std::string>
+unquote(const std::string &text, const std::string &where)
+{
+    if (text.size() < 2 || text.front() != '"' || text.back() != '"')
+        return parseError(where + ": unterminated string " + text);
+    std::string out;
+    for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+        if (text[i] == '\\' && i + 2 < text.size()) {
+            ++i;
+            if (text[i] != '"' && text[i] != '\\')
+                return parseError(where + ": unsupported escape \"\\" +
+                                  std::string(1, text[i]) + "\"");
+        }
+        out.push_back(text[i]);
+    }
+    return out;
+}
+
+Result<SpecFile>
+parseToml(const std::string &text, const std::string &source_name)
+{
+    SpecFile file;
+    std::size_t start = 0;
+    int lineno = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string raw = text.substr(start, end - start);
+        start = end + 1;
+        ++lineno;
+
+        const std::string line = trim(stripComment(raw));
+        if (line.empty())
+            continue;
+        const std::string where =
+            source_name + " line " + std::to_string(lineno);
+
+        if (line.front() == '[')
+            return parseError(where + ": sections are not supported in "
+                                      "run specs (flat key = value only)");
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return parseError(where + ": expected 'key = value'");
+        const std::string key = trim(line.substr(0, eq));
+        std::string value = trim(line.substr(eq + 1));
+        if (key.empty())
+            return parseError(where + ": empty key");
+        if (!value.empty() && value.front() == '"') {
+            auto unquoted = unquote(value, where);
+            if (!unquoted.isOk())
+                return unquoted.status();
+            value = std::move(unquoted).value();
+        }
+        if (key == "experiment")
+            file.experiment = value;
+        else
+            file.entries.emplace_back(key, value);
+    }
+    return file;
+}
+
+// --- Minimal JSON reader ------------------------------------------------
+
+struct JsonReader
+{
+    const std::string &text;
+    const std::string &sourceName;
+    std::size_t pos = 0;
+
+    std::string
+    where() const
+    {
+        return sourceName + " offset " + std::to_string(pos);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] Result<std::string>
+    parseString()
+    {
+        skipWs();
+        if (pos >= text.size() || text[pos] != '"')
+            return parseError(where() + ": expected string");
+        std::string out;
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (text[pos] == '\\' && pos + 1 < text.size()) {
+                ++pos;
+                if (text[pos] != '"' && text[pos] != '\\')
+                    return parseError(where() + ": unsupported escape");
+            }
+            out.push_back(text[pos]);
+            ++pos;
+        }
+        if (pos >= text.size())
+            return parseError(where() + ": unterminated string");
+        ++pos;
+        return out;
+    }
+
+    /**
+     * Parses one scalar JSON value into its raw-text form ("" second
+     * means "not a scalar": the caller must handle nesting itself).
+     */
+    [[nodiscard]] Result<std::string>
+    parseScalar()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return parseError(where() + ": unexpected end of input");
+        const char c = text[pos];
+        if (c == '"')
+            return parseString();
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+            std::string out;
+            while (pos < text.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                    text[pos] == '-' || text[pos] == '+' ||
+                    text[pos] == '.' || text[pos] == 'e' ||
+                    text[pos] == 'E')) {
+                out.push_back(text[pos]);
+                ++pos;
+            }
+            return out;
+        }
+        if (text.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            return std::string("true");
+        }
+        if (text.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            return std::string("false");
+        }
+        return parseError(where() + ": unsupported JSON value");
+    }
+
+    /** Skips any JSON value (scalar, object, array, null). */
+    [[nodiscard]] Status
+    skipValue()
+    {
+        skipWs();
+        if (pos >= text.size())
+            return parseError(where() + ": unexpected end of input");
+        const char c = text[pos];
+        if (c == '{' || c == '[') {
+            const char close = c == '{' ? '}' : ']';
+            ++pos;
+            skipWs();
+            if (eat(close))
+                return Status::ok();
+            while (true) {
+                if (c == '{') {
+                    BF_RETURN_IF_ERROR(parseString().status());
+                    if (!eat(':'))
+                        return parseError(where() + ": expected ':'");
+                }
+                BF_RETURN_IF_ERROR(skipValue());
+                if (eat(close))
+                    return Status::ok();
+                if (!eat(','))
+                    return parseError(where() + ": expected ',' or '" +
+                                      std::string(1, close) + "'");
+            }
+        }
+        if (text.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            return Status::ok();
+        }
+        return parseScalar().status();
+    }
+
+    /** Parses `{"key": scalar, ...}` into raw entries. */
+    [[nodiscard]] Result<std::vector<std::pair<std::string, std::string>>>
+    parseFlatObject()
+    {
+        std::vector<std::pair<std::string, std::string>> entries;
+        if (!eat('{'))
+            return parseError(where() + ": expected '{'");
+        if (eat('}'))
+            return entries;
+        while (true) {
+            auto key = parseString();
+            if (!key.isOk())
+                return key.status();
+            if (!eat(':'))
+                return parseError(where() + ": expected ':'");
+            auto value = parseScalar();
+            if (!value.isOk())
+                return Status(
+                    ErrorCode::ParseError,
+                    sourceName + ": key \"" + key.value() +
+                        "\" has a non-scalar value (nested specs are "
+                        "not supported)");
+            entries.emplace_back(std::move(key).value(),
+                                 std::move(value).value());
+            if (eat('}'))
+                return entries;
+            if (!eat(','))
+                return parseError(where() + ": expected ',' or '}'");
+        }
+    }
+};
+
+Result<SpecFile>
+parseJson(const std::string &text, const std::string &source_name)
+{
+    JsonReader reader{text, source_name};
+    if (!reader.eat('{'))
+        return parseError(source_name + ": expected a JSON object");
+
+    SpecFile file;
+    std::vector<std::pair<std::string, std::string>> top_scalars;
+    bool saw_spec_object = false;
+
+    if (!reader.eat('}')) {
+        while (true) {
+            auto key = reader.parseString();
+            if (!key.isOk())
+                return key.status();
+            if (!reader.eat(':'))
+                return parseError(reader.where() + ": expected ':'");
+            const std::string &k = key.value();
+            reader.skipWs();
+            if (k == "spec" && reader.pos < text.size() &&
+                text[reader.pos] == '{') {
+                auto entries = reader.parseFlatObject();
+                if (!entries.isOk())
+                    return entries.status();
+                file.entries = std::move(entries).value();
+                saw_spec_object = true;
+            } else if (k == "experiment") {
+                auto name = reader.parseString();
+                if (!name.isOk())
+                    return name.status();
+                file.experiment = std::move(name).value();
+            } else {
+                reader.skipWs();
+                const bool nested = reader.pos < text.size() &&
+                                    (text[reader.pos] == '{' ||
+                                     text[reader.pos] == '[');
+                if (nested) {
+                    // Tolerated only in the artifact form, where the
+                    // parameters come from the "spec" object anyway.
+                    BF_RETURN_IF_ERROR(reader.skipValue());
+                    top_scalars.emplace_back(k, std::string());
+                } else {
+                    auto value = reader.parseScalar();
+                    if (!value.isOk())
+                        return value.status();
+                    top_scalars.emplace_back(k,
+                                             std::move(value).value());
+                }
+            }
+            if (reader.eat('}'))
+                break;
+            if (!reader.eat(','))
+                return parseError(reader.where() +
+                                  ": expected ',' or '}'");
+        }
+    }
+
+    if (!saw_spec_object) {
+        // Flat form: every top-level key (minus "experiment") is a
+        // parameter; nested values have no meaning here.
+        for (auto &[k, v] : top_scalars)
+            file.entries.emplace_back(std::move(k), std::move(v));
+    }
+    reader.skipWs();
+    if (reader.pos != text.size())
+        return parseError(reader.where() +
+                          ": trailing content after JSON object");
+    return file;
+}
+
+} // namespace
+
+Result<SpecFile>
+parseSpecText(const std::string &text, const std::string &source_name)
+{
+    const std::string trimmed = trim(text);
+    if (trimmed.empty())
+        return parseError(source_name + ": empty spec");
+    if (trimmed.front() == '{')
+        return parseJson(trimmed, source_name);
+    return parseToml(text, source_name);
+}
+
+} // namespace bigfish::spec

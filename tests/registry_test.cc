@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the experiment registry: DESIGN.md §4 completeness (every
+ * experiment the design doc names is registered, and vice versa), smoke
+ * runnability of every descriptor, artifact shape, and bit-identical
+ * replay of a run from its own emitted artifact JSON.
+ */
+
+#include "experiments.hh"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "core/artifact.hh"
+#include "core/registry.hh"
+#include "spec/spec.hh"
+
+namespace bigfish {
+namespace {
+
+const core::ExperimentRegistry &
+registry()
+{
+    static const core::ExperimentRegistry *instance = [] {
+        auto *r = new core::ExperimentRegistry;
+        bench::registerAllExperiments(*r);
+        return r;
+    }();
+    return *instance;
+}
+
+/** Resolves @p descriptor's spec at --smoke scale, no env, no flags. */
+spec::RunSpec
+smokeSpec(const core::ExperimentDescriptor &descriptor)
+{
+    spec::SpecSources sources;
+    sources.presets = core::smokeScaleOverrides();
+    sources.presets.insert(sources.presets.end(),
+                           descriptor.smokeOverrides.begin(),
+                           descriptor.smokeOverrides.end());
+    auto resolved =
+        spec::resolveSpec(descriptor.name, descriptor.schema, sources);
+    EXPECT_TRUE(resolved.isOk()) << resolved.status().message();
+    return std::move(resolved).value();
+}
+
+Result<core::RunArtifact>
+runWithSpec(const core::ExperimentDescriptor &descriptor,
+            spec::RunSpec run_spec)
+{
+    core::RunContext ctx;
+    ctx.descriptor = &descriptor;
+    ctx.spec = std::move(run_spec);
+    return descriptor.run(ctx);
+}
+
+TEST(Registry, MatchesDesignDocExperimentIndex)
+{
+    std::ifstream in(BIGFISH_DESIGN_MD);
+    ASSERT_TRUE(in) << "cannot open " << BIGFISH_DESIGN_MD;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string design = text.str();
+
+    std::set<std::string> documented;
+    const std::regex pattern("bigfish run ([a-z0-9_]+)");
+    for (auto it = std::sregex_iterator(design.begin(), design.end(),
+                                        pattern);
+         it != std::sregex_iterator(); ++it)
+        documented.insert((*it)[1].str());
+
+    const auto names = registry().names();
+    const std::set<std::string> registered(names.begin(), names.end());
+
+    EXPECT_GE(registered.size(), 15u);
+    for (const auto &name : documented)
+        EXPECT_TRUE(registered.count(name))
+            << "DESIGN.md names `bigfish run " << name
+            << "` but the registry has no such experiment";
+    for (const auto &name : registered)
+        EXPECT_TRUE(documented.count(name))
+            << "experiment \"" << name
+            << "\" is registered but absent from DESIGN.md §4";
+}
+
+TEST(Registry, DescriptorsAreWellFormed)
+{
+    for (const auto &[name, d] : registry().all()) {
+        EXPECT_FALSE(d.title.empty()) << name;
+        EXPECT_FALSE(d.paperReference.empty()) << name;
+        EXPECT_TRUE(static_cast<bool>(d.run)) << name;
+        // The common scale vocabulary must be declared everywhere so
+        // BF_SITES / --seed etc. mean the same thing in every run.
+        for (const char *param :
+             {"sites", "traces", "open", "features", "folds", "seed",
+              "paper-model", "threads"})
+            EXPECT_NE(d.schema.find(param), nullptr)
+                << name << " lacks common parameter " << param;
+    }
+}
+
+TEST(Registry, EverySmokeRunSucceedsWithMetrics)
+{
+    for (const auto &[name, d] : registry().all()) {
+        auto artifact = runWithSpec(d, smokeSpec(d));
+        ASSERT_TRUE(artifact.isOk())
+            << name << ": " << artifact.status().message();
+        EXPECT_EQ(artifact.value().experiment(), name);
+        EXPECT_FALSE(artifact.value().metrics().empty()) << name;
+        for (const auto &[metric, value] : artifact.value().metrics())
+            EXPECT_TRUE(value == value)
+                << name << " produced NaN metric " << metric;
+    }
+}
+
+TEST(Registry, ReplayFromEmittedArtifactIsBitIdentical)
+{
+    // fig7 is cheap and purely deterministic: run it, replay from the
+    // artifact JSON it emitted, and demand identical metrics.
+    const auto *d = registry().find("fig7_timer_outputs");
+    ASSERT_NE(d, nullptr);
+    auto first = runWithSpec(*d, smokeSpec(*d));
+    ASSERT_TRUE(first.isOk()) << first.status().message();
+    const std::string artifact_json = first.value().toJson();
+
+    spec::SpecSources replay;
+    replay.specText = artifact_json;
+    replay.specName = "emitted-artifact.json";
+    auto respec = spec::resolveSpec(d->name, d->schema, replay);
+    ASSERT_TRUE(respec.isOk()) << respec.status().message();
+    EXPECT_EQ(respec.value(), first.value().spec());
+
+    auto second = runWithSpec(*d, std::move(respec).value());
+    ASSERT_TRUE(second.isOk()) << second.status().message();
+    ASSERT_EQ(first.value().metrics().size(),
+              second.value().metrics().size());
+    for (std::size_t i = 0; i < first.value().metrics().size(); ++i) {
+        EXPECT_EQ(first.value().metrics()[i].first,
+                  second.value().metrics()[i].first);
+        EXPECT_EQ(first.value().metrics()[i].second,
+                  second.value().metrics()[i].second)
+            << first.value().metrics()[i].first;
+    }
+}
+
+TEST(Registry, ExpectedValuesKeyRealMetrics)
+{
+    // Paper-expected values live in the descriptors; each one must key
+    // a metric the smoke run actually emits (catches renames).
+    for (const char *name :
+         {"table2_noise", "fig8_loop_durations", "background_noise"}) {
+        const auto *d = registry().find(name);
+        ASSERT_NE(d, nullptr) << name;
+        auto artifact = runWithSpec(*d, smokeSpec(*d));
+        ASSERT_TRUE(artifact.isOk())
+            << name << ": " << artifact.status().message();
+        for (const auto &e : d->expected)
+            EXPECT_TRUE(artifact.value().findMetric(e.name).has_value())
+                << name << ": expected value \"" << e.name
+                << "\" does not match any emitted metric";
+    }
+}
+
+TEST(Registry, AddPanicsOnDuplicateName)
+{
+    core::ExperimentRegistry r;
+    core::ExperimentDescriptor d;
+    d.name = "dup";
+    d.title = "t";
+    d.paperReference = "p";
+    d.run = [](const core::RunContext &ctx) {
+        return Result<core::RunArtifact>(core::makeArtifact(ctx));
+    };
+    r.add(d);
+    EXPECT_DEATH(r.add(d), "dup");
+}
+
+} // namespace
+} // namespace bigfish

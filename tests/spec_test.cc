@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests for the run-spec layer (src/spec): typed parameter resolution
+ * across the layered sources, strict error reporting that names the
+ * offending source, spec-file parsing (TOML and JSON, including the
+ * emitted-artifact replay form), and lossless serialization
+ * round-trips.
+ */
+
+#include "spec/spec.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace bigfish::spec {
+namespace {
+
+ParamSchema
+testSchema()
+{
+    ParamSchema schema;
+    schema.addInt("sites", "BF_SITES", 20, 2, 1000, "closed-world sites")
+        .addInt("seed", "BF_SEED", 2022, 0, 1000000, "master seed")
+        .addDouble("rate", "", 0.5, "sampling rate")
+        .addBool("paper-model", "", false, "paper hyperparameters")
+        .addString("label", "", "default", "free-form label");
+    return schema;
+}
+
+/** An EnvLookup over a fixed map (no process environment involved). */
+EnvLookup
+fakeEnv(std::map<std::string, std::string> vars)
+{
+    return [vars = std::move(vars)](
+               const std::string &name) -> std::optional<std::string> {
+        const auto it = vars.find(name);
+        if (it == vars.end())
+            return std::nullopt;
+        return it->second;
+    };
+}
+
+TEST(SpecResolve, DefaultsWhenNoSources)
+{
+    const auto resolved = resolveSpec("exp", testSchema(), SpecSources{});
+    ASSERT_TRUE(resolved.isOk());
+    const RunSpec &spec = resolved.value();
+    EXPECT_EQ(spec.experiment(), "exp");
+    EXPECT_EQ(spec.getInt("sites"), 20);
+    EXPECT_EQ(spec.getInt("seed"), 2022);
+    EXPECT_DOUBLE_EQ(spec.getDouble("rate"), 0.5);
+    EXPECT_FALSE(spec.getBool("paper-model"));
+    EXPECT_EQ(spec.getString("label"), "default");
+}
+
+TEST(SpecResolve, EnvironmentOverridesDefaults)
+{
+    SpecSources sources;
+    sources.env = fakeEnv({{"BF_SITES", "50"}, {"BF_SEED", "7"}});
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_TRUE(resolved.isOk());
+    EXPECT_EQ(resolved.value().getInt("sites"), 50);
+    EXPECT_EQ(resolved.value().getInt("seed"), 7);
+}
+
+TEST(SpecResolve, GarbageEnvironmentNamesTheVariable)
+{
+    SpecSources sources;
+    sources.env = fakeEnv({{"BF_SITES", "abc"}});
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_EQ(resolved.status().code(), ErrorCode::ParseError);
+    EXPECT_NE(resolved.status().message().find(
+                  "environment variable BF_SITES"),
+              std::string::npos)
+        << resolved.status().message();
+}
+
+TEST(SpecResolve, PartiallyNumericEnvironmentIsAnError)
+{
+    // The old atol()-based parser silently read "12abc" as 12.
+    SpecSources sources;
+    sources.env = fakeEnv({{"BF_SITES", "12abc"}});
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_NE(resolved.status().message().find("BF_SITES"),
+              std::string::npos);
+}
+
+TEST(SpecResolve, OutOfRangeNamesSourceAndRange)
+{
+    SpecSources sources;
+    sources.flags = {{"sites", "1"}};
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_EQ(resolved.status().code(), ErrorCode::OutOfRange);
+    EXPECT_NE(resolved.status().message().find("flag --sites"),
+              std::string::npos);
+    EXPECT_NE(resolved.status().message().find("[2, 1000]"),
+              std::string::npos);
+}
+
+TEST(SpecResolve, LayerPrecedenceFlagsBeatSpecBeatPresetBeatEnv)
+{
+    SpecSources sources;
+    sources.env = fakeEnv({{"BF_SITES", "30"}, {"BF_SEED", "1"}});
+    sources.presets = {{"sites", "40"}};
+    sources.specText = "sites = 50\nrate = 0.25\n";
+    sources.specName = "test.toml";
+    sources.flags = {{"sites", "60"}};
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_TRUE(resolved.isOk());
+    EXPECT_EQ(resolved.value().getInt("sites"), 60);  // flag wins
+    EXPECT_EQ(resolved.value().getInt("seed"), 1);    // env survives
+    EXPECT_DOUBLE_EQ(resolved.value().getDouble("rate"), 0.25);
+}
+
+TEST(SpecResolve, UnknownFlagRejected)
+{
+    SpecSources sources;
+    sources.flags = {{"bogus", "1"}};
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_NE(resolved.status().message().find("unknown flag --bogus"),
+              std::string::npos);
+}
+
+TEST(SpecResolve, UnknownSpecFileKeyRejected)
+{
+    SpecSources sources;
+    sources.specText = "bogus = 1\n";
+    sources.specName = "test.toml";
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_NE(resolved.status().message().find("unknown key \"bogus\""),
+              std::string::npos);
+}
+
+TEST(SpecResolve, SpecFileExperimentMismatchRejected)
+{
+    SpecSources sources;
+    sources.specText = "experiment = \"other\"\nsites = 5\n";
+    sources.specName = "test.toml";
+    const auto resolved = resolveSpec("exp", testSchema(), sources);
+    ASSERT_FALSE(resolved.isOk());
+    EXPECT_NE(resolved.status().message().find("other"),
+              std::string::npos);
+}
+
+TEST(SpecResolve, BoolSpellings)
+{
+    for (const char *truthy : {"true", "1"}) {
+        SpecSources sources;
+        sources.flags = {{"paper-model", truthy}};
+        const auto resolved = resolveSpec("exp", testSchema(), sources);
+        ASSERT_TRUE(resolved.isOk());
+        EXPECT_TRUE(resolved.value().getBool("paper-model"));
+    }
+    SpecSources bad;
+    bad.flags = {{"paper-model", "yes"}};
+    EXPECT_FALSE(resolveSpec("exp", testSchema(), bad).isOk());
+}
+
+TEST(SpecFileParse, TomlCommentsQuotesAndWhitespace)
+{
+    const auto parsed = parseSpecText("# a run spec\n"
+                                      "experiment = \"exp\"\n"
+                                      "sites = 50   # inline comment\n"
+                                      "label = \"with # not a comment\"\n"
+                                      "\n",
+                                      "test.toml");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().experiment, "exp");
+    ASSERT_EQ(parsed.value().entries.size(), 2u);
+    EXPECT_EQ(parsed.value().entries[0].first, "sites");
+    EXPECT_EQ(parsed.value().entries[0].second, "50");
+    EXPECT_EQ(parsed.value().entries[1].second, "with # not a comment");
+}
+
+TEST(SpecFileParse, TomlSectionsRejected)
+{
+    const auto parsed = parseSpecText("[scale]\nsites = 5\n", "t.toml");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_EQ(parsed.status().code(), ErrorCode::ParseError);
+}
+
+TEST(SpecFileParse, FlatJsonObject)
+{
+    const auto parsed = parseSpecText(
+        "{\"experiment\": \"exp\", \"sites\": 50, \"paper-model\": true}",
+        "t.json");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().experiment, "exp");
+    ASSERT_EQ(parsed.value().entries.size(), 2u);
+}
+
+TEST(SpecFileParse, ArtifactJsonUsesSpecSubObject)
+{
+    // The emitted artifact embeds the resolved spec under "spec";
+    // every other top-level key (metrics, phases, ...) is ignored.
+    const auto parsed = parseSpecText(
+        "{\n"
+        "  \"experiment\": \"exp\",\n"
+        "  \"threads\": 4,\n"
+        "  \"spec\": {\"sites\": 50, \"rate\": 0.25},\n"
+        "  \"phases\": {\"collectSeconds\": 1.0},\n"
+        "  \"metrics\": {\"x_top1\": 0.5}\n"
+        "}\n",
+        "artifact.json");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().experiment, "exp");
+    ASSERT_EQ(parsed.value().entries.size(), 2u);
+    EXPECT_EQ(parsed.value().entries[0].first, "sites");
+    EXPECT_EQ(parsed.value().entries[1].first, "rate");
+}
+
+TEST(SpecFileParse, MalformedJsonRejected)
+{
+    EXPECT_FALSE(parseSpecText("{\"sites\": }", "t.json").isOk());
+    EXPECT_FALSE(parseSpecText("{\"sites\": 5", "t.json").isOk());
+    EXPECT_FALSE(parseSpecText("{} trailing", "t.json").isOk());
+    EXPECT_FALSE(parseSpecText("", "t.json").isOk());
+}
+
+TEST(SpecRoundTrip, JsonSerializeReparseResolveEquality)
+{
+    SpecSources sources;
+    sources.flags = {{"sites", "123"},
+                     {"rate", "0.125"},
+                     {"paper-model", "true"},
+                     {"label", "quoted \"inner\" text"}};
+    const auto original = resolveSpec("exp", testSchema(), sources);
+    ASSERT_TRUE(original.isOk());
+
+    SpecSources replay;
+    replay.specText = original.value().toJson();
+    replay.specName = "emitted.json";
+    const auto reparsed = resolveSpec("exp", testSchema(), replay);
+    ASSERT_TRUE(reparsed.isOk());
+    EXPECT_EQ(original.value(), reparsed.value());
+}
+
+TEST(SpecRoundTrip, TomlSerializeReparseResolveEquality)
+{
+    SpecSources sources;
+    sources.flags = {{"seed", "999"}, {"rate", "0.333333333333333"}};
+    const auto original = resolveSpec("exp", testSchema(), sources);
+    ASSERT_TRUE(original.isOk());
+
+    SpecSources replay;
+    replay.specText = original.value().toToml();
+    replay.specName = "emitted.toml";
+    const auto reparsed = resolveSpec("exp", testSchema(), replay);
+    ASSERT_TRUE(reparsed.isOk());
+    EXPECT_EQ(original.value(), reparsed.value());
+}
+
+TEST(SpecHelp, MentionsEveryParameterAndEnv)
+{
+    const std::string help = helpText(testSchema());
+    for (const char *needle :
+         {"--sites=<int>", "BF_SITES", "--rate=<double>",
+          "--paper-model=<bool>", "--label=<string>", "default 20"})
+        EXPECT_NE(help.find(needle), std::string::npos) << needle;
+}
+
+} // namespace
+} // namespace bigfish::spec

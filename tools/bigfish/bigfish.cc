@@ -1,0 +1,350 @@
+/**
+ * @file
+ * bigfish — the unified experiment CLI.
+ *
+ *   bigfish list                         every registered experiment
+ *   bigfish describe <experiment>        schema, defaults, paper numbers
+ *   bigfish run <experiment...> [flags]  run one or more experiments
+ *   bigfish run --all [--smoke|--full]   run the whole suite
+ *
+ * Run flags: --smoke / --full scale presets, --spec=FILE (TOML or JSON;
+ * an emitted artifact JSON replays bit-for-bit), --json=PATH (single
+ * experiment), --json-dir=DIR (one artifact per experiment), plus any
+ * --<param>=<value> the experiment's schema declares. Parameter
+ * resolution order: defaults -> BF_* environment -> preset -> spec file
+ * -> flags; malformed values fail with the offending source named.
+ *
+ * Exit status: 0 success, 1 a run failed, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/stopwatch.hh"
+#include "base/thread_pool.hh"
+#include "experiments.hh"
+
+using namespace bigfish;
+
+namespace {
+
+/** The process environment, injected into the (env-blind) spec layer. */
+std::optional<std::string>
+envLookup(const std::string &name)
+{
+    const char *value = std::getenv(name.c_str());
+    if (value == nullptr)
+        return std::nullopt;
+    return std::string(value);
+}
+
+int
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "bigfish: %s\n", message.c_str());
+    std::fprintf(stderr, "run `bigfish help` for usage\n");
+    return 2;
+}
+
+void
+printUsage()
+{
+    std::printf(
+        "bigfish — unified experiment runner for the bigger-fish "
+        "reproduction\n"
+        "\n"
+        "usage:\n"
+        "  bigfish list                         list registered "
+        "experiments\n"
+        "  bigfish describe <experiment>        parameters and paper "
+        "numbers\n"
+        "  bigfish run <experiment...> [flags]  run experiments\n"
+        "  bigfish run --all [flags]            run the whole suite\n"
+        "  bigfish help\n"
+        "\n"
+        "run flags:\n"
+        "  --smoke            tiny scale for CI smoke runs\n"
+        "  --full             the paper's scale (100x100, 10 folds)\n"
+        "  --spec=FILE        TOML/JSON run spec; an emitted artifact\n"
+        "                     JSON replays the recorded run "
+        "bit-for-bit\n"
+        "  --json=PATH        write the run artifact (one experiment "
+        "only)\n"
+        "  --json-dir=DIR     write DIR/<experiment>.json per "
+        "experiment\n"
+        "  --<param>=<value>  any parameter the experiment declares\n"
+        "                     (see `bigfish describe <experiment>`)\n"
+        "\n"
+        "Parameter resolution: defaults -> BF_* env -> preset -> spec "
+        "file -> flags.\n");
+}
+
+int
+cmdList(const core::ExperimentRegistry &registry)
+{
+    std::size_t width = 0;
+    for (const auto &name : registry.names())
+        width = std::max(width, name.size());
+    for (const auto &[name, d] : registry.all())
+        std::printf("%-*s  %s [%s]\n", static_cast<int>(width),
+                    name.c_str(), d.title.c_str(),
+                    d.paperReference.c_str());
+    std::printf("\n%zu experiments; run one with `bigfish run <name>`.\n",
+                registry.size());
+    return 0;
+}
+
+int
+cmdDescribe(const core::ExperimentRegistry &registry,
+            const std::string &name)
+{
+    const auto *d = registry.find(name);
+    if (d == nullptr)
+        return usageError("unknown experiment \"" + name +
+                          "\" (see `bigfish list`)");
+    std::printf("%s — %s\n", d->name.c_str(), d->title.c_str());
+    std::printf("reproduces: %s\n\n", d->paperReference.c_str());
+    std::printf("parameters:\n%s", spec::helpText(d->schema).c_str());
+    if (!d->smokeOverrides.empty()) {
+        std::printf("\n--smoke additionally sets:");
+        for (const auto &[key, value] : d->smokeOverrides)
+            std::printf(" %s=%s", key.c_str(), value.c_str());
+        std::printf("\n");
+    }
+    if (!d->expected.empty()) {
+        std::printf("\npaper-expected values:\n");
+        for (const auto &e : d->expected)
+            std::printf("  %-36s %.6f\n", e.name.c_str(), e.value);
+    }
+    return 0;
+}
+
+struct RunOptions
+{
+    std::vector<std::string> experiments;
+    bool all = false;
+    bool smoke = false;
+    bool full = false;
+    bool help = false;
+    std::string specPath;
+    std::string jsonPath;
+    std::string jsonDir;
+    std::vector<std::pair<std::string, std::string>> flags;
+};
+
+/** Splits "--key=value" into its parts; false for non-flag tokens. */
+bool
+splitFlag(const std::string &arg, std::string &key, std::string &value)
+{
+    if (arg.rfind("--", 0) != 0)
+        return false;
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+        key = arg.substr(2);
+        value.clear();
+    } else {
+        key = arg.substr(2, eq - 2);
+        value = arg.substr(eq + 1);
+    }
+    return true;
+}
+
+Result<std::string>
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return ioError("cannot read spec file " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+int
+runOne(const core::ExperimentDescriptor &descriptor,
+       const RunOptions &options, const std::string &spec_text)
+{
+    spec::SpecSources sources;
+    sources.env = envLookup;
+    if (options.smoke) {
+        sources.presets = core::smokeScaleOverrides();
+        sources.presets.insert(sources.presets.end(),
+                               descriptor.smokeOverrides.begin(),
+                               descriptor.smokeOverrides.end());
+    } else if (options.full) {
+        sources.presets = core::fullScaleOverrides();
+    }
+    sources.specText = spec_text;
+    sources.specName = options.specPath;
+    sources.flags = options.flags;
+
+    auto resolved =
+        spec::resolveSpec(descriptor.name, descriptor.schema, sources);
+    if (!resolved.isOk()) {
+        std::fprintf(stderr, "bigfish: %s\n",
+                     resolved.status().message().c_str());
+        return 2;
+    }
+
+    core::RunContext ctx;
+    ctx.descriptor = &descriptor;
+    ctx.spec = std::move(resolved).value();
+
+    const int threads = static_cast<int>(ctx.spec.getInt("threads"));
+    if (threads > 0)
+        setGlobalThreads(threads);
+
+    core::printExperimentBanner(ctx);
+    Stopwatch wall;
+    auto artifact = descriptor.run(ctx);
+    if (!artifact.isOk()) {
+        std::fprintf(stderr, "bigfish: %s failed: %s\n",
+                     descriptor.name.c_str(),
+                     artifact.status().message().c_str());
+        return 1;
+    }
+    artifact.value().setWallSeconds(wall.seconds());
+
+    std::string out_path = options.jsonPath;
+    if (!options.jsonDir.empty())
+        out_path = options.jsonDir + "/" + descriptor.name + ".json";
+    if (!out_path.empty()) {
+        const Status written = artifact.value().writeJson(out_path);
+        if (!written.isOk()) {
+            std::fprintf(stderr, "bigfish: %s\n",
+                         written.message().c_str());
+            return 1;
+        }
+        std::printf("report written: %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdRun(const core::ExperimentRegistry &registry,
+       const std::vector<std::string> &args)
+{
+    RunOptions options;
+    for (const auto &arg : args) {
+        std::string key, value;
+        if (!splitFlag(arg, key, value)) {
+            options.experiments.push_back(arg);
+        } else if (key == "all" && value.empty()) {
+            options.all = true;
+        } else if (key == "smoke" && value.empty()) {
+            options.smoke = true;
+        } else if (key == "full" && value.empty()) {
+            options.full = true;
+        } else if (key == "help" && value.empty()) {
+            options.help = true;
+        } else if (key == "spec") {
+            options.specPath = value;
+        } else if (key == "json") {
+            options.jsonPath = value;
+        } else if (key == "json-dir") {
+            options.jsonDir = value;
+        } else if (key == "paper-model" && value.empty()) {
+            // Convenience: the old binaries took --paper-model as a
+            // bare switch; keep that spelling working.
+            options.flags.emplace_back("paper-model", "true");
+        } else {
+            options.flags.emplace_back(key, value);
+        }
+    }
+    if (options.smoke && options.full)
+        return usageError("--smoke and --full are mutually exclusive");
+
+    std::string spec_text;
+    std::string spec_experiment;
+    if (!options.specPath.empty()) {
+        auto text = readFile(options.specPath);
+        if (!text.isOk())
+            return usageError(text.status().message());
+        spec_text = std::move(text).value();
+        auto parsed = spec::parseSpecText(spec_text, options.specPath);
+        if (!parsed.isOk()) {
+            std::fprintf(stderr, "bigfish: %s\n",
+                         parsed.status().message().c_str());
+            return 2;
+        }
+        spec_experiment = parsed.value().experiment;
+    }
+
+    std::vector<std::string> names = options.experiments;
+    if (options.all) {
+        if (!names.empty())
+            return usageError(
+                "--all cannot be combined with experiment names");
+        names = registry.names();
+    } else if (names.empty() && !spec_experiment.empty()) {
+        // `bigfish run --spec=artifact.json` replays the recorded
+        // experiment without restating its name.
+        names.push_back(spec_experiment);
+    }
+    if (names.empty())
+        return usageError("no experiment named (see `bigfish list`, or "
+                          "use --all)");
+    if (options.help) {
+        for (const auto &name : names) {
+            const int rc = cmdDescribe(registry, name);
+            if (rc != 0)
+                return rc;
+        }
+        return 0;
+    }
+    if (!options.jsonPath.empty() && names.size() > 1)
+        return usageError("--json=PATH only applies to a single "
+                          "experiment; use --json-dir=DIR");
+
+    for (const auto &name : names) {
+        const auto *descriptor = registry.find(name);
+        if (descriptor == nullptr)
+            return usageError("unknown experiment \"" + name +
+                              "\" (see `bigfish list`)");
+        const int rc = runOne(*descriptor, options, spec_text);
+        if (rc != 0)
+            return rc;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::ExperimentRegistry registry;
+    bench::registerAllExperiments(registry);
+
+    if (argc < 2) {
+        printUsage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (command == "help" || command == "--help" || command == "-h") {
+        printUsage();
+        return 0;
+    }
+    if (command == "list") {
+        if (!args.empty())
+            return usageError("`bigfish list` takes no arguments");
+        return cmdList(registry);
+    }
+    if (command == "describe") {
+        if (args.size() != 1)
+            return usageError("usage: bigfish describe <experiment>");
+        return cmdDescribe(registry, args[0]);
+    }
+    if (command == "run")
+        return cmdRun(registry, args);
+    return usageError("unknown command \"" + command +
+                      "\" (expected list, describe, run or help)");
+}
