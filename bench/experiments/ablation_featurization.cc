@@ -58,9 +58,8 @@ run(const core::RunContext &ctx)
     const auto scale = core::scaleFromSpec(ctx.spec);
     auto artifact = core::makeArtifact(ctx);
 
-    core::CollectionConfig config;
+    core::CollectionConfig config = core::collectionForScale(scale);
     config.browser = web::BrowserProfile::chrome();
-    config.seed = scale.seed;
     const web::SiteCatalog catalog(scale.sites, 7);
     const core::TraceCollector collector(config);
     auto collected =

@@ -42,10 +42,9 @@ run(const core::RunContext &ctx)
     auto artifact = core::makeArtifact(ctx);
     const auto pipeline = core::pipelineForScale(scale);
 
-    core::CollectionConfig base;
+    core::CollectionConfig base = core::collectionForScale(scale);
     base.browser = web::BrowserProfile::nativePython();
     base.machine.pinnedCores = true; // Isolate the interrupt channels.
-    base.seed = scale.seed;
 
     struct Step
     {

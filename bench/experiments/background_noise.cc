@@ -23,10 +23,9 @@ run(const core::RunContext &ctx)
     auto artifact = core::makeArtifact(ctx);
     const auto pipeline = core::pipelineForScale(scale);
 
-    core::CollectionConfig quiet;
+    core::CollectionConfig quiet = core::collectionForScale(scale);
     quiet.machine = sim::MachineConfig::linuxDesktop();
     quiet.browser = web::BrowserProfile::chrome();
-    quiet.seed = scale.seed;
     core::CollectionConfig background = quiet;
     background.backgroundApps = true;
 

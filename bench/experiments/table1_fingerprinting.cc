@@ -73,10 +73,9 @@ run(const core::RunContext &ctx)
                 "cache comb meas"});
 
     for (const auto &cell : cells()) {
-        core::CollectionConfig cfg;
+        core::CollectionConfig cfg = core::collectionForScale(scale);
         cfg.machine = cell.machine;
         cfg.browser = cell.profile;
-        cfg.seed = scale.seed;
 
         auto pipeline = core::pipelineForScale(scale);
         pipeline.openWorldExtra = scale.openWorldExtra;

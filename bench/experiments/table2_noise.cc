@@ -30,10 +30,9 @@ run(const core::RunContext &ctx)
     auto artifact = core::makeArtifact(ctx);
     const auto pipeline = core::pipelineForScale(scale);
 
-    core::CollectionConfig base;
+    core::CollectionConfig base = core::collectionForScale(scale);
     base.machine = sim::MachineConfig::linuxDesktop();
     base.browser = web::BrowserProfile::chrome();
-    base.seed = scale.seed;
 
     const char *attackers[] = {"loop-counting", "sweep-counting"};
     const attack::AttackerKind kinds[] = {

@@ -28,10 +28,9 @@ run(const core::RunContext &ctx)
     auto artifact = core::makeArtifact(ctx);
     const auto pipeline = core::pipelineForScale(scale);
 
-    core::CollectionConfig config;
+    core::CollectionConfig config = core::collectionForScale(scale);
     config.machine = sim::MachineConfig::linuxDesktop();
     config.browser = web::BrowserProfile::nativePython();
-    config.seed = scale.seed;
 
     struct Step
     {

@@ -50,11 +50,10 @@ run(const core::RunContext &ctx)
     Table table({"timer", "A (ms)", "P (ms)", "top-1 paper", "top-1 meas",
                  "top-5 paper", "top-5 meas"});
     for (const auto &row : rows) {
-        core::CollectionConfig config;
+        core::CollectionConfig config = core::collectionForScale(scale);
         config.browser = web::BrowserProfile::nativePython();
         config.timerOverride = row.spec;
         config.period = row.period_ms * kMsec;
-        config.seed = scale.seed;
         auto result = core::runFingerprinting(config, pipeline);
         if (!result.isOk())
             return result.status();

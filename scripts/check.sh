@@ -11,6 +11,10 @@
 #   cli-smoke — `bigfish run --all --smoke`: every registered experiment
 #               end-to-end at tiny scale, plus CLI exit-code/usage
 #               checks (strict env validation, unknown-flag rejection).
+#   resume-smoke — kill -9 a checkpointed run mid-collection, `--resume`
+#               it and require a bit-identical artifact; then force an
+#               IO-crash under `--isolate --keep-going` and require
+#               exit 1 with a complete suite manifest (crashed + ok).
 #   address   — full build + ctest under AddressSanitizer.
 #   undefined — full build + ctest under UBSan.
 #   thread    — full build + ctest under ThreadSanitizer.
@@ -22,7 +26,7 @@
 # merge as well. The plain (unsanitized) build stays in build/.
 #
 # Usage:
-#   scripts/check.sh [lint|cppcheck|cli-smoke|address|undefined|thread|threads8]...
+#   scripts/check.sh [lint|cppcheck|cli-smoke|resume-smoke|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -30,10 +34,15 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint cppcheck cli-smoke address undefined thread threads8)
+    stages=(lint cppcheck cli-smoke resume-smoke address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Temp dirs registered by stages; removed on exit.
+tmpdirs=()
+cleanup() { [ ${#tmpdirs[@]} -gt 0 ] && rm -rf "${tmpdirs[@]}"; return 0; }
+trap cleanup EXIT
 
 for stage in "${stages[@]}"; do
     case "$stage" in
@@ -66,11 +75,13 @@ for stage in "${stages[@]}"; do
         cmake -B "$builddir" -S "$repo" > /dev/null
         cmake --build "$builddir" --target bigfish -j "$jobs"
         smokedir="$(mktemp -d)"
-        trap 'rm -rf "$smokedir"' EXIT
+        tmpdirs+=("$smokedir")
         echo "== [cli-smoke] bigfish run --all --smoke"
         "$builddir/bigfish" run --all --smoke --threads=2 \
             --json-dir="$smokedir" > "$smokedir/run.log"
-        count="$(ls "$smokedir"/*.json | wc -l)"
+        # One artifact per experiment; the suite manifest also lands in
+        # --json-dir and is not an experiment artifact.
+        count="$(ls "$smokedir"/*.json | grep -cv suite-manifest)"
         listed="$("$builddir/bigfish" list | grep -c '\[')"
         echo "== [cli-smoke] $count artifact(s) for $listed experiment(s)"
         [ "$count" -eq "$listed" ]
@@ -88,6 +99,63 @@ for stage in "${stages[@]}"; do
         fi
         "$builddir/bigfish" list > /dev/null
         "$builddir/bigfish" describe table1_fingerprinting > /dev/null
+        ;;
+      resume-smoke)
+        builddir="$repo/build"
+        echo "== [resume-smoke] build bigfish"
+        cmake -B "$builddir" -S "$repo" > /dev/null
+        cmake --build "$builddir" --target bigfish -j "$jobs"
+        rdir="$(mktemp -d)"
+        tmpdirs+=("$rdir")
+        echo "== [resume-smoke] reference run (no checkpointing)"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --json="$rdir/ref.json" > /dev/null
+        echo "== [resume-smoke] kill -9 mid-collection, then --resume"
+        # Background the binary DIRECTLY (no compound command): $! must
+        # be the bigfish pid itself, or the kill orphans the child and
+        # it races the resumed run.
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --resume="$rdir/ckpt" --json="$rdir/out.json" \
+            > "$rdir/first.log" 2>&1 &
+        pid=$!
+        # Kill as soon as at least one journal record has been committed.
+        for _ in $(seq 1 200); do
+            if grep -lq '@rec' "$rdir"/ckpt/*.journal 2>/dev/null; then
+                break
+            fi
+            sleep 0.05
+        done
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --resume="$rdir/ckpt" --json="$rdir/out.json" \
+            > "$rdir/resume.log"
+        if ! grep -q 'resuming:' "$rdir/resume.log"; then
+            echo "== [resume-smoke] note: first run finished before the" \
+                 "kill landed (resume path not exercised this time)"
+        fi
+        # Timings differ run to run and the config echo names the resume
+        # dir; every result line must be identical.
+        if ! diff <(grep -v -e 'Seconds' -e '"resume"' "$rdir/ref.json") \
+                  <(grep -v -e 'Seconds' -e '"resume"' "$rdir/out.json"); then
+            echo "resumed artifact differs from reference" >&2
+            exit 1
+        fi
+        echo "== [resume-smoke] resumed artifact is bit-identical"
+        echo "== [resume-smoke] forced IO crash under --isolate --keep-going"
+        rc=0
+        "$builddir/bigfish" run table1_fingerprinting fig3_traces --smoke \
+            --threads=2 --isolate --keep-going --resume="$rdir/crash-ckpt" \
+            --io-crash-after=1 --json-dir="$rdir/crash" \
+            > "$rdir/crash.log" 2>&1 || rc=$?
+        manifest="$rdir/crash/suite-manifest.json"
+        if [ "$rc" -ne 1 ]; then
+            echo "expected suite exit 1 after forced crash, got $rc" >&2
+            exit 1
+        fi
+        grep -q '"state": "crashed"' "$manifest"
+        grep -q '"name": "fig3_traces", "state": "ok"' "$manifest"
+        echo "== [resume-smoke] manifest records the crash; suite completed"
         ;;
       address|undefined|thread)
         san="$stage"
@@ -113,7 +181,7 @@ for stage in "${stages[@]}"; do
         ;;
       *)
         echo "unknown stage '$stage' (want lint, cppcheck, cli-smoke," \
-             "address, undefined, thread or threads8)" >&2
+             "resume-smoke, address, undefined, thread or threads8)" >&2
         exit 2
         ;;
     esac

@@ -1,0 +1,97 @@
+#include "base/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace bigfish {
+
+namespace {
+
+/** strerror(errno) wrapped for message building. */
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+/** mkdir that treats EEXIST-as-directory as success. */
+Status
+makeOneDirectory(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0)
+        return Status::ok();
+    if (errno == EEXIST) {
+        struct stat st;
+        if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode))
+            return Status::ok();
+        return ioError("cannot create directory " + path +
+                       ": path exists and is not a directory");
+    }
+    return ioError("cannot create directory " + path + ": " + errnoText());
+}
+
+} // namespace
+
+Status
+createDirectories(const std::string &path)
+{
+    if (path.empty())
+        return invalidArgumentError("createDirectories: empty path");
+    // Create each prefix in turn; "a/b/c" makes "a", "a/b", "a/b/c".
+    std::size_t pos = 0;
+    while (pos < path.size()) {
+        std::size_t slash = path.find('/', pos + 1);
+        if (slash == std::string::npos)
+            slash = path.size();
+        const std::string prefix = path.substr(0, slash);
+        // Skip the root "/" and empty components from "//".
+        if (!prefix.empty() && prefix != "/")
+            BF_RETURN_IF_ERROR(makeOneDirectory(prefix));
+        pos = slash;
+        while (pos < path.size() && path[pos] == '/')
+            ++pos;
+    }
+    return Status::ok();
+}
+
+Status
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    if (path.empty())
+        return invalidArgumentError("atomicWriteFile: empty path");
+    const std::string tmp = path + ".tmp";
+
+    FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (file == nullptr)
+        return ioError("cannot open " + tmp + " for writing: " +
+                       errnoText());
+
+    Status failed = Status::ok();
+    if (!content.empty() &&
+        std::fwrite(content.data(), 1, content.size(), file) !=
+            content.size())
+        failed = ioError("short write to " + tmp + ": " + errnoText());
+    if (failed.isOk() && std::fflush(file) != 0)
+        failed = ioError("cannot flush " + tmp + ": " + errnoText());
+    // fsync before rename: the rename must never become visible while
+    // the data it points at is still only in the page cache.
+    if (failed.isOk() && ::fsync(::fileno(file)) != 0)
+        failed = ioError("cannot fsync " + tmp + ": " + errnoText());
+    if (std::fclose(file) != 0 && failed.isOk())
+        failed = ioError("cannot close " + tmp + ": " + errnoText());
+
+    if (failed.isOk() && std::rename(tmp.c_str(), path.c_str()) != 0)
+        failed = ioError("cannot rename " + tmp + " to " + path + ": " +
+                         errnoText());
+    if (!failed.isOk()) {
+        ::unlink(tmp.c_str());
+        return failed;
+    }
+    return Status::ok();
+}
+
+} // namespace bigfish

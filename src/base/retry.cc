@@ -1,0 +1,54 @@
+#include "base/retry.hh"
+
+#include <algorithm>
+
+#include "base/rng.hh"
+
+namespace bigfish {
+
+bool
+RetryPolicy::shouldRetry(const Status &error, int attempt) const
+{
+    if (error.isOk() || attempt >= maxAttempts)
+        return false;
+    switch (error.code()) {
+      case ErrorCode::IoError:
+      case ErrorCode::Exhausted:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+RetryPolicy::delaySeconds(int attempt, std::uint64_t salt) const
+{
+    double delay = baseDelaySeconds;
+    for (int i = 1; i < attempt; ++i)
+        delay *= backoffMultiplier;
+    delay = std::min(delay, maxDelaySeconds);
+    if (jitterFraction > 0.0) {
+        // A uniform in [0, 1) from the top 53 bits of a mixed word;
+        // no wall-clock entropy anywhere (see file comment).
+        const std::uint64_t word =
+            mix64(mix64(seed ^ 0x52e7'7ab1'9cd0'4f63ULL) ^
+                  mix64(salt + static_cast<std::uint64_t>(attempt)));
+        const double uniform =
+            static_cast<double>(word >> 11) * 0x1.0p-53;
+        delay *= 1.0 - jitterFraction + 2.0 * jitterFraction * uniform;
+    }
+    return std::max(delay, 0.0);
+}
+
+std::uint64_t
+retrySalt(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x0000'0100'0000'01b3ULL;
+    }
+    return hash;
+}
+
+} // namespace bigfish

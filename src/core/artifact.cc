@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 
 namespace bigfish::core {
@@ -44,6 +45,8 @@ RunArtifact::addResult(const std::string &label,
     featurizeSeconds_ += result.featurizeSeconds;
     trainSeconds_ += result.trainSeconds;
     evalSeconds_ += result.evalSeconds;
+    collectedTraces_ += result.collectedTraces;
+    droppedTraces_ += result.droppedTraces;
     addMetric(label + "_top1", result.closedWorld.top1Mean);
     if (result.hasOpenWorld)
         addMetric(label + "_open_combined",
@@ -69,6 +72,13 @@ RunArtifact::addPhaseSeconds(const std::string &phase, double seconds)
         evalSeconds_ += seconds;
     else
         panic("unknown experiment phase: " + phase);
+}
+
+void
+RunArtifact::addTraceAccounting(std::size_t collected, std::size_t dropped)
+{
+    collectedTraces_ += collected;
+    droppedTraces_ += dropped;
 }
 
 void
@@ -115,6 +125,9 @@ RunArtifact::toJson() const
                formatDouble("%.6f", e.value);
     }
     out += first ? "},\n" : "\n  },\n";
+    out += "  \"traces\": {\"collected\": " +
+           std::to_string(collectedTraces_) +
+           ", \"dropped\": " + std::to_string(droppedTraces_) + "},\n";
     out += "  \"wallSeconds\": " + formatDouble("%.3f", wallSeconds_) +
            ",\n";
     out += "  \"phases\": {\"collectSeconds\": " +
@@ -140,16 +153,7 @@ RunArtifact::toJson() const
 Status
 RunArtifact::writeJson(const std::string &path) const
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (f == nullptr)
-        return ioError("cannot open artifact path " + path);
-    const std::string json = toJson();
-    const std::size_t written =
-        std::fwrite(json.data(), 1, json.size(), f);
-    const bool ok = written == json.size() && std::fclose(f) == 0;
-    if (!ok)
-        return ioError("short write to artifact path " + path);
-    return Status::ok();
+    return atomicWriteFile(path, toJson());
 }
 
 } // namespace bigfish::core

@@ -83,6 +83,14 @@ class RunArtifact
     /** The first metric named @p name, when present. */
     std::optional<double> findMetric(const std::string &name) const;
 
+    /** Adds to the dropped/collected trace accounting directly. */
+    void addTraceAccounting(std::size_t collected, std::size_t dropped);
+
+    /** Traces that made it into the evaluation (fault accounting). */
+    std::size_t collectedTraces() const { return collectedTraces_; }
+    /** Traces dropped as unusable (fault accounting). */
+    std::size_t droppedTraces() const { return droppedTraces_; }
+
     double collectSeconds() const { return collectSeconds_; }
     double featurizeSeconds() const { return featurizeSeconds_; }
     double trainSeconds() const { return trainSeconds_; }
@@ -99,7 +107,11 @@ class RunArtifact
      */
     std::string toJson() const;
 
-    /** Writes toJson() to @p path. */
+    /**
+     * Writes toJson() to @p path atomically (write-temp-fsync-rename,
+     * base/atomic_file.hh): a kill at any instant leaves either no
+     * artifact or a complete one, never a torn prefix.
+     */
     [[nodiscard]] Status writeJson(const std::string &path) const;
 
   private:
@@ -114,6 +126,8 @@ class RunArtifact
     double evalSeconds_ = 0.0;
     double wallSeconds_ = 0.0;
     int threads_ = 0;
+    std::size_t collectedTraces_ = 0;
+    std::size_t droppedTraces_ = 0;
 };
 
 } // namespace bigfish::core

@@ -1,0 +1,603 @@
+#include "core/checkpoint.hh"
+
+#include <array>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/atomic_file.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "core/collector.hh"
+
+namespace bigfish::core {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial), table-driven. Frames every journal
+// record so torn writes and flipped bytes are detected on replay.
+
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (const char byte : data)
+        crc = crcTable()[(crc ^ static_cast<unsigned char>(byte)) & 0xffu] ^
+              (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------
+// Canonical text serialization. Doubles are written as hexfloats
+// ("%a"), which round-trip bit-exactly through strtod — the property
+// the bit-identical-resume contract rests on.
+
+std::string
+hexDouble(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    return buf;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
+}
+
+constexpr char kHeaderPrefix[] = "# bigfish-checkpoint v1 fp=";
+constexpr char kFramePrefix[] = "@rec ";
+
+/** One-line-per-field canonical form of a config, for fingerprinting. */
+struct Canonical
+{
+    std::string text;
+
+    void
+    add(const char *key, const std::string &value)
+    {
+        text += key;
+        text += '=';
+        text += value;
+        text += '\n';
+    }
+    void add(const char *key, double v) { add(key, hexDouble(v)); }
+    void add(const char *key, bool v) { add(key, std::string(v ? "1" : "0")); }
+    void
+    add(const char *key, std::int64_t v)
+    {
+        add(key, std::to_string(v));
+    }
+    void add(const char *key, int v) { add(key, std::int64_t(v)); }
+    void
+    add(const char *key, std::uint64_t v)
+    {
+        add(key, hex16(v));
+    }
+};
+
+void
+addTimerSpec(Canonical &canon, const char *prefix,
+             const timers::TimerSpec &spec)
+{
+    const std::string p(prefix);
+    canon.add((p + ".kind").c_str(), static_cast<int>(spec.kind));
+    canon.add((p + ".resolution").c_str(),
+              static_cast<std::int64_t>(spec.resolution));
+    canon.add((p + ".rand.resolution").c_str(),
+              static_cast<std::int64_t>(spec.randomized.resolution));
+    canon.add((p + ".rand.alphaLo").c_str(), spec.randomized.alphaLo);
+    canon.add((p + ".rand.alphaHi").c_str(), spec.randomized.alphaHi);
+    canon.add((p + ".rand.betaLo").c_str(), spec.randomized.betaLo);
+    canon.add((p + ".rand.betaHi").c_str(), spec.randomized.betaHi);
+    canon.add((p + ".rand.threshold").c_str(),
+              static_cast<std::int64_t>(spec.randomized.threshold));
+}
+
+std::uint64_t
+fnv64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x0000'0100'0000'01b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+std::uint64_t
+collectionFingerprint(const CollectionConfig &config,
+                      std::uint64_t catalog_seed, int num_sites,
+                      int open_world_extra,
+                      std::span<const attack::AttackerKind> attackers)
+{
+    Canonical canon;
+    canon.add("format", std::string("bigfish-collection-v1"));
+    canon.add("catalog.seed", catalog_seed);
+    canon.add("catalog.sites", num_sites);
+    canon.add("catalog.openExtra", open_world_extra);
+    for (const auto kind : attackers)
+        canon.add("attacker", attack::attackerKindName(kind));
+
+    const sim::MachineConfig &m = config.machine;
+    canon.add("machine.numCores", m.numCores);
+    canon.add("machine.attackerCore", m.attackerCore);
+    canon.add("machine.os.name", m.os.name);
+    canon.add("machine.os.tickHz", m.os.tickHz);
+    canon.add("machine.os.handlerScale", m.os.handlerScale);
+    canon.add("machine.os.softirqShare", m.os.softirqShare);
+    canon.add("machine.os.backgroundIrqRate", m.os.backgroundIrqRate);
+    canon.add("machine.os.backgroundReschedRate",
+              m.os.backgroundReschedRate);
+    canon.add("machine.os.untraceableStallRate", m.os.untraceableStallRate);
+    canon.add("machine.os.housekeepingBurstRate",
+              m.os.housekeepingBurstRate);
+    canon.add("machine.os.housekeepingIntensity",
+              m.os.housekeepingIntensity);
+    canon.add("machine.frequencyScaling", m.frequencyScaling);
+    canon.add("machine.frequencyLoadDip", m.frequencyLoadDip);
+    canon.add("machine.frequencyWalkSigma", m.frequencyWalkSigma);
+    canon.add("machine.frequencyWalkTau",
+              static_cast<std::int64_t>(m.frequencyWalkTau));
+    canon.add("machine.pinnedCores", m.pinnedCores);
+    canon.add("machine.routing", static_cast<int>(m.routing));
+    canon.add("machine.vmIsolation", m.vmIsolation);
+    for (int kind = 0; kind < sim::kNumInterruptKinds; ++kind) {
+        const auto params = m.handlerCosts.params(
+            static_cast<sim::InterruptKind>(kind));
+        const std::string key = "machine.handler." + std::to_string(kind);
+        canon.add((key + ".median").c_str(),
+                  static_cast<std::int64_t>(params.median));
+        canon.add((key + ".sigma").c_str(), params.sigma);
+    }
+    canon.add("machine.contextSwitchNs",
+              static_cast<std::int64_t>(m.handlerCosts.contextSwitchNs));
+    canon.add("machine.vmAmplification", m.handlerCosts.vmAmplification);
+    canon.add("machine.vmExitNs",
+              static_cast<std::int64_t>(m.handlerCosts.vmExitNs));
+    canon.add("machine.timesliceNs",
+              static_cast<std::int64_t>(m.timesliceNs));
+    canon.add("machine.llcBytes", static_cast<std::int64_t>(m.llcBytes));
+    canon.add("machine.lineBytes", m.lineBytes);
+    canon.add("machine.sweepHitNsPerLine", m.sweepHitNsPerLine);
+    canon.add("machine.sweepMissExtraNsPerLine", m.sweepMissExtraNsPerLine);
+
+    const web::BrowserProfile &b = config.browser;
+    canon.add("browser.name", b.name);
+    addTimerSpec(canon, "browser.timer", b.timer);
+    canon.add("browser.traceDuration",
+              static_cast<std::int64_t>(b.traceDuration));
+    canon.add("browser.loadTimeScale", b.loadTimeScale);
+    canon.add("browser.loadVariability", b.loadVariability);
+    canon.add("browser.runtimeNoiseSigma", b.runtimeNoiseSigma);
+    canon.add("browser.stallRate", b.stallRate);
+    canon.add("browser.stallMedian",
+              static_cast<std::int64_t>(b.stallMedian));
+    canon.add("browser.period", static_cast<std::int64_t>(b.period));
+
+    canon.add("attackerParams.loopIterNs", config.attackerParams.loopIterNs);
+    canon.add("attackerParams.sweepOverheadNs",
+              config.attackerParams.sweepOverheadNs);
+    canon.add("attackerParams.sweepObservedOccupancy",
+              config.attackerParams.sweepObservedOccupancy);
+    canon.add("attackerParams.sweepCostSigma",
+              config.attackerParams.sweepCostSigma);
+
+    canon.add("timerOverride", config.timerOverride.has_value());
+    if (config.timerOverride)
+        addTimerSpec(canon, "timerOverride", *config.timerOverride);
+    canon.add("period", static_cast<std::int64_t>(config.period));
+
+    canon.add("spuriousInterruptNoise", config.spuriousInterruptNoise);
+    canon.add("spurious.burstsPerSecond",
+              config.spuriousParams.burstsPerSecond);
+    canon.add("spurious.burstMean",
+              static_cast<std::int64_t>(config.spuriousParams.burstMean));
+    canon.add("spurious.burstNetRate", config.spuriousParams.burstNetRate);
+    canon.add("spurious.burstReschedRate",
+              config.spuriousParams.burstReschedRate);
+    canon.add("spurious.burstSoftirqWork",
+              config.spuriousParams.burstSoftirqWork);
+    canon.add("spurious.baselineNetRate",
+              config.spuriousParams.baselineNetRate);
+    canon.add("cacheSweepNoise", config.cacheSweepNoise);
+    canon.add("cacheSweep.sweepOccupancy",
+              config.cacheSweepParams.sweepOccupancy);
+    canon.add("cacheSweep.sweepCpuLoad", config.cacheSweepParams.sweepCpuLoad);
+    canon.add("cacheSweep.sweepReschedRate",
+              config.cacheSweepParams.sweepReschedRate);
+    canon.add("backgroundApps", config.backgroundApps);
+
+    canon.add("realization.phaseStartJitterMs",
+              config.realization.phaseStartJitterMs);
+    canon.add("realization.phaseDurationSigma",
+              config.realization.phaseDurationSigma);
+    canon.add("realization.rateSigma", config.realization.rateSigma);
+    canon.add("realization.runLoadSigma", config.realization.runLoadSigma);
+
+    // Signal faults change trace content, so they key the journal; the
+    // IO faults (ioCrashAfterRecords/ioTornWriteBytes/ioCorruptRecordProb)
+    // only perturb persistence and are deliberately left out — a resumed
+    // run with the crash fault removed must find its own progress.
+    const sim::FaultConfig &f = config.faults;
+    canon.add("faults.dropInterruptProb", f.dropInterruptProb);
+    canon.add("faults.duplicateInterruptProb", f.duplicateInterruptProb);
+    canon.add("faults.duplicateDelay",
+              static_cast<std::int64_t>(f.duplicateDelay));
+    canon.add("faults.timerSkewPpm", f.timerSkewPpm);
+    canon.add("faults.timerBackstepProb", f.timerBackstepProb);
+    canon.add("faults.timerBackstepMax",
+              static_cast<std::int64_t>(f.timerBackstepMax));
+    canon.add("faults.timerBackstepQuantum",
+              static_cast<std::int64_t>(f.timerBackstepQuantum));
+    canon.add("faults.stallsPerSecond", f.stallsPerSecond);
+    canon.add("faults.stallMedian", static_cast<std::int64_t>(f.stallMedian));
+    canon.add("faults.stallSigma", f.stallSigma);
+    canon.add("faults.truncateProb", f.truncateProb);
+    canon.add("faults.truncateKeepMin", f.truncateKeepMin);
+    canon.add("faults.truncateKeepMax", f.truncateKeepMax);
+    canon.add("faults.seed", f.seed);
+
+    canon.add("seed", config.seed);
+    return mix64(fnv64(canon.text) ^ 0x2f5a'1c3e'9b87'd641ULL);
+}
+
+// ---------------------------------------------------------------------
+// Record serialization.
+
+namespace {
+
+/** Journal lines are one record each; newlines in messages would tear
+ *  the framing, so they are flattened (messages are for humans only). */
+std::string
+flattenMessage(std::string message)
+{
+    for (char &c : message)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    return message;
+}
+
+} // namespace
+
+std::string
+CheckpointJournal::serializeCell(int world, SiteId site, int run,
+                                 const StoredCell &cell)
+{
+    std::ostringstream out;
+    out << "cell " << world << ' ' << site << ' ' << run << ' '
+        << cell.size() << '\n';
+    for (const StoredEntry &entry : cell) {
+        if (!entry.ok) {
+            out << "drop " << static_cast<int>(entry.code) << ' '
+                << flattenMessage(entry.message) << '\n';
+            continue;
+        }
+        const attack::Trace &t = entry.trace;
+        out << "ok " << t.siteId << ' ' << t.label << ' ' << t.period << ' '
+            << t.attacker << ' ' << t.counts.size();
+        for (const double c : t.counts)
+            out << ' ' << hexDouble(c);
+        out << ' ' << t.wallTimes.size();
+        for (const TimeNs w : t.wallTimes)
+            out << ' ' << w;
+        out << '\n';
+    }
+    return out.str();
+}
+
+bool
+CheckpointJournal::parseCell(const std::string &payload, CellKey &key,
+                             StoredCell &cell)
+{
+    std::istringstream in(payload);
+    std::string tag;
+    int world = 0, site = 0, run = 0;
+    std::size_t entries = 0;
+    if (!(in >> tag >> world >> site >> run >> entries) || tag != "cell")
+        return false;
+    if (entries > 1024)
+        return false;
+    in.ignore(); // The newline after the cell header.
+    cell.clear();
+    for (std::size_t i = 0; i < entries; ++i) {
+        std::string line;
+        if (!std::getline(in, line))
+            return false;
+        std::istringstream fields(line);
+        StoredEntry entry;
+        if (!(fields >> tag))
+            return false;
+        if (tag == "drop") {
+            int code = 0;
+            if (!(fields >> code))
+                return false;
+            if (code <= 0 ||
+                code > static_cast<int>(ErrorCode::Exhausted))
+                return false;
+            entry.ok = false;
+            entry.code = static_cast<ErrorCode>(code);
+            std::getline(fields, entry.message);
+            if (!entry.message.empty() && entry.message.front() == ' ')
+                entry.message.erase(0, 1);
+        } else if (tag == "ok") {
+            entry.ok = true;
+            attack::Trace &t = entry.trace;
+            std::size_t counts = 0;
+            long long period = 0;
+            if (!(fields >> t.siteId >> t.label >> period >> t.attacker >>
+                  counts))
+                return false;
+            t.period = period;
+            t.counts.reserve(counts);
+            for (std::size_t c = 0; c < counts; ++c) {
+                std::string token;
+                if (!(fields >> token))
+                    return false;
+                char *end = nullptr;
+                const double value = std::strtod(token.c_str(), &end);
+                if (end == nullptr || *end != '\0')
+                    return false;
+                t.counts.push_back(value);
+            }
+            std::size_t walls = 0;
+            if (!(fields >> walls))
+                return false;
+            t.wallTimes.reserve(walls);
+            for (std::size_t w = 0; w < walls; ++w) {
+                long long wall = 0;
+                if (!(fields >> wall))
+                    return false;
+                t.wallTimes.push_back(wall);
+            }
+        } else {
+            return false;
+        }
+        cell.push_back(std::move(entry));
+    }
+    key = CellKey(world, site, run);
+    return true;
+}
+
+std::string
+CheckpointJournal::frameRecord(const std::string &payload)
+{
+    char header[48];
+    std::snprintf(header, sizeof(header), "%s%zu %08x\n", kFramePrefix,
+                  payload.size(), crc32(payload));
+    return std::string(header) + payload;
+}
+
+std::string
+CheckpointJournal::headerLine() const
+{
+    return std::string(kHeaderPrefix) + hex16(fingerprint_) + "\n";
+}
+
+Result<std::unique_ptr<CheckpointJournal>>
+CheckpointJournal::open(const std::string &dir, std::uint64_t fingerprint,
+                        const sim::FaultConfig &faults)
+{
+    const Status made = createDirectories(dir);
+    if (!made.isOk())
+        return made;
+
+    std::unique_ptr<CheckpointJournal> journal(new CheckpointJournal());
+    journal->fingerprint_ = fingerprint;
+    journal->faults_ = faults;
+    journal->path_ = dir + "/ckpt-" + hex16(fingerprint) + ".journal";
+
+    // Replay any existing progress, repairing torn tails and dropping
+    // CRC-failed records.
+    std::string content;
+    bool existed = false;
+    {
+        std::ifstream in(journal->path_, std::ios::binary);
+        if (in) {
+            existed = true;
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            content = buffer.str();
+        }
+    }
+    if (existed) {
+        const std::string header = journal->headerLine();
+        if (content.rfind(header, 0) != 0) {
+            // Foreign or pre-v1 content: discard it all, start fresh.
+            journal->stats_.tailBytesDropped = content.size();
+        } else {
+            std::size_t pos = header.size();
+            while (pos < content.size()) {
+                const std::size_t record_start = pos;
+                const std::size_t eol = content.find('\n', pos);
+                std::size_t length = 0;
+                unsigned crc = 0;
+                bool framed = false;
+                if (eol != std::string::npos) {
+                    const std::string frame =
+                        content.substr(pos, eol - pos);
+                    framed = std::sscanf(frame.c_str(), "@rec %zu %x",
+                                         &length, &crc) == 2 &&
+                             frame.rfind(kFramePrefix, 0) == 0;
+                }
+                if (!framed) {
+                    // Torn frame header: everything from here is tail.
+                    journal->stats_.tailBytesDropped =
+                        content.size() - record_start;
+                    break;
+                }
+                const std::size_t payload_start = eol + 1;
+                if (payload_start + length > content.size()) {
+                    // Torn payload at EOF.
+                    journal->stats_.tailBytesDropped =
+                        content.size() - record_start;
+                    break;
+                }
+                const std::string payload =
+                    content.substr(payload_start, length);
+                pos = payload_start + length;
+                if (crc32(payload) != crc) {
+                    ++journal->stats_.recordsDropped;
+                    continue;
+                }
+                CellKey key;
+                StoredCell cell;
+                if (!parseCell(payload, key, cell)) {
+                    ++journal->stats_.recordsDropped;
+                    continue;
+                }
+                // First record wins; duplicates are bit-identical by
+                // construction anyway.
+                journal->cells_.emplace(key, std::move(cell));
+            }
+        }
+        journal->stats_.cellsLoaded = journal->cells_.size();
+    }
+
+    // Commit the (possibly repaired) journal atomically before any
+    // append: a compaction that itself tears must never replace a good
+    // journal, hence tmp+rename. The commit is keyed on the header being
+    // intact, not on mere existence: a file truncated to zero bytes
+    // exists, needed no record repair, and yet must get a fresh header
+    // before appends resume or the next open() discards everything.
+    const bool header_intact =
+        existed && content.rfind(journal->headerLine(), 0) == 0;
+    if (!header_intact || journal->stats_.repaired()) {
+        std::string canonical = journal->headerLine();
+        for (const auto &[key, cell] : journal->cells_)
+            canonical += frameRecord(serializeCell(
+                std::get<0>(key), std::get<1>(key), std::get<2>(key), cell));
+        const Status committed = atomicWriteFile(journal->path_, canonical);
+        if (!committed.isOk())
+            return committed;
+    }
+
+    journal->file_ = std::fopen(journal->path_.c_str(), "ab");
+    if (journal->file_ == nullptr)
+        return ioError("cannot open checkpoint journal " + journal->path_ +
+                       " for append");
+    return journal;
+}
+
+CheckpointJournal::~CheckpointJournal()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+std::size_t
+CheckpointJournal::cellCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
+std::optional<std::vector<Result<attack::Trace>>>
+CheckpointJournal::lookup(int world, SiteId site, int run) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cells_.find(CellKey(world, site, run));
+    if (it == cells_.end())
+        return std::nullopt;
+    std::vector<Result<attack::Trace>> cell;
+    cell.reserve(it->second.size());
+    for (const StoredEntry &entry : it->second) {
+        if (entry.ok)
+            cell.emplace_back(entry.trace);
+        else
+            cell.emplace_back(Status(entry.code, entry.message));
+    }
+    return cell;
+}
+
+Status
+CheckpointJournal::appendCell(int world, SiteId site, int run,
+                          const std::vector<Result<attack::Trace>> &cell)
+{
+    StoredCell stored;
+    stored.reserve(cell.size());
+    for (const Result<attack::Trace> &entry : cell) {
+        StoredEntry e;
+        if (entry.isOk()) {
+            e.ok = true;
+            e.trace = entry.value();
+        } else {
+            e.ok = false;
+            e.code = entry.status().code();
+            e.message = entry.status().message();
+        }
+        stored.push_back(std::move(e));
+    }
+    std::string framed = frameRecord(serializeCell(world, site, run, stored));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr)
+        return ioError("checkpoint journal " + path_ + " is not open");
+
+    // --- Injected IO faults (deterministic in faults.seed + index).
+    if (faults_.ioCrashAfterRecords > 0 &&
+        appended_ >= static_cast<std::size_t>(faults_.ioCrashAfterRecords)) {
+        // Simulated kill -9 mid-append: persist only a torn prefix of
+        // the in-flight record, then die without unwinding.
+        const std::size_t torn = std::min(
+            framed.size(),
+            static_cast<std::size_t>(std::max(faults_.ioTornWriteBytes, 0)));
+        if (torn > 0) {
+            std::fwrite(framed.data(), 1, torn, file_);
+            std::fflush(file_);
+        }
+        panic("fault injection: simulated crash after " +
+              std::to_string(appended_) + " checkpoint records (journal " +
+              path_ + ")");
+    }
+    if (faults_.ioCorruptRecordProb > 0.0) {
+        const std::uint64_t word =
+            mix64(mix64(faults_.seed ^ 0x8d1c'42a7'55e0'3b96ULL) ^
+                  mix64(static_cast<std::uint64_t>(appended_)));
+        const double uniform = static_cast<double>(word >> 11) * 0x1.0p-53;
+        if (uniform < faults_.ioCorruptRecordProb) {
+            // Flip one payload byte *after* the CRC was computed; the
+            // reader must detect and drop exactly this record.
+            const std::size_t header = framed.find('\n') + 1;
+            const std::size_t span = framed.size() - header;
+            if (span > 0)
+                framed[header + (mix64(word) % span)] ^= 0x01;
+        }
+    }
+
+    if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size())
+        return ioError("short append to checkpoint journal " + path_);
+    // fflush hands the record to the kernel: a kill -9 of this process
+    // can then no longer lose it (page cache survives process death).
+    if (std::fflush(file_) != 0)
+        return ioError("cannot flush checkpoint journal " + path_);
+    ++appended_;
+    cells_.emplace(CellKey(world, site, run), std::move(stored));
+    return Status::ok();
+}
+
+} // namespace bigfish::core

@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "core/checkpoint.hh"
 
 namespace bigfish::core {
 
@@ -175,6 +176,34 @@ TraceCollector::collectOneMulti(
     return out;
 }
 
+std::vector<Result<attack::Trace>>
+TraceCollector::collectCellCheckpointed(
+    int world, SiteId site_key, const web::SiteSignature &site,
+    int run_index, std::span<const attack::AttackerKind> attackers) const
+{
+    if (checkpoint_ != nullptr) {
+        auto cached = checkpoint_->lookup(world, site_key, run_index);
+        // A cell journaled under a different attacker set cannot occur
+        // (the fingerprint keys the attacker list), but stay defensive:
+        // a size mismatch falls through to a fresh collection.
+        if (cached.has_value() && cached->size() == attackers.size())
+            return std::move(*cached);
+    }
+    auto cell = collectOneMulti(site, run_index, attackers);
+    if (checkpoint_ != nullptr) {
+        // A journal that stops accepting records (disk full, journal
+        // file deleted) only costs resumability, never the run itself.
+        const Status appended =
+            checkpoint_->appendCell(world, site_key, run_index, cell);
+        if (!appended.isOk())
+            warnOnce("collector/checkpoint-append",
+                     "checkpoint append failed (run continues without "
+                     "resumability): " +
+                         appended.toString());
+    }
+    return cell;
+}
+
 attack::Trace
 TraceCollector::collectOneOrDie(const web::SiteSignature &site,
                                 int run_index) const
@@ -225,7 +254,8 @@ TraceCollector::collectClosedWorldMulti(
             idx / static_cast<std::size_t>(traces_per_site));
         const int run = static_cast<int>(
             idx % static_cast<std::size_t>(traces_per_site));
-        return collectOneMulti(catalog.site(id), run, attackers);
+        return collectCellCheckpointed(kCheckpointClosedWorld, id,
+                                       catalog.site(id), run, attackers);
     });
     std::vector<CollectionStats> local(attackers.size());
     std::vector<attack::TraceSet> sets(attackers.size());
@@ -297,9 +327,12 @@ TraceCollector::collectOpenWorldMulti(
     // 5,000 unique non-sensitive pages); the cells are independent, so
     // they collect in parallel with the same slot-then-account scheme as
     // the closed world.
+    // The journal keys open-world cells by extension index (not the
+    // one-off site id), which is stable across catalog id schemes.
     auto results = parallelMap(cells, [&](std::size_t i) {
-        return collectOneMulti(catalog.openWorldSite(static_cast<int>(i)),
-                               0, attackers);
+        return collectCellCheckpointed(
+            kCheckpointOpenWorld, static_cast<SiteId>(i),
+            catalog.openWorldSite(static_cast<int>(i)), 0, attackers);
     });
     std::vector<CollectionStats> local(attackers.size());
     std::vector<attack::TraceSet> sets(attackers.size());

@@ -43,6 +43,8 @@
 
 namespace bigfish::core {
 
+class CheckpointJournal;
+
 /** One full experimental configuration. */
 struct CollectionConfig
 {
@@ -109,6 +111,17 @@ class TraceCollector
     explicit TraceCollector(CollectionConfig config);
 
     const CollectionConfig &config() const { return config_; }
+
+    /**
+     * Attaches a checkpoint journal (core/checkpoint.hh): completed
+     * (site, run) cells are served from the journal instead of being
+     * recollected, and fresh cells are appended as they finish. Because
+     * every cell is a pure function of (config, site, run), the journal
+     * never changes *what* is collected — only whether the work is
+     * redone — which is the bit-identical-resume contract. @p journal
+     * must outlive the collection calls; nullptr detaches.
+     */
+    void setCheckpoint(CheckpointJournal *journal) { checkpoint_ = journal; }
 
     /**
      * Synthesizes the attacker-core timeline for (site, run) —
@@ -221,8 +234,20 @@ class TraceCollector
                        const sim::FaultPlan &plan,
                        std::uint64_t timer_seed) const;
 
+    /**
+     * Serves (world, site_key, run) from the attached journal when
+     * completed earlier; otherwise collects and journals it. The
+     * no-journal path is a plain collectOneMulti() call.
+     */
+    [[nodiscard]] std::vector<Result<attack::Trace>>
+    collectCellCheckpointed(int world, SiteId site_key,
+                            const web::SiteSignature &site, int run_index,
+                            std::span<const attack::AttackerKind> attackers)
+        const;
+
     CollectionConfig config_;
     sim::InterruptSynthesizer synthesizer_;
+    CheckpointJournal *checkpoint_ = nullptr;
 };
 
 } // namespace bigfish::core

@@ -1,10 +1,13 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 
 #include "base/logging.hh"
 #include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
+#include "core/checkpoint.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::core {
@@ -73,7 +76,35 @@ runFingerprintingShared(const CollectionConfig &collection,
         return Status(
             invalidArgumentError("cross-validation needs >= 2 folds"));
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
-    const TraceCollector collector(collection);
+    TraceCollector collector(collection);
+
+    // With a checkpoint directory configured, completed (site, run)
+    // cells are journaled and a re-run under the same configuration
+    // (content-addressed by fingerprint) resumes instead of
+    // recollecting. The journal must outlive both collection sweeps.
+    std::unique_ptr<CheckpointJournal> journal;
+    if (!pipeline.checkpointDir.empty()) {
+        Result<std::unique_ptr<CheckpointJournal>> opened =
+            CheckpointJournal::open(
+                pipeline.checkpointDir,
+                collectionFingerprint(collection, pipeline.catalogSeed,
+                                      pipeline.numSites,
+                                      pipeline.openWorldExtra, attackers),
+                collection.faults);
+        if (!opened.isOk())
+            return Status(opened.status());
+        journal = std::move(opened.value());
+        if (journal->repairStats().repaired())
+            warn("checkpoint journal " + journal->path() + " repaired: " +
+                 std::to_string(journal->repairStats().recordsDropped) +
+                 " record(s) and " +
+                 std::to_string(journal->repairStats().tailBytesDropped) +
+                 " torn tail byte(s) dropped");
+        if (journal->cellCount() > 0)
+            std::printf("resuming: %zu completed cell(s) from %s\n",
+                        journal->cellCount(), journal->path().c_str());
+        collector.setCheckpoint(journal.get());
+    }
 
     // Collect every attacker's trace sets from shared timelines, then
     // split the shared wall-clock evenly so summing per-attacker results

@@ -48,6 +48,13 @@ struct PipelineConfig
     ml::EvalConfig eval;
     /** Catalog seed (same seed = same 100 websites). */
     std::uint64_t catalogSeed = 7;
+    /**
+     * Checkpoint/resume directory ("" disables journaling). When set,
+     * completed (site, run) cells are journaled there
+     * (core/checkpoint.hh) and a re-run with the same configuration
+     * resumes from the journal, bit-identically.
+     */
+    std::string checkpointDir;
 };
 
 /** The result of one full fingerprinting evaluation. */

@@ -67,7 +67,13 @@ commonScaleSchema()
         .addBool("paper-model", "", false,
                  "use the paper's exact CNN-LSTM hyperparameters")
         .addInt("threads", "", 0, 0, 4096,
-                "worker threads (0 = BF_THREADS, else hardware)");
+                "worker threads (0 = BF_THREADS, else hardware)")
+        .addString("resume", "BF_RESUME", "",
+                   "checkpoint/resume directory (\"\" disables)")
+        .addInt("io-crash-after", "BF_IO_CRASH_AFTER", 0, 0, 1000000000,
+                "fault injection: crash after N checkpoint records")
+        .addInt("io-torn-bytes", "BF_IO_TORN_BYTES", 0, 0, 1000000000,
+                "fault injection: torn bytes of the crashed record");
     return schema;
 }
 
@@ -84,6 +90,11 @@ scaleFromSpec(const spec::RunSpec &run_spec)
     scale.seed = static_cast<std::uint64_t>(run_spec.getInt("seed"));
     scale.paperModel = run_spec.getBool("paper-model");
     scale.threads = static_cast<int>(run_spec.getInt("threads"));
+    scale.resumeDir = run_spec.getString("resume");
+    scale.ioCrashAfterRecords =
+        static_cast<int>(run_spec.getInt("io-crash-after"));
+    scale.ioTornWriteBytes =
+        static_cast<int>(run_spec.getInt("io-torn-bytes"));
     return scale;
 }
 
@@ -128,7 +139,18 @@ pipelineForScale(const ExperimentScale &scale)
     pipeline.eval.folds = scale.folds;
     pipeline.eval.seed = scale.seed;
     pipeline.factory = classifierForScale(scale);
+    pipeline.checkpointDir = scale.resumeDir;
     return pipeline;
+}
+
+CollectionConfig
+collectionForScale(const ExperimentScale &scale)
+{
+    CollectionConfig config;
+    config.seed = scale.seed;
+    config.faults.ioCrashAfterRecords = scale.ioCrashAfterRecords;
+    config.faults.ioTornWriteBytes = scale.ioTornWriteBytes;
+    return config;
 }
 
 RunArtifact

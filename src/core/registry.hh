@@ -114,6 +114,12 @@ struct ExperimentScale
     std::uint64_t seed = 2022;
     bool paperModel = false;
     int threads = 0;
+    /** Checkpoint/resume directory ("" disables journaling). */
+    std::string resumeDir;
+    /** IO fault injection: crash after N journal records (0 = off). */
+    int ioCrashAfterRecords = 0;
+    /** IO fault injection: torn bytes of the crashed record. */
+    int ioTornWriteBytes = 0;
 };
 
 /** Decodes the common knobs from @p run_spec (panics when missing). */
@@ -127,6 +133,14 @@ std::vector<std::pair<std::string, std::string>> fullScaleOverrides();
 
 /** Builds a PipelineConfig from the scale (closed world only). */
 PipelineConfig pipelineForScale(const ExperimentScale &scale);
+
+/**
+ * Builds the baseline CollectionConfig for the scale: master seed plus
+ * the IO-layer fault knobs (sim/faults.hh) wired through so `--resume`
+ * runs can be crash-tested from the CLI. Experiments overlay their own
+ * machine/browser/defense configuration on top.
+ */
+CollectionConfig collectionForScale(const ExperimentScale &scale);
 
 /** The classifier factory the scale selects (two-channel CNN-LSTM). */
 ml::ClassifierFactory classifierForScale(const ExperimentScale &scale);

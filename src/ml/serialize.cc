@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
 
 namespace bigfish::ml {
@@ -34,14 +35,12 @@ saveWeights(std::ostream &out, Sequential &net)
 Status
 saveWeights(const std::string &path, Sequential &net)
 {
-    std::ofstream out(path);
-    if (!out)
-        return ioError("cannot open " + path + " for writing");
+    // Serialize to memory, then commit atomically (tmp+fsync+rename):
+    // a crash mid-save must never leave a torn checkpoint where a good
+    // one used to be.
+    std::ostringstream out;
     BF_RETURN_IF_ERROR(saveWeights(out, net));
-    out.flush();
-    if (!out)
-        return ioError("write to " + path + " failed");
-    return Status::ok();
+    return atomicWriteFile(path, out.str());
 }
 
 void

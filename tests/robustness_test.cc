@@ -1,17 +1,27 @@
 /**
  * @file
- * Corrupted-input robustness tests for the trace persistence layer.
+ * Corrupted-input robustness tests for the persistence layers.
  *
- * Builds a corpus of ~50 mutated trace files (torn writes, bit flips,
- * wrong headers, NaN counts, out-of-range ids, garbage rows) and checks
- * the error contract: the strict reader reports a Status instead of
- * terminating, and the lenient reader never fails on content while
- * keeping its repair accounting exactly consistent.
+ * Part 1 (trace files): builds a corpus of ~50 mutated trace files
+ * (torn writes, bit flips, wrong headers, NaN counts, out-of-range ids,
+ * garbage rows) and checks the error contract: the strict reader
+ * reports a Status instead of terminating, and the lenient reader never
+ * fails on content while keeping its repair accounting exactly
+ * consistent.
+ *
+ * Part 2 (checkpoint journals): pins the `--resume` bit-identity
+ * contract — a journal truncated at ANY byte offset (kill -9 at record
+ * K) repairs cleanly and the resumed collection produces bit-identical
+ * traces and artifacts to an uninterrupted run; CRC-failed middle
+ * records are dropped without losing their neighbors; IO fault
+ * injection (crash-after-N, torn write, record corruption) exercises
+ * the same repair paths deterministically.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -19,6 +29,10 @@
 
 #include "attack/trace_io.hh"
 #include "base/rng.hh"
+#include "core/checkpoint.hh"
+#include "core/collector.hh"
+#include "core/pipeline.hh"
+#include "ml/classifier.hh"
 
 namespace bigfish::attack {
 namespace {
@@ -269,3 +283,447 @@ TEST(RobustCorpus, DiskRoundTripPreservesTraces)
 
 } // namespace
 } // namespace bigfish::attack
+
+namespace bigfish::core {
+namespace {
+
+using attack::Trace;
+
+std::string
+journalDir(const std::string &leaf)
+{
+    // Fresh per-test directory: journals persist across test processes
+    // by design, so a stale one from an earlier run must not leak in.
+    const std::string dir = testing::TempDir() + "bf_checkpoint_" + leaf;
+    std::error_code ignored;
+    std::filesystem::remove_all(dir, ignored);
+    return dir;
+}
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void
+writeAll(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(static_cast<bool>(out.write(
+        bytes.data(), static_cast<std::streamsize>(bytes.size()))))
+        << path;
+}
+
+/** A deterministic trace with "awkward" doubles (hexfloat territory). */
+Trace
+exampleTrace(std::uint64_t seed, int n = 12)
+{
+    Rng rng(seed);
+    Trace trace;
+    trace.siteId = static_cast<SiteId>(seed % 7);
+    trace.label = static_cast<Label>(seed % 5);
+    trace.period = 5'000'000;
+    trace.attacker = (seed % 2) ? "loop-counting" : "sweep-counting";
+    for (int i = 0; i < n; ++i) {
+        // Irrational-ish values: exercises exact double round-tripping.
+        trace.counts.push_back(rng.uniform() * 1e5 / 3.0);
+        trace.wallTimes.push_back(
+            5'000'000 + rng.uniformInt(-40000, 40000));
+    }
+    return trace;
+}
+
+/** One journal cell: two attacker slots, optionally one dropped. */
+std::vector<Result<Trace>>
+exampleCell(std::uint64_t seed, bool with_drop = false)
+{
+    std::vector<Result<Trace>> cell;
+    cell.emplace_back(exampleTrace(seed));
+    if (with_drop)
+        cell.emplace_back(
+            dataError("trace truncated by fault injection"));
+    else
+        cell.emplace_back(exampleTrace(seed ^ 0xabcdef));
+    return cell;
+}
+
+void
+expectTracesBitIdentical(const Trace &a, const Trace &b)
+{
+    EXPECT_EQ(a.siteId, b.siteId);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.period, b.period);
+    EXPECT_EQ(a.attacker, b.attacker);
+    ASSERT_EQ(a.counts.size(), b.counts.size());
+    for (std::size_t i = 0; i < a.counts.size(); ++i)
+        EXPECT_EQ(a.counts[i], b.counts[i]) << "count " << i;
+    ASSERT_EQ(a.wallTimes.size(), b.wallTimes.size());
+    for (std::size_t i = 0; i < a.wallTimes.size(); ++i)
+        EXPECT_EQ(a.wallTimes[i], b.wallTimes[i]) << "wall " << i;
+}
+
+void
+expectCellsBitIdentical(const std::vector<Result<Trace>> &a,
+                        const std::vector<Result<Trace>> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].isOk(), b[i].isOk()) << "slot " << i;
+        if (a[i].isOk())
+            expectTracesBitIdentical(a[i].value(), b[i].value());
+        else {
+            EXPECT_EQ(a[i].status().code(), b[i].status().code());
+            EXPECT_EQ(a[i].status().message(), b[i].status().message());
+        }
+    }
+}
+
+TEST(CheckpointJournal, RoundTripsCellsIncludingDroppedTraces)
+{
+    const std::string dir = journalDir("roundtrip");
+    const auto faults = sim::FaultConfig::none();
+    auto journal = CheckpointJournal::open(dir, 0x1234, faults);
+    ASSERT_TRUE(journal.isOk()) << journal.status().toString();
+    EXPECT_EQ(journal.value()->cellCount(), 0u);
+
+    const auto cell_a = exampleCell(1);
+    const auto cell_b = exampleCell(2, /*with_drop=*/true);
+    ASSERT_TRUE(journal.value()
+                    ->appendCell(kCheckpointClosedWorld, 0, 0, cell_a)
+                    .isOk());
+    ASSERT_TRUE(journal.value()
+                    ->appendCell(kCheckpointOpenWorld, 3, 1, cell_b)
+                    .isOk());
+
+    // Same process: lookups hit the in-memory map.
+    const auto hit =
+        journal.value()->lookup(kCheckpointClosedWorld, 0, 0);
+    ASSERT_TRUE(hit.has_value());
+    expectCellsBitIdentical(*hit, cell_a);
+    EXPECT_FALSE(
+        journal.value()->lookup(kCheckpointClosedWorld, 0, 1).has_value());
+
+    // Fresh process: everything replays from disk, bit-identically —
+    // including the dropped slot's error code and message.
+    journal = CheckpointJournal::open(dir, 0x1234, faults);
+    ASSERT_TRUE(journal.isOk());
+    EXPECT_EQ(journal.value()->cellCount(), 2u);
+    EXPECT_FALSE(journal.value()->repairStats().repaired());
+    const auto a = journal.value()->lookup(kCheckpointClosedWorld, 0, 0);
+    const auto b = journal.value()->lookup(kCheckpointOpenWorld, 3, 1);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    expectCellsBitIdentical(*a, cell_a);
+    expectCellsBitIdentical(*b, cell_b);
+}
+
+TEST(CheckpointJournal, FingerprintSeparatesTraceAffectingConfigs)
+{
+    const CollectionConfig base;
+    const attack::AttackerKind one[] = {
+        attack::AttackerKind::LoopCounting};
+    const attack::AttackerKind two[] = {
+        attack::AttackerKind::LoopCounting,
+        attack::AttackerKind::SweepCounting};
+
+    const auto fp = [&](const CollectionConfig &c,
+                        std::span<const attack::AttackerKind> kinds) {
+        return collectionFingerprint(c, 7, 4, 8, kinds);
+    };
+
+    const std::uint64_t reference = fp(base, one);
+    EXPECT_EQ(reference, fp(base, one)) << "fingerprint must be stable";
+
+    CollectionConfig seeded = base;
+    seeded.seed = base.seed + 1;
+    EXPECT_NE(fp(seeded, one), reference);
+
+    CollectionConfig browser = base;
+    browser.browser = web::BrowserProfile::torBrowser();
+    EXPECT_NE(fp(browser, one), reference);
+
+    CollectionConfig machine = base;
+    machine.machine = sim::MachineConfig::windowsWorkstation();
+    EXPECT_NE(fp(machine, one), reference);
+
+    CollectionConfig signal_faults = base;
+    signal_faults.faults.truncateProb = 0.5;
+    EXPECT_NE(fp(signal_faults, one), reference)
+        << "signal faults change trace content, so they key the journal";
+
+    EXPECT_NE(fp(base, two), reference);
+    EXPECT_NE(collectionFingerprint(base, 8, 4, 8, one), reference);
+    EXPECT_NE(collectionFingerprint(base, 7, 5, 8, one), reference);
+
+    // IO faults corrupt persistence, never trace content: a resumed
+    // run WITHOUT the crash fault must find the crashed run's journal.
+    CollectionConfig io_faults = base;
+    io_faults.faults.ioCrashAfterRecords = 3;
+    io_faults.faults.ioTornWriteBytes = 10;
+    io_faults.faults.ioCorruptRecordProb = 1.0;
+    EXPECT_EQ(fp(io_faults, one), reference);
+}
+
+TEST(CheckpointJournal, TruncationAtEveryByteOffsetRepairsAndResumes)
+{
+    const std::string dir = journalDir("truncate");
+    const auto faults = sim::FaultConfig::none();
+    constexpr int kCells = 5;
+
+    std::vector<std::vector<Result<Trace>>> cells;
+    for (int i = 0; i < kCells; ++i)
+        cells.push_back(exampleCell(100 + i, i % 2 == 1));
+
+    std::string journal_path;
+    {
+        auto journal = CheckpointJournal::open(dir, 0xfeed, faults);
+        ASSERT_TRUE(journal.isOk());
+        for (int i = 0; i < kCells; ++i)
+            ASSERT_TRUE(journal.value()
+                            ->appendCell(kCheckpointClosedWorld, i, 0,
+                                         cells[i])
+                            .isOk());
+        journal_path = journal.value()->path();
+    }
+    const std::string full = readAll(journal_path);
+    ASSERT_GT(full.size(), 100u);
+
+    // Kill -9 at every byte offset: the journal must always reopen,
+    // load a prefix of complete cells, and resume to a state where
+    // every cell is bit-identical to the uninterrupted journal's.
+    for (std::size_t cut = 0; cut <= full.size(); cut += 7) {
+        SCOPED_TRACE("truncated at byte " + std::to_string(cut));
+        writeAll(journal_path, full.substr(0, cut));
+
+        auto journal = CheckpointJournal::open(dir, 0xfeed, faults);
+        ASSERT_TRUE(journal.isOk()) << journal.status().toString();
+        const std::size_t loaded = journal.value()->cellCount();
+        ASSERT_LE(loaded, static_cast<std::size_t>(kCells));
+        if (cut < full.size()) {
+            EXPECT_LT(loaded, static_cast<std::size_t>(kCells));
+        }
+        EXPECT_EQ(journal.value()->repairStats().cellsLoaded, loaded);
+
+        // Every loaded cell is a bit-identical prefix cell, and the
+        // resumed "collection" re-appends exactly the missing ones.
+        int missing = 0;
+        for (int i = 0; i < kCells; ++i) {
+            const auto cached =
+                journal.value()->lookup(kCheckpointClosedWorld, i, 0);
+            if (cached.has_value()) {
+                expectCellsBitIdentical(*cached, cells[i]);
+            } else {
+                ++missing;
+                ASSERT_TRUE(journal.value()
+                                ->appendCell(kCheckpointClosedWorld, i,
+                                             0, cells[i])
+                                .isOk());
+            }
+        }
+        EXPECT_EQ(static_cast<std::size_t>(kCells) - loaded,
+                  static_cast<std::size_t>(missing));
+
+        // After the resume, a fresh open sees the complete journal.
+        auto reopened = CheckpointJournal::open(dir, 0xfeed, faults);
+        ASSERT_TRUE(reopened.isOk());
+        EXPECT_EQ(reopened.value()->cellCount(),
+                  static_cast<std::size_t>(kCells));
+        for (int i = 0; i < kCells; ++i) {
+            const auto cached =
+                reopened.value()->lookup(kCheckpointClosedWorld, i, 0);
+            ASSERT_TRUE(cached.has_value());
+            expectCellsBitIdentical(*cached, cells[i]);
+        }
+    }
+}
+
+TEST(CheckpointJournal, CorruptedMiddleRecordIsDroppedNotFatal)
+{
+    const std::string dir = journalDir("corrupt");
+    const auto faults = sim::FaultConfig::none();
+    std::string journal_path;
+    {
+        auto journal = CheckpointJournal::open(dir, 0xbeef, faults);
+        ASSERT_TRUE(journal.isOk());
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(journal.value()
+                            ->appendCell(kCheckpointClosedWorld, i, 0,
+                                         exampleCell(i))
+                            .isOk());
+        journal_path = journal.value()->path();
+    }
+    std::string bytes = readAll(journal_path);
+    // Flip one payload byte inside the middle record (well past the
+    // first record, well before the last frame header).
+    const std::size_t second_frame = bytes.find("@rec ", bytes.find("@rec ") + 1);
+    ASSERT_NE(second_frame, std::string::npos);
+    const std::size_t target = bytes.find("0x", second_frame);
+    ASSERT_NE(target, std::string::npos);
+    bytes[target + 2] ^= 0x01;
+    writeAll(journal_path, bytes);
+
+    auto journal = CheckpointJournal::open(dir, 0xbeef, faults);
+    ASSERT_TRUE(journal.isOk());
+    EXPECT_TRUE(journal.value()->repairStats().repaired());
+    EXPECT_EQ(journal.value()->repairStats().recordsDropped, 1u);
+    EXPECT_EQ(journal.value()->cellCount(), 2u);
+    EXPECT_TRUE(
+        journal.value()->lookup(kCheckpointClosedWorld, 0, 0).has_value());
+    EXPECT_FALSE(
+        journal.value()->lookup(kCheckpointClosedWorld, 1, 0).has_value())
+        << "the corrupted cell must be forgotten";
+    EXPECT_TRUE(
+        journal.value()->lookup(kCheckpointClosedWorld, 2, 0).has_value())
+        << "records after the corrupted one must survive";
+}
+
+TEST(CheckpointJournal, MismatchedFingerprintOpensADifferentJournal)
+{
+    const std::string dir = journalDir("fingerprint");
+    const auto faults = sim::FaultConfig::none();
+    auto a = CheckpointJournal::open(dir, 0x1111, faults);
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(a.value()
+                    ->appendCell(kCheckpointClosedWorld, 0, 0,
+                                 exampleCell(1))
+                    .isOk());
+    auto b = CheckpointJournal::open(dir, 0x2222, faults);
+    ASSERT_TRUE(b.isOk());
+    EXPECT_NE(a.value()->path(), b.value()->path());
+    EXPECT_EQ(b.value()->cellCount(), 0u)
+        << "stale progress must never leak across configurations";
+}
+
+TEST(CheckpointJournal, IoCorruptFaultProducesRecordsTheRepairDrops)
+{
+    const std::string dir = journalDir("iofault");
+    sim::FaultConfig faults = sim::FaultConfig::none();
+    faults.ioCorruptRecordProb = 1.0;
+    faults.seed = 99;
+    ASSERT_TRUE(faults.ioEnabled());
+    {
+        auto journal = CheckpointJournal::open(dir, 0xcafe, faults);
+        ASSERT_TRUE(journal.isOk());
+        for (int i = 0; i < 3; ++i)
+            ASSERT_TRUE(journal.value()
+                            ->appendCell(kCheckpointClosedWorld, i, 0,
+                                         exampleCell(i))
+                            .isOk());
+    }
+    auto reopened =
+        CheckpointJournal::open(dir, 0xcafe, sim::FaultConfig::none());
+    ASSERT_TRUE(reopened.isOk());
+    EXPECT_EQ(reopened.value()->repairStats().recordsDropped, 3u)
+        << "every record was corrupted, every record must be dropped";
+    EXPECT_EQ(reopened.value()->cellCount(), 0u);
+}
+
+TEST(CheckpointJournalDeathTest, CrashFaultAbortsAndLeavesRepairableTornPrefix)
+{
+    const std::string dir = journalDir("crash");
+    sim::FaultConfig faults = sim::FaultConfig::none();
+    faults.ioCrashAfterRecords = 1;
+    faults.ioTornWriteBytes = 20;
+
+    const auto crash = [&] {
+        auto journal = CheckpointJournal::open(dir, 0xdead, faults);
+        if (!journal.isOk())
+            return;
+        // First append succeeds; the second hits the crash fault:
+        // a torn 20-byte prefix is persisted, then abort().
+        (void)journal.value()->appendCell(kCheckpointClosedWorld, 0, 0,
+                                          exampleCell(1));
+        (void)journal.value()->appendCell(kCheckpointClosedWorld, 1, 0,
+                                          exampleCell(2));
+    };
+    EXPECT_DEATH(crash(), "simulated crash");
+
+    auto reopened =
+        CheckpointJournal::open(dir, 0xdead, sim::FaultConfig::none());
+    ASSERT_TRUE(reopened.isOk());
+    EXPECT_EQ(reopened.value()->cellCount(), 1u)
+        << "the record completed before the crash must survive";
+    EXPECT_TRUE(reopened.value()->repairStats().repaired())
+        << "the torn prefix must be detected and dropped";
+    const auto cell =
+        reopened.value()->lookup(kCheckpointClosedWorld, 0, 0);
+    ASSERT_TRUE(cell.has_value());
+    expectCellsBitIdentical(*cell, exampleCell(1));
+}
+
+TEST(CheckpointJournal, PipelineResumeIsBitIdenticalToUninterruptedRun)
+{
+    CollectionConfig config;
+    config.seed = 11;
+    PipelineConfig pipeline;
+    pipeline.numSites = 4;
+    pipeline.tracesPerSite = 6;
+    pipeline.openWorldExtra = 8;
+    pipeline.featureLen = 64;
+    pipeline.eval.folds = 2;
+    pipeline.factory = ml::knnFactory(3);
+
+    const attack::AttackerKind kinds[] = {
+        attack::AttackerKind::LoopCounting,
+        attack::AttackerKind::SweepCounting};
+
+    // Reference: no checkpointing at all.
+    const auto reference =
+        runFingerprintingShared(config, kinds, pipeline);
+    ASSERT_TRUE(reference.isOk());
+
+    const auto expectSameResults =
+        [&](const std::vector<FingerprintResult> &got) {
+            ASSERT_EQ(got.size(), reference.value().size());
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                const auto &r = reference.value()[i];
+                const auto &g = got[i];
+                EXPECT_EQ(g.closedWorld.top1Mean, r.closedWorld.top1Mean);
+                EXPECT_EQ(g.closedWorld.foldTop1, r.closedWorld.foldTop1);
+                EXPECT_EQ(g.openWorld.openWorld.combinedAccuracy,
+                          r.openWorld.openWorld.combinedAccuracy);
+                EXPECT_EQ(g.collectedTraces, r.collectedTraces);
+                EXPECT_EQ(g.droppedTraces, r.droppedTraces);
+            }
+        };
+
+    // Checkpointed cold run: journal is created, results unchanged.
+    pipeline.checkpointDir = journalDir("pipeline");
+    const auto cold = runFingerprintingShared(config, kinds, pipeline);
+    ASSERT_TRUE(cold.isOk());
+    expectSameResults(cold.value());
+
+    // Warm run: every cell served from the journal, results unchanged.
+    const auto warm = runFingerprintingShared(config, kinds, pipeline);
+    ASSERT_TRUE(warm.isOk());
+    expectSameResults(warm.value());
+
+    // Kill-at-record-K: truncate the journal to 60% (torn mid-record),
+    // then rerun — the repaired journal plus recollection of missing
+    // cells must still be bit-identical to the uninterrupted run.
+    const std::uint64_t fp = collectionFingerprint(
+        config, pipeline.catalogSeed, pipeline.numSites,
+        pipeline.openWorldExtra, kinds);
+    auto journal = CheckpointJournal::open(pipeline.checkpointDir, fp,
+                                           sim::FaultConfig::none());
+    ASSERT_TRUE(journal.isOk());
+    const std::string path = journal.value()->path();
+    ASSERT_GT(journal.value()->cellCount(), 0u)
+        << "pipeline must journal into the fingerprinted path";
+    journal.value().reset(); // Close before mutating the file.
+    const std::string bytes = readAll(path);
+    writeAll(path, bytes.substr(0, bytes.size() * 3 / 5));
+
+    const auto resumed = runFingerprintingShared(config, kinds, pipeline);
+    ASSERT_TRUE(resumed.isOk());
+    expectSameResults(resumed.value());
+}
+
+} // namespace
+} // namespace bigfish::core
+

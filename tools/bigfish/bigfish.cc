@@ -14,25 +14,56 @@
  * resolution order: defaults -> BF_* environment -> preset -> spec file
  * -> flags; malformed values fail with the offending source named.
  *
- * Exit status: 0 success, 1 a run failed, 2 usage error.
+ * Resilience flags (core/supervisor.hh): --resume=DIR checkpoints
+ * collection progress and skips completed work on rerun, --isolate runs
+ * each experiment as a subprocess so a crash cannot take down --all,
+ * --keep-going continues past failures, --timeout=SECS bounds each
+ * experiment (enforced under --isolate), --retries=N retries transient
+ * failures with deterministic seeded backoff, --manifest=PATH writes the
+ * suite manifest (defaults to <json-dir>/suite-manifest.json). SIGINT /
+ * SIGTERM stop the suite gracefully: the partial manifest is flushed and
+ * the exit status is 130.
+ *
+ * Exit status: 0 success, 1 a run failed, 2 usage error, 130 interrupted.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "base/atomic_file.hh"
 #include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
+#include "core/supervisor.hh"
 #include "experiments.hh"
 
 using namespace bigfish;
 
 namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+/**
+ * First SIGINT/SIGTERM requests a graceful stop: the supervisor finishes
+ * (or kills, under --isolate) the current experiment, marks the rest
+ * skipped, flushes the manifest, and exits 130. A second signal gets the
+ * default action — die immediately.
+ */
+void
+handleInterrupt(int sig)
+{
+    g_interrupted = 1;
+    std::signal(sig, SIG_DFL);
+}
 
 /** The process environment, injected into the (env-blind) spec layer. */
 std::optional<std::string>
@@ -81,8 +112,24 @@ printUsage()
         "  --<param>=<value>  any parameter the experiment declares\n"
         "                     (see `bigfish describe <experiment>`)\n"
         "\n"
+        "resilience flags:\n"
+        "  --resume=DIR       checkpoint collection progress in DIR and\n"
+        "                     skip already-completed work on rerun\n"
+        "  --isolate          run each experiment as a subprocess; a\n"
+        "                     crash is contained, not fatal to --all\n"
+        "  --keep-going       keep running later experiments after a "
+        "failure\n"
+        "  --timeout=SECS     per-experiment deadline (enforced with "
+        "--isolate)\n"
+        "  --retries=N        retry transient failures up to N times\n"
+        "                     (deterministic seeded backoff)\n"
+        "  --manifest=PATH    suite manifest JSON (default:\n"
+        "                     <json-dir>/suite-manifest.json)\n"
+        "\n"
         "Parameter resolution: defaults -> BF_* env -> preset -> spec "
-        "file -> flags.\n");
+        "file -> flags.\n"
+        "Exit status: 0 success, 1 a run failed, 2 usage error, 130 "
+        "interrupted.\n");
 }
 
 int
@@ -132,9 +179,15 @@ struct RunOptions
     bool smoke = false;
     bool full = false;
     bool help = false;
+    bool isolate = false;
+    bool keepGoing = false;
+    double timeoutSeconds = 0.0;
+    int retries = 0;
     std::string specPath;
     std::string jsonPath;
     std::string jsonDir;
+    std::string resumeDir;
+    std::string manifestPath;
     std::vector<std::pair<std::string, std::string>> flags;
 };
 
@@ -155,6 +208,28 @@ splitFlag(const std::string &arg, std::string &key, std::string &value)
     return true;
 }
 
+bool
+parsePositiveDouble(const std::string &text, double *out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseNonNegativeInt(const std::string &text, int *out)
+{
+    char *end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v < 0 || v > 1000)
+        return false;
+    *out = static_cast<int>(v);
+    return true;
+}
+
 Result<std::string>
 readFile(const std::string &path)
 {
@@ -166,69 +241,30 @@ readFile(const std::string &path)
     return text.str();
 }
 
-int
-runOne(const core::ExperimentDescriptor &descriptor,
-       const RunOptions &options, const std::string &spec_text)
+/** This binary's own path, for spawning --isolate children. */
+std::string
+selfExecutable(const char *argv0)
 {
-    spec::SpecSources sources;
-    sources.env = envLookup;
-    if (options.smoke) {
-        sources.presets = core::smokeScaleOverrides();
-        sources.presets.insert(sources.presets.end(),
-                               descriptor.smokeOverrides.begin(),
-                               descriptor.smokeOverrides.end());
-    } else if (options.full) {
-        sources.presets = core::fullScaleOverrides();
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
     }
-    sources.specText = spec_text;
-    sources.specName = options.specPath;
-    sources.flags = options.flags;
-
-    auto resolved =
-        spec::resolveSpec(descriptor.name, descriptor.schema, sources);
-    if (!resolved.isOk()) {
-        std::fprintf(stderr, "bigfish: %s\n",
-                     resolved.status().message().c_str());
-        return 2;
-    }
-
-    core::RunContext ctx;
-    ctx.descriptor = &descriptor;
-    ctx.spec = std::move(resolved).value();
-
-    const int threads = static_cast<int>(ctx.spec.getInt("threads"));
-    if (threads > 0)
-        setGlobalThreads(threads);
-
-    core::printExperimentBanner(ctx);
-    Stopwatch wall;
-    auto artifact = descriptor.run(ctx);
-    if (!artifact.isOk()) {
-        std::fprintf(stderr, "bigfish: %s failed: %s\n",
-                     descriptor.name.c_str(),
-                     artifact.status().message().c_str());
-        return 1;
-    }
-    artifact.value().setWallSeconds(wall.seconds());
-
-    std::string out_path = options.jsonPath;
-    if (!options.jsonDir.empty())
-        out_path = options.jsonDir + "/" + descriptor.name + ".json";
-    if (!out_path.empty()) {
-        const Status written = artifact.value().writeJson(out_path);
-        if (!written.isOk()) {
-            std::fprintf(stderr, "bigfish: %s\n",
-                         written.message().c_str());
-            return 1;
-        }
-        std::printf("report written: %s\n", out_path.c_str());
-    }
-    return 0;
+    return argv0 != nullptr && argv0[0] != '\0' ? argv0 : "bigfish";
 }
+
+/** One experiment with its spec fully resolved and output path fixed. */
+struct PreparedRun
+{
+    const core::ExperimentDescriptor *descriptor = nullptr;
+    spec::RunSpec spec;
+    std::string artifactPath;
+};
 
 int
 cmdRun(const core::ExperimentRegistry &registry,
-       const std::vector<std::string> &args)
+       const std::vector<std::string> &args, const char *argv0)
 {
     RunOptions options;
     for (const auto &arg : args) {
@@ -249,6 +285,28 @@ cmdRun(const core::ExperimentRegistry &registry,
             options.jsonPath = value;
         } else if (key == "json-dir") {
             options.jsonDir = value;
+        } else if (key == "resume") {
+            // Kept both as a CLI option (directory creation, child
+            // forwarding) and as a spec parameter (the pipeline reads
+            // it from the resolved scale).
+            options.resumeDir = value;
+            options.flags.emplace_back("resume", value);
+        } else if (key == "isolate" && value.empty()) {
+            options.isolate = true;
+        } else if (key == "keep-going" && value.empty()) {
+            options.keepGoing = true;
+        } else if (key == "timeout") {
+            if (!parsePositiveDouble(value, &options.timeoutSeconds))
+                return usageError("--timeout expects a non-negative "
+                                  "number of seconds, got \"" +
+                                  value + "\"");
+        } else if (key == "retries") {
+            if (!parseNonNegativeInt(value, &options.retries))
+                return usageError(
+                    "--retries expects an integer in [0, 1000], got \"" +
+                    value + "\"");
+        } else if (key == "manifest") {
+            options.manifestPath = value;
         } else if (key == "paper-model" && value.empty()) {
             // Convenience: the old binaries took --paper-model as a
             // bare switch; keep that spelling working.
@@ -302,16 +360,146 @@ cmdRun(const core::ExperimentRegistry &registry,
         return usageError("--json=PATH only applies to a single "
                           "experiment; use --json-dir=DIR");
 
+    // Create output directories up front so a missing --json-dir fails
+    // before hours of collection, not after.
+    for (const std::string &dir : {options.jsonDir, options.resumeDir}) {
+        if (dir.empty())
+            continue;
+        const Status made = createDirectories(dir);
+        if (!made.isOk()) {
+            std::fprintf(stderr, "bigfish: %s\n",
+                         made.message().c_str());
+            return 1;
+        }
+    }
+    if (options.manifestPath.empty() && !options.jsonDir.empty())
+        options.manifestPath = options.jsonDir + "/suite-manifest.json";
+
+    // Resolve every spec before running anything: a malformed value in
+    // any source is a usage error (exit 2) caught up front, never a
+    // mid-suite surprise.
+    std::map<std::string, PreparedRun> prepared;
     for (const auto &name : names) {
         const auto *descriptor = registry.find(name);
         if (descriptor == nullptr)
             return usageError("unknown experiment \"" + name +
                               "\" (see `bigfish list`)");
-        const int rc = runOne(*descriptor, options, spec_text);
-        if (rc != 0)
-            return rc;
+        if (prepared.count(name) != 0)
+            continue;
+
+        spec::SpecSources sources;
+        sources.env = envLookup;
+        if (options.smoke) {
+            sources.presets = core::smokeScaleOverrides();
+            sources.presets.insert(sources.presets.end(),
+                                   descriptor->smokeOverrides.begin(),
+                                   descriptor->smokeOverrides.end());
+        } else if (options.full) {
+            sources.presets = core::fullScaleOverrides();
+        }
+        sources.specText = spec_text;
+        sources.specName = options.specPath;
+        sources.flags = options.flags;
+
+        auto resolved =
+            spec::resolveSpec(descriptor->name, descriptor->schema,
+                              sources);
+        if (!resolved.isOk()) {
+            std::fprintf(stderr, "bigfish: %s\n",
+                         resolved.status().message().c_str());
+            return 2;
+        }
+
+        PreparedRun p;
+        p.descriptor = descriptor;
+        p.spec = std::move(resolved).value();
+        if (!options.jsonPath.empty())
+            p.artifactPath = options.jsonPath;
+        else if (!options.jsonDir.empty())
+            p.artifactPath = options.jsonDir + "/" + name + ".json";
+        prepared.emplace(name, std::move(p));
     }
-    return 0;
+
+    core::SupervisorOptions supervisor_options;
+    supervisor_options.keepGoing = options.keepGoing;
+    supervisor_options.isolate = options.isolate;
+    supervisor_options.timeoutSeconds = options.timeoutSeconds;
+    supervisor_options.retry.maxAttempts = options.retries + 1;
+    // Fixed seed: the retry schedule is part of the reproducible record,
+    // not an entropy source (see base/retry.hh).
+    supervisor_options.retry.seed = 2022;
+    supervisor_options.manifestPath = options.manifestPath;
+    supervisor_options.interrupted = &g_interrupted;
+
+    const core::InProcessRun in_process =
+        [&](const std::string &name,
+            core::ExperimentOutcome &out) -> Status {
+        PreparedRun &p = prepared.at(name);
+        core::RunContext ctx;
+        ctx.descriptor = p.descriptor;
+        ctx.spec = p.spec;
+
+        const int threads = static_cast<int>(ctx.spec.getInt("threads"));
+        if (threads > 0)
+            setGlobalThreads(threads);
+
+        core::printExperimentBanner(ctx);
+        Stopwatch wall;
+        auto artifact = p.descriptor->run(ctx);
+        if (!artifact.isOk())
+            return artifact.status();
+        artifact.value().setWallSeconds(wall.seconds());
+
+        out.collectedTraces = artifact.value().collectedTraces();
+        out.droppedTraces = artifact.value().droppedTraces();
+        out.artifactPath = p.artifactPath;
+        if (!p.artifactPath.empty()) {
+            BF_RETURN_IF_ERROR(
+                artifact.value().writeJson(p.artifactPath));
+            std::printf("report written: %s\n", p.artifactPath.c_str());
+        }
+        return Status::ok();
+    };
+
+    const std::string exe = selfExecutable(argv0);
+    const core::ChildCommand child_command =
+        [&](const std::string &name) -> core::ChildPlan {
+        core::ChildPlan plan;
+        plan.argv = {exe, "run", name};
+        if (options.smoke)
+            plan.argv.push_back("--smoke");
+        if (options.full)
+            plan.argv.push_back("--full");
+        if (!options.specPath.empty())
+            plan.argv.push_back("--spec=" + options.specPath);
+        for (const auto &[key, value] : options.flags)
+            plan.argv.push_back("--" + key + "=" + value);
+        plan.artifactPath = prepared.at(name).artifactPath;
+        if (!plan.artifactPath.empty())
+            plan.argv.push_back("--json=" + plan.artifactPath);
+        return plan;
+    };
+
+    const core::SuiteManifest manifest =
+        core::Supervisor(supervisor_options)
+            .run(names, in_process, child_command);
+
+    if (names.size() > 1 || !manifest.allOk()) {
+        std::printf("\nsuite summary:\n");
+        for (const auto &o : manifest.outcomes)
+            std::printf("  %-28s %-8s attempts=%d wall=%.1fs%s%s\n",
+                        o.name.c_str(), core::runStateName(o.state),
+                        o.attempts, o.wallSeconds,
+                        o.message.empty() ? "" : "  ",
+                        o.message.c_str());
+        if (manifest.interrupted)
+            std::printf("  (interrupted: remaining experiments "
+                        "skipped)\n");
+    }
+    if (!supervisor_options.manifestPath.empty())
+        std::printf("suite manifest: %s\n",
+                    supervisor_options.manifestPath.c_str());
+    return manifest.exitCode();
 }
 
 } // namespace
@@ -319,6 +507,9 @@ cmdRun(const core::ExperimentRegistry &registry,
 int
 main(int argc, char **argv)
 {
+    std::signal(SIGINT, handleInterrupt);
+    std::signal(SIGTERM, handleInterrupt);
+
     core::ExperimentRegistry registry;
     bench::registerAllExperiments(registry);
 
@@ -344,7 +535,7 @@ main(int argc, char **argv)
         return cmdDescribe(registry, args[0]);
     }
     if (command == "run")
-        return cmdRun(registry, args);
+        return cmdRun(registry, args, argv[0]);
     return usageError("unknown command \"" + command +
                       "\" (expected list, describe, run or help)");
 }
