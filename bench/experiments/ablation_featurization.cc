@@ -98,8 +98,10 @@ run(const core::RunContext &ctx)
         artifact.addMetric("variant" + std::to_string(variant_index++) +
                                "_top1",
                            result.top1Mean);
-        artifact.addPhaseSeconds("train", result.trainSeconds);
-        artifact.addPhaseSeconds("eval", result.evalSeconds);
+        artifact.addPhaseSeconds("train", result.trainCpuSeconds,
+                                 result.trainWallSeconds);
+        artifact.addPhaseSeconds("eval", result.evalCpuSeconds,
+                                 result.evalWallSeconds);
         table.addRow({v.name,
                       formatPercentPm(result.top1Mean, result.top1Std),
                       formatPercent(result.top5Mean)});
@@ -149,10 +151,16 @@ run(const core::RunContext &ctx)
                 "way of observing it (Section 5.2).\n");
     artifact.addMetric("loop_primitive_top1", loop_result.top1Mean);
     artifact.addMetric("gap_primitive_top1", gap_result.top1Mean);
-    artifact.addPhaseSeconds("train", loop_result.trainSeconds +
-                                          gap_result.trainSeconds);
-    artifact.addPhaseSeconds("eval", loop_result.evalSeconds +
-                                         gap_result.evalSeconds);
+    artifact.addPhaseSeconds("train",
+                             loop_result.trainCpuSeconds +
+                                 gap_result.trainCpuSeconds,
+                             loop_result.trainWallSeconds +
+                                 gap_result.trainWallSeconds);
+    artifact.addPhaseSeconds("eval",
+                             loop_result.evalCpuSeconds +
+                                 gap_result.evalCpuSeconds,
+                             loop_result.evalWallSeconds +
+                                 gap_result.evalWallSeconds);
     return artifact;
 }
 

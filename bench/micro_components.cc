@@ -8,12 +8,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "attack/attacker.hh"
+#include "base/simd.hh"
 #include "core/collector.hh"
 #include "ktrace/attribution.hh"
 #include "ml/classifier.hh"
 #include "ml/conv.hh"
+#include "ml/kernels.hh"
 #include "ml/lstm.hh"
 #include "ml/matrix.hh"
 #include "sim/engine.hh"
@@ -272,6 +276,142 @@ BM_CnnLstmTrainEpochPerSample(benchmark::State &state)
     state.SetLabel("one epoch over 32 samples");
 }
 BENCHMARK(BM_CnnLstmTrainEpochPerSample);
+
+/**
+ * Per-ISA kernel sweep: each case runs once per simd::Tag (Arg 0..2 =
+ * scalar/sse2/avx2, clamped to what the host supports) at the shapes
+ * the paper model actually trains — LSTM hidden 32 over 32-sample
+ * batches (gate spans of 1024 lanes), the full CNN-LSTM Adam parameter
+ * block, and the conv GEMM — so the scalar row IS the before and the
+ * avx2 row the after of the vectorization.
+ */
+simd::Tag
+benchTag(benchmark::State &state)
+{
+    const auto requested = static_cast<simd::Tag>(state.range(0));
+    const simd::Tag actual = simd::setActive(requested);
+    if (actual != requested)
+        state.SetLabel(std::string("host lacks ") + simd::name(requested) +
+                       "; ran " + simd::name(actual));
+    else
+        state.SetLabel(simd::name(actual));
+    return actual;
+}
+
+void
+BM_KernelDotByIsa(benchmark::State &state)
+{
+    const simd::Tag saved = simd::active();
+    benchTag(state);
+    Rng rng(11);
+    std::vector<float> a(1024), b(1024);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = static_cast<float>(rng.normal(0, 1));
+        b[i] = static_cast<float>(rng.normal(0, 1));
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ml::kernels::dot(a.data(), b.data(), a.size()));
+    simd::setActive(saved);
+}
+BENCHMARK(BM_KernelDotByIsa)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelLstmGatesByIsa(benchmark::State &state)
+{
+    // One batched LSTM step at paper scale: hidden 32 x 32 samples.
+    const simd::Tag saved = simd::active();
+    benchTag(state);
+    constexpr std::size_t kLanes = 32 * 32;
+    Rng rng(12);
+    std::vector<float> zi(kLanes), zf(kLanes), zg(kLanes), zo(kLanes),
+        c(kLanes), h(kLanes);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+        zi[i] = static_cast<float>(rng.normal(0, 2));
+        zf[i] = static_cast<float>(rng.normal(0, 2));
+        zg[i] = static_cast<float>(rng.normal(0, 2));
+        zo[i] = static_cast<float>(rng.normal(0, 2));
+        c[i] = static_cast<float>(rng.normal(0, 1));
+    }
+    for (auto _ : state) {
+        std::vector<float> i2 = zi, f2 = zf, g2 = zg, o2 = zo, c2 = c;
+        ml::kernels::lstmGatesForward(i2.data(), f2.data(), g2.data(),
+                                      o2.data(), c2.data(), h.data(),
+                                      kLanes);
+        benchmark::DoNotOptimize(h.data());
+    }
+    simd::setActive(saved);
+}
+BENCHMARK(BM_KernelLstmGatesByIsa)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelAdamStepByIsa(benchmark::State &state)
+{
+    // The LSTM weight block of the paper model: 4H x (H + in + 1),
+    // H=32, in=96 -> 16512 parameters per step.
+    const simd::Tag saved = simd::active();
+    benchTag(state);
+    constexpr std::size_t kParams = 4 * 32 * (32 + 96 + 1);
+    Rng rng(13);
+    std::vector<float> p(kParams), g(kParams), m(kParams), v(kParams);
+    for (std::size_t i = 0; i < kParams; ++i) {
+        p[i] = static_cast<float>(rng.normal(0, 1));
+        g[i] = static_cast<float>(rng.normal(0, 1));
+        m[i] = static_cast<float>(rng.normal(0, 0.1));
+        v[i] = std::fabs(static_cast<float>(rng.normal(0, 0.1)));
+    }
+    ml::kernels::AdamConsts consts;
+    consts.beta1 = 0.9f;
+    consts.beta2 = 0.999f;
+    consts.oneMinusBeta1 = 0.1f;
+    consts.oneMinusBeta2 = 0.001f;
+    consts.invBiasCorrection1 = 1.0f / (1.0f - 0.81f);
+    consts.invBiasCorrection2 = 1.0f / (1.0f - 0.998001f);
+    consts.learningRate = 1e-3f;
+    consts.epsilon = 1e-8f;
+    consts.gradScale = 1.0f / 32.0f;
+    for (auto _ : state) {
+        ml::kernels::adamStep(p.data(), g.data(), m.data(), v.data(),
+                              kParams, consts);
+        benchmark::DoNotOptimize(p.data());
+    }
+    simd::setActive(saved);
+}
+BENCHMARK(BM_KernelAdamStepByIsa)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_KernelSigmoidByIsa(benchmark::State &state)
+{
+    const simd::Tag saved = simd::active();
+    benchTag(state);
+    Rng rng(14);
+    std::vector<float> base(4096);
+    for (float &x : base)
+        x = static_cast<float>(rng.normal(0, 4));
+    for (auto _ : state) {
+        std::vector<float> d = base;
+        ml::kernels::sigmoid(d.data(), d.size());
+        benchmark::DoNotOptimize(d.data());
+    }
+    simd::setActive(saved);
+}
+BENCHMARK(BM_KernelSigmoidByIsa)->Arg(0)->Arg(1)->Arg(2);
+
+void
+BM_MatmulByIsa(benchmark::State &state)
+{
+    // The conv-sized GEMM from the old/new pair above, per ISA.
+    const simd::Tag saved = simd::active();
+    benchTag(state);
+    Rng rng(7);
+    ml::Matrix a(32, 48), b(48, 83);
+    a.randomize(rng, 1.0);
+    b.randomize(rng, 1.0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::matmul(a, b));
+    simd::setActive(saved);
+}
+BENCHMARK(BM_MatmulByIsa)->Arg(0)->Arg(1)->Arg(2);
 
 } // namespace
 

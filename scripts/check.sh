@@ -15,6 +15,12 @@
 #               it and require a bit-identical artifact; then force an
 #               IO-crash under `--isolate --keep-going` and require
 #               exit 1 with a complete suite manifest (crashed + ok).
+#   simd      — the DESIGN.md §10 determinism gate: the kernel test
+#               binary under BF_SIMD=scalar, sse2 and avx2; three
+#               table1 smokes (one per BF_SIMD) whose artifacts must be
+#               bit-identical; and a cache-reuse smoke — two runs with
+#               --cache-dir where the second must hit the feature cache
+#               and replay a bit-identical artifact.
 #   address   — full build + ctest under AddressSanitizer.
 #   undefined — full build + ctest under UBSan.
 #   thread    — full build + ctest under ThreadSanitizer.
@@ -26,7 +32,7 @@
 # merge as well. The plain (unsanitized) build stays in build/.
 #
 # Usage:
-#   scripts/check.sh [lint|cppcheck|cli-smoke|resume-smoke|address|undefined|thread|threads8]...
+#   scripts/check.sh [lint|cppcheck|cli-smoke|resume-smoke|simd|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -34,7 +40,7 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint cppcheck cli-smoke resume-smoke address undefined thread threads8)
+    stages=(lint cppcheck cli-smoke resume-smoke simd address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -157,6 +163,50 @@ for stage in "${stages[@]}"; do
         grep -q '"name": "fig3_traces", "state": "ok"' "$manifest"
         echo "== [resume-smoke] manifest records the crash; suite completed"
         ;;
+      simd)
+        builddir="$repo/build"
+        echo "== [simd] build bigfish + test_kernel"
+        cmake -B "$builddir" -S "$repo" > /dev/null
+        cmake --build "$builddir" --target bigfish test_kernel -j "$jobs"
+        sdir="$(mktemp -d)"
+        tmpdirs+=("$sdir")
+        for isa in scalar sse2 avx2; do
+            echo "== [simd] kernel tests under BF_SIMD=$isa"
+            BF_SIMD="$isa" "$builddir/tests/test_kernel" \
+                > "$sdir/kernel-$isa.log" ||
+                { tail -n 40 "$sdir/kernel-$isa.log"; exit 1; }
+        done
+        echo "== [simd] BF_SIMD artifact bit-identity (table1 --smoke)"
+        for isa in scalar sse2 avx2; do
+            BF_SIMD="$isa" "$builddir/bigfish" run table1_fingerprinting \
+                --smoke --threads=2 --json="$sdir/t1-$isa.json" > /dev/null
+        done
+        for isa in sse2 avx2; do
+            # Timings are the only run-to-run difference allowed.
+            if ! diff <(grep -v 'Seconds' "$sdir/t1-scalar.json") \
+                      <(grep -v 'Seconds' "$sdir/t1-$isa.json"); then
+                echo "BF_SIMD=$isa artifact differs from scalar" >&2
+                exit 1
+            fi
+        done
+        echo "== [simd] artifacts bit-identical across BF_SIMD values"
+        echo "== [simd] cache-reuse smoke (two runs, one --cache-dir)"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --cache-dir="$sdir/cache" --json="$sdir/cold.json" \
+            > "$sdir/cold.log"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --cache-dir="$sdir/cache" --json="$sdir/warm.json" \
+            > "$sdir/warm.log"
+        grep -q 'feature cache: hit' "$sdir/warm.log" ||
+            { echo "second --cache-dir run did not hit the cache" >&2
+              exit 1; }
+        if ! diff <(grep -v 'Seconds' "$sdir/cold.json") \
+                  <(grep -v 'Seconds' "$sdir/warm.json"); then
+            echo "cached replay artifact differs from cold run" >&2
+            exit 1
+        fi
+        echo "== [simd] cached replay is bit-identical"
+        ;;
       address|undefined|thread)
         san="$stage"
         builddir="$repo/build-$san"
@@ -181,7 +231,8 @@ for stage in "${stages[@]}"; do
         ;;
       *)
         echo "unknown stage '$stage' (want lint, cppcheck, cli-smoke," \
-             "resume-smoke, address, undefined, thread or threads8)" >&2
+             "resume-smoke, simd, address, undefined, thread or" \
+             "threads8)" >&2
         exit 2
         ;;
     esac

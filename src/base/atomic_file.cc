@@ -1,5 +1,6 @@
 #include "base/atomic_file.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -63,7 +64,14 @@ atomicWriteFile(const std::string &path, const std::string &content)
 {
     if (path.empty())
         return invalidArgumentError("atomicWriteFile: empty path");
-    const std::string tmp = path + ".tmp";
+    // Unique temp name per writer: concurrent writers of the same
+    // destination (e.g. two runs storing one feature-cache entry) must
+    // not interleave into a shared temp file — each stages its own and
+    // the renames serialize, last writer wins.
+    static std::atomic<std::uint64_t> tmp_serial{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(tmp_serial.fetch_add(1));
 
     FILE *file = std::fopen(tmp.c_str(), "wb");
     if (file == nullptr)

@@ -1,6 +1,6 @@
 /**
  * @file
- * Stopwatch: the sanctioned wall-clock accessor for phase-duration
+ * Stopwatch: the sanctioned clock accessors for phase-duration
  * *reporting*.
  *
  * bigfish-lint bans raw std::chrono clock access in library code (rule
@@ -8,17 +8,30 @@
  * silently break the bitwise-determinism contract the reproduction's
  * tables depend on. Durations are still worth reporting (train/eval
  * seconds in FingerprintResult, bench phases), so this header is the
- * one library file allowlisted to touch steady_clock — and the type it
+ * one library file allowlisted to touch clocks — and the types it
  * exposes can only produce elapsed seconds, never absolute timestamps,
  * which keeps the temptation surface small. Measured seconds must only
  * ever be *reported*; feeding them back into anything that affects
  * results is a determinism bug the linter cannot see.
+ *
+ * Three clocks, one shape:
+ *  - Stopwatch            — wall time (steady_clock); what a user waits.
+ *  - ProcessCpuStopwatch  — CPU consumed by the whole process across
+ *                           every thread; exceeds wall time whenever
+ *                           the pool runs hot, and stays honest when
+ *                           cores are timeshared (a 4-thread phase on a
+ *                           1-core box reports ~wall, not 4x wall).
+ *  - ThreadCpuStopwatch   — CPU consumed by the calling thread only;
+ *                           the right meter inside a parallel worker
+ *                           (per-fold fit cost) where wall time counts
+ *                           the other workers too.
  */
 
 #ifndef BF_BASE_STOPWATCH_HH
 #define BF_BASE_STOPWATCH_HH
 
 #include <chrono>
+#include <ctime>
 
 namespace bigfish {
 
@@ -51,6 +64,58 @@ class Stopwatch
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
 };
+
+namespace detail {
+
+/** Seconds on a POSIX clockid (0.0 where unsupported). */
+inline double
+posixClockSeconds(clockid_t id)
+{
+    struct timespec ts;
+    if (clock_gettime(id, &ts) != 0)
+        return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/** Shared seconds()/lap() shape over one POSIX CPU clock. */
+template <clockid_t ClockId>
+class CpuStopwatchBase
+{
+  public:
+    CpuStopwatchBase() : start_(posixClockSeconds(ClockId)) {}
+
+    /** Restarts the measurement window. */
+    void reset() { start_ = posixClockSeconds(ClockId); }
+
+    /** CPU seconds consumed since construction or the last reset(). */
+    [[nodiscard]] double
+    seconds() const
+    {
+        return posixClockSeconds(ClockId) - start_;
+    }
+
+    /** seconds() then reset(): per-phase splits in one call. */
+    [[nodiscard]] double
+    lap()
+    {
+        const double elapsed = seconds();
+        reset();
+        return elapsed;
+    }
+
+  private:
+    double start_;
+};
+
+} // namespace detail
+
+/** CPU seconds consumed by the whole process (every thread summed). */
+using ProcessCpuStopwatch =
+    detail::CpuStopwatchBase<CLOCK_PROCESS_CPUTIME_ID>;
+
+/** CPU seconds consumed by the calling thread only. */
+using ThreadCpuStopwatch = detail::CpuStopwatchBase<CLOCK_THREAD_CPUTIME_ID>;
 
 } // namespace bigfish
 

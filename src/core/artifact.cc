@@ -41,10 +41,14 @@ void
 RunArtifact::addResult(const std::string &label,
                        const FingerprintResult &result)
 {
-    collectSeconds_ += result.collectSeconds;
-    featurizeSeconds_ += result.featurizeSeconds;
-    trainSeconds_ += result.trainSeconds;
-    evalSeconds_ += result.evalSeconds;
+    collectCpuSeconds_ += result.collectCpuSeconds;
+    collectWallSeconds_ += result.collectSeconds;
+    featurizeCpuSeconds_ += result.featurizeCpuSeconds;
+    featurizeWallSeconds_ += result.featurizeSeconds;
+    trainCpuSeconds_ += result.trainCpuSeconds;
+    trainWallSeconds_ += result.trainWallSeconds;
+    evalCpuSeconds_ += result.evalCpuSeconds;
+    evalWallSeconds_ += result.evalWallSeconds;
     collectedTraces_ += result.collectedTraces;
     droppedTraces_ += result.droppedTraces;
     addMetric(label + "_top1", result.closedWorld.top1Mean);
@@ -60,18 +64,24 @@ RunArtifact::addMetric(const std::string &name, double value)
 }
 
 void
-RunArtifact::addPhaseSeconds(const std::string &phase, double seconds)
+RunArtifact::addPhaseSeconds(const std::string &phase, double cpuSeconds,
+                             double wallSeconds)
 {
-    if (phase == "collect")
-        collectSeconds_ += seconds;
-    else if (phase == "featurize")
-        featurizeSeconds_ += seconds;
-    else if (phase == "train")
-        trainSeconds_ += seconds;
-    else if (phase == "eval")
-        evalSeconds_ += seconds;
-    else
+    if (phase == "collect") {
+        collectCpuSeconds_ += cpuSeconds;
+        collectWallSeconds_ += wallSeconds;
+    } else if (phase == "featurize") {
+        featurizeCpuSeconds_ += cpuSeconds;
+        featurizeWallSeconds_ += wallSeconds;
+    } else if (phase == "train") {
+        trainCpuSeconds_ += cpuSeconds;
+        trainWallSeconds_ += wallSeconds;
+    } else if (phase == "eval") {
+        evalCpuSeconds_ += cpuSeconds;
+        evalWallSeconds_ += wallSeconds;
+    } else {
         panic("unknown experiment phase: " + phase);
+    }
 }
 
 void
@@ -130,13 +140,21 @@ RunArtifact::toJson() const
            ", \"dropped\": " + std::to_string(droppedTraces_) + "},\n";
     out += "  \"wallSeconds\": " + formatDouble("%.3f", wallSeconds_) +
            ",\n";
-    out += "  \"phases\": {\"collectSeconds\": " +
-           formatDouble("%.3f", collectSeconds_) +
-           ", \"featurizeSeconds\": " +
-           formatDouble("%.3f", featurizeSeconds_) +
-           ", \"trainSeconds\": " + formatDouble("%.3f", trainSeconds_) +
-           ", \"evalSeconds\": " + formatDouble("%.3f", evalSeconds_) +
-           "},\n";
+    out += "  \"phases\": {\"collectCpuSeconds\": " +
+           formatDouble("%.3f", collectCpuSeconds_) +
+           ", \"collectWallSeconds\": " +
+           formatDouble("%.3f", collectWallSeconds_) +
+           ", \"featurizeCpuSeconds\": " +
+           formatDouble("%.3f", featurizeCpuSeconds_) +
+           ", \"featurizeWallSeconds\": " +
+           formatDouble("%.3f", featurizeWallSeconds_) +
+           ", \"trainCpuSeconds\": " +
+           formatDouble("%.3f", trainCpuSeconds_) +
+           ", \"trainWallSeconds\": " +
+           formatDouble("%.3f", trainWallSeconds_) +
+           ", \"evalCpuSeconds\": " + formatDouble("%.3f", evalCpuSeconds_) +
+           ", \"evalWallSeconds\": " +
+           formatDouble("%.3f", evalWallSeconds_) + "},\n";
     out += "  \"metrics\": {";
     first = true;
     for (const auto &[name, value] : metrics_) {

@@ -4,7 +4,9 @@
  *
  * This generalizes the old bench `BenchReport` into a value type any
  * caller can inspect: headline metrics (in insertion order), per-phase
- * wall-clock buckets (collect/featurize/train/eval), the fully-resolved
+ * CPU and wall-clock buckets (collect/featurize/train/eval — reported
+ * separately because fold-level wall sums exceed the true wall time
+ * under parallel folds or timeshared cores), the fully-resolved
  * spec::RunSpec that produced the run, seed provenance, and the paper's
  * expected-shape numbers from the experiment descriptor. Serialized to
  * JSON it embeds the resolved spec, so feeding the artifact file back
@@ -67,8 +69,12 @@ class RunArtifact
     /** Appends one headline metric (insertion order is preserved). */
     void addMetric(const std::string &name, double value);
 
-    /** Adds seconds to one phase bucket; panics on an unknown phase. */
-    void addPhaseSeconds(const std::string &phase, double seconds);
+    /**
+     * Adds CPU and wall seconds to one phase bucket ("collect",
+     * "featurize", "train" or "eval"); panics on an unknown phase.
+     */
+    void addPhaseSeconds(const std::string &phase, double cpuSeconds,
+                         double wallSeconds);
 
     void setWallSeconds(double seconds) { wallSeconds_ = seconds; }
     void setThreads(int threads) { threads_ = threads; }
@@ -91,10 +97,14 @@ class RunArtifact
     /** Traces dropped as unusable (fault accounting). */
     std::size_t droppedTraces() const { return droppedTraces_; }
 
-    double collectSeconds() const { return collectSeconds_; }
-    double featurizeSeconds() const { return featurizeSeconds_; }
-    double trainSeconds() const { return trainSeconds_; }
-    double evalSeconds() const { return evalSeconds_; }
+    double collectCpuSeconds() const { return collectCpuSeconds_; }
+    double collectWallSeconds() const { return collectWallSeconds_; }
+    double featurizeCpuSeconds() const { return featurizeCpuSeconds_; }
+    double featurizeWallSeconds() const { return featurizeWallSeconds_; }
+    double trainCpuSeconds() const { return trainCpuSeconds_; }
+    double trainWallSeconds() const { return trainWallSeconds_; }
+    double evalCpuSeconds() const { return evalCpuSeconds_; }
+    double evalWallSeconds() const { return evalWallSeconds_; }
     double wallSeconds() const { return wallSeconds_; }
     int threads() const { return threads_; }
     const SeedProvenance &seedProvenance() const { return provenance_; }
@@ -120,10 +130,14 @@ class RunArtifact
     SeedProvenance provenance_;
     std::vector<ExpectedValue> expected_;
     std::vector<std::pair<std::string, double>> metrics_;
-    double collectSeconds_ = 0.0;
-    double featurizeSeconds_ = 0.0;
-    double trainSeconds_ = 0.0;
-    double evalSeconds_ = 0.0;
+    double collectCpuSeconds_ = 0.0;
+    double collectWallSeconds_ = 0.0;
+    double featurizeCpuSeconds_ = 0.0;
+    double featurizeWallSeconds_ = 0.0;
+    double trainCpuSeconds_ = 0.0;
+    double trainWallSeconds_ = 0.0;
+    double evalCpuSeconds_ = 0.0;
+    double evalWallSeconds_ = 0.0;
     double wallSeconds_ = 0.0;
     int threads_ = 0;
     std::size_t collectedTraces_ = 0;

@@ -1,0 +1,291 @@
+#include "core/feature_cache.hh"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/atomic_file.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace bigfish::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// CRC32 (IEEE 802.3) — same framing discipline as the checkpoint
+// journal: the trailer protects the whole payload, so torn or
+// interleaved writes surface as a clean miss instead of wrong data.
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+std::uint32_t
+crc32(const std::string &data)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (const char byte : data)
+        crc = crcTable()[(crc ^ static_cast<unsigned char>(byte)) & 0xffu] ^
+              (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+std::uint64_t
+fnv64(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x0000'0100'0000'01b3ULL;
+    }
+    return hash;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
+}
+
+constexpr char kHeaderPrefix[] = "# bigfish-feature-cache v1 key=";
+constexpr char kEntrySuffix[] = ".bfc";
+
+/** Serializes one dataset section: a shape line then one row per
+ *  sample, features as bit-exact hexfloats. */
+void
+writeDataset(std::ostringstream &out, const char *name,
+             const ml::Dataset &data)
+{
+    out << name << ' ' << data.features.size() << ' ' << data.featureLen()
+        << ' ' << data.numClasses << '\n';
+    char buf[48];
+    for (std::size_t i = 0; i < data.features.size(); ++i) {
+        out << "row " << data.labels[i];
+        for (const double v : data.features[i]) {
+            std::snprintf(buf, sizeof(buf), "%a", v);
+            out << ' ' << buf;
+        }
+        out << '\n';
+    }
+}
+
+/** Parses the section written by writeDataset(); false on mismatch. */
+bool
+readDataset(std::istringstream &in, const char *name, ml::Dataset &data)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    std::istringstream header(line);
+    std::string tag;
+    std::size_t rows = 0, cols = 0;
+    int classes = 0;
+    if (!(header >> tag >> rows >> cols >> classes) || tag != name)
+        return false;
+    data.features.clear();
+    data.labels.clear();
+    data.numClasses = classes;
+    data.features.reserve(rows);
+    data.labels.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        if (line.rfind("row ", 0) != 0)
+            return false;
+        const char *cursor = line.c_str() + 4;
+        char *end = nullptr;
+        const long label = std::strtol(cursor, &end, 10);
+        if (end == cursor)
+            return false;
+        cursor = end;
+        std::vector<double> x(cols);
+        for (std::size_t j = 0; j < cols; ++j) {
+            x[j] = std::strtod(cursor, &end);
+            if (end == cursor)
+                return false;
+            cursor = end;
+        }
+        data.add(std::move(x), static_cast<Label>(label));
+    }
+    return true;
+}
+
+} // namespace
+
+std::uint64_t
+featureCacheKey(std::uint64_t collection_fingerprint,
+                std::size_t feature_len, int num_sites,
+                int open_world_extra, attack::AttackerKind attacker)
+{
+    // Canonical featurization text, same one-line-per-field discipline
+    // as collectionFingerprint(): any change to what toDataset()
+    // produces must bump the format line.
+    std::ostringstream canon;
+    canon << "format=bigfish-features-v1\n"
+          << "featureLen=" << feature_len << '\n'
+          << "numSites=" << num_sites << '\n'
+          << "openExtra=" << open_world_extra << '\n'
+          << "attacker=" << attack::attackerKindName(attacker) << '\n';
+    return mix64(collection_fingerprint ^ fnv64(canon.str()) ^
+                 0x6b3e'88f1'0c5d'a927ULL);
+}
+
+Result<FeatureCache>
+FeatureCache::open(const std::string &dir)
+{
+    Status created = createDirectories(dir);
+    if (!created.isOk())
+        return created;
+    return FeatureCache(dir);
+}
+
+std::string
+FeatureCache::entryPath(std::uint64_t key) const
+{
+    return dir_ + "/" + hex16(key) + kEntrySuffix;
+}
+
+std::string
+FeatureCache::serializeEntry(std::uint64_t key, const Entry &entry)
+{
+    std::ostringstream out;
+    out << kHeaderPrefix << hex16(key) << '\n'
+        << "meta dropped=" << entry.droppedTraces
+        << " collected=" << entry.collectedTraces
+        << " open=" << (entry.hasOpenWorld ? 1 : 0) << '\n';
+    writeDataset(out, "closed", entry.closedWorld);
+    if (entry.hasOpenWorld)
+        writeDataset(out, "open", entry.openWorld);
+    std::string payload = out.str();
+    char trailer[32];
+    std::snprintf(trailer, sizeof(trailer), "@crc %08x\n", crc32(payload));
+    payload += trailer;
+    return payload;
+}
+
+bool
+FeatureCache::parseEntry(const std::string &text, std::uint64_t key,
+                         Entry &entry)
+{
+    // Split off and verify the CRC trailer first: everything else
+    // assumes an intact payload.
+    const std::size_t trailer = text.rfind("@crc ");
+    if (trailer == std::string::npos || trailer == 0 ||
+        text[trailer - 1] != '\n')
+        return false;
+    unsigned long crc = 0;
+    if (std::sscanf(text.c_str() + trailer, "@crc %lx", &crc) != 1)
+        return false;
+    const std::string payload = text.substr(0, trailer);
+    if (crc32(payload) != static_cast<std::uint32_t>(crc))
+        return false;
+
+    std::istringstream in(payload);
+    std::string line;
+    if (!std::getline(in, line) ||
+        line != std::string(kHeaderPrefix) + hex16(key))
+        return false;
+    if (!std::getline(in, line))
+        return false;
+    unsigned long long dropped = 0, collected = 0;
+    int open = 0;
+    if (std::sscanf(line.c_str(), "meta dropped=%llu collected=%llu open=%d",
+                    &dropped, &collected, &open) != 3)
+        return false;
+    entry.droppedTraces = dropped;
+    entry.collectedTraces = collected;
+    entry.hasOpenWorld = open != 0;
+    if (!readDataset(in, "closed", entry.closedWorld))
+        return false;
+    if (entry.hasOpenWorld && !readDataset(in, "open", entry.openWorld))
+        return false;
+    return true;
+}
+
+std::optional<FeatureCache::Entry>
+FeatureCache::lookup(std::uint64_t key)
+{
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    Entry entry;
+    if (!parseEntry(content.str(), key, entry)) {
+        // A torn or corrupt entry is dead weight: drop it so the next
+        // run re-stores a clean one, and fall back to collecting.
+        std::error_code ec;
+        fs::remove(path, ec);
+        warn("feature cache entry " + path +
+             " failed validation; removed and treated as a miss");
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    return entry;
+}
+
+Status
+FeatureCache::storeEntry(std::uint64_t key, const Entry &entry)
+{
+    Status written =
+        atomicWriteFile(entryPath(key), serializeEntry(key, entry));
+    if (written.isOk())
+        ++stats_.stores;
+    return written;
+}
+
+std::size_t
+FeatureCache::evict(std::size_t maxEntries)
+{
+    std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+    std::error_code ec;
+    for (const auto &item : fs::directory_iterator(dir_, ec)) {
+        if (!item.is_regular_file(ec))
+            continue;
+        if (item.path().extension() != kEntrySuffix)
+            continue;
+        entries.emplace_back(fs::last_write_time(item.path(), ec),
+                             item.path());
+    }
+    if (entries.size() <= maxEntries)
+        return 0;
+    // Oldest-modified first; ties broken by path so eviction order is
+    // stable under equal timestamps.
+    std::sort(entries.begin(), entries.end());
+    const std::size_t excess = entries.size() - maxEntries;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < excess; ++i)
+        if (fs::remove(entries[i].second, ec))
+            ++removed;
+    stats_.evicted += removed;
+    return removed;
+}
+
+} // namespace bigfish::core

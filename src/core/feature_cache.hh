@@ -1,0 +1,129 @@
+/**
+ * @file
+ * FeatureCache: a content-addressed cache of featurized datasets.
+ *
+ * Collection and featurization are pure functions of the collection
+ * configuration and the featurization parameters, so the evaluation
+ * inputs — the ml::Dataset fed to cross-validation, plus the trace
+ * accounting the artifact reports — can be reused across runs that
+ * share those inputs (sweeps that vary only the classifier, repeated
+ * `bigfish run --cache-dir=DIR` invocations, CI smokes). A cache hit
+ * replays the datasets bit-identically: features are serialized as
+ * hexfloats ("%a"), which round-trip bit-exactly through strtod, so a
+ * cached run's artifact matches the uncached run's except for phase
+ * timings.
+ *
+ * Entries are content-addressed like checkpoint journals
+ * (core/checkpoint.hh): the key extends collectionFingerprint() with a
+ * canonical featurization text (format version, featureLen, catalog
+ * geometry, attacker), so any input change simply misses — stale
+ * features can never leak into a non-matching run.
+ *
+ * Durability contract: entries are committed with atomicWriteFile
+ * (write-temp-fsync-rename), and every entry carries a whole-file
+ * CRC32. A torn, interleaved or bit-flipped entry is detected on
+ * lookup, removed, and reported as a miss — the pipeline falls back to
+ * collecting, never to wrong data. Concurrent writers of the same key
+ * are racing to write *identical* bytes (the pipeline is
+ * deterministic), so whichever rename lands last is correct; a tear
+ * from interleaved temp writes is caught by the CRC.
+ */
+
+#ifndef BF_CORE_FEATURE_CACHE_HH
+#define BF_CORE_FEATURE_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "attack/attacker.hh"
+#include "base/result.hh"
+#include "ml/dataset.hh"
+
+namespace bigfish::core {
+
+/** Lookup/store accounting for one FeatureCache instance. */
+struct FeatureCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    /** Entries dropped by lookup() as torn/corrupt (counted as misses too). */
+    std::size_t corrupt = 0;
+    std::size_t stores = 0;
+    /** Entries removed by evict(). */
+    std::size_t evicted = 0;
+};
+
+/**
+ * Content-addressed store of featurized evaluation inputs, one file per
+ * (collection, featurization, attacker) key under a cache directory.
+ */
+class FeatureCache
+{
+  public:
+    /** Everything one attacker's evaluation consumes downstream of
+     *  featurization. */
+    struct Entry
+    {
+        ml::Dataset closedWorld;
+        /** Present only when the run had openWorldExtra > 0. */
+        ml::Dataset openWorld;
+        bool hasOpenWorld = false;
+        /** Trace accounting replayed into FingerprintResult. */
+        std::uint64_t droppedTraces = 0;
+        std::uint64_t collectedTraces = 0;
+    };
+
+    /** Opens the cache at @p dir, creating the directory as needed. */
+    [[nodiscard]] static Result<FeatureCache> open(const std::string &dir);
+
+    /**
+     * The cached entry for @p key, or nullopt on miss. A present but
+     * unreadable entry (CRC failure, malformed payload, key mismatch)
+     * is removed and reported as a miss.
+     */
+    [[nodiscard]] std::optional<Entry> lookup(std::uint64_t key);
+
+    /** Atomically commits @p entry under @p key (last writer wins). */
+    [[nodiscard]] Status storeEntry(std::uint64_t key, const Entry &entry);
+
+    /**
+     * Removes oldest-modified entries until at most @p maxEntries
+     * remain. Returns the number removed.
+     */
+    std::size_t evict(std::size_t maxEntries);
+
+    /** The entry file path for @p key (for tests and diagnostics). */
+    std::string entryPath(std::uint64_t key) const;
+
+    const std::string &dir() const { return dir_; }
+    const FeatureCacheStats &stats() const { return stats_; }
+
+    // --- Serialization internals, exposed for tests -------------------
+    /** Canonical text form of an entry (CRC trailer included). */
+    static std::string serializeEntry(std::uint64_t key, const Entry &entry);
+    /** Inverse of serializeEntry(); false on any malformation. */
+    static bool parseEntry(const std::string &text, std::uint64_t key,
+                           Entry &entry);
+
+  private:
+    explicit FeatureCache(std::string dir) : dir_(std::move(dir)) {}
+
+    std::string dir_;
+    FeatureCacheStats stats_;
+};
+
+/**
+ * The cache key for one attacker's featurized datasets: the collection
+ * fingerprint (everything trace content depends on) extended with the
+ * featurization inputs. Two runs hash equal iff their featurized
+ * datasets are interchangeable.
+ */
+[[nodiscard]] std::uint64_t
+featureCacheKey(std::uint64_t collection_fingerprint,
+                std::size_t feature_len, int num_sites,
+                int open_world_extra, attack::AttackerKind attacker);
+
+} // namespace bigfish::core
+
+#endif // BF_CORE_FEATURE_CACHE_HH

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "base/logging.hh"
 #include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
 #include "core/checkpoint.hh"
+#include "core/feature_cache.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::core {
@@ -60,6 +62,38 @@ distinctLabels(const attack::TraceSet &traces)
     return static_cast<int>(labels.size());
 }
 
+/**
+ * Cross-validates one attacker's featurized datasets and fills the
+ * result's evaluation + train/eval timing fields. Shared between the
+ * collect path and the feature-cache replay path so both produce
+ * bit-identical evaluations from identical datasets.
+ */
+void
+evaluateDatasets(FingerprintResult &result, const PipelineConfig &pipeline,
+                 const ml::Dataset &closed_data,
+                 const ml::Dataset *open_data, Label non_sensitive)
+{
+    result.closedWorld =
+        ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
+    result.trainSeconds += result.closedWorld.trainSeconds;
+    result.evalSeconds += result.closedWorld.evalSeconds;
+    result.trainCpuSeconds += result.closedWorld.trainCpuSeconds;
+    result.trainWallSeconds += result.closedWorld.trainWallSeconds;
+    result.evalCpuSeconds += result.closedWorld.evalCpuSeconds;
+    result.evalWallSeconds += result.closedWorld.evalWallSeconds;
+    if (open_data != nullptr) {
+        result.openWorld = ml::evaluateOpenWorld(
+            pipeline.factory, *open_data, non_sensitive, pipeline.eval);
+        result.trainSeconds += result.openWorld.trainSeconds;
+        result.evalSeconds += result.openWorld.evalSeconds;
+        result.trainCpuSeconds += result.openWorld.trainCpuSeconds;
+        result.trainWallSeconds += result.openWorld.trainWallSeconds;
+        result.evalCpuSeconds += result.openWorld.evalCpuSeconds;
+        result.evalWallSeconds += result.openWorld.evalWallSeconds;
+        result.hasOpenWorld = true;
+    }
+}
+
 } // namespace
 
 Result<std::vector<FingerprintResult>>
@@ -75,6 +109,60 @@ runFingerprintingShared(const CollectionConfig &collection,
     if (pipeline.eval.folds < 2)
         return Status(
             invalidArgumentError("cross-validation needs >= 2 folds"));
+    const Label non_sensitive = pipeline.numSites;
+
+    // Feature cache: probe every attacker's entry before collecting
+    // anything (all-or-nothing — a partial hit still has to pay the
+    // shared collection, so it is treated as a miss). On a full hit the
+    // cached datasets replay bit-identically and both the collection
+    // and featurization phases are skipped outright.
+    std::optional<FeatureCache> cache;
+    std::vector<std::uint64_t> cache_keys;
+    if (!pipeline.cacheDir.empty()) {
+        Result<FeatureCache> opened = FeatureCache::open(pipeline.cacheDir);
+        if (!opened.isOk())
+            return Status(opened.status());
+        cache = std::move(opened.value());
+        const std::uint64_t fp = collectionFingerprint(
+            collection, pipeline.catalogSeed, pipeline.numSites,
+            pipeline.openWorldExtra, attackers);
+        cache_keys.reserve(attackers.size());
+        for (const auto kind : attackers)
+            cache_keys.push_back(
+                featureCacheKey(fp, pipeline.featureLen, pipeline.numSites,
+                                pipeline.openWorldExtra, kind));
+        std::vector<FeatureCache::Entry> cached;
+        cached.reserve(attackers.size());
+        for (const std::uint64_t key : cache_keys) {
+            std::optional<FeatureCache::Entry> entry = cache->lookup(key);
+            if (!entry)
+                break;
+            cached.push_back(std::move(*entry));
+        }
+        if (cached.size() == attackers.size()) {
+            std::printf("feature cache: hit, %zu entr%s from %s; "
+                        "skipping collection and featurization\n",
+                        cached.size(), cached.size() == 1 ? "y" : "ies",
+                        cache->dir().c_str());
+            std::vector<FingerprintResult> results(attackers.size());
+            for (std::size_t a = 0; a < attackers.size(); ++a) {
+                FingerprintResult &result = results[a];
+                const FeatureCache::Entry &entry = cached[a];
+                result.droppedTraces =
+                    static_cast<std::size_t>(entry.droppedTraces);
+                result.collectedTraces =
+                    static_cast<std::size_t>(entry.collectedTraces);
+                evaluateDatasets(result, pipeline, entry.closedWorld,
+                                 entry.hasOpenWorld ? &entry.openWorld
+                                                    : nullptr,
+                                 non_sensitive);
+            }
+            return results;
+        }
+        std::printf("feature cache: miss in %s; collecting\n",
+                    cache->dir().c_str());
+    }
+
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
     TraceCollector collector(collection);
 
@@ -111,27 +199,29 @@ runFingerprintingShared(const CollectionConfig &collection,
     // reports the collection cost once.
     std::vector<CollectionStats> closed_stats;
     Stopwatch watch;
+    ProcessCpuStopwatch cpu_watch;
     Result<std::vector<attack::TraceSet>> closed_result =
         collector.collectClosedWorldMulti(catalog, pipeline.tracesPerSite,
                                           attackers, &closed_stats);
-    double collect_share =
-        watch.lap() / static_cast<double>(attackers.size());
+    const double share = 1.0 / static_cast<double>(attackers.size());
+    double collect_share = watch.lap() * share;
+    double collect_cpu_share = cpu_watch.lap() * share;
     if (!closed_result.isOk())
         return Status(closed_result.status());
     std::vector<attack::TraceSet> closed = std::move(closed_result.value());
 
     std::vector<attack::TraceSet> open_extra;
     std::vector<CollectionStats> open_stats(attackers.size());
-    const Label non_sensitive = pipeline.numSites;
     if (pipeline.openWorldExtra > 0) {
         watch.reset();
+        cpu_watch.reset();
         Result<std::vector<attack::TraceSet>> extra_result =
             collector.collectOpenWorldMulti(catalog,
                                             pipeline.openWorldExtra,
                                             non_sensitive, attackers,
                                             &open_stats);
-        collect_share += watch.lap() /
-                         static_cast<double>(attackers.size());
+        collect_share += watch.lap() * share;
+        collect_cpu_share += cpu_watch.lap() * share;
         if (!extra_result.isOk())
             return Status(extra_result.status());
         open_extra = std::move(extra_result.value());
@@ -141,6 +231,7 @@ runFingerprintingShared(const CollectionConfig &collection,
     for (std::size_t a = 0; a < attackers.size(); ++a) {
         FingerprintResult &result = results[a];
         result.collectSeconds = collect_share;
+        result.collectCpuSeconds = collect_cpu_share;
         result.droppedTraces += closed_stats[a].dropped;
         result.collectedTraces += closed_stats[a].collected;
 
@@ -162,15 +253,15 @@ runFingerprintingShared(const CollectionConfig &collection,
                 std::to_string(pipeline.eval.folds) + " CV folds"));
 
         watch.reset();
+        cpu_watch.reset();
         const ml::Dataset closed_data =
             toDataset(closed[a], pipeline.featureLen, pipeline.numSites);
         result.featurizeSeconds += watch.lap();
-        result.closedWorld =
-            ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
-        result.trainSeconds += result.closedWorld.trainSeconds;
-        result.evalSeconds += result.closedWorld.evalSeconds;
+        result.featurizeCpuSeconds += cpu_watch.lap();
 
-        if (pipeline.openWorldExtra > 0) {
+        const bool has_open = pipeline.openWorldExtra > 0;
+        ml::Dataset open_data;
+        if (has_open) {
             // The paper's open world: closed-world traces keep their
             // site labels ("sensitive"); one extra class holds all
             // one-off "non-sensitive" traces.
@@ -183,15 +274,30 @@ runFingerprintingShared(const CollectionConfig &collection,
             for (auto &trace : open_extra[a].traces)
                 open.add(std::move(trace));
             watch.reset();
-            const ml::Dataset open_data =
+            cpu_watch.reset();
+            open_data =
                 toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
             result.featurizeSeconds += watch.lap();
-            result.openWorld = ml::evaluateOpenWorld(
-                pipeline.factory, open_data, non_sensitive, pipeline.eval);
-            result.trainSeconds += result.openWorld.trainSeconds;
-            result.evalSeconds += result.openWorld.evalSeconds;
-            result.hasOpenWorld = true;
+            result.featurizeCpuSeconds += cpu_watch.lap();
         }
+
+        // Store before evaluating: a run killed mid-training still
+        // leaves the expensive phases cached for the next attempt. A
+        // failed store degrades to an uncached run, never a failed one.
+        if (cache) {
+            FeatureCache::Entry entry;
+            entry.closedWorld = closed_data;
+            entry.openWorld = open_data;
+            entry.hasOpenWorld = has_open;
+            entry.droppedTraces = result.droppedTraces;
+            entry.collectedTraces = result.collectedTraces;
+            Status stored = cache->storeEntry(cache_keys[a], entry);
+            if (!stored.isOk())
+                warn("feature cache store failed: " + stored.message());
+        }
+
+        evaluateDatasets(result, pipeline, closed_data,
+                         has_open ? &open_data : nullptr, non_sensitive);
     }
     return results;
 }

@@ -55,6 +55,14 @@ struct PipelineConfig
      * resumes from the journal, bit-identically.
      */
     std::string checkpointDir;
+    /**
+     * Featurized-dataset cache directory ("" disables caching). When
+     * set, the featurized evaluation inputs are stored content-
+     * addressed (core/feature_cache.hh) and a re-run with the same
+     * collection + featurization configuration skips collection and
+     * featurization entirely, replaying the datasets bit-identically.
+     */
+    std::string cacheDir;
 };
 
 /** The result of one full fingerprinting evaluation. */
@@ -74,10 +82,26 @@ struct FingerprintResult
     double collectSeconds = 0.0;
     /** Wall-clock seconds featurizing trace sets into datasets. */
     double featurizeSeconds = 0.0;
-    /** Per-fold fit() seconds summed across both worlds' evaluations. */
+    /**
+     * Per-fold fit()/test-scoring *wall* seconds summed across both
+     * worlds' evaluations. Fold walls overlap under parallel folds (and
+     * inflate under timeshared cores), so these exceed the wall clock
+     * the phases actually took; kept for historical comparability —
+     * report the Cpu/Wall pairs below instead.
+     */
     double trainSeconds = 0.0;
-    /** Per-fold test-scoring seconds summed across both evaluations. */
     double evalSeconds = 0.0;
+
+    /** Process-CPU seconds of the collection phase. */
+    double collectCpuSeconds = 0.0;
+    /** Process-CPU seconds of the featurization phase. */
+    double featurizeCpuSeconds = 0.0;
+    /** Process-CPU / true wall seconds of the training (fit) phase. */
+    double trainCpuSeconds = 0.0;
+    double trainWallSeconds = 0.0;
+    /** Process-CPU / true wall seconds of the test-scoring phase. */
+    double evalCpuSeconds = 0.0;
+    double evalWallSeconds = 0.0;
 };
 
 /**

@@ -70,6 +70,8 @@ commonScaleSchema()
                 "worker threads (0 = BF_THREADS, else hardware)")
         .addString("resume", "BF_RESUME", "",
                    "checkpoint/resume directory (\"\" disables)")
+        .addString("cache-dir", "BF_CACHE_DIR", "",
+                   "featurized-dataset cache directory (\"\" disables)")
         .addInt("io-crash-after", "BF_IO_CRASH_AFTER", 0, 0, 1000000000,
                 "fault injection: crash after N checkpoint records")
         .addInt("io-torn-bytes", "BF_IO_TORN_BYTES", 0, 0, 1000000000,
@@ -91,6 +93,7 @@ scaleFromSpec(const spec::RunSpec &run_spec)
     scale.paperModel = run_spec.getBool("paper-model");
     scale.threads = static_cast<int>(run_spec.getInt("threads"));
     scale.resumeDir = run_spec.getString("resume");
+    scale.cacheDir = run_spec.getString("cache-dir");
     scale.ioCrashAfterRecords =
         static_cast<int>(run_spec.getInt("io-crash-after"));
     scale.ioTornWriteBytes =
@@ -140,6 +143,7 @@ pipelineForScale(const ExperimentScale &scale)
     pipeline.eval.seed = scale.seed;
     pipeline.factory = classifierForScale(scale);
     pipeline.checkpointDir = scale.resumeDir;
+    pipeline.cacheDir = scale.cacheDir;
     return pipeline;
 }
 

@@ -116,6 +116,8 @@ struct ExperimentScale
     int threads = 0;
     /** Checkpoint/resume directory ("" disables journaling). */
     std::string resumeDir;
+    /** Featurized-dataset cache directory ("" disables caching). */
+    std::string cacheDir;
     /** IO fault injection: crash after N journal records (0 = off). */
     int ioCrashAfterRecords = 0;
     /** IO fault injection: torn bytes of the crashed record. */

@@ -42,10 +42,25 @@ struct EvalResult
     /**
      * Seconds spent in fit() summed over folds, and seconds spent
      * scoring the test splits summed over folds. Sums of per-fold
-     * durations, so with parallel folds they exceed wall-clock time.
+     * *wall* durations, so with parallel folds (or timeshared cores)
+     * they exceed the wall clock the cross-validation actually took —
+     * report the explicit Cpu/Wall fields below instead; these two
+     * stay for comparability with historical metric streams.
      */
     double trainSeconds = 0.0;
     double evalSeconds = 0.0;
+
+    /**
+     * Unambiguous phase costs: process-CPU seconds and wall-clock
+     * seconds of the whole cross-validation, apportioned between the
+     * train (fit) and eval (test-scoring) phases by each fold's
+     * thread-CPU share. trainWallSeconds + evalWallSeconds equals the
+     * CV's true wall time regardless of fold parallelism.
+     */
+    double trainCpuSeconds = 0.0;
+    double trainWallSeconds = 0.0;
+    double evalCpuSeconds = 0.0;
+    double evalWallSeconds = 0.0;
 };
 
 /** Evaluation protocol parameters. */

@@ -3,18 +3,16 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "ml/kernels.hh"
 
 namespace bigfish::ml {
 
-namespace {
-
-float
-sigmoid(float x)
-{
-    return 1.0f / (1.0f + std::exp(-x));
-}
-
-} // namespace
+// Gate activations use the kernel layer's scalar transcendentals
+// (kernels::sigmoidScalar / tanhScalar): the gate reads here are
+// strided (zx is laid out step-major), so the win is not
+// vectorization but determinism — the polynomial approximations are
+// Tag-independent and match the LSTM's vector lanes bit for bit,
+// keeping artifacts invariant under BF_SIMD.
 
 Gru::Gru(std::size_t input_size, std::size_t hidden_size, Rng &rng)
     : input_(input_size), hidden_(hidden_size),
@@ -60,13 +58,13 @@ Gru::forward(const Matrix &in, bool)
         float *__restrict hd = h.data();
         for (std::size_t hI = 0; hI < hidden_; ++hI) {
             const float r =
-                sigmoid(zxd[hI * steps + t] + whhd[hI]);
+                kernels::sigmoidScalar(zxd[hI * steps + t] + whhd[hI]);
             const float z =
-                sigmoid(zxd[(hidden_ + hI) * steps + t] +
-                        whhd[hidden_ + hI]);
+                kernels::sigmoidScalar(zxd[(hidden_ + hI) * steps + t] +
+                                       whhd[hidden_ + hI]);
             const float rec = whhd[2 * hidden_ + hI];
-            const float n =
-                std::tanh(zxd[(2 * hidden_ + hI) * steps + t] + r * rec);
+            const float n = kernels::tanhScalar(
+                zxd[(2 * hidden_ + hI) * steps + t] + r * rec);
             // Cache post-activation gate values (and the raw candidate
             // recurrent product) for BPTT.
             gd[hI] = r;

@@ -3,18 +3,15 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "ml/kernels.hh"
 
 namespace bigfish::ml {
 
-namespace {
-
-float
-sigmoid(float x)
-{
-    return 1.0f / (1.0f + std::exp(-x));
-}
-
-} // namespace
+// Gate math runs through the fused SIMD kernels. The (4H x B) gate
+// matrices store the four gate blocks as contiguous row bands (i, f,
+// g, o), and the cell/hidden matrices use the same (H x B) layout, so
+// one kernel call covers a whole step's gates regardless of batch
+// shape.
 
 Lstm::Lstm(std::size_t input_size, std::size_t hidden_size, Rng &rng)
     : input_(input_size), hidden_(hidden_size),
@@ -60,22 +57,11 @@ Lstm::forward(const Matrix &in, bool)
         for (std::size_t r = 0; r < 4 * hidden_; ++r)
             zd[r] = zxd[r * steps + t] + zrd[r];
 
-        float *__restrict cd = c.data();
-        float *__restrict hd = h.data();
-        for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float i_g = sigmoid(zd[hI]);
-            const float f_g = sigmoid(zd[hidden_ + hI]);
-            const float g_g = std::tanh(zd[2 * hidden_ + hI]);
-            const float o_g = sigmoid(zd[3 * hidden_ + hI]);
-            // Cache post-activation gate values for BPTT.
-            zd[hI] = i_g;
-            zd[hidden_ + hI] = f_g;
-            zd[2 * hidden_ + hI] = g_g;
-            zd[3 * hidden_ + hI] = o_g;
-            const float c_new = f_g * cd[hI] + i_g * g_g;
-            cd[hI] = c_new;
-            hd[hI] = o_g * std::tanh(c_new);
-        }
+        // Fused gate activation + state update; caches post-activation
+        // gate values in z for BPTT.
+        kernels::lstmGatesForward(zd, zd + hidden_, zd + 2 * hidden_,
+                                  zd + 3 * hidden_, c.data(), h.data(),
+                                  hidden_);
         cells_[t] = c;
         hiddens_[t] = h;
     }
@@ -119,30 +105,14 @@ Lstm::forwardBatch(const Matrix &in, std::size_t samples, bool)
                 zrow[s] = zxrow[s * steps] + zrrow[s];
         }
 
-        float *__restrict cd = c.data();
-        float *__restrict hd = h.data();
-        for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            float *__restrict zi = zd + hI * samples;
-            float *__restrict zf = zd + (hidden_ + hI) * samples;
-            float *__restrict zg = zd + (2 * hidden_ + hI) * samples;
-            float *__restrict zo = zd + (3 * hidden_ + hI) * samples;
-            float *__restrict crow = cd + hI * samples;
-            float *__restrict hrow = hd + hI * samples;
-            for (std::size_t s = 0; s < samples; ++s) {
-                const float i_g = sigmoid(zi[s]);
-                const float f_g = sigmoid(zf[s]);
-                const float g_g = std::tanh(zg[s]);
-                const float o_g = sigmoid(zo[s]);
-                // Cache post-activation gate values for BPTT.
-                zi[s] = i_g;
-                zf[s] = f_g;
-                zg[s] = g_g;
-                zo[s] = o_g;
-                const float c_new = f_g * crow[s] + i_g * g_g;
-                crow[s] = c_new;
-                hrow[s] = o_g * std::tanh(c_new);
-            }
-        }
+        // The four gate bands of z and the full (H x B) state matrices
+        // are each contiguous, so the whole step fuses into one kernel
+        // call over hidden_ * samples lanes (caches post-activation
+        // gate values in z for BPTT).
+        const std::size_t lanes = hidden_ * samples;
+        kernels::lstmGatesForward(zd, zd + lanes, zd + 2 * lanes,
+                                  zd + 3 * lanes, c.data(), h.data(),
+                                  lanes);
         cells_[t] = c;
         hiddens_[t] = h;
     }
@@ -179,50 +149,17 @@ Lstm::backwardBatch(const Matrix &grad_out, std::size_t samples)
         const Matrix &c = cells_[ti];
         const Matrix *c_prev = ti > 0 ? &cells_[ti - 1] : nullptr;
         const float *__restrict zd = z.data();
-        const float *__restrict cdat = c.data();
-        float *__restrict dhd = dh.data();
-        float *__restrict dcd = dc.data();
         float *__restrict dzd = dz.data();
 
-        for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float *__restrict zi = zd + hI * samples;
-            const float *__restrict zf = zd + (hidden_ + hI) * samples;
-            const float *__restrict zg = zd + (2 * hidden_ + hI) * samples;
-            const float *__restrict zo = zd + (3 * hidden_ + hI) * samples;
-            const float *__restrict crow = cdat + hI * samples;
-            const float *__restrict cprow =
-                c_prev ? c_prev->data() + hI * samples : nullptr;
-            float *__restrict dhrow = dhd + hI * samples;
-            float *__restrict dcrow = dcd + hI * samples;
-            float *__restrict dzi = dzd + hI * samples;
-            float *__restrict dzf = dzd + (hidden_ + hI) * samples;
-            float *__restrict dzg = dzd + (2 * hidden_ + hI) * samples;
-            float *__restrict dzo = dzd + (3 * hidden_ + hI) * samples;
-            for (std::size_t s = 0; s < samples; ++s) {
-                const float i_g = zi[s];
-                const float f_g = zf[s];
-                const float g_g = zg[s];
-                const float o_g = zo[s];
-                const float tanh_c = std::tanh(crow[s]);
-                const float dh_v = dhrow[s];
-
-                const float do_v = dh_v * tanh_c;
-                const float dc_v =
-                    dcrow[s] + dh_v * o_g * (1.0f - tanh_c * tanh_c);
-
-                const float di_v = dc_v * g_g;
-                const float dg_v = dc_v * i_g;
-                const float cp = cprow ? cprow[s] : 0.0f;
-                const float df_v = dc_v * cp;
-
-                dzi[s] = di_v * i_g * (1.0f - i_g);
-                dzf[s] = df_v * f_g * (1.0f - f_g);
-                dzg[s] = dg_v * (1.0f - g_g * g_g);
-                dzo[s] = do_v * o_g * (1.0f - o_g);
-
-                dcrow[s] = dc_v * f_g; // Carried to step t-1.
-            }
-        }
+        // One fused gate-gradient kernel call over the whole step: the
+        // gate bands of z/dz and the (H x B) state matrices are each
+        // contiguous. Updates dc in place (carried to step t-1).
+        const std::size_t lanes = hidden_ * samples;
+        kernels::lstmGatesBackward(
+            zd, zd + lanes, zd + 2 * lanes, zd + 3 * lanes, c.data(),
+            c_prev != nullptr ? c_prev->data() : nullptr, dh.data(),
+            dc.data(), dzd, dzd + lanes, dzd + 2 * lanes,
+            dzd + 3 * lanes, lanes);
 
         float *__restrict dza = dzAll.data();
         for (std::size_t r = 0; r < 4 * hidden_; ++r) {
@@ -283,33 +220,15 @@ Lstm::backward(const Matrix &grad_out)
         const Matrix &c = cells_[ti];
         const Matrix *c_prev = ti > 0 ? &cells_[ti - 1] : nullptr;
         const float *__restrict zd = z.data();
-        const float *__restrict cdat = c.data();
         float *__restrict dhd = dh.data();
-        float *__restrict dcd = dc.data();
 
-        for (std::size_t hI = 0; hI < hidden_; ++hI) {
-            const float i_g = zd[hI];
-            const float f_g = zd[hidden_ + hI];
-            const float g_g = zd[2 * hidden_ + hI];
-            const float o_g = zd[3 * hidden_ + hI];
-            const float tanh_c = std::tanh(cdat[hI]);
-            const float dh_v = dhd[hI];
-
-            const float do_v = dh_v * tanh_c;
-            float dc_v = dcd[hI] + dh_v * o_g * (1.0f - tanh_c * tanh_c);
-
-            const float di_v = dc_v * g_g;
-            const float dg_v = dc_v * i_g;
-            const float cp = c_prev ? c_prev->data()[hI] : 0.0f;
-            const float df_v = dc_v * cp;
-
-            dz[hI] = di_v * i_g * (1.0f - i_g);
-            dz[hidden_ + hI] = df_v * f_g * (1.0f - f_g);
-            dz[2 * hidden_ + hI] = dg_v * (1.0f - g_g * g_g);
-            dz[3 * hidden_ + hI] = do_v * o_g * (1.0f - o_g);
-
-            dcd[hI] = dc_v * f_g; // Carried to step t-1.
-        }
+        // Fused gate-gradient kernel over the step's hidden units;
+        // updates dc in place (carried to step t-1).
+        kernels::lstmGatesBackward(
+            zd, zd + hidden_, zd + 2 * hidden_, zd + 3 * hidden_,
+            c.data(), c_prev != nullptr ? c_prev->data() : nullptr,
+            dhd, dc.data(), dz.data(), dz.data() + hidden_,
+            dz.data() + 2 * hidden_, dz.data() + 3 * hidden_, hidden_);
 
         float *__restrict dzc = dzAll.data();
         for (std::size_t r = 0; r < 4 * hidden_; ++r)

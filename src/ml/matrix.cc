@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "ml/kernels.hh"
 
 namespace bigfish::ml {
 
@@ -14,7 +15,7 @@ Matrix::Matrix(std::size_t rows, std::size_t cols)
 }
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data))
+    : rows_(rows), cols_(cols), data_(data.begin(), data.end())
 {
     panicIf(data_.size() != rows * cols, "Matrix data size mismatch");
 }
@@ -72,7 +73,10 @@ Matrix::operator*=(float value)
 Matrix
 Matrix::flattened() const
 {
-    Matrix out(data_.size(), 1, data_);
+    Matrix out;
+    out.rows_ = data_.size();
+    out.cols_ = 1;
+    out.data_ = data_;
     return out;
 }
 
@@ -96,37 +100,11 @@ namespace {
 constexpr std::size_t kBlockK = 240;
 constexpr double kParallelMinFlops = 1 << 19;
 
-/** y += a * x over n contiguous floats (vectorizable axpy). */
-inline void
-axpy(float *__restrict y, const float *__restrict x, float a,
-     std::size_t n)
-{
-    for (std::size_t j = 0; j < n; ++j)
-        y[j] += a * x[j];
-}
-
-/**
- * Dot product with eight explicit accumulators so the compiler can keep
- * partial sums in vector lanes without reassociating a single serial
- * reduction. The combination order is fixed, so results are identical
- * on every call regardless of threading.
- */
-inline float
-dotRestrict(const float *__restrict a, const float *__restrict b,
-            std::size_t n)
-{
-    float acc[8] = {0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f, 0.0f};
-    std::size_t i = 0;
-    for (; i + 8 <= n; i += 8)
-        for (int lane = 0; lane < 8; ++lane)
-            acc[lane] += a[i + lane] * b[i + lane];
-    float tail = 0.0f;
-    for (; i < n; ++i)
-        tail += a[i] * b[i];
-    return (((acc[0] + acc[4]) + (acc[1] + acc[5])) +
-            ((acc[2] + acc[6]) + (acc[3] + acc[7]))) +
-           tail;
-}
+// All floating-point arithmetic below delegates to the runtime-
+// dispatched SIMD kernel layer; this file keeps only the blocking,
+// chunking and threading structure. kernels::dot's fixed 8-lane
+// accumulation makes every reduction independent of both the dispatch
+// ISA and the thread count.
 
 /**
  * Splits [0, rows) into contiguous row ranges run on the global pool
@@ -178,31 +156,21 @@ gemmAccRows(float *__restrict c, const float *__restrict a,
     }
     for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
         const std::size_t k1 = std::min(k, k0 + kBlockK);
-        for (std::size_t i = r0; i < r1; ++i) {
-            float *__restrict crow = c + i * n;
-            const float *__restrict arow = a + i * k;
-            std::size_t kk = k0;
-            for (; kk + 4 <= k1; kk += 4) {
-                const float a0 = arow[kk + 0];
-                const float a1 = arow[kk + 1];
-                const float a2 = arow[kk + 2];
-                const float a3 = arow[kk + 3];
-                const float *__restrict b0 = b + kk * n;
-                const float *__restrict b1 = b0 + n;
-                const float *__restrict b2 = b1 + n;
-                const float *__restrict b3 = b2 + n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] +
-                               a3 * b3[j];
-            }
-            for (; kk < k1; ++kk)
-                axpy(crow, b + kk * n, arow[kk], n);
-        }
+        // One dispatched kernel call per output row: the panel runs the
+        // axpy4-per-4-k / axpy-remainder sequence inside the kernel
+        // layer, so the ISA switch is paid once per row, not per 4 k's.
+        for (std::size_t i = r0; i < r1; ++i)
+            kernels::gemmRowPanel(c + i * n, a + i * k, 1, b, k0, k1, n);
     }
 }
 
 /**
- * C[r0:r1) += A * B^T: rows of both operands are contiguous dots.
+ * C[r0:r1) += A * B^T: rows of both operands are contiguous dots,
+ * dispatched through the kernel layer's 4x2 register tile where the
+ * extents allow (kernels::dotTile4x2 accumulates every C element
+ * exactly like kernels::dot of the same operand rows, so the tile/dot
+ * split below is a pure bandwidth optimization with no numeric
+ * effect — at any chunk boundary, thread count, or ISA).
  *
  * k == 1 is the rank-1 outer-product case (dW += dOut * x^T with a
  * single column, the shape every backward pass hits for the conv2 /
@@ -210,54 +178,6 @@ gemmAccRows(float *__restrict c, const float *__restrict a,
  * full accumulator setup for one multiply, so it runs as a contiguous
  * axpy per output row instead.
  */
-/**
- * 4x2 register tile of C += A * B^T: four A rows against two B rows in
- * one sweep over k, sixteen accumulator lanes per C element. One dot per
- * C element reads both operand rows once per element (load-bound, ~2
- * loads per FMA); the tile reuses each loaded lane four or two times,
- * which is what moves the weight-gradient GEMMs from ~3.5 to >15 GF/s.
- * Accumulator combination order is fixed, so the result only depends
- * on the (i, j, k) extents, never on threading.
- */
-inline void
-gemmTransBTile4x2(float *__restrict c, const float *__restrict a,
-                  const float *__restrict b, std::size_t i0,
-                  std::size_t j0, std::size_t k, std::size_t n)
-{
-    float acc[4][2][16] = {};
-    std::size_t kk = 0;
-    for (; kk + 16 <= k; kk += 16) {
-        const float *__restrict a0 = a + (i0 + 0) * k + kk;
-        const float *__restrict a1 = a + (i0 + 1) * k + kk;
-        const float *__restrict a2 = a + (i0 + 2) * k + kk;
-        const float *__restrict a3 = a + (i0 + 3) * k + kk;
-        const float *__restrict b0 = b + (j0 + 0) * k + kk;
-        const float *__restrict b1 = b + (j0 + 1) * k + kk;
-        for (int l = 0; l < 16; ++l) {
-            acc[0][0][l] += a0[l] * b0[l];
-            acc[0][1][l] += a0[l] * b1[l];
-            acc[1][0][l] += a1[l] * b0[l];
-            acc[1][1][l] += a1[l] * b1[l];
-            acc[2][0][l] += a2[l] * b0[l];
-            acc[2][1][l] += a2[l] * b1[l];
-            acc[3][0][l] += a3[l] * b0[l];
-            acc[3][1][l] += a3[l] * b1[l];
-        }
-    }
-    for (int r = 0; r < 4; ++r) {
-        for (int col = 0; col < 2; ++col) {
-            const float *__restrict lanes = acc[r][col];
-            float sum = 0.0f;
-            for (int l = 0; l < 16; ++l)
-                sum += lanes[l];
-            const float *__restrict arow = a + (i0 + r) * k;
-            const float *__restrict brow = b + (j0 + col) * k;
-            for (std::size_t t = kk; t < k; ++t)
-                sum += arow[t] * brow[t];
-            c[(i0 + r) * n + (j0 + col)] += sum;
-        }
-    }
-}
 
 void
 gemmTransBAccRows(float *__restrict c, const float *__restrict a,
@@ -266,24 +186,24 @@ gemmTransBAccRows(float *__restrict c, const float *__restrict a,
 {
     if (k == 1) {
         for (std::size_t i = r0; i < r1; ++i)
-            axpy(c + i * n, b, a[i], n);
+            kernels::axpy(c + i * n, b, a[i], n);
         return;
     }
     std::size_t i = r0;
     for (; i + 4 <= r1; i += 4) {
         std::size_t j = 0;
         for (; j + 2 <= n; j += 2)
-            gemmTransBTile4x2(c, a, b, i, j, k, n);
+            kernels::dotTile4x2(c, a, b, i, j, k, n);
         for (; j < n; ++j)
             for (std::size_t r = 0; r < 4; ++r)
                 c[(i + r) * n + j] +=
-                    dotRestrict(a + (i + r) * k, b + j * k, k);
+                    kernels::dot(a + (i + r) * k, b + j * k, k);
     }
     for (; i < r1; ++i) {
         const float *__restrict arow = a + i * k;
         float *__restrict crow = c + i * n;
         for (std::size_t j = 0; j < n; ++j)
-            crow[j] += dotRestrict(arow, b + j * k, k);
+            crow[j] += kernels::dot(arow, b + j * k, k);
     }
 }
 
@@ -303,25 +223,9 @@ gemmTransAAccRows(float *__restrict c, const float *__restrict a,
 {
     for (std::size_t k0 = 0; k0 < a_rows; k0 += kBlockK) {
         const std::size_t k1 = std::min(a_rows, k0 + kBlockK);
-        for (std::size_t i = r0; i < r1; ++i) {
-            float *__restrict crow = c + i * n;
-            std::size_t kk = k0;
-            for (; kk + 4 <= k1; kk += 4) {
-                const float a0 = a[(kk + 0) * a_cols + i];
-                const float a1 = a[(kk + 1) * a_cols + i];
-                const float a2 = a[(kk + 2) * a_cols + i];
-                const float a3 = a[(kk + 3) * a_cols + i];
-                const float *__restrict b0 = b + kk * n;
-                const float *__restrict b1 = b0 + n;
-                const float *__restrict b2 = b1 + n;
-                const float *__restrict b3 = b2 + n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] +
-                               a3 * b3[j];
-            }
-            for (; kk < k1; ++kk)
-                axpy(crow, b + kk * n, a[kk * a_cols + i], n);
-        }
+        // Column i of A walked with stride a_cols; one dispatch per row.
+        for (std::size_t i = r0; i < r1; ++i)
+            kernels::gemmRowPanel(c + i * n, a + i, a_cols, b, k0, k1, n);
     }
 }
 
@@ -337,7 +241,7 @@ gemmTransAVec(float *__restrict c, const float *__restrict a,
               std::size_t a_cols)
 {
     for (std::size_t r = 0; r < a_rows; ++r)
-        axpy(c, a + r * a_cols, b[r], a_cols);
+        kernels::axpy(c, a + r * a_cols, b[r], a_cols);
 }
 
 double
@@ -478,7 +382,7 @@ gemv(const Matrix &a, const Matrix &x)
     forRowChunks(a.rows(), gemmFlops(a.rows(), k, 1),
                  [&](std::size_t r0, std::size_t r1) {
                      for (std::size_t i = r0; i < r1; ++i)
-                         yd[i] = dotRestrict(ad + i * k, xd, k);
+                         yd[i] = kernels::dot(ad + i * k, xd, k);
                  });
     return y;
 }
@@ -499,7 +403,7 @@ gemvBias(const Matrix &a, const Matrix &x, const Matrix &b)
     forRowChunks(a.rows(), gemmFlops(a.rows(), k, 1),
                  [&](std::size_t r0, std::size_t r1) {
                      for (std::size_t i = r0; i < r1; ++i)
-                         yd[i] = bd[i] + dotRestrict(ad + i * k, xd, k);
+                         yd[i] = bd[i] + kernels::dot(ad + i * k, xd, k);
                  });
     return y;
 }
@@ -507,10 +411,7 @@ gemvBias(const Matrix &a, const Matrix &x, const Matrix &b)
 void
 reluInPlace(Matrix &m)
 {
-    float *__restrict d = m.data();
-    const std::size_t n = m.size();
-    for (std::size_t i = 0; i < n; ++i)
-        d[i] = d[i] > 0.0f ? d[i] : 0.0f;
+    kernels::relu(m.data(), m.size());
 }
 
 Matrix

@@ -3,14 +3,17 @@
  * A minimal dense float matrix plus the optimized kernels the
  * from-scratch neural network runs on.
  *
- * Row-major and value-semantic. The kernels (matmul and friends) are
- * blocked, __restrict-annotated implementations with an optional
- * row-parallel path for large shapes; matmulReference() keeps the naive
- * triple loop as the correctness oracle for property tests and the
- * old-vs-new microbenchmarks. Row-parallelism splits output rows only —
- * every output element is accumulated in the same order at any thread
- * count, so results are bit-identical whether the pool has 1 or N
- * threads. Convention used by the layers: a 1-D time series sample is a
+ * Row-major and value-semantic, with 32-byte-aligned storage
+ * (base/aligned.hh) so the SIMD kernel layer's 256-bit accesses start
+ * aligned. The GEMM entry points below keep the blocking/threading
+ * structure and delegate all floating-point arithmetic to ml/kernels.hh,
+ * which dispatches per-ISA implementations that are bit-identical by
+ * construction; matmulReference() keeps the naive triple loop as the
+ * correctness oracle for property tests and the old-vs-new
+ * microbenchmarks. Row-parallelism splits output rows only — every
+ * output element is accumulated in the same order at any thread count,
+ * so results are bit-identical whether the pool has 1 or N threads.
+ * Convention used by the layers: a 1-D time series sample is a
  * (channels x time) matrix; a feature vector is (features x 1).
  */
 
@@ -20,6 +23,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "base/aligned.hh"
 #include "base/rng.hh"
 
 namespace bigfish::ml {
@@ -84,7 +88,7 @@ class Matrix
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float> data_;
+    AlignedVector<float> data_;
 };
 
 /** C = A * B (inner dimensions must agree). */

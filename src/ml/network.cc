@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "ml/kernels.hh"
 
 namespace bigfish::ml {
 
@@ -222,37 +223,27 @@ Adam::step(const std::vector<Matrix *> &params,
     }
     ++t_;
     // Per-step scalars stay in double (pow over t accumulates error in
-    // float); the per-parameter loop is pure float so it vectorizes —
-    // the moments are stored as float anyway, so double intermediates
-    // only added cost, not meaningful precision.
-    const float inv_bc1 =
+    // float); the per-parameter loop runs through the SIMD kernel
+    // layer in float — the moments are stored as float anyway, so
+    // double intermediates only added cost, not meaningful precision.
+    kernels::AdamConsts consts;
+    consts.beta1 = static_cast<float>(beta1_);
+    consts.beta2 = static_cast<float>(beta2_);
+    consts.oneMinusBeta1 = 1.0f - consts.beta1;
+    consts.oneMinusBeta2 = 1.0f - consts.beta2;
+    consts.invBiasCorrection1 =
         static_cast<float>(1.0 / (1.0 - std::pow(beta1_, t_)));
-    const float inv_bc2 =
+    consts.invBiasCorrection2 =
         static_cast<float>(1.0 / (1.0 - std::pow(beta2_, t_)));
-    const float b1 = static_cast<float>(beta1_);
-    const float b2 = static_cast<float>(beta2_);
-    const float c1 = 1.0f - b1;
-    const float c2 = 1.0f - b2;
-    const float lr = static_cast<float>(lr_);
-    const float eps = static_cast<float>(eps_);
-    const float fscale = static_cast<float>(scale);
+    consts.learningRate = static_cast<float>(lr_);
+    consts.epsilon = static_cast<float>(eps_);
+    consts.gradScale = static_cast<float>(scale);
     for (std::size_t i = 0; i < params.size(); ++i) {
-        float *__restrict p = params[i]->data();
-        const float *__restrict g = grads[i]->data();
-        float *__restrict m = m_[i].data();
-        float *__restrict v = v_[i].data();
         panicIf(params[i]->size() != grads[i]->size(),
                 "Adam tensor size mismatch");
-        const std::size_t n = params[i]->size();
-        for (std::size_t j = 0; j < n; ++j) {
-            const float gj = g[j] * fscale;
-            const float mj = b1 * m[j] + c1 * gj;
-            const float vj = b2 * v[j] + c2 * gj * gj;
-            m[j] = mj;
-            v[j] = vj;
-            p[j] -= lr * (mj * inv_bc1) /
-                    (std::sqrt(vj * inv_bc2) + eps);
-        }
+        kernels::adamStep(params[i]->data(), grads[i]->data(),
+                          m_[i].data(), v_[i].data(), params[i]->size(),
+                          consts);
     }
 }
 

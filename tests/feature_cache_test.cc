@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests of the content-addressed featurized-dataset cache
+ * (core/feature_cache.hh): round-trip bit-exactness, hit/miss/eviction
+ * accounting, key (fingerprint) invalidation, corrupted-entry fallback,
+ * and concurrent-writer safety under the deterministic-payload
+ * contract.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hh"
+#include "base/rng.hh"
+#include "base/thread_pool.hh"
+#include "core/feature_cache.hh"
+
+namespace bigfish::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** A fresh empty cache directory unique to @p leaf. */
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + "bf_feature_cache_" + leaf;
+    fs::remove_all(dir);
+    return dir;
+}
+
+/** Opens a cache at a fresh directory, failing the test on error. */
+FeatureCache
+openFresh(const std::string &leaf)
+{
+    auto opened = FeatureCache::open(freshDir(leaf));
+    EXPECT_TRUE(opened.isOk()) << opened.status().message();
+    return std::move(opened).valueOrDie();
+}
+
+/** A deterministic dataset with awkward doubles (negative zero, inexact
+ *  sums, tiny magnitudes) to stress the hexfloat round-trip. */
+ml::Dataset
+makeDataset(std::uint64_t seed, std::size_t rows, std::size_t cols)
+{
+    Rng rng(seed);
+    ml::Dataset data;
+    data.numClasses = 7;
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<double> x(cols);
+        for (std::size_t j = 0; j < cols; ++j)
+            x[j] = rng.normal(0.0, 1.0) * 1e-3;
+        if (!x.empty())
+            x[0] = (i % 2 == 0) ? -0.0 : 0.1 + 0.2; // inexact sum
+        data.add(std::move(x), static_cast<Label>(i % 7));
+    }
+    return data;
+}
+
+FeatureCache::Entry
+makeEntry(std::uint64_t seed, bool open_world)
+{
+    FeatureCache::Entry entry;
+    entry.closedWorld = makeDataset(seed, 11, 13);
+    entry.hasOpenWorld = open_world;
+    if (open_world)
+        entry.openWorld = makeDataset(seed + 1, 5, 13);
+    entry.droppedTraces = 3;
+    entry.collectedTraces = 220;
+    return entry;
+}
+
+void
+expectDatasetsBitEqual(const ml::Dataset &got, const ml::Dataset &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(got.numClasses, want.numClasses);
+    ASSERT_EQ(got.labels, want.labels);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got.features[i].size(), want.features[i].size());
+        for (std::size_t j = 0; j < got.features[i].size(); ++j) {
+            // Bit-level comparison: -0.0 == 0.0 under operator==, but
+            // the replay contract is bitwise identity.
+            std::uint64_t gbits = 0, wbits = 0;
+            static_assert(sizeof(double) == sizeof(std::uint64_t));
+            std::memcpy(&gbits, &got.features[i][j], sizeof(gbits));
+            std::memcpy(&wbits, &want.features[i][j], sizeof(wbits));
+            EXPECT_EQ(gbits, wbits) << "row " << i << " col " << j;
+        }
+    }
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+TEST(FeatureCache, MissThenStoreThenHitRoundTripsBitExactly)
+{
+    FeatureCache cache = openFresh("roundtrip");
+
+    const std::uint64_t key = featureCacheKey(
+        0x1234'5678'9abc'def0ULL, 256, 20, 60,
+        attack::AttackerKind::LoopCounting);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    const FeatureCache::Entry entry = makeEntry(42, /*open_world=*/true);
+    ASSERT_TRUE(cache.storeEntry(key, entry).isOk());
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(hit->droppedTraces, entry.droppedTraces);
+    EXPECT_EQ(hit->collectedTraces, entry.collectedTraces);
+    EXPECT_TRUE(hit->hasOpenWorld);
+    expectDatasetsBitEqual(hit->closedWorld, entry.closedWorld);
+    expectDatasetsBitEqual(hit->openWorld, entry.openWorld);
+}
+
+TEST(FeatureCache, ClosedWorldOnlyEntryOmitsOpenSection)
+{
+    FeatureCache cache = openFresh("closed_only");
+    const std::uint64_t key = featureCacheKey(
+        7, 64, 5, 0, attack::AttackerKind::SweepCounting);
+    const FeatureCache::Entry entry = makeEntry(9, /*open_world=*/false);
+    ASSERT_TRUE(cache.storeEntry(key, entry).isOk());
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->hasOpenWorld);
+    EXPECT_EQ(hit->openWorld.size(), 0u);
+    expectDatasetsBitEqual(hit->closedWorld, entry.closedWorld);
+}
+
+TEST(FeatureCache, KeyChangesWithEveryFeaturizationInput)
+{
+    // Any change to the collection fingerprint or a featurization
+    // parameter must address a different entry — that is the whole
+    // invalidation story: stale entries are never *found*.
+    const std::uint64_t base = featureCacheKey(
+        100, 256, 20, 60, attack::AttackerKind::LoopCounting);
+    EXPECT_NE(base, featureCacheKey(101, 256, 20, 60,
+                                    attack::AttackerKind::LoopCounting));
+    EXPECT_NE(base, featureCacheKey(100, 255, 20, 60,
+                                    attack::AttackerKind::LoopCounting));
+    EXPECT_NE(base, featureCacheKey(100, 256, 21, 60,
+                                    attack::AttackerKind::LoopCounting));
+    EXPECT_NE(base, featureCacheKey(100, 256, 20, 61,
+                                    attack::AttackerKind::LoopCounting));
+    EXPECT_NE(base, featureCacheKey(100, 256, 20, 60,
+                                    attack::AttackerKind::SweepCounting));
+    // And the function itself is deterministic.
+    EXPECT_EQ(base, featureCacheKey(100, 256, 20, 60,
+                                    attack::AttackerKind::LoopCounting));
+}
+
+TEST(FeatureCache, DifferentKeyMissesDespiteStoredEntry)
+{
+    FeatureCache cache = openFresh("invalidation");
+    const std::uint64_t key_a = featureCacheKey(
+        1, 256, 20, 60, attack::AttackerKind::LoopCounting);
+    const std::uint64_t key_b = featureCacheKey(
+        2, 256, 20, 60, attack::AttackerKind::LoopCounting);
+    ASSERT_TRUE(cache.storeEntry(key_a, makeEntry(1, true)).isOk());
+    EXPECT_FALSE(cache.lookup(key_b).has_value());
+    EXPECT_TRUE(cache.lookup(key_a).has_value());
+}
+
+TEST(FeatureCache, CorruptedEntryIsRemovedAndMisses)
+{
+    FeatureCache cache = openFresh("corrupt");
+    const std::uint64_t key = featureCacheKey(
+        3, 128, 10, 0, attack::AttackerKind::LoopCounting);
+    ASSERT_TRUE(cache.storeEntry(key, makeEntry(3, false)).isOk());
+
+    // Flip one payload byte; the CRC trailer must catch it.
+    const std::string path = cache.entryPath(key);
+    std::string content = readFile(path);
+    ASSERT_GT(content.size(), 100u);
+    content[content.size() / 2] ^= 0x20;
+    writeFile(path, content);
+
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    // The poisoned file is gone, so the next run re-stores cleanly.
+    EXPECT_FALSE(fs::exists(path));
+    ASSERT_TRUE(cache.storeEntry(key, makeEntry(3, false)).isOk());
+    EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(FeatureCache, TruncatedEntryIsAMiss)
+{
+    FeatureCache cache = openFresh("torn");
+    const std::uint64_t key = featureCacheKey(
+        4, 128, 10, 0, attack::AttackerKind::LoopCounting);
+    ASSERT_TRUE(cache.storeEntry(key, makeEntry(4, true)).isOk());
+
+    // Simulate a torn write: keep only the first half of the file.
+    const std::string path = cache.entryPath(key);
+    const std::string content = readFile(path);
+    writeFile(path, content.substr(0, content.size() / 2));
+
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(FeatureCache, ParseRejectsKeyMismatch)
+{
+    // An entry stored under one key must not validate under another
+    // even if the bytes are intact (guards against renamed files).
+    const FeatureCache::Entry entry = makeEntry(5, false);
+    const std::string text = FeatureCache::serializeEntry(11, entry);
+    FeatureCache::Entry parsed;
+    EXPECT_TRUE(FeatureCache::parseEntry(text, 11, parsed));
+    EXPECT_FALSE(FeatureCache::parseEntry(text, 12, parsed));
+}
+
+TEST(FeatureCache, EvictRemovesOldestBeyondBudget)
+{
+    FeatureCache cache = openFresh("evict");
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        const std::uint64_t key = featureCacheKey(
+            i, 64, 5, 0, attack::AttackerKind::LoopCounting);
+        keys.push_back(key);
+        ASSERT_TRUE(cache.storeEntry(key, makeEntry(i, false)).isOk());
+        // Distinct mtimes so eviction order is the store order even on
+        // coarse-granularity filesystems.
+        const auto stamp = fs::last_write_time(cache.entryPath(key));
+        fs::last_write_time(cache.entryPath(key),
+                            stamp + std::chrono::seconds(i));
+    }
+
+    EXPECT_EQ(cache.evict(6), 0u); // within budget: no-op
+    EXPECT_EQ(cache.evict(4), 2u); // oldest two go
+    EXPECT_EQ(cache.stats().evicted, 2u);
+    EXPECT_FALSE(fs::exists(cache.entryPath(keys[0])));
+    EXPECT_FALSE(fs::exists(cache.entryPath(keys[1])));
+    for (std::size_t i = 2; i < keys.size(); ++i)
+        EXPECT_TRUE(fs::exists(cache.entryPath(keys[i]))) << i;
+}
+
+TEST(FeatureCache, ConcurrentWritersOfSameKeyLeaveAValidEntry)
+{
+    // The pipeline's contract: concurrent writers race to write
+    // *identical* bytes (collection is deterministic), so whichever
+    // atomic rename lands last must leave a parseable, correct entry.
+    const std::string dir = freshDir("concurrent");
+    const std::uint64_t key = featureCacheKey(
+        6, 64, 5, 0, attack::AttackerKind::LoopCounting);
+    const FeatureCache::Entry entry = makeEntry(6, true);
+
+    ThreadPool pool(8);
+    std::vector<int> ok(16, 0);
+    pool.parallelFor(16, [&](std::size_t i) {
+        auto opened = FeatureCache::open(dir);
+        if (!opened.isOk())
+            return;
+        FeatureCache writer = std::move(opened).valueOrDie();
+        if (writer.storeEntry(key, entry).isOk())
+            ok[i] = 1;
+    });
+    for (std::size_t i = 0; i < ok.size(); ++i)
+        EXPECT_EQ(ok[i], 1) << "writer " << i;
+
+    FeatureCache cache = FeatureCache::open(dir).valueOrDie();
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    expectDatasetsBitEqual(hit->closedWorld, entry.closedWorld);
+    expectDatasetsBitEqual(hit->openWorld, entry.openWorld);
+}
+
+} // namespace
+} // namespace bigfish::core

@@ -4,15 +4,25 @@
  * reference implementation: random shapes (including degenerate 0/1
  * dimensions) must agree within float tolerance, and the row-parallel
  * path must produce bits identical to the serial path.
+ *
+ * The CrossIsa suite enforces the determinism contract of DESIGN.md
+ * §10: every kernels:: entry point must produce bitwise-identical
+ * output under BF_SIMD=scalar, sse2 and avx2 (swept in-process via
+ * simd::setActive), across odd/prime lengths that exercise every tail
+ * lane. Unsupported ISAs are skipped, never failed.
  */
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "base/rng.hh"
+#include "base/simd.hh"
 #include "base/thread_pool.hh"
 #include "ml/conv.hh"
+#include "ml/kernels.hh"
 #include "ml/lstm.hh"
 #include "ml/matrix.hh"
 #include "ml/network.hh"
@@ -283,6 +293,297 @@ TEST(BatchedNetwork, GradientsMatchPerSampleAccumulation)
     ASSERT_EQ(sg.size(), bg.size());
     for (std::size_t i = 0; i < sg.size(); ++i)
         expectNear(*bg[i], *sg[i], 1e-3f);
+}
+
+// --- Cross-ISA bit-identity (DESIGN.md §10) ----------------------------
+
+/** Restores the dispatch Tag a test swept away from. */
+class TagGuard
+{
+  public:
+    TagGuard() : saved_(simd::active()) {}
+    ~TagGuard() { simd::setActive(saved_); }
+
+  private:
+    simd::Tag saved_;
+};
+
+/** The Tags this host can execute (Scalar always qualifies). */
+std::vector<simd::Tag>
+supportedTags()
+{
+    std::vector<simd::Tag> tags;
+    for (const simd::Tag tag :
+         {simd::Tag::Scalar, simd::Tag::Sse2, simd::Tag::Avx2})
+        if (simd::supported(tag))
+            tags.push_back(tag);
+    return tags;
+}
+
+/** Lengths chosen to hit every n%8 tail lane plus prime/odd interiors. */
+const std::size_t kLaneLengths[] = {1,  2,  3,  5,  7,  8,   9,   13,
+                                    16, 17, 23, 31, 64, 101, 255, 257};
+
+std::vector<float>
+randomVec(std::size_t n, Rng &rng, double scale = 1.0)
+{
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = static_cast<float>(rng.normal(0.0, scale));
+    return v;
+}
+
+/**
+ * Runs @p op under every supported Tag and asserts the output buffers
+ * it fills are bitwise identical to the Scalar path's. @p op receives
+ * the Tag (already activated) and must return the buffers to compare.
+ */
+template <typename Op>
+void
+expectBitIdenticalAcrossTags(const char *what, std::size_t n, Op op)
+{
+    TagGuard guard;
+    simd::setActive(simd::Tag::Scalar);
+    const std::vector<std::vector<float>> want = op();
+    for (const simd::Tag tag : supportedTags()) {
+        if (tag == simd::Tag::Scalar)
+            continue;
+        simd::setActive(tag);
+        const std::vector<std::vector<float>> got = op();
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t b = 0; b < got.size(); ++b) {
+            ASSERT_EQ(got[b].size(), want[b].size());
+            const bool same =
+                std::memcmp(got[b].data(), want[b].data(),
+                            want[b].size() * sizeof(float)) == 0;
+            EXPECT_TRUE(same) << what << " n=" << n << " buffer " << b
+                              << " differs between scalar and "
+                              << simd::name(tag);
+        }
+    }
+}
+
+TEST(CrossIsa, DotBitIdentical)
+{
+    Rng rng(101);
+    for (const std::size_t n : kLaneLengths) {
+        const std::vector<float> a = randomVec(n, rng);
+        const std::vector<float> b = randomVec(n, rng);
+        expectBitIdenticalAcrossTags("dot", n, [&] {
+            return std::vector<std::vector<float>>{
+                {kernels::dot(a.data(), b.data(), n)}};
+        });
+    }
+}
+
+TEST(CrossIsa, DotTile4x2BitIdentical)
+{
+    Rng rng(102);
+    for (const std::size_t k : kLaneLengths) {
+        // 4 rows of A against 2 rows of B, C row stride 2.
+        const std::vector<float> a = randomVec(4 * k, rng);
+        const std::vector<float> b = randomVec(2 * k, rng);
+        expectBitIdenticalAcrossTags("dotTile4x2", k, [&] {
+            std::vector<float> c(4 * 2, 0.0f);
+            kernels::dotTile4x2(c.data(), a.data(), b.data(), 0, 0, k, 2);
+            return std::vector<std::vector<float>>{c};
+        });
+    }
+}
+
+TEST(CrossIsa, AxpyBitIdentical)
+{
+    Rng rng(103);
+    for (const std::size_t n : kLaneLengths) {
+        const std::vector<float> x = randomVec(n, rng);
+        const std::vector<float> y0 = randomVec(n, rng);
+        const float alpha = static_cast<float>(rng.normal(0.0, 2.0));
+        expectBitIdenticalAcrossTags("axpy", n, [&] {
+            std::vector<float> y = y0;
+            kernels::axpy(y.data(), x.data(), alpha, n);
+            return std::vector<std::vector<float>>{y};
+        });
+    }
+}
+
+TEST(CrossIsa, Axpy4BitIdentical)
+{
+    Rng rng(104);
+    for (const std::size_t n : kLaneLengths) {
+        const std::vector<float> x0 = randomVec(n, rng);
+        const std::vector<float> x1 = randomVec(n, rng);
+        const std::vector<float> x2 = randomVec(n, rng);
+        const std::vector<float> x3 = randomVec(n, rng);
+        const std::vector<float> y0 = randomVec(n, rng);
+        const float a0 = static_cast<float>(rng.normal(0.0, 1.0));
+        const float a1 = static_cast<float>(rng.normal(0.0, 1.0));
+        const float a2 = static_cast<float>(rng.normal(0.0, 1.0));
+        const float a3 = static_cast<float>(rng.normal(0.0, 1.0));
+        expectBitIdenticalAcrossTags("axpy4", n, [&] {
+            std::vector<float> y = y0;
+            kernels::axpy4(y.data(), x0.data(), x1.data(), x2.data(),
+                           x3.data(), a0, a1, a2, a3, n);
+            return std::vector<std::vector<float>>{y};
+        });
+    }
+}
+
+TEST(CrossIsa, ActivationsBitIdentical)
+{
+    Rng rng(105);
+    for (const std::size_t n : kLaneLengths) {
+        // Wide input range to cross every polynomial/clamp branch:
+        // interior, saturation (|x| > 88 for exp, > 9 for tanh), zero.
+        std::vector<float> base = randomVec(n, rng, 8.0);
+        if (n >= 4) {
+            base[0] = 0.0f;
+            base[1] = 95.0f;
+            base[2] = -95.0f;
+            base[3] = 0.624f; // just under the tanh |x|<0.625 split
+        }
+        expectBitIdenticalAcrossTags("relu", n, [&] {
+            std::vector<float> d = base;
+            kernels::relu(d.data(), n);
+            return std::vector<std::vector<float>>{d};
+        });
+        expectBitIdenticalAcrossTags("sigmoid", n, [&] {
+            std::vector<float> d = base;
+            kernels::sigmoid(d.data(), n);
+            return std::vector<std::vector<float>>{d};
+        });
+        expectBitIdenticalAcrossTags("tanh", n, [&] {
+            std::vector<float> d = base;
+            kernels::tanh(d.data(), n);
+            return std::vector<std::vector<float>>{d};
+        });
+    }
+}
+
+TEST(CrossIsa, VectorActivationsMatchScalarHelpers)
+{
+    // The strided GRU loop uses sigmoidScalar/tanhScalar one value at a
+    // time; they must agree bitwise with the vector paths under every
+    // Tag, or mixing the two in one network breaks determinism.
+    TagGuard guard;
+    Rng rng(106);
+    std::vector<float> xs = randomVec(257, rng, 8.0);
+    xs.insert(xs.end(), {0.0f, 95.0f, -95.0f, 0.625f, -0.625f});
+    for (const simd::Tag tag : supportedTags()) {
+        simd::setActive(tag);
+        std::vector<float> sig = xs, tah = xs;
+        kernels::sigmoid(sig.data(), sig.size());
+        kernels::tanh(tah.data(), tah.size());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            EXPECT_EQ(sig[i], kernels::sigmoidScalar(xs[i]))
+                << "sigmoid x=" << xs[i] << " tag=" << simd::name(tag);
+            EXPECT_EQ(tah[i], kernels::tanhScalar(xs[i]))
+                << "tanh x=" << xs[i] << " tag=" << simd::name(tag);
+        }
+    }
+}
+
+TEST(CrossIsa, LstmGatesForwardBitIdentical)
+{
+    Rng rng(107);
+    for (const std::size_t n : kLaneLengths) {
+        const std::vector<float> zi = randomVec(n, rng, 2.0);
+        const std::vector<float> zf = randomVec(n, rng, 2.0);
+        const std::vector<float> zg = randomVec(n, rng, 2.0);
+        const std::vector<float> zo = randomVec(n, rng, 2.0);
+        const std::vector<float> c0 = randomVec(n, rng);
+        expectBitIdenticalAcrossTags("lstmGatesForward", n, [&] {
+            std::vector<float> i = zi, f = zf, g = zg, o = zo;
+            std::vector<float> c = c0, h(n, 0.0f);
+            kernels::lstmGatesForward(i.data(), f.data(), g.data(),
+                                      o.data(), c.data(), h.data(), n);
+            return std::vector<std::vector<float>>{i, f, g, o, c, h};
+        });
+    }
+}
+
+TEST(CrossIsa, LstmGatesBackwardBitIdentical)
+{
+    Rng rng(108);
+    for (const std::size_t n : kLaneLengths) {
+        // Post-activation gates in their codomains; c/cprev arbitrary.
+        std::vector<float> gi(n), gf(n), gg(n), go(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            gi[j] = kernels::sigmoidScalar(
+                static_cast<float>(rng.normal(0.0, 2.0)));
+            gf[j] = kernels::sigmoidScalar(
+                static_cast<float>(rng.normal(0.0, 2.0)));
+            gg[j] = kernels::tanhScalar(
+                static_cast<float>(rng.normal(0.0, 2.0)));
+            go[j] = kernels::sigmoidScalar(
+                static_cast<float>(rng.normal(0.0, 2.0)));
+        }
+        const std::vector<float> c = randomVec(n, rng);
+        const std::vector<float> cprev = randomVec(n, rng);
+        const std::vector<float> dh = randomVec(n, rng);
+        const std::vector<float> dc0 = randomVec(n, rng);
+        for (const bool first_step : {false, true}) {
+            expectBitIdenticalAcrossTags("lstmGatesBackward", n, [&] {
+                std::vector<float> dc = dc0;
+                std::vector<float> dzi(n), dzf(n), dzg(n), dzo(n);
+                kernels::lstmGatesBackward(
+                    gi.data(), gf.data(), gg.data(), go.data(), c.data(),
+                    first_step ? nullptr : cprev.data(), dh.data(),
+                    dc.data(), dzi.data(), dzf.data(), dzg.data(),
+                    dzo.data(), n);
+                return std::vector<std::vector<float>>{dc, dzi, dzf, dzg,
+                                                       dzo};
+            });
+        }
+    }
+}
+
+TEST(CrossIsa, AdamStepBitIdentical)
+{
+    Rng rng(109);
+    kernels::AdamConsts consts;
+    consts.beta1 = 0.9f;
+    consts.beta2 = 0.999f;
+    consts.oneMinusBeta1 = 0.1f;
+    consts.oneMinusBeta2 = 0.001f;
+    consts.invBiasCorrection1 = 1.0f / (1.0f - 0.9f * 0.9f);
+    consts.invBiasCorrection2 = 1.0f / (1.0f - 0.999f * 0.999f);
+    consts.learningRate = 1e-3f;
+    consts.epsilon = 1e-8f;
+    consts.gradScale = 1.0f / 32.0f;
+    for (const std::size_t n : kLaneLengths) {
+        const std::vector<float> p0 = randomVec(n, rng);
+        const std::vector<float> g = randomVec(n, rng);
+        const std::vector<float> m0 = randomVec(n, rng, 0.1);
+        std::vector<float> v0 = randomVec(n, rng, 0.1);
+        for (float &x : v0)
+            x = std::fabs(x); // second moment is non-negative
+        expectBitIdenticalAcrossTags("adamStep", n, [&] {
+            std::vector<float> p = p0, m = m0, v = v0;
+            kernels::adamStep(p.data(), g.data(), m.data(), v.data(), n,
+                              consts);
+            return std::vector<std::vector<float>>{p, m, v};
+        });
+    }
+}
+
+TEST(CrossIsa, MatmulBitIdenticalAcrossTags)
+{
+    // End-to-end through the Matrix layer: the blocked GEMM must give
+    // the same bits whichever ISA the kernels dispatch to.
+    TagGuard guard;
+    Rng rng(110);
+    const Matrix a = randomMatrix(37, 113, rng); // prime-ish interior
+    const Matrix b = randomMatrix(113, 29, rng);
+    simd::setActive(simd::Tag::Scalar);
+    const Matrix want = matmul(a, b);
+    for (const simd::Tag tag : supportedTags()) {
+        simd::setActive(tag);
+        const Matrix got = matmul(a, b);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got.data()[i], want.data()[i])
+                << "element " << i << " tag=" << simd::name(tag);
+    }
 }
 
 } // namespace

@@ -154,7 +154,7 @@ TEST(LintFixtures, EveryRuleHasAtLeastOneFixtureFinding)
     const auto expected = expectedFindings();
     for (const std::string rule :
          {"nondeterminism", "unordered-iteration", "discarded-status",
-          "raw-thread", "parallel-float-accum"}) {
+          "raw-thread", "parallel-float-accum", "intrinsics-header"}) {
         const bool present = std::any_of(
             expected.begin(), expected.end(),
             [&](const Finding &f) { return std::get<2>(f) == rule; });
@@ -167,7 +167,7 @@ TEST(LintFixtures, DisablingARuleRemovesExactlyItsFindings)
     const auto baseline = parseFindings(lintFixtures().stdoutText);
     for (const std::string rule :
          {"nondeterminism", "unordered-iteration", "discarded-status",
-          "raw-thread", "parallel-float-accum"}) {
+          "raw-thread", "parallel-float-accum", "intrinsics-header"}) {
         const LintRun run = lintFixtures("--disable=" + rule);
         const auto actual = parseFindings(run.stdoutText);
         std::vector<Finding> want;

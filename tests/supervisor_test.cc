@@ -78,8 +78,12 @@ TEST(AtomicFile, WriteReplacesContentAndLeavesNoTempBehind)
     EXPECT_EQ(slurp(path), "first");
     ASSERT_TRUE(atomicWriteFile(path, "second, longer content").isOk());
     EXPECT_EQ(slurp(path), "second, longer content");
-    std::ifstream tmp(path + ".tmp");
-    EXPECT_FALSE(static_cast<bool>(tmp)) << "temp file left behind";
+    // Temp names are unique per writer (<path>.tmp.<pid>.<serial>);
+    // none may survive a successful write.
+    for (const auto &item : std::filesystem::directory_iterator(dir))
+        EXPECT_EQ(item.path().filename().string().find(".tmp"),
+                  std::string::npos)
+            << "temp file left behind: " << item.path();
 }
 
 TEST(AtomicFile, WriteIntoMissingDirectoryReturnsIoErrorNamingPath)

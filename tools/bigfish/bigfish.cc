@@ -115,6 +115,10 @@ printUsage()
         "resilience flags:\n"
         "  --resume=DIR       checkpoint collection progress in DIR and\n"
         "                     skip already-completed work on rerun\n"
+        "  --cache-dir=DIR    cache featurized datasets in DIR; a rerun\n"
+        "                     with the same configuration skips "
+        "collection\n"
+        "                     and featurization, bit-identically\n"
         "  --isolate          run each experiment as a subprocess; a\n"
         "                     crash is contained, not fatal to --all\n"
         "  --keep-going       keep running later experiments after a "
@@ -187,6 +191,7 @@ struct RunOptions
     std::string jsonPath;
     std::string jsonDir;
     std::string resumeDir;
+    std::string cacheDir;
     std::string manifestPath;
     std::vector<std::pair<std::string, std::string>> flags;
 };
@@ -291,6 +296,10 @@ cmdRun(const core::ExperimentRegistry &registry,
             // it from the resolved scale).
             options.resumeDir = value;
             options.flags.emplace_back("resume", value);
+        } else if (key == "cache-dir") {
+            // Same dual treatment as --resume.
+            options.cacheDir = value;
+            options.flags.emplace_back("cache-dir", value);
         } else if (key == "isolate" && value.empty()) {
             options.isolate = true;
         } else if (key == "keep-going" && value.empty()) {
@@ -362,7 +371,8 @@ cmdRun(const core::ExperimentRegistry &registry,
 
     // Create output directories up front so a missing --json-dir fails
     // before hours of collection, not after.
-    for (const std::string &dir : {options.jsonDir, options.resumeDir}) {
+    for (const std::string &dir :
+         {options.jsonDir, options.resumeDir, options.cacheDir}) {
         if (dir.empty())
             continue;
         const Status made = createDirectories(dir);

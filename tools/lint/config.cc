@@ -38,7 +38,7 @@ std::vector<std::string>
 allRuleNames()
 {
     return {"nondeterminism", "unordered-iteration", "discarded-status",
-            "raw-thread", "parallel-float-accum"};
+            "raw-thread", "parallel-float-accum", "intrinsics-header"};
 }
 
 Config::Config()

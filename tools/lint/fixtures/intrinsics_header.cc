@@ -1,0 +1,24 @@
+// Fixture for the `intrinsics-header` rule: ISA-specific intrinsics
+// headers are confined to base/simd.hh so vector code cannot spread;
+// everything else dispatches through ml/kernels.hh.
+#include <immintrin.h>   // expect-lint: intrinsics-header
+#include <emmintrin.h>   // expect-lint: intrinsics-header
+#include <xmmintrin.h>   // expect-lint: intrinsics-header
+#include <arm_neon.h>    // expect-lint: intrinsics-header
+
+// Known limitation, by lexer design: string literals collapse to
+// opaque tokens, so a quoted spelling is invisible. System headers are
+// only ever angle-included in this tree.
+#include "pmmintrin.h"
+
+// Ordinary headers — including ones whose names merely contain
+// "intrin" substrings — are clean.
+#include <vector>
+#include <cstdint>
+#include "base/simd.hh"
+
+int
+fixtureBody()
+{
+    return static_cast<int>(sizeof(std::uint64_t));
+}

@@ -412,6 +412,40 @@ ruleParallelFloatAccum(const std::string &relPath, const LexedFile &file,
     }
 }
 
+// --- Rule: intrinsics-header -------------------------------------------
+
+void
+ruleIntrinsicsHeader(const std::string &relPath, const LexedFile &file,
+                     std::vector<Diagnostic> &out)
+{
+    // The x86 SIMD intrinsics headers (and the architecture-specific
+    // vector headers of other ISAs). base/simd.hh is the one
+    // allowlisted home; everything else must reach vector code through
+    // the ml/kernels.hh dispatch layer.
+    static const std::set<std::string> kIntrinsicsHeaders = {
+        "immintrin", "emmintrin", "xmmintrin", "pmmintrin", "tmmintrin",
+        "smmintrin", "nmmintrin", "wmmintrin", "ammintrin", "x86intrin",
+        "arm_neon"};
+    const auto &toks = file.tokens;
+    // The lexer is not a preprocessor: `#include <immintrin.h>` lexes
+    // as the token run  #  include  <  immintrin  .  h  >. The quoted
+    // spelling collapses to an opaque String token (literal contents
+    // are deliberately invisible to every rule), but system headers
+    // are only ever included with angle brackets in this tree.
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "#" || toks[i + 1].text != "include" ||
+            toks[i + 2].text != "<")
+            continue;
+        const std::string &header = toks[i + 3].text;
+        if (kIntrinsicsHeaders.count(header) == 0)
+            continue;
+        emit(out, file, relPath, toks[i].line, "intrinsics-header",
+             "'" + header + ".h' included outside base/simd.hh: "
+             "ISA-specific intrinsics are confined there; dispatch "
+             "through ml/kernels.hh instead");
+    }
+}
+
 } // namespace
 
 std::set<std::string>
@@ -439,6 +473,8 @@ runRules(const std::string &relPath, const LexedFile &file, bool isHeader,
         ruleRawThread(relPath, file, out);
     if (wants("parallel-float-accum"))
         ruleParallelFloatAccum(relPath, file, out);
+    if (wants("intrinsics-header"))
+        ruleIntrinsicsHeader(relPath, file, out);
     return out;
 }
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * The five bigfish-lint rules. Each rule encodes one invariant the
+ * The six bigfish-lint rules. Each rule encodes one invariant the
  * reproduction's results depend on (see DESIGN.md "Static analysis"):
  *
  *  nondeterminism       — no ambient entropy (rand, random_device,
@@ -18,6 +18,10 @@
  *                         variables inside parallelFor/parallelMap
  *                         bodies; accumulate into pre-sized slots or
  *                         lambda-local variables instead.
+ *  intrinsics-header    — ISA-specific intrinsics headers (immintrin.h
+ *                         and friends) only inside base/simd.hh; all
+ *                         other code dispatches through ml/kernels.hh
+ *                         so vector code cannot spread.
  */
 
 #ifndef BIGFISH_LINT_RULES_HH
