@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Pre-merge verification gate. Stages, in default order:
 #
+#   lint-diff — bigfish-lint --since=origin/main (HEAD~1 when there is
+#               no origin/main): the fast first gate, linting only the
+#               files this branch changed while the cross-TU passes
+#               still scan the whole tree. Skipped (with a notice) in
+#               a repo with no base revision.
 #   lint      — bigfish-lint over src/ bench/ examples/ tests/ and
 #               tools/bigfish/ with the checked-in config
-#               (tools/lint/bigfish-lint.toml): the determinism and
-#               error-propagation invariants, enforced statically.
-#               Fails on any finding.
+#               (tools/lint/bigfish-lint.toml): the determinism,
+#               error-propagation, layering and concurrency invariants,
+#               enforced statically. Fails on any non-baselined
+#               finding; also writes build/lint.sarif for CI upload.
 #   cppcheck  — general C++ static analysis; skipped with a notice when
 #               cppcheck is not installed.
 #   cli-smoke — `bigfish run --all --smoke`: every registered experiment
@@ -31,8 +37,13 @@
 # hardened warning set (-Wall -Wextra -Wshadow -Wconversion) gates the
 # merge as well. The plain (unsanitized) build stays in build/.
 #
+# Every run ends with a summary table (stage, result, wall time). A
+# stage that cannot run because its tool is missing reports `skipped`;
+# with BIGFISH_REQUIRE_TOOLS=1 in the environment (CI), any skipped
+# stage fails the gate instead of silently passing.
+#
 # Usage:
-#   scripts/check.sh [lint|cppcheck|cli-smoke|resume-smoke|simd|address|undefined|thread|threads8]...
+#   scripts/check.sh [lint-diff|lint|cppcheck|cli-smoke|resume-smoke|simd|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -40,7 +51,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint cppcheck cli-smoke resume-smoke simd address undefined thread threads8)
+    stages=(lint-diff lint cppcheck cli-smoke resume-smoke simd address
+            undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -48,10 +60,83 @@ jobs="$(nproc 2>/dev/null || echo 4)"
 # Temp dirs registered by stages; removed on exit.
 tmpdirs=()
 cleanup() { [ ${#tmpdirs[@]} -gt 0 ] && rm -rf "${tmpdirs[@]}"; return 0; }
-trap cleanup EXIT
+
+# --- End-of-run summary ------------------------------------------------
+# Each completed stage appends (name, result, seconds); the EXIT trap
+# prints the table even when a stage aborts the run, marking the stage
+# that was in flight as failed.
+summary_names=()
+summary_states=()
+summary_secs=()
+current_stage=""
+stage_begin=0
+stage_state=ok
+
+record_stage() {
+    summary_names+=("$1")
+    summary_states+=("$2")
+    summary_secs+=("$3")
+}
+
+finish() {
+    rc=$?
+    cleanup
+    if [ -n "$current_stage" ]; then
+        record_stage "$current_stage" failed "$((SECONDS - stage_begin))"
+    fi
+    if [ ${#summary_names[@]} -gt 0 ]; then
+        echo
+        echo "== stage summary"
+        printf '   %-14s %-8s %8s\n' stage result seconds
+        skipped=0
+        for i in "${!summary_names[@]}"; do
+            printf '   %-14s %-8s %8s\n' "${summary_names[$i]}" \
+                "${summary_states[$i]}" "${summary_secs[$i]}"
+            [ "${summary_states[$i]}" = skipped ] && skipped=$((skipped + 1))
+        done
+        if [ "$rc" -eq 0 ] && [ "$skipped" -gt 0 ] &&
+           [ "${BIGFISH_REQUIRE_TOOLS:-0}" = "1" ]; then
+            echo "== $skipped stage(s) skipped but BIGFISH_REQUIRE_TOOLS=1:" \
+                 "failing the gate" >&2
+            rc=1
+        fi
+    fi
+    if [ "$rc" -eq 0 ]; then
+        echo "== all verification stages passed"
+    fi
+    exit "$rc"
+}
+trap finish EXIT
 
 for stage in "${stages[@]}"; do
+    current_stage="$stage"
+    stage_begin=$SECONDS
+    stage_state=ok
     case "$stage" in
+      lint-diff)
+        echo "== [lint-diff] build bigfish-lint"
+        cmake -B "$repo/build" -S "$repo" > /dev/null
+        cmake --build "$repo/build" --target bigfish-lint -j "$jobs"
+        base=""
+        if git -C "$repo" rev-parse --verify -q origin/main > /dev/null
+        then
+            base=origin/main
+        elif git -C "$repo" rev-parse --verify -q HEAD~1 > /dev/null; then
+            base=HEAD~1
+        fi
+        if [ -z "$base" ]; then
+            echo "== [lint-diff] no base revision to diff against, skipping"
+            stage_state=skipped
+        else
+            echo "== [lint-diff] bigfish-lint --since=$base"
+            "$repo/build/tools/lint/bigfish-lint" \
+                --root="$repo" \
+                --config="$repo/tools/lint/bigfish-lint.toml" \
+                --since="$base" \
+                "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
+                "$repo/tools/bigfish"
+        fi
+        ;;
       lint)
         echo "== [lint] build bigfish-lint"
         cmake -B "$repo/build" -S "$repo" > /dev/null
@@ -61,8 +146,10 @@ for stage in "${stages[@]}"; do
         "$repo/build/tools/lint/bigfish-lint" \
             --root="$repo" \
             --config="$repo/tools/lint/bigfish-lint.toml" \
+            --sarif="$repo/build/lint.sarif" \
             "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
             "$repo/tools/bigfish"
+        echo "== [lint] SARIF report: build/lint.sarif"
         ;;
       cppcheck)
         if command -v cppcheck > /dev/null 2>&1; then
@@ -73,6 +160,7 @@ for stage in "${stages[@]}"; do
                 -I "$repo/src" "$repo/src"
         else
             echo "== [cppcheck] not installed, skipping"
+            stage_state=skipped
         fi
         ;;
       cli-smoke)
@@ -230,12 +318,12 @@ for stage in "${stages[@]}"; do
         (cd "$builddir" && BF_THREADS=8 ctest --output-on-failure -j "$jobs")
         ;;
       *)
-        echo "unknown stage '$stage' (want lint, cppcheck, cli-smoke," \
-             "resume-smoke, simd, address, undefined, thread or" \
-             "threads8)" >&2
+        echo "unknown stage '$stage' (want lint-diff, lint, cppcheck," \
+             "cli-smoke, resume-smoke, simd, address, undefined, thread" \
+             "or threads8)" >&2
         exit 2
         ;;
     esac
+    record_stage "$stage" "$stage_state" "$((SECONDS - stage_begin))"
+    current_stage=""
 done
-
-echo "== all verification stages passed"

@@ -27,7 +27,8 @@ cmake --build "$repo/build" --target bigfish-lint -j "$jobs" > /dev/null
     --root="$repo" \
     --config="$repo/tools/lint/bigfish-lint.toml" \
     $json \
-    "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests"
+    "$repo/src" "$repo/bench" "$repo/examples" "$repo/tests" \
+    "$repo/tools/bigfish"
 
 if command -v clang-tidy > /dev/null 2>&1; then
     echo "== [lint] clang-tidy"

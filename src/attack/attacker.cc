@@ -90,6 +90,9 @@ collectTraceOrDie(AttackerKind kind, const AttackerParams &params,
 {
     return collectTrace(kind, params, machine, timeline, timer, period,
                         noise_seed)
+        // This *is* the OrDie wrapper's implementation; callers opted
+        // into abort-on-error by picking the ...OrDie entry point.
+        // bigfish-lint: allow(ordie-outside-binary)
         .valueOrDie();
 }
 
@@ -149,6 +152,8 @@ collectGapTraceOrDie(const sim::RunTimeline &timeline, TimeNs period,
                      TimeNs poll_cost_ns, TimeNs threshold)
 {
     return collectGapTrace(timeline, period, poll_cost_ns, threshold)
+        // OrDie wrapper implementation: abort-on-error is the contract.
+        // bigfish-lint: allow(ordie-outside-binary)
         .valueOrDie();
 }
 

@@ -216,6 +216,8 @@ readTraces(std::istream &in)
 TraceSet
 readTracesOrDie(std::istream &in)
 {
+    // OrDie wrapper implementation: abort-on-error is the contract.
+    // bigfish-lint: allow(ordie-outside-binary)
     return readTraces(in).valueOrDie();
 }
 
@@ -231,6 +233,8 @@ loadTraces(const std::string &path)
 TraceSet
 loadTracesOrDie(const std::string &path)
 {
+    // OrDie wrapper implementation: abort-on-error is the contract.
+    // bigfish-lint: allow(ordie-outside-binary)
     return loadTraces(path).valueOrDie();
 }
 

@@ -208,6 +208,8 @@ attack::Trace
 TraceCollector::collectOneOrDie(const web::SiteSignature &site,
                                 int run_index) const
 {
+    // OrDie wrapper implementation: abort-on-error is the contract.
+    // bigfish-lint: allow(ordie-outside-binary)
     return collectOne(site, run_index).valueOrDie();
 }
 
@@ -291,6 +293,8 @@ TraceCollector::collectClosedWorldOrDie(const web::SiteCatalog &catalog,
                                         int traces_per_site,
                                         CollectionStats *stats) const
 {
+    // OrDie wrapper implementation: abort-on-error is the contract.
+    // bigfish-lint: allow(ordie-outside-binary)
     return collectClosedWorld(catalog, traces_per_site, stats).valueOrDie();
 }
 
@@ -371,6 +375,8 @@ TraceCollector::collectOpenWorldOrDie(const web::SiteCatalog &catalog,
                                       CollectionStats *stats) const
 {
     return collectOpenWorld(catalog, num_extra, non_sensitive_label, stats)
+        // OrDie wrapper implementation: abort-on-error is the contract.
+        // bigfish-lint: allow(ordie-outside-binary)
         .valueOrDie();
 }
 

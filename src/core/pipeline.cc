@@ -309,6 +309,8 @@ runFingerprintingSharedOrDie(
     const PipelineConfig &pipeline)
 {
     return runFingerprintingShared(collection, attackers, pipeline)
+        // OrDie wrapper implementation: abort-on-error is the contract.
+        // bigfish-lint: allow(ordie-outside-binary)
         .valueOrDie();
 }
 
@@ -328,6 +330,8 @@ FingerprintResult
 runFingerprintingOrDie(const CollectionConfig &collection,
                        const PipelineConfig &pipeline)
 {
+    // OrDie wrapper implementation: abort-on-error is the contract.
+    // bigfish-lint: allow(ordie-outside-binary)
     return runFingerprinting(collection, pipeline).valueOrDie();
 }
 

@@ -14,7 +14,6 @@
 #include "core/collector.hh"
 #include "core/pipeline.hh"
 #include "ktrace/attribution.hh"
-#include "stats/descriptive.hh"
 
 namespace bigfish {
 namespace {

@@ -6,22 +6,32 @@
  * The contract under test:
  *  - every line annotated `// expect-lint: <rule>` in a fixture yields
  *    exactly that (file, line, rule) diagnostic, and nothing else in
- *    the fixtures fires (so suppression comments and negative cases
- *    are verified by the same equality);
+ *    the fixtures fires (so suppression comments, allowlisted layer
+ *    exceptions and negative cases are verified by the same equality);
  *  - disabling a rule (--disable / config file) removes exactly that
  *    rule's findings — proving each fixture exercises its own rule;
  *  - allowlist entries silence a file for one rule only;
  *  - --json emits machine-readable records and the exit code reflects
- *    whether findings remain.
+ *    whether findings remain;
+ *  - --sarif emits a SARIF 2.1.0 document that matches the checked-in
+ *    golden byte for byte and carries the schema's required structure;
+ *  - the baseline workflow (--write-baseline / --baseline) demotes
+ *    known findings to warnings and exit 0;
+ *  - --since <rev> reports exactly the full run's findings restricted
+ *    to files git considers changed;
+ *  - --fix removes reported unused includes and the rerun is clean.
  *
  * The binary and fixture paths are injected by tests/CMakeLists.txt as
- * BIGFISH_LINT_BINARY / BIGFISH_LINT_FIXTURES.
+ * BIGFISH_LINT_BINARY / BIGFISH_LINT_FIXTURES. The fixture runs use
+ * the fixture-local config (fixtures.toml) so the layer-DAG pass has a
+ * graph to enforce.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -63,12 +73,13 @@ runLint(const std::string &args)
     return run;
 }
 
-/** Standard invocation over the fixture directory, no config file. */
+/** Standard invocation over the fixture tree with its local config. */
 LintRun
 lintFixtures(const std::string &extraArgs = "")
 {
     const std::string dir = BIGFISH_LINT_FIXTURES;
-    return runLint("--root=" + dir + " " + extraArgs + " " + dir);
+    return runLint("--root=" + dir + " --config=" + dir +
+                   "/fixtures.toml " + extraArgs + " " + dir);
 }
 
 /** Parses `path:line: [rule] message` lines into findings. */
@@ -94,14 +105,24 @@ parseFindings(const std::string &text)
     return out;
 }
 
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh";
+}
+
 /** Collects `// expect-lint: rule[, rule]` annotations from fixtures. */
 std::vector<Finding>
 expectedFindings()
 {
     std::vector<Finding> out;
-    for (const auto &entry : fs::directory_iterator(BIGFISH_LINT_FIXTURES)) {
-        if (!entry.is_regular_file())
+    const fs::path base = BIGFISH_LINT_FIXTURES;
+    for (const auto &entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file() || !isSourceFile(entry.path()))
             continue;
+        const std::string rel =
+            fs::relative(entry.path(), base).generic_string();
         std::ifstream in(entry.path());
         std::string line;
         int lineno = 0;
@@ -118,12 +139,24 @@ expectedFindings()
                 rule.erase(0, rule.find_first_not_of(" \t"));
                 rule.erase(rule.find_last_not_of(" \t") + 1);
                 if (!rule.empty())
-                    out.emplace_back(entry.path().filename().string(),
-                                     lineno, rule);
+                    out.emplace_back(rel, lineno, rule);
             }
         }
     }
     std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** All rule names, straight from the binary (--list-rules). */
+std::vector<std::string>
+allRules()
+{
+    std::vector<std::string> out;
+    std::istringstream in(runLint("--list-rules").stdoutText);
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            out.push_back(line);
     return out;
 }
 
@@ -134,6 +167,19 @@ describe(const std::vector<Finding> &findings)
     for (const auto &[file, line, rule] : findings)
         s += "  " + file + ":" + std::to_string(line) + " [" + rule + "]\n";
     return s.empty() ? "  (none)\n" : s;
+}
+
+/** Copies fixture @p names (relative) into @p dir, keeping structure. */
+void
+copyFixtures(const fs::path &dir, const std::vector<std::string> &names)
+{
+    const fs::path base = BIGFISH_LINT_FIXTURES;
+    for (const std::string &name : names) {
+        const fs::path to = dir / name;
+        fs::create_directories(to.parent_path());
+        fs::copy_file(base / name, to,
+                      fs::copy_options::overwrite_existing);
+    }
 }
 
 TEST(LintFixtures, ExactDiagnosticsMatchAnnotations)
@@ -150,11 +196,13 @@ TEST(LintFixtures, ExactDiagnosticsMatchAnnotations)
 TEST(LintFixtures, EveryRuleHasAtLeastOneFixtureFinding)
 {
     // Guards the guard: a rule whose fixture produces nothing could be
-    // deleted without ExactDiagnosticsMatchAnnotations noticing.
+    // deleted without ExactDiagnosticsMatchAnnotations noticing. The
+    // rule list comes from the binary itself, so a newly added rule
+    // without a fixture fails here.
+    const auto rules = allRules();
+    ASSERT_GE(rules.size(), 13u);
     const auto expected = expectedFindings();
-    for (const std::string rule :
-         {"nondeterminism", "unordered-iteration", "discarded-status",
-          "raw-thread", "parallel-float-accum", "intrinsics-header"}) {
+    for (const std::string &rule : rules) {
         const bool present = std::any_of(
             expected.begin(), expected.end(),
             [&](const Finding &f) { return std::get<2>(f) == rule; });
@@ -165,9 +213,7 @@ TEST(LintFixtures, EveryRuleHasAtLeastOneFixtureFinding)
 TEST(LintFixtures, DisablingARuleRemovesExactlyItsFindings)
 {
     const auto baseline = parseFindings(lintFixtures().stdoutText);
-    for (const std::string rule :
-         {"nondeterminism", "unordered-iteration", "discarded-status",
-          "raw-thread", "parallel-float-accum", "intrinsics-header"}) {
+    for (const std::string &rule : allRules()) {
         const LintRun run = lintFixtures("--disable=" + rule);
         const auto actual = parseFindings(run.stdoutText);
         std::vector<Finding> want;
@@ -189,7 +235,9 @@ TEST(LintFixtures, ConfigFileDisablesRule)
         std::ofstream out(config);
         out << "[rules]\nnondeterminism = false\n";
     }
-    const LintRun run = lintFixtures("--config=" + config.string());
+    const std::string dir = BIGFISH_LINT_FIXTURES;
+    const LintRun run =
+        runLint("--root=" + dir + " --config=" + config.string() + " " + dir);
     fs::remove(config);
     for (const auto &[file, line, rule] : parseFindings(run.stdoutText))
         EXPECT_NE(rule, "nondeterminism") << file << ":" << line;
@@ -203,7 +251,9 @@ TEST(LintFixtures, AllowlistSilencesOneRuleForMatchingPaths)
         std::ofstream out(config);
         out << "[allow.nondeterminism]\npaths = [\"nondeterminism.cc\"]\n";
     }
-    const LintRun run = lintFixtures("--config=" + config.string());
+    const std::string dir = BIGFISH_LINT_FIXTURES;
+    const LintRun run =
+        runLint("--root=" + dir + " --config=" + config.string() + " " + dir);
     fs::remove(config);
     const auto actual = parseFindings(run.stdoutText);
     for (const auto &[file, line, rule] : actual) {
@@ -246,6 +296,161 @@ TEST(LintFixtures, JsonOutputIsMachineReadable)
         "\"count\": " + std::to_string(text_findings.size());
     EXPECT_NE(run.stdoutText.find(needle), std::string::npos)
         << run.stdoutText;
+}
+
+TEST(LintSarif, OutputMatchesGoldenByteForByte)
+{
+    // The golden file pins the whole document: rule metadata, result
+    // ordering, root-relative URIs. Regenerate it with
+    //   bigfish-lint --root=FIXTURES --config=FIXTURES/fixtures.toml
+    //     --sarif=- FIXTURES > FIXTURES/golden.sarif
+    // after intentionally changing fixtures or the SARIF writer.
+    const LintRun run = lintFixtures("--sarif=-");
+    EXPECT_EQ(run.exitCode, 1);
+    std::ifstream in(fs::path(BIGFISH_LINT_FIXTURES) / "golden.sarif",
+                     std::ios::binary);
+    ASSERT_TRUE(in.good()) << "golden.sarif missing";
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(run.stdoutText, golden.str());
+}
+
+TEST(LintSarif, DocumentCarriesRequiredSchemaStructure)
+{
+    // Structural validation against SARIF 2.1.0's required properties
+    // (the schema's `required` lists for sarifLog, run, tool,
+    // toolComponent, result): version + runs; tool.driver.name;
+    // results with ruleId, message and a physical location. Keeps the
+    // document honest without a JSON-schema engine in the test image.
+    const LintRun run = lintFixtures("--sarif=-");
+    const std::string &doc = run.stdoutText;
+    EXPECT_NE(doc.find("\"$schema\": "
+                       "\"https://json.schemastore.org/sarif-2.1.0.json\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"runs\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"driver\": {"), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"bigfish-lint\""), std::string::npos);
+    EXPECT_NE(doc.find("\"results\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"ruleId\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"message\": {\"text\": "), std::string::npos);
+    EXPECT_NE(doc.find("\"physicalLocation\": {"), std::string::npos);
+    EXPECT_NE(doc.find("\"artifactLocation\": {\"uri\": "),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"startLine\": "), std::string::npos);
+    // Every rule the binary knows is present in the rule metadata.
+    for (const std::string &rule : allRules())
+        EXPECT_NE(doc.find("{\"id\": \"" + rule + "\""), std::string::npos)
+            << rule;
+    // New findings are errors with baselineState "new".
+    EXPECT_NE(doc.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(doc.find("\"baselineState\": \"new\""), std::string::npos);
+}
+
+TEST(LintBaseline, WriteThenRerunDemotesFindingsAndExitsZero)
+{
+    const fs::path baseline =
+        fs::temp_directory_path() / "bigfish_lint_test_baseline.txt";
+    const LintRun wrote =
+        lintFixtures("--baseline=" + baseline.string() + " --write-baseline");
+    EXPECT_EQ(wrote.exitCode, 0);
+
+    const LintRun rerun = lintFixtures("--baseline=" + baseline.string());
+    EXPECT_EQ(rerun.exitCode, 0)
+        << "baselined findings must not fail the run\n" << rerun.stdoutText;
+    EXPECT_NE(rerun.stdoutText.find("(baselined)"), std::string::npos);
+    EXPECT_NE(rerun.stdoutText.find("0 finding(s)"), std::string::npos);
+
+    // In SARIF, baselined findings demote to warning/unchanged.
+    const LintRun sarif =
+        lintFixtures("--baseline=" + baseline.string() + " --sarif=-");
+    EXPECT_EQ(sarif.exitCode, 0);
+    EXPECT_NE(sarif.stdoutText.find("\"baselineState\": \"unchanged\""),
+              std::string::npos);
+    EXPECT_EQ(sarif.stdoutText.find("\"baselineState\": \"new\""),
+              std::string::npos);
+    fs::remove(baseline);
+}
+
+TEST(LintSince, ReportsOnlyChangedFilesWithFullRunFindings)
+{
+    const fs::path dir =
+        fs::temp_directory_path() / "bigfish_lint_since_repo";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const auto writeSource = [&](const char *name, const char *extra) {
+        std::ofstream out(dir / name);
+        out << "int rand();\n"
+               "int fixtureEntropy() { return rand(); }\n"
+            << extra;
+    };
+    writeSource("changed.cc", "");
+    writeSource("same.cc", "");
+    const std::string git = "git -C '" + dir.string() + "' ";
+    ASSERT_EQ(std::system((git + "init -q").c_str()), 0);
+    ASSERT_EQ(std::system((git + "add -A").c_str()), 0);
+    ASSERT_EQ(std::system((git + "-c user.email=lint@test -c "
+                                 "user.name=lint commit -qm seed")
+                              .c_str()),
+              0);
+    writeSource("changed.cc", "int fixtureMore() { return rand(); }\n");
+
+    const std::string common = "--root=" + dir.string() + " " + dir.string();
+    const auto full = parseFindings(runLint(common).stdoutText);
+    const LintRun since = runLint("--since=HEAD " + common);
+    const auto restricted = parseFindings(since.stdoutText);
+
+    // Only changed.cc is reported, with exactly the findings the full
+    // run produced for it — the cross-TU passes still saw everything.
+    std::vector<Finding> want;
+    std::copy_if(full.begin(), full.end(), std::back_inserter(want),
+                 [](const Finding &f) {
+                     return std::get<0>(f) == "changed.cc";
+                 });
+    EXPECT_FALSE(want.empty());
+    EXPECT_EQ(restricted, want)
+        << "since:\n" << describe(restricted)
+        << "full-for-changed:\n" << describe(want);
+    const bool any_same = std::any_of(
+        full.begin(), full.end(), [](const Finding &f) {
+            return std::get<0>(f) == "same.cc";
+        });
+    EXPECT_TRUE(any_same) << "full run must still cover unchanged files";
+    fs::remove_all(dir);
+}
+
+TEST(LintFix, RemovesUnusedIncludesAndRerunsClean)
+{
+    const fs::path dir = fs::temp_directory_path() / "bigfish_lint_fix";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    copyFixtures(dir, {"unused_include.cc", "helpers/used.hh",
+                       "helpers/unused.hh"});
+    const std::string common = "--root=" + dir.string() + " " + dir.string();
+
+    const LintRun before = runLint(common);
+    const auto pre = parseFindings(before.stdoutText);
+    const bool had_unused = std::any_of(
+        pre.begin(), pre.end(), [](const Finding &f) {
+            return std::get<2>(f) == "unused-include";
+        });
+    ASSERT_TRUE(had_unused);
+
+    const LintRun fixed = runLint("--fix " + common);
+    EXPECT_EQ(fixed.exitCode, 0) << fixed.stdoutText;
+    {
+        std::ifstream in(dir / "unused_include.cc");
+        std::stringstream text;
+        text << in.rdbuf();
+        EXPECT_EQ(text.str().find("helpers/unused.hh"), std::string::npos)
+            << "the unused include line must be gone";
+        EXPECT_NE(text.str().find("helpers/used.hh"), std::string::npos)
+            << "the used include must survive";
+    }
+    const auto post = parseFindings(runLint(common).stdoutText);
+    for (const auto &[file, line, rule] : post)
+        EXPECT_NE(rule, "unused-include") << file << ":" << line;
+    fs::remove_all(dir);
 }
 
 TEST(LintCli, CleanInputExitsZeroAndUnknownRuleIsAnError)

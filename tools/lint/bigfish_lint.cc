@@ -3,25 +3,42 @@
  * bigfish-lint: project-specific static analysis for the bigger-fish
  * reproduction.
  *
- * Enforces the two load-bearing invariants of the codebase at commit
- * time instead of at runtime: bitwise-deterministic results at any
- * thread count, and Status/Result error propagation instead of aborts.
- * See tools/lint/rules.hh for the rule list and DESIGN.md for the
- * rationale.
+ * Enforces the load-bearing invariants of the codebase at commit time
+ * instead of at runtime: bitwise-deterministic results at any thread
+ * count, Status/Result error propagation instead of aborts, and (v2)
+ * the architectural layer DAG, cross-TU error flow, and the parallel-
+ * body concurrency contract. See tools/lint/rules.hh, graph.hh,
+ * index.hh and concurrency.hh for the rule list and DESIGN.md §7/§11
+ * for the rationale.
  *
  * Usage:
  *   bigfish-lint [options] <file-or-directory>...
  *
  * Options:
- *   --config=FILE    Load rule toggles + allowlists (TOML subset).
+ *   --config=FILE    Load rule toggles + allowlists + layer DAG +
+ *                    report options (TOML subset).
  *   --root=DIR       Paths in diagnostics/allowlists are relative to
  *                    DIR (default: current directory).
  *   --json           Machine-readable output on stdout.
+ *   --sarif=FILE     Also write a SARIF 2.1.0 report ("-" = stdout).
+ *   --baseline=FILE  Baseline file (overrides the config's [report]
+ *                    baseline). Baselined findings warn, not fail.
+ *   --write-baseline Rewrite the baseline from the current findings
+ *                    and exit 0.
+ *   --since=REV      Report findings only for files changed since the
+ *                    git revision REV (plus untracked files). The
+ *                    cross-TU passes still scan everything, so the
+ *                    reported findings are exactly the full run's
+ *                    findings restricted to the changed files.
+ *   --fix            Mechanically apply safe fixes (removes the
+ *                    include lines unused-include reported), then
+ *                    report what remains.
  *   --enable=RULE    Force-enable one rule (overrides config).
  *   --disable=RULE   Force-disable one rule (overrides config).
  *   --list-rules     Print the rule names and exit.
  *
- * Exit status: 0 clean, 1 findings, 2 usage/config/IO error.
+ * Exit status: 0 clean (baselined findings allowed), 1 new findings,
+ * 2 usage/config/IO error.
  *
  * Suppressions: `// bigfish-lint: allow(rule-name)` on the offending
  * line or the line directly above silences that rule for that line;
@@ -29,16 +46,22 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "concurrency.hh"
 #include "config.hh"
+#include "graph.hh"
+#include "index.hh"
 #include "lexer.hh"
+#include "report.hh"
 #include "rules.hh"
 
 namespace fs = std::filesystem;
@@ -72,39 +95,85 @@ relPath(const fs::path &path, const fs::path &root)
     return rel.generic_string();
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
-}
-
 int
 usageError(const std::string &message)
 {
     std::cerr << "bigfish-lint: " << message
               << "\nusage: bigfish-lint [--config=FILE] [--root=DIR] "
-                 "[--json] [--enable=RULE] [--disable=RULE] <path>...\n";
+                 "[--json] [--sarif=FILE] [--baseline=FILE] "
+                 "[--write-baseline] [--since=REV] [--fix] "
+                 "[--enable=RULE] [--disable=RULE] <path>...\n";
     return 2;
+}
+
+/**
+ * Files changed since @p rev (git diff --name-only) plus untracked
+ * files, as root-relative paths. Returns false on git failure with
+ * @p error set.
+ */
+bool
+changedFilesSince(const fs::path &root, const std::string &rev,
+                  std::set<std::string> &out, std::string &error)
+{
+    const auto runGit = [&](const std::string &args) -> bool {
+        const std::string cmd = "git -C '" + root.string() + "' " + args +
+                                " 2>/dev/null";
+        FILE *pipe = popen(cmd.c_str(), "r");
+        if (pipe == nullptr) {
+            error = "cannot run git";
+            return false;
+        }
+        std::string text;
+        char buffer[4096];
+        std::size_t got;
+        while ((got = fread(buffer, 1, sizeof(buffer), pipe)) > 0)
+            text.append(buffer, got);
+        if (pclose(pipe) != 0) {
+            error = "git " + args + " failed (is '" + rev +
+                    "' a valid revision in " + root.string() + "?)";
+            return false;
+        }
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            while (!line.empty() &&
+                   (line.back() == '\r' || line.back() == '\n'))
+                line.pop_back();
+            if (!line.empty())
+                out.insert(line);
+        }
+        return true;
+    };
+    return runGit("diff --name-only " + rev) &&
+           runGit("ls-files --others --exclude-standard");
+}
+
+/**
+ * Removes the 1-based @p lines from @p path. Returns "" or an error.
+ * Plain rewrite (no temp file): this is an interactive host tool and
+ * the file is small.
+ */
+std::string
+removeLines(const fs::path &path, const std::set<int> &lines)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "cannot read " + path.string();
+    std::vector<std::string> kept;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (lines.count(lineno) == 0)
+            kept.push_back(line);
+    }
+    in.close();
+    std::ofstream outFile(path, std::ios::binary | std::ios::trunc);
+    if (!outFile)
+        return "cannot write " + path.string();
+    for (const std::string &keep : kept)
+        outFile << keep << "\n";
+    return outFile ? "" : "short write to " + path.string();
 }
 
 } // namespace
@@ -115,6 +184,11 @@ main(int argc, char **argv)
     Config config;
     fs::path root = fs::current_path();
     bool json = false;
+    bool write_baseline = false;
+    bool fix = false;
+    std::string sarif_path;
+    std::string baseline_flag;
+    std::string since_rev;
     std::vector<fs::path> inputs;
     // Apply --enable/--disable after the config file regardless of
     // argument order: the command line always wins.
@@ -125,6 +199,10 @@ main(int argc, char **argv)
         const std::string arg = argv[a];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "--write-baseline") {
+            write_baseline = true;
+        } else if (arg == "--fix") {
+            fix = true;
         } else if (arg == "--list-rules") {
             for (const std::string &rule : allRuleNames())
                 std::cout << rule << "\n";
@@ -133,6 +211,12 @@ main(int argc, char **argv)
             config_path = arg.substr(9);
         } else if (arg.rfind("--root=", 0) == 0) {
             root = fs::path(arg.substr(7));
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = arg.substr(8);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            baseline_flag = arg.substr(11);
+        } else if (arg.rfind("--since=", 0) == 0) {
+            since_rev = arg.substr(8);
         } else if (arg.rfind("--enable=", 0) == 0) {
             overrides.emplace_back(arg.substr(9), true);
         } else if (arg.rfind("--disable=", 0) == 0) {
@@ -182,11 +266,13 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    // Pass 1: lex everything and harvest Status/Result returner names
-    // so call-site checks work across translation units.
-    std::vector<LexedFile> lexed;
-    lexed.reserve(files.size());
-    std::set<std::string> returners;
+    // Pass 0: lex everything once. Every later pass shares the token
+    // streams; the cross-TU passes always see the whole scan set even
+    // under --since.
+    std::vector<LexedFile> lexed_storage;
+    lexed_storage.reserve(files.size());
+    std::vector<std::string> rels;
+    rels.reserve(files.size());
     for (const fs::path &path : files) {
         std::ifstream in(path, std::ios::binary);
         if (!in) {
@@ -195,17 +281,53 @@ main(int argc, char **argv)
         }
         std::stringstream buffer;
         buffer << in.rdbuf();
-        lexed.push_back(lex(buffer.str()));
-        const auto names = collectStatusReturners(lexed.back());
-        returners.insert(names.begin(), names.end());
+        lexed_storage.push_back(lex(buffer.str()));
+        rels.push_back(relPath(path, root));
+    }
+    std::map<std::string, const LexedFile *> lexed;
+    std::map<std::string, fs::path> absOf;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        lexed[rels[i]] = &lexed_storage[i];
+        absOf[rels[i]] = files[i];
     }
 
-    // Pass 2: run the rules.
-    std::vector<Diagnostic> diagnostics;
+    // The report set: every scanned file, or (--since) only the
+    // changed ones. The scan set never shrinks — symbol index and
+    // include graph need it whole for cross-TU correctness.
+    std::set<std::string> reportSet(rels.begin(), rels.end());
+    if (!since_rev.empty()) {
+        std::set<std::string> changed;
+        std::string error;
+        if (!changedFilesSince(root, since_rev, changed, error))
+            return usageError("--since: " + error);
+        std::set<std::string> restricted;
+        for (const std::string &rel : rels)
+            if (changed.count(rel) > 0)
+                restricted.insert(rel);
+        std::cerr << "bigfish-lint: --since=" << since_rev << ": "
+                  << restricted.size() << " of " << rels.size()
+                  << " scanned file(s) changed\n";
+        reportSet = std::move(restricted);
+    }
+
+    // Pass 1: repository include graph (layering, cycles, unused
+    // includes). Pass 2: cross-TU symbol index (error flow).
+    const IncludeGraph graph(rels, lexed);
+    const SymbolIndex index = buildSymbolIndex(lexed);
+
+    std::vector<Diagnostic> diagnostics =
+        graph.run(config, lexed, reportSet);
     for (std::size_t i = 0; i < files.size(); ++i) {
-        const std::string rel = relPath(files[i], root);
-        auto diags = runRules(rel, lexed[i], isHeaderExtension(files[i]),
-                              config, returners);
+        const std::string &rel = rels[i];
+        if (reportSet.count(rel) == 0)
+            continue;
+        const LexedFile &file = lexed_storage[i];
+        auto diags = runRules(rel, file, isHeaderExtension(files[i]),
+                              config, index.statusReturners);
+        diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
+        diags = runErrorFlowRules(rel, file, config, index);
+        diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
+        diags = runConcurrencyRules(rel, file, config);
         diagnostics.insert(diagnostics.end(), diags.begin(), diags.end());
     }
     std::sort(diagnostics.begin(), diagnostics.end(),
@@ -226,26 +348,84 @@ main(int argc, char **argv)
                     }),
         diagnostics.end());
 
-    if (json) {
-        std::cout << "{\n  \"files_scanned\": " << files.size()
-                  << ",\n  \"count\": " << diagnostics.size()
-                  << ",\n  \"diagnostics\": [";
-        for (std::size_t i = 0; i < diagnostics.size(); ++i) {
-            const Diagnostic &d = diagnostics[i];
-            std::cout << (i == 0 ? "" : ",") << "\n    {\"file\": \""
-                      << jsonEscape(d.file) << "\", \"line\": " << d.line
-                      << ", \"rule\": \"" << jsonEscape(d.rule)
-                      << "\", \"message\": \"" << jsonEscape(d.message)
-                      << "\"}";
-        }
-        std::cout << (diagnostics.empty() ? "]" : "\n  ]") << "\n}\n";
-    } else {
+    // --fix: remove the include lines unused-include reported, then
+    // drop those findings from the report.
+    if (fix) {
+        std::map<std::string, std::set<int>> removals;
         for (const Diagnostic &d : diagnostics)
-            std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
-                      << d.message << "\n";
-        std::cerr << "bigfish-lint: " << diagnostics.size()
-                  << " finding(s) in " << files.size()
-                  << " file(s) scanned\n";
+            if (d.rule == "unused-include")
+                removals[d.file].insert(d.line);
+        std::size_t removed = 0;
+        for (const auto &[file, lines] : removals) {
+            const std::string error = removeLines(absOf.at(file), lines);
+            if (!error.empty()) {
+                std::cerr << "bigfish-lint: --fix: " << error << "\n";
+                return 2;
+            }
+            removed += lines.size();
+        }
+        if (!removals.empty())
+            std::cerr << "bigfish-lint: --fix removed " << removed
+                      << " unused include(s) in " << removals.size()
+                      << " file(s)\n";
+        diagnostics.erase(
+            std::remove_if(diagnostics.begin(), diagnostics.end(),
+                           [](const Diagnostic &d) {
+                               return d.rule == "unused-include";
+                           }),
+            diagnostics.end());
     }
-    return diagnostics.empty() ? 0 : 1;
+
+    // Baseline: the config's [report] path unless --baseline overrides.
+    Baseline baseline;
+    std::string baseline_path = baseline_flag;
+    if (baseline_path.empty() && !config.baselinePath().empty())
+        baseline_path = (root / config.baselinePath()).string();
+    if (write_baseline) {
+        if (baseline_path.empty())
+            return usageError(
+                "--write-baseline needs --baseline or a [report] "
+                "baseline in the config");
+        const std::string error =
+            writeBaselineFile(baseline_path, diagnostics);
+        if (!error.empty())
+            return usageError(error);
+        std::cerr << "bigfish-lint: wrote " << diagnostics.size()
+                  << " finding(s) to baseline " << baseline_path << "\n";
+        return 0;
+    }
+    if (!baseline_path.empty()) {
+        const std::string error = loadBaseline(baseline_path, baseline);
+        if (!error.empty())
+            return usageError(error);
+    }
+    std::vector<Diagnostic> fresh, baselined;
+    std::size_t stale = 0;
+    partitionAgainstBaseline(diagnostics, baseline, fresh, baselined,
+                             stale);
+    if (stale > 0)
+        std::cerr << "bigfish-lint: " << stale
+                  << " stale baseline entr(ies) match no current finding; "
+                     "rerun with --write-baseline to shrink the file\n";
+
+    if (!sarif_path.empty()) {
+        const std::string sarif = renderSarif(fresh, baselined);
+        if (sarif_path == "-") {
+            std::cout << sarif;
+        } else {
+            std::ofstream out(sarif_path, std::ios::binary);
+            if (!out) {
+                std::cerr << "bigfish-lint: cannot write SARIF to "
+                          << sarif_path << "\n";
+                return 2;
+            }
+            out << sarif;
+        }
+    }
+    if (json) {
+        std::cout << renderJson(fresh, baselined, files.size());
+    } else if (sarif_path != "-") {
+        std::cout << renderText(fresh, baselined, files.size());
+    }
+    return fresh.empty() ? 0 : 1;
 }

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pass 3 of bigfish-lint v2: the parallelFor/parallelMap rule pack.
+ *
+ * Scoped strictly to lambda bodies passed to parallelFor/parallelMap —
+ * the only sanctioned parallel primitives in this tree — the pack
+ * encodes the determinism contract of DESIGN.md: every iteration writes
+ * only per-index state, takes no locks in the hot body, and derives its
+ * randomness from the explicit seed and cell index.
+ *
+ *  parallel-capture-race — a plain write (`x = ...`, `x++`, `--x`) to a
+ *                          by-reference captured variable, or an
+ *                          indexed write whose subscript derives from
+ *                          neither the lambda parameter nor a body
+ *                          local, races across iterations.
+ *  parallel-mutex        — lock acquisition (lock_guard, unique_lock,
+ *                          scoped_lock, .lock(), pthread_mutex_lock)
+ *                          inside the hot body serializes the loop and
+ *                          makes completion order observable.
+ *  parallel-shared-rng   — an RNG object declared outside the body and
+ *                          drawn from inside it is both a data race and
+ *                          an iteration-order dependence; derive a
+ *                          per-cell stream from the seed and index
+ *                          instead (Rng::fork advances the parent, so
+ *                          even fork() must happen outside the body).
+ */
+
+#ifndef BIGFISH_LINT_CONCURRENCY_HH
+#define BIGFISH_LINT_CONCURRENCY_HH
+
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace bigfish::lint {
+
+/** Runs the three parallel-body rules over one file. */
+std::vector<Diagnostic>
+runConcurrencyRules(const std::string &relPath, const LexedFile &file,
+                    const Config &config);
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_CONCURRENCY_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <set>
 
 namespace bigfish::lint {
 
@@ -32,13 +33,46 @@ stripComment(const std::string &line)
     return line;
 }
 
+/**
+ * Parses a ["a", "b"] array of strings into @p out. Returns an empty
+ * string on success, else a parse error.
+ */
+std::string
+parseStringArray(const std::string &value, std::vector<std::string> &out)
+{
+    if (value.size() < 2 || value.front() != '[' || value.back() != ']')
+        return "value must be a [\"...\"] array";
+    const std::string body = value.substr(1, value.size() - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        const std::size_t open = body.find('"', pos);
+        if (open == std::string::npos) {
+            if (!trim(body.substr(pos)).empty() &&
+                trim(body.substr(pos)) != ",")
+                return "malformed string array";
+            break;
+        }
+        const std::size_t close = body.find('"', open + 1);
+        if (close == std::string::npos)
+            return "unterminated string in array";
+        out.push_back(body.substr(open + 1, close - open - 1));
+        pos = close + 1;
+    }
+    return "";
+}
+
 } // namespace
 
 std::vector<std::string>
 allRuleNames()
 {
-    return {"nondeterminism", "unordered-iteration", "discarded-status",
-            "raw-thread", "parallel-float-accum", "intrinsics-header"};
+    return {"nondeterminism",     "unordered-iteration",
+            "discarded-status",   "raw-thread",
+            "parallel-float-accum", "intrinsics-header",
+            "layering",           "unused-include",
+            "status-swallowed",   "ordie-outside-binary",
+            "parallel-capture-race", "parallel-mutex",
+            "parallel-shared-rng"};
 }
 
 Config::Config()
@@ -70,6 +104,12 @@ Config::parse(const std::string &text)
             if (line.back() != ']')
                 return where + "unterminated section header";
             section = trim(line.substr(1, line.size() - 2));
+            if (section.rfind("layer.", 0) == 0) {
+                const std::string name = section.substr(6);
+                if (name.empty())
+                    return where + "layer section needs a name";
+                layers_[name]; // declare even if the body is empty
+            }
             continue;
         }
 
@@ -98,29 +138,76 @@ Config::parse(const std::string &text)
                 return where + "unknown rule in section '" + section + "'";
             if (key != "paths")
                 return where + "allow sections take only 'paths'";
-            if (value.size() < 2 || value.front() != '[' ||
-                value.back() != ']')
-                return where + "paths must be a [\"...\"] array";
-            // Parse the ["a", "b"] array body.
-            std::string body = value.substr(1, value.size() - 2);
-            std::size_t pos = 0;
-            while (pos < body.size()) {
-                const std::size_t open = body.find('"', pos);
-                if (open == std::string::npos) {
-                    if (!trim(body.substr(pos)).empty() &&
-                        trim(body.substr(pos)) != ",")
-                        return where + "malformed paths array";
-                    break;
-                }
-                const std::size_t close = body.find('"', open + 1);
-                if (close == std::string::npos)
-                    return where + "unterminated string in paths array";
-                addAllowlist(rule, body.substr(open + 1, close - open - 1));
-                pos = close + 1;
-            }
+            std::vector<std::string> paths;
+            const std::string error = parseStringArray(value, paths);
+            if (!error.empty())
+                return where + error;
+            for (const std::string &path : paths)
+                addAllowlist(rule, path);
+            continue;
+        }
+        if (section.rfind("layer.", 0) == 0) {
+            Layer &layer = layers_[section.substr(6)];
+            std::vector<std::string> *field = nullptr;
+            if (key == "paths")
+                field = &layer.paths;
+            else if (key == "deps")
+                field = &layer.deps;
+            else
+                return where + "layer sections take 'paths' and 'deps'";
+            const std::string error = parseStringArray(value, *field);
+            if (!error.empty())
+                return where + error;
+            continue;
+        }
+        if (section == "report") {
+            if (key != "baseline")
+                return where + "report section takes only 'baseline'";
+            if (value.size() < 2 || value.front() != '"' ||
+                value.back() != '"')
+                return where + "baseline must be a quoted path";
+            baseline_ = value.substr(1, value.size() - 2);
             continue;
         }
         return where + "unknown section '" + section + "'";
+    }
+
+    // The declared layer graph must itself be a DAG over known names:
+    // an upward include can only be *detected* against a well-formed
+    // declaration.
+    for (const auto &[name, layer] : layers_) {
+        for (const std::string &dep : layer.deps) {
+            if (layers_.count(dep) == 0)
+                return "layer '" + name + "' depends on undeclared layer '" +
+                       dep + "'";
+        }
+    }
+    // Depth-first cycle check; the graph is tiny (one node per layer).
+    std::set<std::string> done;
+    for (const auto &[name, layer] : layers_) {
+        (void)layer;
+        std::set<std::string> path;
+        std::vector<std::string> stack = {name};
+        std::vector<std::size_t> next = {0};
+        path.insert(name);
+        while (!stack.empty()) {
+            const Layer &top = layers_.at(stack.back());
+            if (next.back() >= top.deps.size()) {
+                path.erase(stack.back());
+                done.insert(stack.back());
+                stack.pop_back();
+                next.pop_back();
+                continue;
+            }
+            const std::string dep = top.deps[next.back()++];
+            if (path.count(dep) > 0)
+                return "layer dependency cycle through '" + dep + "'";
+            if (done.count(dep) == 0) {
+                stack.push_back(dep);
+                next.push_back(0);
+                path.insert(dep);
+            }
+        }
     }
     return "";
 }
@@ -159,6 +246,29 @@ void
 Config::addAllowlist(const std::string &rule, const std::string &prefix)
 {
     allowlists_[rule].push_back(prefix);
+}
+
+std::string
+Config::layerOf(const std::string &relPath) const
+{
+    for (const auto &[name, layer] : layers_) {
+        for (const std::string &prefix : layer.paths)
+            if (relPath.rfind(prefix, 0) == 0)
+                return name;
+    }
+    return "";
+}
+
+bool
+Config::layerMayInclude(const std::string &from, const std::string &to) const
+{
+    if (from == to)
+        return true;
+    const auto it = layers_.find(from);
+    if (it == layers_.end())
+        return false;
+    const auto &deps = it->second.deps;
+    return std::find(deps.begin(), deps.end(), to) != deps.end();
 }
 
 } // namespace bigfish::lint

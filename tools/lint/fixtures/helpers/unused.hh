@@ -1,0 +1,11 @@
+// Helper header none of whose exports the includer references.
+#ifndef FIXTURE_HELPERS_UNUSED_HH
+#define FIXTURE_HELPERS_UNUSED_HH
+
+inline int
+fixtureUnusedValue()
+{
+    return 13;
+}
+
+#endif

@@ -1,0 +1,11 @@
+// Helper header whose export the includer actually references.
+#ifndef FIXTURE_HELPERS_USED_HH
+#define FIXTURE_HELPERS_USED_HH
+
+inline int
+fixtureUsedValue()
+{
+    return 7;
+}
+
+#endif

@@ -1,0 +1,14 @@
+// Upward include: base is the bottom layer, so reaching up into sim
+// violates the DAG declared in fixtures.toml.
+#ifndef FIXTURE_LAYERS_BASE_USES_SIM_HH
+#define FIXTURE_LAYERS_BASE_USES_SIM_HH
+
+#include "layers/sim/engine.hh" // expect-lint: layering
+
+inline int
+fixtureBadReachUp(int t)
+{
+    return fixtureEngineTick(t);
+}
+
+#endif

@@ -1,0 +1,11 @@
+// Bottom of the fixture layer DAG: no dependencies, one export.
+#ifndef FIXTURE_LAYERS_BASE_UTIL_HH
+#define FIXTURE_LAYERS_BASE_UTIL_HH
+
+inline int
+fixtureUtilAdd(int a, int b)
+{
+    return a + b;
+}
+
+#endif

@@ -1,0 +1,16 @@
+// Half of an include cycle inside one layer. Same-layer includes pass
+// the DAG check, so the cycle finding is the only diagnostic — and it
+// reports on the back edge, which the DFS (sorted file order) meets in
+// cycle_b.hh.
+#ifndef FIXTURE_LAYERS_SIM_CYCLE_A_HH
+#define FIXTURE_LAYERS_SIM_CYCLE_A_HH
+
+#include "layers/sim/cycle_b.hh"
+
+inline int
+fixtureCycleA(int t)
+{
+    return t > 0 ? fixtureCycleB(t - 1) : 0;
+}
+
+#endif

@@ -1,0 +1,13 @@
+// Other half of the include cycle; this include is the back edge.
+#ifndef FIXTURE_LAYERS_SIM_CYCLE_B_HH
+#define FIXTURE_LAYERS_SIM_CYCLE_B_HH
+
+#include "layers/sim/cycle_a.hh" // expect-lint: layering
+
+inline int
+fixtureCycleB(int t)
+{
+    return t > 0 ? fixtureCycleA(t - 1) : 1;
+}
+
+#endif

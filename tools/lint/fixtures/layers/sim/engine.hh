@@ -1,0 +1,13 @@
+// Middle layer: sim may include base (declared dep), and does.
+#ifndef FIXTURE_LAYERS_SIM_ENGINE_HH
+#define FIXTURE_LAYERS_SIM_ENGINE_HH
+
+#include "layers/base/util.hh"
+
+inline int
+fixtureEngineTick(int t)
+{
+    return fixtureUtilAdd(t, 1);
+}
+
+#endif

@@ -1,0 +1,15 @@
+// Allowlisted exception: web's declared deps are [base] only, so this
+// sim include violates the DAG — but fixtures.toml allowlists exactly
+// this file for the layering rule, so no finding is expected.
+#ifndef FIXTURE_LAYERS_WEB_LEGACY_HH
+#define FIXTURE_LAYERS_WEB_LEGACY_HH
+
+#include "layers/sim/engine.hh"
+
+inline int
+fixtureLegacyRender(int t)
+{
+    return fixtureEngineTick(t) * 2;
+}
+
+#endif

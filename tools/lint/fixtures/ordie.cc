@@ -1,0 +1,30 @@
+// Fixture for the `ordie-outside-binary` rule: ...OrDie() aborts the
+// process, so its call sites are confined to allowlisted binary
+// boundaries (tools/, bench/, examples/, tests/ in the real config —
+// nothing is allowlisted here, so these calls fire). Declaration and
+// definition sites stay silent: the wrappers themselves live in
+// library code.
+
+namespace fixture_ordie {
+
+struct Loaded
+{
+    int value;
+};
+
+struct ResultLike
+{
+    Loaded valueOrDie() const; // declaration site: clean
+};
+
+ResultLike fetch();
+Loaded loadAllOrDie(); // declaration site: clean
+
+int
+misuse()
+{
+    Loaded direct = loadAllOrDie();    // expect-lint: ordie-outside-binary
+    return fetch().valueOrDie().value; // expect-lint: ordie-outside-binary
+}
+
+} // namespace fixture_ordie

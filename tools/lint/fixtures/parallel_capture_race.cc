@@ -1,0 +1,34 @@
+// Fixture for the `parallel-capture-race` rule: plain writes and
+// increments to by-reference captures race across iterations, as do
+// indexed writes whose subscript derives from neither the lambda
+// parameter nor a body local. Per-index slots and body locals are the
+// sanctioned patterns. std::atomic counters are exempt (no race).
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+// Stand-ins so the fixture scans like real call sites.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn &&fn);
+
+void
+fixtureBody(std::vector<int> &slots, std::vector<int> &grid)
+{
+    bool done = false;
+    int last = 0;
+    std::size_t cursor = 0;
+    std::atomic<int> visits{0};
+
+    parallelFor(slots.size(), [&](std::size_t i) {
+        done = true;       // expect-lint: parallel-capture-race
+        ++last;            // expect-lint: parallel-capture-race
+        grid[cursor] = 1;  // expect-lint: parallel-capture-race
+        slots[i] = 2;      // per-index slot: clean
+        ++slots[i];        // per-index increment: clean
+        ++visits;          // atomic counter: clean
+        int local = 0;
+        local = static_cast<int>(i); // body local: clean
+        slots[local] = 3;            // subscript from a local: clean
+    });
+    done = last > 0; // outside the body: clean
+}

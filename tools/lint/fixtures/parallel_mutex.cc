@@ -1,0 +1,26 @@
+// Fixture for the `parallel-mutex` rule: lock acquisition inside a
+// parallelFor/parallelMap body serializes the hot loop and makes
+// completion order observable; shared state belongs outside the
+// region or in per-index slots.
+#include <cstddef>
+#include <mutex>
+
+// Stand-in so the fixture scans like real call sites.
+template <typename Fn>
+void parallelFor(std::size_t n, Fn &&fn);
+
+void
+fixtureBody(std::mutex &m, int *slots)
+{
+    parallelFor(8, [&](std::size_t i) {
+        std::lock_guard<std::mutex> guard(m); // expect-lint: parallel-mutex
+        slots[i] = static_cast<int>(i);
+    });
+    parallelFor(8, [&](std::size_t i) {
+        m.lock(); // expect-lint: parallel-mutex
+        slots[i] = 0;
+        m.unlock();
+    });
+    std::lock_guard<std::mutex> outside(m); // outside the body: clean
+    slots[0] = 1;
+}

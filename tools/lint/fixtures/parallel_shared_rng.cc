@@ -1,0 +1,26 @@
+// Fixture for the `parallel-shared-rng` rule: drawing from (or
+// forking) an RNG shared across parallel iterations is a data race
+// and an iteration-order dependence. The sanctioned pattern derives a
+// fresh per-cell stream from the explicit seed and cell index inside
+// the body.
+#include <cstddef>
+
+// Stand-ins matching the tree's deterministic RNG shape.
+struct Rng
+{
+    explicit Rng(unsigned long seed);
+    unsigned long next();
+};
+
+template <typename Fn>
+void parallelFor(std::size_t n, Fn &&fn);
+
+void
+fixtureBody(Rng &shared, unsigned long *out)
+{
+    parallelFor(16, [&](std::size_t i) {
+        out[i] = shared.next(); // expect-lint: parallel-shared-rng
+        Rng cell(123u + static_cast<unsigned long>(i));
+        out[i] += cell.next(); // per-cell stream: clean
+    });
+}

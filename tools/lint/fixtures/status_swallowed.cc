@@ -1,0 +1,37 @@
+// Fixture for the `status-swallowed` rule: a Status/Result captured
+// inside a void function and never read before the function returns
+// silently drops the error. The producer set is cross-TU (the symbol
+// index unions every scanned file), but this fixture is self-contained.
+
+namespace fixture_swallow {
+
+struct Status
+{
+    bool isOk() const { return true; }
+};
+
+Status tryPersist();
+
+void
+swallows()
+{
+    Status s = tryPersist(); // expect-lint: status-swallowed
+}
+
+void
+reads()
+{
+    Status s = tryPersist();
+    if (!s.isOk())
+        return;
+}
+
+Status
+propagates()
+{
+    // Not a void function: the caller owns the Status.
+    Status s = tryPersist();
+    return s;
+}
+
+} // namespace fixture_swallow

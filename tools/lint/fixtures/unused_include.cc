@@ -1,0 +1,12 @@
+// Fixture for the `unused-include` rule: a quoted in-tree include is
+// removable when none of its (transitively) exported names appear in
+// the includer. The heuristic counts transitive exports as use, so
+// every removal bigfish-lint --fix performs is mechanically safe.
+#include "helpers/unused.hh" // expect-lint: unused-include
+#include "helpers/used.hh"
+
+int
+fixtureConsumer()
+{
+    return fixtureUsedValue();
+}

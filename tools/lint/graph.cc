@@ -1,0 +1,382 @@
+#include "graph.hh"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace bigfish::lint {
+
+namespace {
+
+/** Index just past a balanced `[ ... ]` run starting at @p i (attrs). */
+std::size_t
+skipAttributes(const std::vector<Token> &toks, std::size_t i)
+{
+    while (i < toks.size() && toks[i].text == "[") {
+        int depth = 0;
+        while (i < toks.size()) {
+            if (toks[i].text == "[")
+                ++depth;
+            else if (toks[i].text == "]" && --depth == 0) {
+                ++i;
+                break;
+            }
+            ++i;
+        }
+    }
+    return i;
+}
+
+/** Fundamental-type keywords that can precede a declared name. */
+bool
+isFundamentalType(const std::string &t)
+{
+    static const std::set<std::string> kFundamental = {
+        "void", "bool",  "char",     "int",    "float", "double",
+        "long", "short", "unsigned", "signed", "auto",  "wchar_t"};
+    return kFundamental.count(t) > 0;
+}
+
+/** Lexically normalizes a relative path ("a/./b", "a/../b"). */
+std::string
+normalizePath(const std::string &path)
+{
+    return std::filesystem::path(path).lexically_normal().generic_string();
+}
+
+std::string
+dirOf(const std::string &relPath)
+{
+    const std::size_t slash = relPath.rfind('/');
+    return slash == std::string::npos ? "" : relPath.substr(0, slash);
+}
+
+std::string
+stemOf(const std::string &relPath)
+{
+    std::string base = relPath;
+    const std::size_t slash = base.rfind('/');
+    if (slash != std::string::npos)
+        base = base.substr(slash + 1);
+    const std::size_t dot = base.rfind('.');
+    return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+/** Harvests every `#include` directive from one token stream. */
+std::vector<IncludeEdge>
+collectIncludes(const LexedFile &file)
+{
+    std::vector<IncludeEdge> out;
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text != "#" || toks[i + 1].text != "include")
+            continue;
+        const Token &arg = toks[i + 2];
+        if (arg.kind == TokenKind::String && arg.text.size() >= 2 &&
+            arg.text.front() == '"') {
+            out.push_back({arg.line,
+                           arg.text.substr(1, arg.text.size() - 2), false,
+                           ""});
+            continue;
+        }
+        if (arg.text == "<") {
+            // Angled targets lex as an identifier run: < sys / stat . h >
+            std::string target;
+            std::size_t j = i + 3;
+            const int line = toks[i].line;
+            while (j < toks.size() && toks[j].text != ">" &&
+                   toks[j].line == line)
+                target += toks[j++].text;
+            out.push_back({line, target, true, ""});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::set<std::string>
+collectExportedNames(const LexedFile &file)
+{
+    std::set<std::string> names;
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        // class / struct / union / enum [class] Name
+        if (t == "class" || t == "struct" || t == "union" || t == "enum") {
+            std::size_t j = i + 1;
+            if (t == "enum" && j < toks.size() &&
+                (toks[j].text == "class" || toks[j].text == "struct"))
+                ++j;
+            j = skipAttributes(toks, j);
+            if (j < toks.size() && toks[j].kind == TokenKind::Identifier &&
+                !isLintKeyword(toks[j].text))
+                names.insert(toks[j].text);
+            continue;
+        }
+        // #define NAME
+        if (t == "#" && i + 2 < toks.size() &&
+            toks[i + 1].text == "define" &&
+            toks[i + 2].kind == TokenKind::Identifier) {
+            names.insert(toks[i + 2].text);
+            continue;
+        }
+        // using Alias = ...;  /  using ns::name;
+        if (t == "using" && i + 1 < toks.size()) {
+            if (toks[i + 1].text == "namespace")
+                continue;
+            if (i + 2 < toks.size() &&
+                toks[i + 1].kind == TokenKind::Identifier &&
+                toks[i + 2].text == "=") {
+                names.insert(toks[i + 1].text);
+                continue;
+            }
+            std::string last;
+            for (std::size_t j = i + 1;
+                 j < toks.size() && toks[j].text != ";"; ++j) {
+                if (toks[j].kind == TokenKind::Identifier)
+                    last = toks[j].text;
+            }
+            if (!last.empty())
+                names.insert(last);
+            continue;
+        }
+        // typedef ... Name;
+        if (t == "typedef") {
+            std::string last;
+            for (std::size_t j = i + 1;
+                 j < toks.size() && toks[j].text != ";"; ++j) {
+                if (toks[j].kind == TokenKind::Identifier)
+                    last = toks[j].text;
+            }
+            if (!last.empty())
+                names.insert(last);
+            continue;
+        }
+        // Declaration-position name: a non-keyword identifier preceded
+        // by a type-ish token and followed by (, =, ;, { or [.
+        if (toks[i].kind == TokenKind::Identifier && !isLintKeyword(t) &&
+            i > 0 && i + 1 < toks.size()) {
+            const Token &prev = toks[i - 1];
+            const std::string &next = toks[i + 1].text;
+            const bool type_before =
+                (prev.kind == TokenKind::Identifier &&
+                 !isLintKeyword(prev.text)) ||
+                isFundamentalType(prev.text) || prev.text == ">" ||
+                prev.text == "*" || prev.text == "&";
+            const bool decl_after = next == "(" || next == "=" ||
+                                    next == ";" || next == "{" ||
+                                    next == "[";
+            if (type_before && decl_after)
+                names.insert(t);
+        }
+    }
+    return names;
+}
+
+IncludeGraph::IncludeGraph(
+    const std::vector<std::string> &files,
+    const std::map<std::string, const LexedFile *> &lexed)
+    : files_(files)
+{
+    const std::set<std::string> scanSet(files.begin(), files.end());
+    for (const std::string &file : files_) {
+        std::vector<IncludeEdge> edges = collectIncludes(*lexed.at(file));
+        for (IncludeEdge &edge : edges) {
+            if (edge.angled)
+                continue;
+            const std::string dir = dirOf(file);
+            const std::string candidates[] = {
+                dir.empty() ? edge.target : dir + "/" + edge.target,
+                "src/" + edge.target, edge.target};
+            for (const std::string &candidate : candidates) {
+                const std::string norm = normalizePath(candidate);
+                if (scanSet.count(norm) > 0) {
+                    edge.resolved = norm;
+                    break;
+                }
+            }
+        }
+        edges_[file] = std::move(edges);
+        exports_[file] = collectExportedNames(*lexed.at(file));
+    }
+}
+
+const std::vector<IncludeEdge> &
+IncludeGraph::edgesOf(const std::string &file) const
+{
+    static const std::vector<IncludeEdge> kEmpty;
+    const auto it = edges_.find(file);
+    return it == edges_.end() ? kEmpty : it->second;
+}
+
+const std::set<std::string> &
+IncludeGraph::transitiveExports(const std::string &file) const
+{
+    const auto memo = transitive_.find(file);
+    if (memo != transitive_.end())
+        return memo->second;
+    // Insert the placeholder first: a header cycle terminates on it
+    // (the cycle itself is reported by the layering pass).
+    auto &slot = transitive_[file];
+    const auto own = exports_.find(file);
+    if (own != exports_.end())
+        slot.insert(own->second.begin(), own->second.end());
+    for (const IncludeEdge &edge : edgesOf(file)) {
+        if (edge.resolved.empty())
+            continue;
+        const std::set<std::string> &sub = transitiveExports(edge.resolved);
+        // Re-find: the recursive call may have rehashed the map.
+        transitive_[file].insert(sub.begin(), sub.end());
+    }
+    return transitive_[file];
+}
+
+std::vector<Diagnostic>
+IncludeGraph::run(const Config &config,
+                  const std::map<std::string, const LexedFile *> &lexed,
+                  const std::set<std::string> &reportSet) const
+{
+    std::vector<Diagnostic> out;
+
+    const bool want_layering = config.ruleEnabled("layering");
+    const bool want_unused = config.ruleEnabled("unused-include");
+
+    // --- layering: every resolved edge must respect the declared DAG.
+    if (want_layering && !config.layers().empty()) {
+        for (const std::string &file : files_) {
+            if (reportSet.count(file) == 0 ||
+                config.isAllowlisted("layering", file))
+                continue;
+            const std::string from = config.layerOf(file);
+            if (from.empty())
+                continue;
+            for (const IncludeEdge &edge : edgesOf(file)) {
+                if (edge.resolved.empty())
+                    continue;
+                const std::string to = config.layerOf(edge.resolved);
+                if (to.empty() || config.layerMayInclude(from, to))
+                    continue;
+                const Layer &decl = config.layers().at(from);
+                std::string allowed;
+                for (const std::string &dep : decl.deps)
+                    allowed += (allowed.empty() ? "" : ", ") + dep;
+                emitDiagnostic(
+                    out, *lexed.at(file), file, edge.line, "layering",
+                    "include of '" + edge.target + "' (layer '" + to +
+                        "') from layer '" + from +
+                        "' violates the declared layer DAG (allowed: " +
+                        (allowed.empty() ? "<none>" : allowed) + ")");
+            }
+        }
+    }
+
+    // --- layering: the file-level include graph must be acyclic.
+    if (want_layering) {
+        // Iterative DFS in sorted file order; a back edge closes a
+        // cycle. Each distinct cycle (as a node set) reports once, on
+        // the back edge's include line.
+        std::set<std::string> done;
+        std::set<std::set<std::string>> reported;
+        for (const std::string &start : files_) {
+            if (done.count(start) > 0)
+                continue;
+            std::vector<std::pair<std::string, std::size_t>> stack;
+            std::vector<std::string> path;
+            std::set<std::string> on_path;
+            stack.emplace_back(start, 0);
+            path.push_back(start);
+            on_path.insert(start);
+            while (!stack.empty()) {
+                auto &[node, next] = stack.back();
+                const auto &edges = edgesOf(node);
+                if (next >= edges.size()) {
+                    done.insert(node);
+                    on_path.erase(node);
+                    path.pop_back();
+                    stack.pop_back();
+                    continue;
+                }
+                const IncludeEdge &edge = edges[next++];
+                if (edge.resolved.empty())
+                    continue;
+                if (on_path.count(edge.resolved) > 0) {
+                    // Found a cycle: path suffix from edge.resolved.
+                    const auto at = std::find(path.begin(), path.end(),
+                                              edge.resolved);
+                    std::set<std::string> key(at, path.end());
+                    bool touches = false;
+                    for (const std::string &member : key)
+                        touches = touches || reportSet.count(member) > 0;
+                    if (reported.insert(key).second && touches) {
+                        std::string chain;
+                        for (auto it = at; it != path.end(); ++it)
+                            chain += *it + " -> ";
+                        chain += edge.resolved;
+                        if (!config.isAllowlisted("layering", node))
+                            emitDiagnostic(out, *lexed.at(node), node,
+                                           edge.line, "layering",
+                                           "include cycle: " + chain);
+                    }
+                    continue;
+                }
+                if (done.count(edge.resolved) > 0)
+                    continue;
+                stack.emplace_back(edge.resolved, 0);
+                path.push_back(edge.resolved);
+                on_path.insert(edge.resolved);
+            }
+        }
+    }
+
+    // --- unused-include: quoted in-tree includes none of whose
+    // (transitive) exports the includer references.
+    if (want_unused) {
+        for (const std::string &file : files_) {
+            if (reportSet.count(file) == 0 ||
+                config.isAllowlisted("unused-include", file))
+                continue;
+            const auto &edges = edgesOf(file);
+            bool any_resolved = false;
+            for (const IncludeEdge &edge : edges)
+                any_resolved = any_resolved || !edge.resolved.empty();
+            if (!any_resolved)
+                continue;
+            // The includer's identifier population, computed once.
+            std::set<std::string> used;
+            for (const Token &tok : lexed.at(file)->tokens)
+                if (tok.kind == TokenKind::Identifier)
+                    used.insert(tok.text);
+            for (const IncludeEdge &edge : edges) {
+                if (edge.resolved.empty())
+                    continue;
+                // foo.cc including foo.hh is the declaration check, not
+                // a dependency; always keep it.
+                if (stemOf(file) == stemOf(edge.resolved))
+                    continue;
+                const std::set<std::string> &provided =
+                    transitiveExports(edge.resolved);
+                if (provided.empty())
+                    continue;
+                bool referenced = false;
+                for (const std::string &name : provided) {
+                    if (used.count(name) > 0) {
+                        referenced = true;
+                        break;
+                    }
+                }
+                if (!referenced) {
+                    emitDiagnostic(
+                        out, *lexed.at(file), file, edge.line,
+                        "unused-include",
+                        "'" + edge.target + "' is included but none of "
+                        "its exported names are referenced here; remove "
+                        "it (bigfish-lint --fix does this mechanically)");
+                }
+            }
+        }
+    }
+
+    return out;
+}
+
+} // namespace bigfish::lint

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Pass 1 of bigfish-lint v2: the repository include graph.
+ *
+ * Built once from the lexed token streams of every scanned file, the
+ * graph backs two rules:
+ *
+ *  layering        — every resolved include edge must respect the layer
+ *                    DAG declared in the [layer.*] config sections
+ *                    (upward or sideways includes are findings), and the
+ *                    file-level include graph must be acyclic (a header
+ *                    cycle is a finding even inside one layer).
+ *  unused-include  — IWYU-lite: a quoted include of an in-tree header
+ *                    none of whose exported names (nor the names of its
+ *                    transitive in-tree includes) appear in the including
+ *                    file is removable. The heuristic is deliberately
+ *                    conservative — transitive exports count as use, so
+ *                    every finding is mechanically removable and --fix
+ *                    deletes exactly these lines.
+ *
+ * A file's "exported names" are harvested from its tokens: class/struct/
+ * enum/union names, #define names, using-alias targets, typedef names,
+ * and declaration-position identifiers (a name preceded by a type-ish
+ * token and followed by `(`, `=`, `;`, `{` or `[`). A header exporting
+ * nothing recognizable never produces unused-include findings.
+ */
+
+#ifndef BIGFISH_LINT_GRAPH_HH
+#define BIGFISH_LINT_GRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace bigfish::lint {
+
+/** One `#include` directive, with its in-scan-set resolution if any. */
+struct IncludeEdge
+{
+    int line;            ///< 1-based line of the directive.
+    std::string target;  ///< Spelled target ("base/rng.hh", "vector").
+    bool angled;         ///< <...> (true) vs "..." (false).
+    std::string resolved; ///< Rel path of the scanned file it names, or "".
+};
+
+class IncludeGraph
+{
+  public:
+    /**
+     * Builds the graph over @p files (paths relative to the scan root,
+     * sorted). Quoted targets resolve against the includer's directory,
+     * then `src/<target>`, then `<target>`; only resolutions landing on
+     * a scanned file become edges.
+     */
+    IncludeGraph(const std::vector<std::string> &files,
+                 const std::map<std::string, const LexedFile *> &lexed);
+
+    const std::vector<IncludeEdge> &edgesOf(const std::string &file) const;
+
+    /**
+     * Runs the layering and unused-include rules. Findings are limited
+     * to files in @p reportSet (the --since restriction); the graph
+     * itself always covers the full scan set so cross-file conclusions
+     * stay correct under a partial report.
+     */
+    std::vector<Diagnostic>
+    run(const Config &config,
+        const std::map<std::string, const LexedFile *> &lexed,
+        const std::set<std::string> &reportSet) const;
+
+  private:
+    /** Exported names of @p file plus its transitive resolved includes. */
+    const std::set<std::string> &
+    transitiveExports(const std::string &file) const;
+
+    std::vector<std::string> files_;
+    std::map<std::string, std::vector<IncludeEdge>> edges_;
+    std::map<std::string, std::set<std::string>> exports_;
+    mutable std::map<std::string, std::set<std::string>> transitive_;
+};
+
+/** Exported-name harvest for one file (exposed for the header pass). */
+std::set<std::string> collectExportedNames(const LexedFile &file);
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_GRAPH_HH

@@ -1,0 +1,154 @@
+#include "index.hh"
+
+namespace bigfish::lint {
+
+namespace {
+
+/**
+ * Finds the body of every `void`-returning function definition and
+ * reports Status/Result values captured from an indexed producer into a
+ * variable never read again before the function returns.
+ */
+void
+ruleStatusSwallowed(const std::string &relPath, const LexedFile &file,
+                    const std::set<std::string> &returners,
+                    std::vector<Diagnostic> &out)
+{
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "void")
+            continue;
+        // Parse the (possibly qualified) function name: void A::b(...)
+        std::size_t j = i + 1;
+        std::string fn_name;
+        while (j + 1 < toks.size() &&
+               toks[j].kind == TokenKind::Identifier &&
+               !isLintKeyword(toks[j].text)) {
+            fn_name = toks[j].text;
+            if (toks[j + 1].text == "::")
+                j += 2;
+            else
+                break;
+        }
+        if (fn_name.empty() || j + 1 >= toks.size() ||
+            toks[j + 1].text != "(")
+            continue;
+        const std::size_t close = matchParen(toks, j + 1);
+        if (close == kTokNpos)
+            continue;
+        // Skip trailing specifiers to the body brace; a `;` instead
+        // means this was only a declaration.
+        std::size_t k = close + 1;
+        while (k < toks.size() &&
+               (toks[k].text == "const" || toks[k].text == "noexcept" ||
+                toks[k].text == "override" || toks[k].text == "final"))
+            ++k;
+        if (k >= toks.size() || toks[k].text != "{")
+            continue;
+        const std::size_t body_end = matchBrace(toks, k);
+        if (body_end == kTokNpos)
+            continue;
+
+        for (std::size_t b = k + 1; b + 3 < body_end; ++b) {
+            // Pattern: <declaring-type> var = producer ( ... )
+            if (toks[b].kind != TokenKind::Identifier ||
+                toks[b + 1].text != "=" ||
+                toks[b + 2].kind != TokenKind::Identifier ||
+                returners.count(toks[b + 2].text) == 0 ||
+                toks[b + 3].text != "(")
+                continue;
+            const std::string &var = toks[b].text;
+            // Only a fresh declaration counts: the token before the
+            // variable must be the Status/Result/auto type (or the `>`
+            // closing Result<...>); a plain re-assignment to an outer
+            // variable is someone else's responsibility to read.
+            const std::string &before = toks[b - 1].text;
+            if (before != "Status" && before != "auto" && before != ">")
+                continue;
+            const std::size_t call_close = matchParen(toks, b + 3);
+            if (call_close == kTokNpos)
+                continue;
+            bool read_later = false;
+            for (std::size_t r = call_close + 1; r < body_end; ++r) {
+                if (toks[r].kind == TokenKind::Identifier &&
+                    toks[r].text == var) {
+                    read_later = true;
+                    break;
+                }
+            }
+            if (!read_later) {
+                emitDiagnostic(
+                    out, file, relPath, toks[b].line, "status-swallowed",
+                    "'" + var + "' captures the Status/Result of '" +
+                        toks[b + 2].text + "' but is never read before '" +
+                        fn_name + "' returns (void): the error is "
+                        "swallowed; check it, log-and-count it, or make "
+                        "the function return Status");
+            }
+        }
+        i = k; // resume after the header; nested scans overlap harmlessly
+    }
+}
+
+/**
+ * Flags *calls* to `...OrDie(` wrappers. Definition sites (where the
+ * preceding token is the return type or `::`) stay silent, so the
+ * wrappers themselves live in library code while their call sites are
+ * confined to the allowlisted binary-boundary directories.
+ */
+void
+ruleOrDieOutsideBinary(const std::string &relPath, const LexedFile &file,
+                       std::vector<Diagnostic> &out)
+{
+    static const std::set<std::string> kCallPrev = {
+        ".", "->", "=", "(", ",", ";", "{", "}", "return",
+        "&&", "||", "?", ":"};
+    const auto &toks = file.tokens;
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+        const std::string &t = toks[i].text;
+        if (toks[i].kind != TokenKind::Identifier || t.size() <= 5 ||
+            t.compare(t.size() - 5, 5, "OrDie") != 0 ||
+            toks[i + 1].text != "(")
+            continue;
+        if (kCallPrev.count(toks[i - 1].text) == 0)
+            continue; // declaration/definition site, not a call
+        emitDiagnostic(
+            out, file, relPath, toks[i].line, "ordie-outside-binary",
+            "call to '" + t + "()' outside a binary boundary: library "
+            "code must propagate Status/Result; ...OrDie belongs in "
+            "tools/, bench/ and examples/ mains (or an allowlisted "
+            "boundary)");
+    }
+}
+
+} // namespace
+
+SymbolIndex
+buildSymbolIndex(const std::map<std::string, const LexedFile *> &lexed)
+{
+    SymbolIndex index;
+    for (const auto &[path, file] : lexed) {
+        (void)path;
+        const auto names = collectStatusReturners(*file);
+        index.statusReturners.insert(names.begin(), names.end());
+    }
+    return index;
+}
+
+std::vector<Diagnostic>
+runErrorFlowRules(const std::string &relPath, const LexedFile &file,
+                  const Config &config, const SymbolIndex &index)
+{
+    std::vector<Diagnostic> out;
+    const auto wants = [&](const char *rule) {
+        return config.ruleEnabled(rule) &&
+               !config.isAllowlisted(rule, relPath);
+    };
+    if (wants("status-swallowed"))
+        ruleStatusSwallowed(relPath, file, index.statusReturners, out);
+    if (wants("ordie-outside-binary"))
+        ruleOrDieOutsideBinary(relPath, file, out);
+    return out;
+}
+
+} // namespace bigfish::lint

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Pass 2 of bigfish-lint v2: the cross-TU symbol index and the
+ * error-flow rules built on it.
+ *
+ * The index unions every Status/Result-returning function name over the
+ * whole scan set (headers and sources), so a call site in one TU is
+ * checked against declarations that live in another. Two rules consume
+ * it:
+ *
+ *  status-swallowed     — inside a function returning void, a Status/
+ *                         Result captured from an indexed producer into
+ *                         a variable that is never read again before the
+ *                         function ends is a transitively swallowed
+ *                         error: the caller cannot observe it and the
+ *                         callee did not handle it.
+ *  ordie-outside-binary — calls to `...OrDie(` wrappers belong at
+ *                         binary boundaries (tools/, bench/, examples/,
+ *                         test bodies — the allowlist in the config);
+ *                         library code must propagate Status/Result
+ *                         instead of aborting the process.
+ */
+
+#ifndef BIGFISH_LINT_INDEX_HH
+#define BIGFISH_LINT_INDEX_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "config.hh"
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace bigfish::lint {
+
+/** Whole-scan-set symbol knowledge shared by the cross-TU rules. */
+struct SymbolIndex
+{
+    /** Names of functions returning Status / Result<...> anywhere. */
+    std::set<std::string> statusReturners;
+};
+
+/** Builds the index over every lexed file. */
+SymbolIndex
+buildSymbolIndex(const std::map<std::string, const LexedFile *> &lexed);
+
+/** Runs status-swallowed and ordie-outside-binary over one file. */
+std::vector<Diagnostic>
+runErrorFlowRules(const std::string &relPath, const LexedFile &file,
+                  const Config &config, const SymbolIndex &index);
+
+} // namespace bigfish::lint
+
+#endif // BIGFISH_LINT_INDEX_HH

@@ -105,7 +105,8 @@ lex(const std::string &source)
             i = end;
             continue;
         }
-        // Raw string literal: R"delim( ... )delim".
+        // Raw string literal: R"delim( ... )delim". Collapsed to an
+        // opaque token: raw strings never carry include targets.
         if (c == 'R' && startsWith(source, i, "R\"")) {
             std::size_t d = i + 2;
             while (d < n && source[d] != '(')
@@ -123,9 +124,13 @@ lex(const std::string &source)
             i = end;
             continue;
         }
-        // String / char literal with escape handling.
+        // String / char literal with escape handling. The token keeps
+        // the literal text, quotes included, so the include-graph pass
+        // can read `#include "foo.hh"` targets; the quotes guarantee it
+        // can never collide with an identifier in any rule comparison.
         if (c == '"' || c == '\'') {
             const char quote = c;
+            const int start_line = line;
             std::size_t end = i + 1;
             while (end < n && source[end] != quote) {
                 if (source[end] == '\\' && end + 1 < n)
@@ -134,9 +139,10 @@ lex(const std::string &source)
                     ++line;
                 ++end;
             }
-            out.tokens.push_back({TokenKind::String,
-                                  quote == '"' ? "\"\"" : "''", line});
-            i = end < n ? end + 1 : n;
+            const std::size_t stop = end < n ? end + 1 : n;
+            out.tokens.push_back(
+                {TokenKind::String, source.substr(i, stop - i), start_line});
+            i = stop;
             continue;
         }
         // Identifier or keyword.

@@ -9,8 +9,10 @@
  *
  *  - strips // and C-style comments (recording any
  *    `bigfish-lint: allow(rule, ...)` suppressions they carry),
- *  - collapses string, char and raw-string literals to single String
- *    tokens,
+ *  - lexes string, char and raw-string literals as single String
+ *    tokens (normal literals keep their text, quotes included, so the
+ *    include-graph pass can read quoted include targets; the quotes
+ *    keep them inert in every identifier comparison),
  *  - splits punctuation into the multi-character operators the rules
  *    care about (`+=`, `::`, `->`, ...), and
  *  - tags every token with its 1-based source line.

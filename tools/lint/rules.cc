@@ -4,12 +4,8 @@
 
 namespace bigfish::lint {
 
-namespace {
-
-constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
-
 bool
-isKeyword(const std::string &s)
+isLintKeyword(const std::string &s)
 {
     static const std::set<std::string> kKeywords = {
         "if",     "for",    "while",  "switch",   "return", "sizeof",
@@ -19,7 +15,6 @@ isKeyword(const std::string &s)
     return kKeywords.count(s) > 0;
 }
 
-/** Index of the `)` matching the `(` at @p open, or kNpos. */
 std::size_t
 matchParen(const std::vector<Token> &toks, std::size_t open)
 {
@@ -30,14 +25,22 @@ matchParen(const std::vector<Token> &toks, std::size_t open)
         else if (toks[i].text == ")" && --depth == 0)
             return i;
     }
-    return kNpos;
+    return kTokNpos;
 }
 
-/**
- * Index just past the `>` matching the `<` at @p open, or kNpos.
- * Treats `>>` as two closes (template terminators lex as one token).
- * Gives up on `;`/`{` so a stray comparison cannot swallow the file.
- */
+std::size_t
+matchBrace(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == "{")
+            ++depth;
+        else if (toks[i].text == "}" && --depth == 0)
+            return i;
+    }
+    return kTokNpos;
+}
+
 std::size_t
 skipAngles(const std::vector<Token> &toks, std::size_t open)
 {
@@ -54,10 +57,42 @@ skipAngles(const std::vector<Token> &toks, std::size_t open)
             if (depth <= 0)
                 return i + 1;
         } else if (t == ";" || t == "{") {
-            return kNpos;
+            return kTokNpos;
         }
     }
-    return kNpos;
+    return kTokNpos;
+}
+
+void
+emitDiagnostic(std::vector<Diagnostic> &out, const LexedFile &file,
+               const std::string &relPath, int line, const std::string &rule,
+               const std::string &message)
+{
+    if (!isSuppressed(file, line, rule))
+        out.push_back({relPath, line, rule, message});
+}
+
+bool
+looksLikeTypeName(const std::string &t)
+{
+    static const std::set<std::string> kTypes = {
+        "double", "float", "auto",  "int",  "long",
+        "short",  "unsigned", "char", "bool", "size_t"};
+    if (kTypes.count(t) > 0)
+        return true;
+    if (t.size() > 2 && t.compare(t.size() - 2, 2, "_t") == 0)
+        return true;
+    return t == ">"; // closing a templated type: std::vector<double> v
+}
+
+namespace {
+
+constexpr std::size_t kNpos = kTokNpos;
+
+bool
+isKeyword(const std::string &s)
+{
+    return isLintKeyword(s);
 }
 
 /**
@@ -97,27 +132,12 @@ chainStart(const std::vector<Token> &toks, std::size_t i)
     return j == kNpos || j == 0 ? kNpos : j - 1;
 }
 
-/** True when @p t looks like a type name introducing a declaration. */
-bool
-looksLikeTypeName(const std::string &t)
-{
-    static const std::set<std::string> kTypes = {
-        "double", "float", "auto",  "int",  "long",
-        "short",  "unsigned", "char", "bool", "size_t"};
-    if (kTypes.count(t) > 0)
-        return true;
-    if (t.size() > 2 && t.compare(t.size() - 2, 2, "_t") == 0)
-        return true;
-    return t == ">"; // closing a templated type: std::vector<double> v
-}
-
 void
 emit(std::vector<Diagnostic> &out, const LexedFile &file,
      const std::string &relPath, int line, const std::string &rule,
      const std::string &message)
 {
-    if (!isSuppressed(file, line, rule))
-        out.push_back({relPath, line, rule, message});
+    emitDiagnostic(out, file, relPath, line, rule, message);
 }
 
 // --- Rule: nondeterminism ----------------------------------------------
@@ -429,9 +449,9 @@ ruleIntrinsicsHeader(const std::string &relPath, const LexedFile &file,
     const auto &toks = file.tokens;
     // The lexer is not a preprocessor: `#include <immintrin.h>` lexes
     // as the token run  #  include  <  immintrin  .  h  >. The quoted
-    // spelling collapses to an opaque String token (literal contents
-    // are deliberately invisible to every rule), but system headers
-    // are only ever included with angle brackets in this tree.
+    // spelling lexes to a single String token (quotes included, so it
+    // can never equal a bare header name here), but system headers are
+    // only ever included with angle brackets in this tree.
     for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
         if (toks[i].text != "#" || toks[i + 1].text != "include" ||
             toks[i + 2].text != "<")

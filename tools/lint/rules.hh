@@ -1,6 +1,7 @@
 /**
  * @file
- * The six bigfish-lint rules. Each rule encodes one invariant the
+ * The per-file bigfish-lint rules (v1 set) plus the shared token
+ * helpers every pass builds on. Each rule encodes one invariant the
  * reproduction's results depend on (see DESIGN.md "Static analysis"):
  *
  *  nondeterminism       — no ambient entropy (rand, random_device,
@@ -22,11 +23,18 @@
  *                         and friends) only inside base/simd.hh; all
  *                         other code dispatches through ml/kernels.hh
  *                         so vector code cannot spread.
+ *
+ * The v2 repository-wide passes live next door:
+ *  graph.hh       — layering, unused-include (include-graph pass)
+ *  index.hh       — status-swallowed, ordie-outside-binary (error flow)
+ *  concurrency.hh — parallel-capture-race, parallel-mutex,
+ *                   parallel-shared-rng (parallelFor rule pack)
  */
 
 #ifndef BIGFISH_LINT_RULES_HH
 #define BIGFISH_LINT_RULES_HH
 
+#include <cstddef>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,6 +52,32 @@ struct Diagnostic
     std::string message;
 };
 
+/** Sentinel index for the token-walking helpers below. */
+inline constexpr std::size_t kTokNpos = static_cast<std::size_t>(-1);
+
+/** Appends a diagnostic unless @p file suppresses @p rule on @p line. */
+void emitDiagnostic(std::vector<Diagnostic> &out, const LexedFile &file,
+                    const std::string &relPath, int line,
+                    const std::string &rule, const std::string &message);
+
+/** Index of the `)` matching the `(` at @p open, or kTokNpos. */
+std::size_t matchParen(const std::vector<Token> &toks, std::size_t open);
+
+/** Index of the `}` matching the `{` at @p open, or kTokNpos. */
+std::size_t matchBrace(const std::vector<Token> &toks, std::size_t open);
+
+/**
+ * Index just past the `>` matching the `<` at @p open, or kTokNpos.
+ * Treats `>>` as two closes; gives up on `;`/`{`.
+ */
+std::size_t skipAngles(const std::vector<Token> &toks, std::size_t open);
+
+/** True for C++ keywords the rules must not mistake for names. */
+bool isLintKeyword(const std::string &s);
+
+/** True when @p t looks like a type name introducing a declaration. */
+bool looksLikeTypeName(const std::string &t);
+
 /**
  * Pass 1 of the discarded-status rule: harvests the names of functions
  * declared (or defined) with a Status / Result<...> return type from
@@ -53,7 +87,7 @@ struct Diagnostic
 std::set<std::string> collectStatusReturners(const LexedFile &file);
 
 /**
- * Runs every enabled, non-allowlisted rule over one file.
+ * Runs every enabled, non-allowlisted per-file rule over one file.
  *
  * @param relPath          File path relative to the scan root (used in
  *                         diagnostics and for allowlist matching).
