@@ -73,7 +73,7 @@ run(const core::RunContext &ctx)
                                       result.value().closedWorld.top1Std),
                       expected(label + "_top5"),
                       formatPercent(
-                          result.value().closedWorld.top5Mean)});
+                          result.value().closedWorld.topKMean)});
         std::printf("finished: %s\n", step.name);
     }
 

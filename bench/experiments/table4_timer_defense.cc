@@ -66,7 +66,7 @@ run(const core::RunContext &ctx)
                                       result.value().closedWorld.top1Std),
                       expected(label + "_top5"),
                       formatPercent(
-                          result.value().closedWorld.top5Mean)});
+                          result.value().closedWorld.topKMean)});
         std::printf("finished: %s timer, P = %d ms\n", row.timer,
                     row.period_ms);
     }

@@ -55,9 +55,10 @@ main()
     std::printf("\nTraining the CNN-LSTM on %d sites x %d traces...\n",
                 pipeline.numSites, pipeline.tracesPerSite);
     const auto result = core::runFingerprintingOrDie(config, pipeline);
-    std::printf("closed-world accuracy: top-1 %.1f%%  top-5 %.1f%%\n",
+    std::printf("closed-world accuracy: top-1 %.1f%%  top-%d %.1f%%\n",
                 result.closedWorld.top1Mean * 100.0,
-                result.closedWorld.top5Mean * 100.0);
+                result.closedWorld.topK,
+                result.closedWorld.topKMean * 100.0);
     std::printf("(chance would be %.1f%%)\n", 100.0 / pipeline.numSites);
     return 0;
 }

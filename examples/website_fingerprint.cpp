@@ -92,9 +92,10 @@ main(int argc, char **argv)
     config.attacker = attack::AttackerKind::LoopCounting;
     const auto loop = core::runFingerprintingOrDie(config, pipeline);
     std::printf("\nloop-counting attack:\n");
-    std::printf("  closed world: top-1 %.1f%%  top-5 %.1f%%\n",
+    std::printf("  closed world: top-1 %.1f%%  top-%d %.1f%%\n",
                 loop.closedWorld.top1Mean * 100.0,
-                loop.closedWorld.top5Mean * 100.0);
+                loop.closedWorld.topK,
+                loop.closedWorld.topKMean * 100.0);
     std::printf("  open world:   sensitive %.1f%%  non-sensitive %.1f%%  "
                 "combined %.1f%%\n",
                 loop.openWorld.openWorld.sensitiveAccuracy * 100.0,
@@ -107,9 +108,10 @@ main(int argc, char **argv)
     sweep_pipeline.openWorldExtra = 0;
     const auto sweep = core::runFingerprintingOrDie(config, sweep_pipeline);
     std::printf("\nsweep-counting (cache-occupancy) baseline:\n");
-    std::printf("  closed world: top-1 %.1f%%  top-5 %.1f%%\n",
+    std::printf("  closed world: top-1 %.1f%%  top-%d %.1f%%\n",
                 sweep.closedWorld.top1Mean * 100.0,
-                sweep.closedWorld.top5Mean * 100.0);
+                sweep.closedWorld.topK,
+                sweep.closedWorld.topKMean * 100.0);
 
     // Per-site report for the loop attack.
     config.attacker = attack::AttackerKind::LoopCounting;

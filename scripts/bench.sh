@@ -1,19 +1,21 @@
 #!/usr/bin/env bash
 # Performance trajectory harness: runs the kernel micro-benchmarks (including
-# the per-ISA sweep of the new SIMD kernel layer) and the headline
-# table1_fingerprinting experiment twice — a cold run that collects and
-# featurizes, then a warm run that replays from the feature cache — and merges
-# everything into a single BENCH_pr7.json at the repo root together with the
+# the per-ISA sweep of the SIMD kernel layer) and the headline
+# table1_fingerprinting experiment three times against one --cache-dir —
+# a cold run that collects, featurizes and trains; a warm run that replays
+# every stage; and an eval-only warm run with just --topk changed, which
+# must skip collection AND training via the stage cache — then merges
+# everything into a single BENCH_pr9.json at the repo root together with the
 # recorded pre-PR baselines so the speedup is tracked across PRs.
 #
 # Usage: scripts/bench.sh [OUTPUT_JSON] [--threads=N]
-#   OUTPUT_JSON defaults to BENCH_pr7.json at the repo root.
+#   OUTPUT_JSON defaults to BENCH_pr9.json at the repo root.
 #   --threads defaults to 4 (the acceptance configuration).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="$repo/BENCH_pr7.json"
+out="$repo/BENCH_pr9.json"
 threads=4
 for arg in "$@"; do
     case "$arg" in
@@ -50,17 +52,33 @@ start_warm="$(date +%s.%N)"
     --cache-dir="$tmpdir/cache" \
     --json="$tmpdir/table1_warm.json" > "$tmpdir/table1_warm.log"
 end_warm="$(date +%s.%N)"
-grep -c 'feature cache: hit' "$tmpdir/table1_warm.log" ||
-    { echo "ERROR: warm run did not hit the feature cache"; exit 1; }
+grep -c 'stage cache: hit' "$tmpdir/table1_warm.log" ||
+    { echo "ERROR: warm run did not hit the stage cache"; exit 1; }
+
+echo "== table1_fingerprinting eval-only sweep (--topk=3: cached models+scores)"
+start_sweep="$(date +%s.%N)"
+"$builddir/bigfish" run table1_fingerprinting --threads="$threads" \
+    --cache-dir="$tmpdir/cache" --topk=3 --explain \
+    --json="$tmpdir/table1_sweep.json" > "$tmpdir/table1_sweep.log"
+end_sweep="$(date +%s.%N)"
+grep -c 'stage cache: hit' "$tmpdir/table1_sweep.log" ||
+    { echo "ERROR: eval-only sweep did not hit the stage cache"; exit 1; }
+if grep -Eq '/train/[^ ]+ +\| train +\| [0-9a-f]{16} \| (stored|miss)' \
+    "$tmpdir/table1_sweep.log"; then
+    echo "ERROR: eval-only sweep retrained a fold" >&2
+    exit 1
+fi
 
 python3 - "$tmpdir" "$out" "$threads" \
-    "$start_cold" "$end_cold" "$start_warm" "$end_warm" <<'PY'
+    "$start_cold" "$end_cold" "$start_warm" "$end_warm" \
+    "$start_sweep" "$end_sweep" <<'PY'
 import json
 import sys
 
-tmpdir, out, threads, sc, ec, sw, ew = sys.argv[1:8]
+tmpdir, out, threads, sc, ec, sw, ew, ss, es = sys.argv[1:10]
 cold = float(ec) - float(sc)
 warm = float(ew) - float(sw)
+sweep = float(es) - float(ss)
 
 # Reference points on this container, default scale:
 #  - seed commit (9af0416): serial pre-rewrite wall clock.
@@ -82,6 +100,8 @@ with open(f"{tmpdir}/table1_cold.json") as f:
     table1_cold = json.load(f)
 with open(f"{tmpdir}/table1_warm.json") as f:
     table1_warm = json.load(f)
+with open(f"{tmpdir}/table1_sweep.json") as f:
+    table1_sweep = json.load(f)
 with open(f"{tmpdir}/micro.json") as f:
     micro = json.load(f)
 
@@ -92,25 +112,33 @@ kernels = {
 
 pr2 = baselines["pr2"]["wallSeconds"]
 report = {
-    "bench": "pr7",
+    "bench": "pr9",
     "baselines": baselines,
     "threads": int(threads),
     "table1ColdWallSeconds": round(cold, 3),
     "table1WarmWallSeconds": round(warm, 3),
+    # The eval-only sweep changes just --topk: collection, featurization
+    # and every fold's training replay from the stage cache, so this is
+    # the marginal cost of re-asking an evaluation question.
+    "table1EvalOnlySweepWallSeconds": round(sweep, 3),
     # Acceptance metric: warm (cached) table1 against the PR 2 recording
     # at the same thread count; the cold ratio isolates the SIMD kernels.
     "speedupVsPr2Warm": round(pr2 / warm, 2),
     "speedupVsPr2Cold": round(pr2 / cold, 2),
     "speedupVsSeedWarm": round(
         baselines["seedSerial"]["wallSeconds"] / warm, 2),
+    "evalOnlySweepSpeedupVsCold": round(cold / sweep, 2),
     "table1Cold": table1_cold,
     "table1Warm": table1_warm,
+    "table1EvalOnlySweep": table1_sweep,
     "microKernels": kernels,
 }
 with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
-print(f"wrote {out}: cold {cold:.1f}s, warm {warm:.1f}s vs PR2 {pr2}s "
+print(f"wrote {out}: cold {cold:.1f}s, warm {warm:.1f}s, "
+      f"eval-only sweep {sweep:.1f}s vs PR2 {pr2}s "
       f"-> {report['speedupVsPr2Cold']}x cold, "
-      f"{report['speedupVsPr2Warm']}x warm")
+      f"{report['speedupVsPr2Warm']}x warm, "
+      f"{report['evalOnlySweepSpeedupVsCold']}x sweep-vs-cold")
 PY

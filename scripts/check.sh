@@ -25,8 +25,14 @@
 #               binary under BF_SIMD=scalar, sse2 and avx2; three
 #               table1 smokes (one per BF_SIMD) whose artifacts must be
 #               bit-identical; and a cache-reuse smoke — two runs with
-#               --cache-dir where the second must hit the feature cache
+#               --cache-dir where the second must hit the stage cache
 #               and replay a bit-identical artifact.
+#   stage-cache — the stage-graph reuse gate: a cold --cache-dir run,
+#               then a warm run with only eval folds changed (must skip
+#               Collect/Featurize but retrain) and a warm run with only
+#               --topk changed (must replay fold scores and skip
+#               training entirely), each proven via --explain
+#               provenance and bit-identical to a fresh uncached run.
 #   address   — full build + ctest under AddressSanitizer.
 #   undefined — full build + ctest under UBSan.
 #   thread    — full build + ctest under ThreadSanitizer.
@@ -43,7 +49,7 @@
 # stage fails the gate instead of silently passing.
 #
 # Usage:
-#   scripts/check.sh [lint-diff|lint|cppcheck|cli-smoke|resume-smoke|simd|address|undefined|thread|threads8]...
+#   scripts/check.sh [lint-diff|lint|cppcheck|cli-smoke|resume-smoke|simd|stage-cache|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -51,8 +57,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-    stages=(lint-diff lint cppcheck cli-smoke resume-smoke simd address
-            undefined thread threads8)
+    stages=(lint-diff lint cppcheck cli-smoke resume-smoke simd stage-cache
+            address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -285,7 +291,7 @@ for stage in "${stages[@]}"; do
         "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
             --cache-dir="$sdir/cache" --json="$sdir/warm.json" \
             > "$sdir/warm.log"
-        grep -q 'feature cache: hit' "$sdir/warm.log" ||
+        grep -q 'stage cache: hit' "$sdir/warm.log" ||
             { echo "second --cache-dir run did not hit the cache" >&2
               exit 1; }
         if ! diff <(grep -v 'Seconds' "$sdir/cold.json") \
@@ -294,6 +300,64 @@ for stage in "${stages[@]}"; do
             exit 1
         fi
         echo "== [simd] cached replay is bit-identical"
+        ;;
+      stage-cache)
+        builddir="$repo/build"
+        echo "== [stage-cache] build bigfish"
+        cmake -B "$builddir" -S "$repo" > /dev/null
+        cmake --build "$builddir" --target bigfish -j "$jobs"
+        cdir="$(mktemp -d)"
+        tmpdirs+=("$cdir")
+        echo "== [stage-cache] cold run (populates the cache)"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --folds=3 --cache-dir="$cdir/cache" --explain \
+            --json="$cdir/cold.json" > "$cdir/cold.log"
+        grep -q 'stage cache: featurized miss' "$cdir/cold.log"
+        echo "== [stage-cache] warm run, only eval folds changed"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --folds=2 --cache-dir="$cdir/cache" --explain \
+            --json="$cdir/warm-folds.json" > "$cdir/warm-folds.log"
+        # Featurized datasets replay, so collection never runs ...
+        grep -q 'stage cache: hit' "$cdir/warm-folds.log"
+        grep -Eq '/collect +\| collect +\| [0-9a-f]{16} \| skipped' \
+            "$cdir/warm-folds.log"
+        # ... but the changed fold split forces retraining.
+        grep -Eq '/train/[^ ]+ +\| train +\| [0-9a-f]{16} \| stored' \
+            "$cdir/warm-folds.log"
+        echo "== [stage-cache] warm run, only --topk changed"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --folds=3 --topk=3 --cache-dir="$cdir/cache" --explain \
+            --json="$cdir/warm-topk.json" > "$cdir/warm-topk.log"
+        # Fold scores replay from the cache; training never runs.
+        grep -Eq '/score/[^ ]+ +\| eval +\| [0-9a-f]{16} \| hit' \
+            "$cdir/warm-topk.log"
+        grep -Eq '/train/[^ ]+ +\| train +\| [0-9a-f]{16} \| skipped' \
+            "$cdir/warm-topk.log"
+        if grep -Eq '/train/[^ ]+ +\| train +\| [0-9a-f]{16} \| (stored|miss)' \
+            "$cdir/warm-topk.log"; then
+            echo "a --topk-only change retrained a fold" >&2
+            exit 1
+        fi
+        echo "== [stage-cache] warm artifacts vs fresh uncached runs"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --folds=2 --json="$cdir/fresh-folds.json" > /dev/null
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --folds=3 --topk=3 --json="$cdir/fresh-topk.json" > /dev/null
+        for variant in folds topk; do
+            # Per-stage rows carry Seconds keys (timing and cache
+            # provenance legitimately differ); the cache-dir spec echo
+            # differs by construction. Everything else must match.
+            if ! diff \
+                <(grep -v -e 'Seconds' -e 'cache-dir' \
+                    "$cdir/warm-$variant.json") \
+                <(grep -v -e 'Seconds' -e 'cache-dir' \
+                    "$cdir/fresh-$variant.json"); then
+                echo "warm-$variant artifact differs from a fresh run" >&2
+                exit 1
+            fi
+        done
+        echo "== [stage-cache] cached reuse is provenance-clean and" \
+             "bit-identical"
         ;;
       address|undefined|thread)
         san="$stage"
@@ -319,8 +383,8 @@ for stage in "${stages[@]}"; do
         ;;
       *)
         echo "unknown stage '$stage' (want lint-diff, lint, cppcheck," \
-             "cli-smoke, resume-smoke, simd, address, undefined, thread" \
-             "or threads8)" >&2
+             "cli-smoke, resume-smoke, simd, stage-cache, address," \
+             "undefined, thread or threads8)" >&2
         exit 2
         ;;
     esac

@@ -1,9 +1,12 @@
 #include "core/artifact.hh"
 
+#include <cinttypes>
 #include <cstdio>
 
 #include "base/atomic_file.hh"
 #include "base/logging.hh"
+#include "base/table.hh"
+#include "spec/spec.hh"
 
 namespace bigfish::core {
 
@@ -30,6 +33,14 @@ formatDouble(const char *fmt, double v)
     return buf;
 }
 
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
+}
+
 } // namespace
 
 RunArtifact::RunArtifact(std::string experiment, spec::RunSpec spec)
@@ -41,14 +52,16 @@ void
 RunArtifact::addResult(const std::string &label,
                        const FingerprintResult &result)
 {
-    collectCpuSeconds_ += result.collectCpuSeconds;
-    collectWallSeconds_ += result.collectSeconds;
-    featurizeCpuSeconds_ += result.featurizeCpuSeconds;
-    featurizeWallSeconds_ += result.featurizeSeconds;
-    trainCpuSeconds_ += result.trainCpuSeconds;
-    trainWallSeconds_ += result.trainWallSeconds;
-    evalCpuSeconds_ += result.evalCpuSeconds;
-    evalWallSeconds_ += result.evalWallSeconds;
+    // The per-stage table is the source of truth; the phase buckets
+    // are a rollup reduced from it. Skipped stages cost nothing and
+    // roll up as zero.
+    for (const StageReport &report : result.stages) {
+        addPhaseSeconds(report.phase, report.cpuSeconds,
+                        report.wallSeconds);
+        StageReport labeled = report;
+        labeled.name = label + "/" + report.name;
+        stages_.push_back(std::move(labeled));
+    }
     collectedTraces_ += result.collectedTraces;
     droppedTraces_ += result.droppedTraces;
     addMetric(label + "_top1", result.closedWorld.top1Mean);
@@ -113,9 +126,26 @@ RunArtifact::findMetric(const std::string &name) const
 }
 
 std::string
+RunArtifact::explainText() const
+{
+    Table table({"stage", "phase", "fingerprint", "cache", "cpu_s",
+                 "wall_s", "items", "dropped"});
+    for (const StageReport &report : stages_)
+        table.addRow({report.name, report.phase, hex16(report.fingerprint),
+                      stageCacheStateName(report.cache),
+                      formatDouble("%.3f", report.cpuSeconds),
+                      formatDouble("%.3f", report.wallSeconds),
+                      std::to_string(report.items),
+                      std::to_string(report.dropped)});
+    return table.render();
+}
+
+std::string
 RunArtifact::toJson() const
 {
     std::string out = "{\n";
+    out += "  \"schemaVersion\": " +
+           std::to_string(spec::kArtifactSchemaVersion) + ",\n";
     out += "  \"experiment\": " + quoteString(experiment_) + ",\n";
     out += "  \"threads\": " + std::to_string(threads_) + ",\n";
     out += "  \"spec\": " + spec_.paramsJson("  ") + ",\n";
@@ -155,6 +185,26 @@ RunArtifact::toJson() const
            ", \"evalCpuSeconds\": " + formatDouble("%.3f", evalCpuSeconds_) +
            ", \"evalWallSeconds\": " +
            formatDouble("%.3f", evalWallSeconds_) + "},\n";
+    // One line per stage, each carrying the *Seconds keys: timing and
+    // cache provenance legitimately differ between cold and warm runs,
+    // and the Seconds-line convention is what lets tooling diff
+    // everything else bit-for-bit.
+    out += "  \"stages\": [";
+    bool first_stage = true;
+    for (const StageReport &s : stages_) {
+        out += first_stage ? "\n" : ",\n";
+        first_stage = false;
+        out += "    {\"name\": " + quoteString(s.name) +
+               ", \"phase\": " + quoteString(s.phase) +
+               ", \"fingerprint\": " + quoteString(hex16(s.fingerprint)) +
+               ", \"cache\": " +
+               quoteString(stageCacheStateName(s.cache)) +
+               ", \"cpuSeconds\": " + formatDouble("%.3f", s.cpuSeconds) +
+               ", \"wallSeconds\": " + formatDouble("%.3f", s.wallSeconds) +
+               ", \"items\": " + std::to_string(s.items) +
+               ", \"dropped\": " + std::to_string(s.dropped) + "}";
+    }
+    out += first_stage ? "],\n" : "\n  ],\n";
     out += "  \"metrics\": {";
     first = true;
     for (const auto &[name, value] : metrics_) {

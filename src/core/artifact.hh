@@ -58,10 +58,11 @@ class RunArtifact
     const spec::RunSpec &spec() const { return spec_; }
 
     /**
-     * Accumulates @p result's phase timings and appends the standard
-     * metrics: `<label>_top1` always, `<label>_open_combined` when the
-     * run had an open world. (Same naming as the old BenchReport, so
-     * metric streams stay comparable across the refactor.)
+     * Appends @p result's per-stage table (stage names prefixed with
+     * "<label>/"), reduces it into the phase buckets, and appends the
+     * standard metrics: `<label>_top1` always, `<label>_open_combined`
+     * when the run had an open world. (Same naming as the old
+     * BenchReport, so metric streams stay comparable.)
      */
     void addResult(const std::string &label,
                    const FingerprintResult &result);
@@ -110,6 +111,16 @@ class RunArtifact
     const SeedProvenance &seedProvenance() const { return provenance_; }
     const std::vector<ExpectedValue> &expected() const { return expected_; }
 
+    /** The accumulated per-stage table (label-prefixed stage names). */
+    const std::vector<StageReport> &stages() const { return stages_; }
+
+    /**
+     * Human-readable per-stage table for `bigfish run --explain`:
+     * stage name, phase, input fingerprint, cache provenance and
+     * timing/accounting columns.
+     */
+    std::string explainText() const;
+
     /**
      * The artifact as JSON. Metrics print with six decimals and phases
      * with three — the old bench report's formats — and the resolved
@@ -130,6 +141,7 @@ class RunArtifact
     SeedProvenance provenance_;
     std::vector<ExpectedValue> expected_;
     std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<StageReport> stages_;
     double collectCpuSeconds_ = 0.0;
     double collectWallSeconds_ = 0.0;
     double featurizeCpuSeconds_ = 0.0;

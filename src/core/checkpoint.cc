@@ -1,6 +1,5 @@
 #include "core/checkpoint.hh"
 
-#include <array>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -8,6 +7,7 @@
 #include <sstream>
 
 #include "base/atomic_file.hh"
+#include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "core/collector.hh"
@@ -16,35 +16,8 @@ namespace bigfish::core {
 
 namespace {
 
-// ---------------------------------------------------------------------
-// CRC32 (IEEE 802.3 polynomial), table-driven. Frames every journal
-// record so torn writes and flipped bytes are detected on replay.
-
-const std::array<std::uint32_t, 256> &
-crcTable()
-{
-    static const std::array<std::uint32_t, 256> table = [] {
-        std::array<std::uint32_t, 256> t{};
-        for (std::uint32_t i = 0; i < 256; ++i) {
-            std::uint32_t c = i;
-            for (int bit = 0; bit < 8; ++bit)
-                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-            t[i] = c;
-        }
-        return t;
-    }();
-    return table;
-}
-
-std::uint32_t
-crc32(const std::string &data)
-{
-    std::uint32_t crc = 0xffffffffu;
-    for (const char byte : data)
-        crc = crcTable()[(crc ^ static_cast<unsigned char>(byte)) & 0xffu] ^
-              (crc >> 8);
-    return crc ^ 0xffffffffu;
-}
+// CRC32 (base/hash.hh) frames every journal record so torn writes and
+// flipped bytes are detected on replay.
 
 // ---------------------------------------------------------------------
 // Canonical text serialization. Doubles are written as hexfloats
@@ -114,17 +87,6 @@ addTimerSpec(Canonical &canon, const char *prefix,
     canon.add((p + ".rand.betaHi").c_str(), spec.randomized.betaHi);
     canon.add((p + ".rand.threshold").c_str(),
               static_cast<std::int64_t>(spec.randomized.threshold));
-}
-
-std::uint64_t
-fnv64(const std::string &text)
-{
-    std::uint64_t hash = 0xcbf2'9ce4'8422'2325ULL;
-    for (const char c : text) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x0000'0100'0000'01b3ULL;
-    }
-    return hash;
 }
 
 } // namespace

@@ -1,15 +1,16 @@
 #include "core/pipeline.hh"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <sstream>
 
 #include "base/logging.hh"
-#include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
 #include "core/checkpoint.hh"
-#include "core/feature_cache.hh"
+#include "core/stage_cache.hh"
 #include "stats/descriptive.hh"
 
 namespace bigfish::core {
@@ -62,114 +63,70 @@ distinctLabels(const attack::TraceSet &traces)
     return static_cast<int>(labels.size());
 }
 
-/**
- * Cross-validates one attacker's featurized datasets and fills the
- * result's evaluation + train/eval timing fields. Shared between the
- * collect path and the feature-cache replay path so both produce
- * bit-identical evaluations from identical datasets.
- */
-void
-evaluateDatasets(FingerprintResult &result, const PipelineConfig &pipeline,
-                 const ml::Dataset &closed_data,
-                 const ml::Dataset *open_data, Label non_sensitive)
+std::string
+hex16(std::uint64_t value)
 {
-    result.closedWorld =
-        ml::crossValidate(pipeline.factory, closed_data, pipeline.eval);
-    result.trainSeconds += result.closedWorld.trainSeconds;
-    result.evalSeconds += result.closedWorld.evalSeconds;
-    result.trainCpuSeconds += result.closedWorld.trainCpuSeconds;
-    result.trainWallSeconds += result.closedWorld.trainWallSeconds;
-    result.evalCpuSeconds += result.closedWorld.evalCpuSeconds;
-    result.evalWallSeconds += result.closedWorld.evalWallSeconds;
-    if (open_data != nullptr) {
-        result.openWorld = ml::evaluateOpenWorld(
-            pipeline.factory, *open_data, non_sensitive, pipeline.eval);
-        result.trainSeconds += result.openWorld.trainSeconds;
-        result.evalSeconds += result.openWorld.evalSeconds;
-        result.trainCpuSeconds += result.openWorld.trainCpuSeconds;
-        result.trainWallSeconds += result.openWorld.trainWallSeconds;
-        result.evalCpuSeconds += result.openWorld.evalCpuSeconds;
-        result.evalWallSeconds += result.openWorld.evalWallSeconds;
-        result.hasOpenWorld = true;
-    }
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
 }
 
-} // namespace
-
-Result<std::vector<FingerprintResult>>
-runFingerprintingShared(const CollectionConfig &collection,
-                        std::span<const attack::AttackerKind> attackers,
-                        const PipelineConfig &pipeline)
+/** Bit-exact hexfloat text for canonical config lines. */
+std::string
+hexDouble(double v)
 {
-    if (attackers.empty())
-        return Status(
-            invalidArgumentError("need at least one attacker kind"));
-    if (pipeline.numSites < 2)
-        return Status(invalidArgumentError("need at least two sites"));
-    if (pipeline.eval.folds < 2)
-        return Status(
-            invalidArgumentError("cross-validation needs >= 2 folds"));
-    const Label non_sensitive = pipeline.numSites;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
 
-    // Feature cache: probe every attacker's entry before collecting
-    // anything (all-or-nothing — a partial hit still has to pay the
-    // shared collection, so it is treated as a miss). On a full hit the
-    // cached datasets replay bit-identically and both the collection
-    // and featurization phases are skipped outright.
-    std::optional<FeatureCache> cache;
-    std::vector<std::uint64_t> cache_keys;
-    if (!pipeline.cacheDir.empty()) {
-        Result<FeatureCache> opened = FeatureCache::open(pipeline.cacheDir);
-        if (!opened.isOk())
-            return Status(opened.status());
-        cache = std::move(opened.value());
-        const std::uint64_t fp = collectionFingerprint(
-            collection, pipeline.catalogSeed, pipeline.numSites,
-            pipeline.openWorldExtra, attackers);
-        cache_keys.reserve(attackers.size());
-        for (const auto kind : attackers)
-            cache_keys.push_back(
-                featureCacheKey(fp, pipeline.featureLen, pipeline.numSites,
-                                pipeline.openWorldExtra, kind));
-        std::vector<FeatureCache::Entry> cached;
-        cached.reserve(attackers.size());
-        for (const std::uint64_t key : cache_keys) {
-            std::optional<FeatureCache::Entry> entry = cache->lookup(key);
-            if (!entry)
-                break;
-            cached.push_back(std::move(*entry));
-        }
-        if (cached.size() == attackers.size()) {
-            std::printf("feature cache: hit, %zu entr%s from %s; "
-                        "skipping collection and featurization\n",
-                        cached.size(), cached.size() == 1 ? "y" : "ies",
-                        cache->dir().c_str());
-            std::vector<FingerprintResult> results(attackers.size());
-            for (std::size_t a = 0; a < attackers.size(); ++a) {
-                FingerprintResult &result = results[a];
-                const FeatureCache::Entry &entry = cached[a];
-                result.droppedTraces =
-                    static_cast<std::size_t>(entry.droppedTraces);
-                result.collectedTraces =
-                    static_cast<std::size_t>(entry.collectedTraces);
-                evaluateDatasets(result, pipeline, entry.closedWorld,
-                                 entry.hasOpenWorld ? &entry.openWorld
-                                                    : nullptr,
-                                 non_sensitive);
-            }
-            return results;
-        }
-        std::printf("feature cache: miss in %s; collecting\n",
-                    cache->dir().c_str());
-    }
+/** Everything the shared collection sweep produces, per attacker. */
+struct CollectOutput
+{
+    std::vector<attack::TraceSet> closed;
+    std::vector<attack::TraceSet> openExtra;
+    std::vector<CollectionStats> closedStats;
+    std::vector<CollectionStats> openStats;
+};
 
+/** The declared stage ids one attacker/world evaluation owns. */
+struct WorldStages
+{
+    std::size_t split = 0;
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> score;
+    std::size_t aggregate = 0;
+};
+
+/** Canonical featurization text — any change to what toDataset()
+ *  produces must bump the format line. */
+std::string
+featurizeCanon(const PipelineConfig &pipeline, attack::AttackerKind kind)
+{
+    std::ostringstream canon;
+    canon << "format=bigfish-features-v1\n"
+          << "featureLen=" << pipeline.featureLen << '\n'
+          << "numSites=" << pipeline.numSites << '\n'
+          << "openExtra=" << pipeline.openWorldExtra << '\n'
+          << "attacker=" << attack::attackerKindName(kind) << '\n';
+    return canon.str();
+}
+
+/**
+ * The Collect stage body: shared-timeline trace collection for every
+ * attacker, with checkpoint journaling/resume when a checkpointDir is
+ * configured. `--resume` therefore composes with the stage cache: the
+ * journal makes a *partial* collection restartable, the cache makes a
+ * *finished* collection (and everything downstream) skippable.
+ */
+Result<CollectOutput>
+collectStageBody(const CollectionConfig &collection,
+                 std::span<const attack::AttackerKind> attackers,
+                 const PipelineConfig &pipeline, Label non_sensitive)
+{
     const web::SiteCatalog catalog(pipeline.numSites, pipeline.catalogSeed);
     TraceCollector collector(collection);
 
-    // With a checkpoint directory configured, completed (site, run)
-    // cells are journaled and a re-run under the same configuration
-    // (content-addressed by fingerprint) resumes instead of
-    // recollecting. The journal must outlive both collection sweeps.
     std::unique_ptr<CheckpointJournal> journal;
     if (!pipeline.checkpointDir.empty()) {
         Result<std::unique_ptr<CheckpointJournal>> opened =
@@ -194,110 +151,390 @@ runFingerprintingShared(const CollectionConfig &collection,
         collector.setCheckpoint(journal.get());
     }
 
-    // Collect every attacker's trace sets from shared timelines, then
-    // split the shared wall-clock evenly so summing per-attacker results
-    // reports the collection cost once.
-    std::vector<CollectionStats> closed_stats;
-    Stopwatch watch;
-    ProcessCpuStopwatch cpu_watch;
+    CollectOutput out;
     Result<std::vector<attack::TraceSet>> closed_result =
         collector.collectClosedWorldMulti(catalog, pipeline.tracesPerSite,
-                                          attackers, &closed_stats);
-    const double share = 1.0 / static_cast<double>(attackers.size());
-    double collect_share = watch.lap() * share;
-    double collect_cpu_share = cpu_watch.lap() * share;
+                                          attackers, &out.closedStats);
     if (!closed_result.isOk())
         return Status(closed_result.status());
-    std::vector<attack::TraceSet> closed = std::move(closed_result.value());
+    out.closed = std::move(closed_result.value());
 
-    std::vector<attack::TraceSet> open_extra;
-    std::vector<CollectionStats> open_stats(attackers.size());
+    out.openStats.resize(attackers.size());
     if (pipeline.openWorldExtra > 0) {
-        watch.reset();
-        cpu_watch.reset();
         Result<std::vector<attack::TraceSet>> extra_result =
             collector.collectOpenWorldMulti(catalog,
                                             pipeline.openWorldExtra,
                                             non_sensitive, attackers,
-                                            &open_stats);
-        collect_share += watch.lap() * share;
-        collect_cpu_share += cpu_watch.lap() * share;
+                                            &out.openStats);
         if (!extra_result.isOk())
             return Status(extra_result.status());
-        open_extra = std::move(extra_result.value());
+        out.openExtra = std::move(extra_result.value());
     }
+    return out;
+}
+
+/**
+ * The Featurize stage body for one attacker: degraded-collection
+ * checks, then toDataset() for the closed world and (when enabled) the
+ * merged open world, with trace accounting.
+ */
+Result<FeaturizedEntry>
+featurizeStageBody(const CollectOutput &collected, std::size_t a,
+                   const PipelineConfig &pipeline)
+{
+    const attack::TraceSet &closed = collected.closed[a];
+    const CollectionStats &closed_stats = collected.closedStats[a];
+
+    // Dropped traces must leave enough data for the evaluation
+    // protocol to be meaningful; otherwise fail recoverably rather
+    // than letting the CV machinery hit its own preconditions.
+    if (distinctLabels(closed) < 2)
+        return Status(exhaustedError(
+            "degraded collection left fewer than two closed-world "
+            "classes (" + std::to_string(closed_stats.dropped) + " of " +
+            std::to_string(closed_stats.attempted) + " traces dropped)"));
+    if (closed.size() < static_cast<std::size_t>(pipeline.eval.folds))
+        return Status(exhaustedError(
+            "degraded collection left " + std::to_string(closed.size()) +
+            " closed-world traces, fewer than the " +
+            std::to_string(pipeline.eval.folds) + " CV folds"));
+
+    FeaturizedEntry entry;
+    entry.droppedTraces = closed_stats.dropped;
+    entry.collectedTraces = closed_stats.collected;
+    entry.closedWorld =
+        toDataset(closed, pipeline.featureLen, pipeline.numSites);
+
+    entry.hasOpenWorld = pipeline.openWorldExtra > 0;
+    if (entry.hasOpenWorld) {
+        // The paper's open world: closed-world traces keep their site
+        // labels ("sensitive"); one extra class holds all one-off
+        // "non-sensitive" traces.
+        entry.droppedTraces += collected.openStats[a].dropped;
+        entry.collectedTraces += collected.openStats[a].collected;
+        attack::TraceSet open = closed;
+        open.traces.reserve(closed.size() +
+                            collected.openExtra[a].traces.size());
+        for (const auto &trace : collected.openExtra[a].traces)
+            open.add(trace);
+        entry.openWorld =
+            toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
+    }
+    return entry;
+}
+
+/**
+ * Declares and executes one attacker/world evaluation: FoldSplit, then
+ * TrainFold/ScoreFold per fold on the thread pool (each fold probes
+ * its ScoreFold cache entry first — a hit skips training that fold
+ * entirely), then Aggregate. Bit-identical at any thread count: fold
+ * seeds and aggregation order are fixed at declaration time.
+ */
+Result<ml::EvalResult>
+runWorld(StageGraph &graph, const WorldStages &stages,
+         const PipelineConfig &pipeline, const ml::Dataset &data,
+         std::uint64_t seed_base, bool open_world, Label non_sensitive)
+{
+    Result<std::vector<ml::FoldSplit>> splits = graph.run<
+        std::vector<ml::FoldSplit>>(
+        stages.split, nullptr,
+        [&]() -> Result<std::vector<ml::FoldSplit>> {
+            return ml::kFoldSplits(data.size(), pipeline.eval.folds,
+                                   pipeline.eval.valFraction,
+                                   pipeline.eval.seed);
+        });
+    if (!splits.isOk())
+        return Status(splits.status());
+    const std::vector<ml::FoldSplit> &fold_splits = splits.value();
+    graph.setCounts(stages.split, fold_splits.size(), 0);
+
+    // Models are cacheable only when the factory publishes a canonical
+    // hyperparameter text; without one, two different classifiers could
+    // share a fingerprint, so neither models nor scores may persist.
+    const bool cacheable = !pipeline.factory.canon.empty();
+    const StageCodec<ml::FoldScores> scores_codec{
+        "scores", &encodeFoldScores, &decodeFoldScores};
+
+    auto fold_results = parallelMap(
+        fold_splits.size(), [&](std::size_t f) -> Result<ml::FoldScores> {
+            // Probe the fold's final output first: a ScoreFold hit
+            // makes its TrainFold unnecessary (it stays Skipped).
+            if (cacheable) {
+                std::optional<ml::FoldScores> cached = graph.fromCache(
+                    stages.score[f], scores_codec, /*threadCpu=*/true);
+                if (cached)
+                    return std::move(*cached);
+            }
+            const std::uint64_t seed = pipeline.eval.seed + seed_base + f;
+            const StageCodec<std::unique_ptr<ml::Classifier>> model_codec{
+                "model",
+                [](const std::unique_ptr<ml::Classifier> &model) {
+                    return model->saveModel();
+                },
+                [&, seed](const std::string &text)
+                    -> std::optional<std::unique_ptr<ml::Classifier>> {
+                    auto model = pipeline.factory(
+                        data.numClasses, data.featureLen(), seed);
+                    if (!model->loadModel(text))
+                        return std::nullopt;
+                    return model;
+                }};
+            Result<std::unique_ptr<ml::Classifier>> model =
+                graph.run<std::unique_ptr<ml::Classifier>>(
+                    stages.train[f], cacheable ? &model_codec : nullptr,
+                    [&]() -> Result<std::unique_ptr<ml::Classifier>> {
+                        return ml::trainFoldClassifier(
+                            pipeline.factory, data, fold_splits[f], seed);
+                    },
+                    /*probe=*/true, /*threadCpu=*/true);
+            if (!model.isOk())
+                return Status(model.status());
+            graph.setCounts(stages.train[f], fold_splits[f].train.size(),
+                            0);
+            return graph.run<ml::FoldScores>(
+                stages.score[f], cacheable ? &scores_codec : nullptr,
+                [&]() -> Result<ml::FoldScores> {
+                    return ml::scoreFold(*model.value(), data,
+                                         fold_splits[f].test);
+                },
+                /*probe=*/false, /*threadCpu=*/true);
+        });
+
+    std::vector<ml::FoldScores> folds;
+    folds.reserve(fold_results.size());
+    for (std::size_t f = 0; f < fold_results.size(); ++f) {
+        if (!fold_results[f].isOk())
+            return Status(fold_results[f].status());
+        graph.setCounts(stages.score[f],
+                        fold_results[f].value().truths.size(), 0);
+        folds.push_back(std::move(fold_results[f].value()));
+    }
+
+    return graph.run<ml::EvalResult>(
+        stages.aggregate, nullptr, [&]() -> Result<ml::EvalResult> {
+            if (open_world)
+                return ml::aggregateFoldsOpenWorld(folds, non_sensitive,
+                                                   pipeline.eval.topK);
+            return ml::aggregateFolds(folds, pipeline.eval.topK);
+        });
+}
+
+} // namespace
+
+Result<std::vector<FingerprintResult>>
+runFingerprintingShared(const CollectionConfig &collection,
+                        std::span<const attack::AttackerKind> attackers,
+                        const PipelineConfig &pipeline)
+{
+    if (attackers.empty())
+        return Status(
+            invalidArgumentError("need at least one attacker kind"));
+    if (pipeline.numSites < 2)
+        return Status(invalidArgumentError("need at least two sites"));
+    if (pipeline.eval.folds < 2)
+        return Status(
+            invalidArgumentError("cross-validation needs >= 2 folds"));
+    const Label non_sensitive = pipeline.numSites;
+    const bool has_open = pipeline.openWorldExtra > 0;
+
+    std::optional<StageCache> cache;
+    if (!pipeline.cacheDir.empty()) {
+        Result<StageCache> opened = StageCache::open(pipeline.cacheDir);
+        if (!opened.isOk())
+            return Status(opened.status());
+        cache = std::move(opened.value());
+    }
+    StageGraph graph(cache ? &*cache : nullptr);
+
+    // Declare the whole graph up front: every stage's fingerprint is a
+    // pure function of configuration (checkpointDir/cacheDir excluded —
+    // they affect where work happens, never what it computes), so a
+    // warm run can probe the cache bottom-up before running anything.
+    const std::uint64_t collection_fp = collectionFingerprint(
+        collection, pipeline.catalogSeed, pipeline.numSites,
+        pipeline.openWorldExtra, attackers);
+    const std::size_t collect_id = graph.declare(
+        "collect", "collect", "collection=" + hex16(collection_fp) + "\n",
+        {});
+
+    const StageCodec<FeaturizedEntry> featurized_codec{
+        "featurized", &encodeFeaturized, &decodeFeaturized};
+    std::vector<std::size_t> feat_ids;
+    feat_ids.reserve(attackers.size());
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        const std::size_t upstream[] = {collect_id};
+        feat_ids.push_back(graph.declare(
+            std::string("featurize/") +
+                attack::attackerKindName(attackers[a]),
+            "featurize", featurizeCanon(pipeline, attackers[a]), upstream));
+    }
+
+    struct AttackerStages
+    {
+        WorldStages closed;
+        WorldStages open;
+    };
+    std::vector<AttackerStages> attacker_stages(attackers.size());
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        const std::string who = attack::attackerKindName(attackers[a]);
+        const auto declare_world = [&](const char *world,
+                                       std::uint64_t seed_base) {
+            WorldStages stages;
+            std::ostringstream split_canon;
+            split_canon << "folds=" << pipeline.eval.folds << '\n'
+                        << "valFraction="
+                        << hexDouble(pipeline.eval.valFraction) << '\n'
+                        << "seed=" << pipeline.eval.seed << '\n'
+                        << "world=" << world << '\n';
+            const std::size_t split_upstream[] = {feat_ids[a]};
+            stages.split = graph.declare("split/" + who + "/" + world,
+                                         "eval", split_canon.str(),
+                                         split_upstream);
+            stages.train.reserve(pipeline.eval.folds);
+            stages.score.reserve(pipeline.eval.folds);
+            for (int f = 0; f < pipeline.eval.folds; ++f) {
+                std::ostringstream train_canon;
+                train_canon << "fold=" << f << '\n'
+                            << "seed="
+                            << pipeline.eval.seed + seed_base +
+                                   static_cast<std::uint64_t>(f)
+                            << '\n'
+                            << pipeline.factory.canon;
+                const std::size_t train_upstream[] = {stages.split};
+                const std::string fold_tag =
+                    "/" + who + "/" + world + "/f" + std::to_string(f);
+                stages.train.push_back(graph.declare(
+                    "train" + fold_tag, "train", train_canon.str(),
+                    train_upstream));
+                const std::size_t score_upstream[] = {stages.train.back()};
+                stages.score.push_back(graph.declare(
+                    "score" + fold_tag, "eval", "", score_upstream));
+            }
+            std::ostringstream agg_canon;
+            agg_canon << "topK=" << pipeline.eval.topK << '\n'
+                      << "world=" << world << '\n';
+            stages.aggregate = graph.declare(
+                "aggregate/" + who + "/" + world, "eval", agg_canon.str(),
+                stages.score);
+            return stages;
+        };
+        attacker_stages[a].closed =
+            declare_world("closed", ml::kClosedWorldFoldSeedBase);
+        if (has_open)
+            attacker_stages[a].open =
+                declare_world("open", ml::kOpenWorldFoldSeedBase);
+    }
+
+    // Probe every attacker's Featurize entry before collecting anything
+    // (all-or-nothing — a partial hit still has to pay the shared
+    // collection, so it is treated as a miss). On a full hit the cached
+    // datasets replay bit-identically and the Collect stage never runs.
+    std::vector<FeaturizedEntry> featurized;
+    if (cache) {
+        featurized.reserve(attackers.size());
+        for (const std::size_t id : feat_ids) {
+            std::optional<FeaturizedEntry> entry =
+                graph.fromCache(id, featurized_codec);
+            if (!entry)
+                break;
+            featurized.push_back(std::move(*entry));
+        }
+        if (featurized.size() == attackers.size())
+            std::printf("stage cache: hit, %zu featurized entr%s from %s; "
+                        "skipping collection and featurization\n",
+                        featurized.size(),
+                        featurized.size() == 1 ? "y" : "ies",
+                        cache->dir().c_str());
+        else
+            std::printf("stage cache: featurized miss in %s; collecting\n",
+                        cache->dir().c_str());
+    }
+
+    if (featurized.size() != attackers.size()) {
+        featurized.clear();
+        Result<CollectOutput> collected = graph.run<CollectOutput>(
+            collect_id, nullptr, [&]() -> Result<CollectOutput> {
+                return collectStageBody(collection, attackers, pipeline,
+                                        non_sensitive);
+            });
+        if (!collected.isOk())
+            return Status(collected.status());
+        std::size_t total_collected = 0, total_dropped = 0;
+        for (std::size_t a = 0; a < attackers.size(); ++a) {
+            // Featurization stores before the folds evaluate: a run
+            // killed mid-training still leaves the expensive upstream
+            // phases cached for the next attempt. A failed store
+            // degrades to an uncached run, never a failed one.
+            Result<FeaturizedEntry> entry = graph.run<FeaturizedEntry>(
+                feat_ids[a], &featurized_codec,
+                [&]() -> Result<FeaturizedEntry> {
+                    return featurizeStageBody(collected.value(), a,
+                                              pipeline);
+                },
+                /*probe=*/false);
+            if (!entry.isOk())
+                return Status(entry.status());
+            total_collected +=
+                static_cast<std::size_t>(entry.value().collectedTraces);
+            total_dropped +=
+                static_cast<std::size_t>(entry.value().droppedTraces);
+            featurized.push_back(std::move(entry.value()));
+        }
+        graph.setCounts(collect_id, total_collected, total_dropped);
+    }
+    for (std::size_t a = 0; a < attackers.size(); ++a)
+        graph.setCounts(
+            feat_ids[a],
+            static_cast<std::size_t>(featurized[a].collectedTraces),
+            static_cast<std::size_t>(featurized[a].droppedTraces));
 
     std::vector<FingerprintResult> results(attackers.size());
     for (std::size_t a = 0; a < attackers.size(); ++a) {
         FingerprintResult &result = results[a];
-        result.collectSeconds = collect_share;
-        result.collectCpuSeconds = collect_cpu_share;
-        result.droppedTraces += closed_stats[a].dropped;
-        result.collectedTraces += closed_stats[a].collected;
+        const FeaturizedEntry &entry = featurized[a];
+        result.droppedTraces =
+            static_cast<std::size_t>(entry.droppedTraces);
+        result.collectedTraces =
+            static_cast<std::size_t>(entry.collectedTraces);
 
-        // Dropped traces must leave enough data for the evaluation
-        // protocol to be meaningful; otherwise fail recoverably rather
-        // than letting the CV machinery hit its own preconditions.
-        if (distinctLabels(closed[a]) < 2)
-            return Status(exhaustedError(
-                "degraded collection left fewer than two closed-world "
-                "classes (" + std::to_string(closed_stats[a].dropped) +
-                " of " + std::to_string(closed_stats[a].attempted) +
-                " traces dropped)"));
-        if (closed[a].size() <
-            static_cast<std::size_t>(pipeline.eval.folds))
-            return Status(exhaustedError(
-                "degraded collection left " +
-                std::to_string(closed[a].size()) +
-                " closed-world traces, fewer than the " +
-                std::to_string(pipeline.eval.folds) + " CV folds"));
+        Result<ml::EvalResult> closed = runWorld(
+            graph, attacker_stages[a].closed, pipeline, entry.closedWorld,
+            ml::kClosedWorldFoldSeedBase, false, non_sensitive);
+        if (!closed.isOk())
+            return Status(closed.status());
+        result.closedWorld = std::move(closed.value());
 
-        watch.reset();
-        cpu_watch.reset();
-        const ml::Dataset closed_data =
-            toDataset(closed[a], pipeline.featureLen, pipeline.numSites);
-        result.featurizeSeconds += watch.lap();
-        result.featurizeCpuSeconds += cpu_watch.lap();
-
-        const bool has_open = pipeline.openWorldExtra > 0;
-        ml::Dataset open_data;
         if (has_open) {
-            // The paper's open world: closed-world traces keep their
-            // site labels ("sensitive"); one extra class holds all
-            // one-off "non-sensitive" traces.
-            result.droppedTraces += open_stats[a].dropped;
-            result.collectedTraces += open_stats[a].collected;
-
-            attack::TraceSet open = closed[a];
-            open.traces.reserve(closed[a].size() +
-                                open_extra[a].traces.size());
-            for (auto &trace : open_extra[a].traces)
-                open.add(std::move(trace));
-            watch.reset();
-            cpu_watch.reset();
-            open_data =
-                toDataset(open, pipeline.featureLen, pipeline.numSites + 1);
-            result.featurizeSeconds += watch.lap();
-            result.featurizeCpuSeconds += cpu_watch.lap();
+            Result<ml::EvalResult> open = runWorld(
+                graph, attacker_stages[a].open, pipeline, entry.openWorld,
+                ml::kOpenWorldFoldSeedBase, true, non_sensitive);
+            if (!open.isOk())
+                return Status(open.status());
+            result.openWorld = std::move(open.value());
+            result.hasOpenWorld = true;
         }
+    }
 
-        // Store before evaluating: a run killed mid-training still
-        // leaves the expensive phases cached for the next attempt. A
-        // failed store degrades to an uncached run, never a failed one.
-        if (cache) {
-            FeatureCache::Entry entry;
-            entry.closedWorld = closed_data;
-            entry.openWorld = open_data;
-            entry.hasOpenWorld = has_open;
-            entry.droppedTraces = result.droppedTraces;
-            entry.collectedTraces = result.collectedTraces;
-            Status stored = cache->storeEntry(cache_keys[a], entry);
-            if (!stored.isOk())
-                warn("feature cache store failed: " + stored.message());
-        }
-
-        evaluateDatasets(result, pipeline, closed_data,
-                         has_open ? &open_data : nullptr, non_sensitive);
+    // Distribute the stage table: the shared Collect stage goes to the
+    // first attacker only, so summing per-attacker tables counts it
+    // once; everything else is owned by exactly one attacker.
+    const auto &reports = graph.reports();
+    for (std::size_t a = 0; a < attackers.size(); ++a) {
+        FingerprintResult &result = results[a];
+        if (a == 0)
+            result.stages.push_back(reports[collect_id]);
+        result.stages.push_back(reports[feat_ids[a]]);
+        const auto append_world = [&](const WorldStages &stages) {
+            result.stages.push_back(reports[stages.split]);
+            for (std::size_t f = 0; f < stages.train.size(); ++f) {
+                result.stages.push_back(reports[stages.train[f]]);
+                result.stages.push_back(reports[stages.score[f]]);
+            }
+            result.stages.push_back(reports[stages.aggregate]);
+        };
+        append_world(attacker_stages[a].closed);
+        if (has_open)
+            append_world(attacker_stages[a].open);
     }
     return results;
 }

@@ -8,6 +8,14 @@
  * returns Table-ready accuracy numbers for the closed-world and
  * open-world settings.
  *
+ * Internally the run is a declared stage graph (core/stage.hh):
+ * Collect → Featurize per attacker → per world FoldSplit →
+ * TrainFold×k → ScoreFold×k → Aggregate. Every stage is
+ * content-addressed, so with a cacheDir any upstream prefix whose
+ * fingerprints match a previous run replays from the stage cache
+ * bit-identically, and the per-stage timing/cache table comes back in
+ * FingerprintResult::stages.
+ *
  * Error contract: runFingerprinting() returns Result<FingerprintResult>.
  * Traces that come back unusable (fault-truncated, empty) are dropped
  * with accounting in FingerprintResult::droppedTraces rather than
@@ -23,6 +31,7 @@
 
 #include "base/result.hh"
 #include "core/collector.hh"
+#include "core/stage.hh"
 #include "ml/classifier.hh"
 #include "ml/evaluation.hh"
 
@@ -56,11 +65,14 @@ struct PipelineConfig
      */
     std::string checkpointDir;
     /**
-     * Featurized-dataset cache directory ("" disables caching). When
-     * set, the featurized evaluation inputs are stored content-
-     * addressed (core/feature_cache.hh) and a re-run with the same
-     * collection + featurization configuration skips collection and
-     * featurization entirely, replaying the datasets bit-identically.
+     * Stage cache directory ("" disables caching). When set, every
+     * cacheable stage output — featurized datasets, trained fold
+     * models, per-fold evaluation scores — is stored content-addressed
+     * (core/stage_cache.hh) and a re-run reuses whatever upstream
+     * prefix of the stage graph still fingerprints the same, replaying
+     * it bit-identically: changing only evaluation settings skips
+     * collection, featurization and (for eval-only knobs like topK)
+     * training too.
      */
     std::string cacheDir;
 };
@@ -78,30 +90,16 @@ struct FingerprintResult
     /** Traces that made it into the evaluation across both worlds. */
     std::size_t collectedTraces = 0;
 
-    /** Wall-clock seconds collecting traces (closed + open world). */
-    double collectSeconds = 0.0;
-    /** Wall-clock seconds featurizing trace sets into datasets. */
-    double featurizeSeconds = 0.0;
     /**
-     * Per-fold fit()/test-scoring *wall* seconds summed across both
-     * worlds' evaluations. Fold walls overlap under parallel folds (and
-     * inflate under timeshared cores), so these exceed the wall clock
-     * the phases actually took; kept for historical comparability —
-     * report the Cpu/Wall pairs below instead.
+     * The per-stage execution table: one StageReport per stage this
+     * result's attacker owns (name, phase, fingerprint, cache
+     * provenance, CPU/wall seconds, item/drop accounting). This
+     * replaces the former ad-hoc per-phase *Seconds fields; phase
+     * rollups are reduced from it by RunArtifact. In shared runs the
+     * Collect stage appears only in the first attacker's table, so
+     * summing per-attacker tables counts the shared collection once.
      */
-    double trainSeconds = 0.0;
-    double evalSeconds = 0.0;
-
-    /** Process-CPU seconds of the collection phase. */
-    double collectCpuSeconds = 0.0;
-    /** Process-CPU seconds of the featurization phase. */
-    double featurizeCpuSeconds = 0.0;
-    /** Process-CPU / true wall seconds of the training (fit) phase. */
-    double trainCpuSeconds = 0.0;
-    double trainWallSeconds = 0.0;
-    /** Process-CPU / true wall seconds of the test-scoring phase. */
-    double evalCpuSeconds = 0.0;
-    double evalWallSeconds = 0.0;
+    std::vector<StageReport> stages;
 };
 
 /**
@@ -134,9 +132,9 @@ runFingerprintingOrDie(const CollectionConfig &collection,
  * synthesis and timer seeding never depend on the attacker.
  *
  * @p collection's own `attacker` field is ignored; results are returned
- * in @p attackers order. The shared collection wall-clock is split
- * evenly across the per-attacker collectSeconds so summing results does
- * not double-count.
+ * in @p attackers order. The shared Collect stage is reported once, in
+ * the first result's stage table, so summing results does not
+ * double-count it.
  */
 [[nodiscard]] Result<std::vector<FingerprintResult>>
 runFingerprintingShared(const CollectionConfig &collection,

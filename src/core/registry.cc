@@ -62,6 +62,8 @@ commonScaleSchema()
                 "classifier input length")
         .addInt("folds", "BF_FOLDS", 5, 2, 1000,
                 "cross-validation folds (paper 10)")
+        .addInt("topk", "BF_TOPK", 5, 1, 1000,
+                "k for the top-k accuracy metric (eval-only knob)")
         .addInt("seed", "BF_SEED", 2022, 0,
                 std::numeric_limits<long long>::max(), "master seed")
         .addBool("paper-model", "", false,
@@ -71,7 +73,8 @@ commonScaleSchema()
         .addString("resume", "BF_RESUME", "",
                    "checkpoint/resume directory (\"\" disables)")
         .addString("cache-dir", "BF_CACHE_DIR", "",
-                   "featurized-dataset cache directory (\"\" disables)")
+                   "stage cache directory: featurized data, fold models "
+                   "and fold scores (\"\" disables)")
         .addInt("io-crash-after", "BF_IO_CRASH_AFTER", 0, 0, 1000000000,
                 "fault injection: crash after N checkpoint records")
         .addInt("io-torn-bytes", "BF_IO_TORN_BYTES", 0, 0, 1000000000,
@@ -89,6 +92,7 @@ scaleFromSpec(const spec::RunSpec &run_spec)
     scale.featureLen =
         static_cast<std::size_t>(run_spec.getInt("features"));
     scale.folds = static_cast<int>(run_spec.getInt("folds"));
+    scale.topK = static_cast<int>(run_spec.getInt("topk"));
     scale.seed = static_cast<std::uint64_t>(run_spec.getInt("seed"));
     scale.paperModel = run_spec.getBool("paper-model");
     scale.threads = static_cast<int>(run_spec.getInt("threads"));
@@ -141,6 +145,7 @@ pipelineForScale(const ExperimentScale &scale)
     pipeline.featureLen = scale.featureLen;
     pipeline.eval.folds = scale.folds;
     pipeline.eval.seed = scale.seed;
+    pipeline.eval.topK = scale.topK;
     pipeline.factory = classifierForScale(scale);
     pipeline.checkpointDir = scale.resumeDir;
     pipeline.cacheDir = scale.cacheDir;

@@ -111,12 +111,16 @@ struct ExperimentScale
     int openWorldExtra = 60;
     std::size_t featureLen = 256;
     int folds = 5;
+    /** k for the top-k accuracy metric (eval-only: never affects
+     *  collection, featurization or training fingerprints). */
+    int topK = 5;
     std::uint64_t seed = 2022;
     bool paperModel = false;
     int threads = 0;
     /** Checkpoint/resume directory ("" disables journaling). */
     std::string resumeDir;
-    /** Featurized-dataset cache directory ("" disables caching). */
+    /** Stage cache directory (featurized data, fold models, fold
+     *  scores; "" disables caching). */
     std::string cacheDir;
     /** IO fault injection: crash after N journal records (0 = off). */
     int ioCrashAfterRecords = 0;

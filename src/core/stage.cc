@@ -1,0 +1,61 @@
+#include "core/stage.hh"
+
+#include "base/hash.hh"
+#include "base/rng.hh"
+
+namespace bigfish::core {
+
+const char *
+stageCacheStateName(StageCacheState state)
+{
+    switch (state) {
+    case StageCacheState::Disabled:
+        return "disabled";
+    case StageCacheState::Uncached:
+        return "uncached";
+    case StageCacheState::Miss:
+        return "miss";
+    case StageCacheState::Hit:
+        return "hit";
+    case StageCacheState::Stored:
+        return "stored";
+    case StageCacheState::StoreFailed:
+        return "store-failed";
+    case StageCacheState::Skipped:
+        return "skipped";
+    }
+    return "unknown";
+}
+
+std::uint64_t
+stageFingerprint(std::string_view name, std::string_view canon,
+                 std::span<const std::uint64_t> upstream)
+{
+    std::string text = "stage=";
+    text += name;
+    text += '\n';
+    text += canon;
+    std::uint64_t hash = mix64(fnv64(text) ^ 0x9d4c'72ab'51e8'3f06ULL);
+    for (const std::uint64_t up : upstream)
+        hash = mix64(hash ^ up);
+    return hash;
+}
+
+std::size_t
+StageGraph::declare(std::string name, std::string phase,
+                    std::string_view canon,
+                    std::span<const std::size_t> upstream)
+{
+    std::vector<std::uint64_t> upstream_fps;
+    upstream_fps.reserve(upstream.size());
+    for (const std::size_t id : upstream)
+        upstream_fps.push_back(reports_[id].fingerprint);
+    StageReport report;
+    report.fingerprint = stageFingerprint(name, canon, upstream_fps);
+    report.name = std::move(name);
+    report.phase = std::move(phase);
+    reports_.push_back(std::move(report));
+    return reports_.size() - 1;
+}
+
+} // namespace bigfish::core

@@ -1,0 +1,395 @@
+#include "core/stage_cache.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "base/atomic_file.hh"
+#include "base/hash.hh"
+#include "base/logging.hh"
+
+namespace bigfish::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+    return buf;
+}
+
+constexpr char kHeaderPrefix[] = "# bigfish-stage-cache v1 kind=";
+constexpr char kEntrySuffix[] = ".bfc";
+
+/** Serializes one dataset section: a shape line then one row per
+ *  sample, features as bit-exact hexfloats. */
+void
+writeDataset(std::ostringstream &out, const char *name,
+             const ml::Dataset &data)
+{
+    out << name << ' ' << data.features.size() << ' ' << data.featureLen()
+        << ' ' << data.numClasses << '\n';
+    char buf[48];
+    for (std::size_t i = 0; i < data.features.size(); ++i) {
+        out << "row " << data.labels[i];
+        for (const double v : data.features[i]) {
+            std::snprintf(buf, sizeof(buf), "%a", v);
+            out << ' ' << buf;
+        }
+        out << '\n';
+    }
+}
+
+/** Parses the section written by writeDataset(); false on mismatch. */
+bool
+readDataset(std::istringstream &in, const char *name, ml::Dataset &data)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    std::istringstream header(line);
+    std::string tag;
+    std::size_t rows = 0, cols = 0;
+    int classes = 0;
+    if (!(header >> tag >> rows >> cols >> classes) || tag != name)
+        return false;
+    data.features.clear();
+    data.labels.clear();
+    data.numClasses = classes;
+    data.features.reserve(rows);
+    data.labels.reserve(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+        if (!std::getline(in, line))
+            return false;
+        if (line.rfind("row ", 0) != 0)
+            return false;
+        const char *cursor = line.c_str() + 4;
+        char *end = nullptr;
+        const long label = std::strtol(cursor, &end, 10);
+        if (end == cursor)
+            return false;
+        cursor = end;
+        std::vector<double> x(cols);
+        for (std::size_t j = 0; j < cols; ++j) {
+            x[j] = std::strtod(cursor, &end);
+            if (end == cursor)
+                return false;
+            cursor = end;
+        }
+        data.add(std::move(x), static_cast<Label>(label));
+    }
+    return true;
+}
+
+/** One hexfloat-encoded vector<double> line: "<tag> <n> <%a>...". */
+void
+writeDoubleRow(std::ostringstream &out, const char *tag,
+               const std::vector<double> &values)
+{
+    out << tag << ' ' << values.size();
+    char buf[48];
+    for (const double v : values) {
+        std::snprintf(buf, sizeof(buf), "%a", v);
+        out << ' ' << buf;
+    }
+    out << '\n';
+}
+
+bool
+readDoubleRow(std::istringstream &in, const char *tag,
+              std::vector<double> &values)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    const std::string prefix = std::string(tag) + ' ';
+    if (line.rfind(prefix, 0) != 0)
+        return false;
+    const char *cursor = line.c_str() + prefix.size();
+    char *end = nullptr;
+    const long n = std::strtol(cursor, &end, 10);
+    if (end == cursor || n < 0)
+        return false;
+    cursor = end;
+    values.assign(static_cast<std::size_t>(n), 0.0);
+    for (long j = 0; j < n; ++j) {
+        values[static_cast<std::size_t>(j)] = std::strtod(cursor, &end);
+        if (end == cursor)
+            return false;
+        cursor = end;
+    }
+    return true;
+}
+
+/** One integer-label line: "<tag> <n> <label>...". */
+void
+writeLabelRow(std::ostringstream &out, const char *tag,
+              const std::vector<Label> &labels)
+{
+    out << tag << ' ' << labels.size();
+    for (const Label l : labels)
+        out << ' ' << l;
+    out << '\n';
+}
+
+bool
+readLabelRow(std::istringstream &in, const char *tag,
+             std::vector<Label> &labels)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    const std::string prefix = std::string(tag) + ' ';
+    if (line.rfind(prefix, 0) != 0)
+        return false;
+    const char *cursor = line.c_str() + prefix.size();
+    char *end = nullptr;
+    const long n = std::strtol(cursor, &end, 10);
+    if (end == cursor || n < 0)
+        return false;
+    cursor = end;
+    labels.assign(static_cast<std::size_t>(n), Label{});
+    for (long j = 0; j < n; ++j) {
+        const long v = std::strtol(cursor, &end, 10);
+        if (end == cursor)
+            return false;
+        labels[static_cast<std::size_t>(j)] = static_cast<Label>(v);
+        cursor = end;
+    }
+    return true;
+}
+
+} // namespace
+
+Result<StageCache>
+StageCache::open(const std::string &dir)
+{
+    Status created = createDirectories(dir);
+    if (!created.isOk())
+        return created;
+    return StageCache(dir);
+}
+
+std::string
+StageCache::entryPath(std::string_view kind, std::uint64_t key) const
+{
+    return dir_ + "/" + std::string(kind) + "-" + hex16(key) + kEntrySuffix;
+}
+
+std::string
+StageCache::frame(std::string_view kind, std::uint64_t key,
+                  std::string_view payload)
+{
+    std::string framed = kHeaderPrefix;
+    framed += kind;
+    framed += " key=";
+    framed += hex16(key);
+    framed += '\n';
+    framed += payload;
+    char trailer[32];
+    std::snprintf(trailer, sizeof(trailer), "@crc %08x\n", crc32(framed));
+    framed += trailer;
+    return framed;
+}
+
+bool
+StageCache::unframe(const std::string &text, std::string_view kind,
+                    std::uint64_t key, std::string &payload)
+{
+    // Split off and verify the CRC trailer first: everything else
+    // assumes an intact payload.
+    const std::size_t trailer = text.rfind("@crc ");
+    if (trailer == std::string::npos || trailer == 0 ||
+        text[trailer - 1] != '\n')
+        return false;
+    unsigned long crc = 0;
+    if (std::sscanf(text.c_str() + trailer, "@crc %lx", &crc) != 1)
+        return false;
+    const std::string framed = text.substr(0, trailer);
+    if (crc32(framed) != static_cast<std::uint32_t>(crc))
+        return false;
+
+    const std::string header =
+        std::string(kHeaderPrefix) + std::string(kind) + " key=" + hex16(key);
+    const std::size_t newline = framed.find('\n');
+    if (newline == std::string::npos || framed.substr(0, newline) != header)
+        return false;
+    payload = framed.substr(newline + 1);
+    return true;
+}
+
+std::optional<std::string>
+StageCache::lookup(std::string_view kind, std::uint64_t key)
+{
+    const std::string path = entryPath(kind, key);
+    std::string content;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            const std::lock_guard<std::mutex> lock(*mutex_);
+            ++stats_.misses;
+            return std::nullopt;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        content = buffer.str();
+    }
+    std::string payload;
+    if (!unframe(content, kind, key, payload)) {
+        // A torn or corrupt entry is dead weight: drop it so the next
+        // run re-stores a clean one, and fall back to recomputing.
+        std::error_code ec;
+        fs::remove(path, ec);
+        warn("stage cache entry " + path +
+             " failed validation; removed and treated as a miss");
+        const std::lock_guard<std::mutex> lock(*mutex_);
+        ++stats_.corrupt;
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(*mutex_);
+        ++stats_.hits;
+    }
+    return payload;
+}
+
+Status
+StageCache::put(std::string_view kind, std::uint64_t key,
+                  std::string_view payload)
+{
+    Status written =
+        atomicWriteFile(entryPath(kind, key), frame(kind, key, payload));
+    if (written.isOk()) {
+        const std::lock_guard<std::mutex> lock(*mutex_);
+        ++stats_.stores;
+    }
+    return written;
+}
+
+void
+StageCache::remove(std::string_view kind, std::uint64_t key)
+{
+    std::error_code ec;
+    fs::remove(entryPath(kind, key), ec);
+}
+
+std::size_t
+StageCache::evict(std::size_t maxEntries)
+{
+    std::vector<std::pair<fs::file_time_type, fs::path>> entries;
+    std::error_code ec;
+    for (const auto &item : fs::directory_iterator(dir_, ec)) {
+        if (!item.is_regular_file(ec))
+            continue;
+        if (item.path().extension() != kEntrySuffix)
+            continue;
+        entries.emplace_back(fs::last_write_time(item.path(), ec),
+                             item.path());
+    }
+    if (entries.size() <= maxEntries)
+        return 0;
+    // Oldest-modified first; ties broken by path so eviction order is
+    // stable under equal timestamps.
+    std::sort(entries.begin(), entries.end());
+    const std::size_t excess = entries.size() - maxEntries;
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < excess; ++i)
+        if (fs::remove(entries[i].second, ec))
+            ++removed;
+    const std::lock_guard<std::mutex> lock(*mutex_);
+    stats_.evicted += removed;
+    return removed;
+}
+
+StageCacheStats
+StageCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(*mutex_);
+    return stats_;
+}
+
+std::string
+encodeFeaturized(const FeaturizedEntry &entry)
+{
+    std::ostringstream out;
+    out << "meta dropped=" << entry.droppedTraces
+        << " collected=" << entry.collectedTraces
+        << " open=" << (entry.hasOpenWorld ? 1 : 0) << '\n';
+    writeDataset(out, "closed", entry.closedWorld);
+    if (entry.hasOpenWorld)
+        writeDataset(out, "open", entry.openWorld);
+    return out.str();
+}
+
+std::optional<FeaturizedEntry>
+decodeFeaturized(const std::string &payload)
+{
+    std::istringstream in(payload);
+    std::string line;
+    if (!std::getline(in, line))
+        return std::nullopt;
+    unsigned long long dropped = 0, collected = 0;
+    int open = 0;
+    if (std::sscanf(line.c_str(), "meta dropped=%llu collected=%llu open=%d",
+                    &dropped, &collected, &open) != 3)
+        return std::nullopt;
+    FeaturizedEntry entry;
+    entry.droppedTraces = dropped;
+    entry.collectedTraces = collected;
+    entry.hasOpenWorld = open != 0;
+    if (!readDataset(in, "closed", entry.closedWorld))
+        return std::nullopt;
+    if (entry.hasOpenWorld && !readDataset(in, "open", entry.openWorld))
+        return std::nullopt;
+    return entry;
+}
+
+std::string
+encodeFoldScores(const ml::FoldScores &fold)
+{
+    std::ostringstream out;
+    out << "scores " << fold.scores.size() << '\n';
+    for (const auto &row : fold.scores)
+        writeDoubleRow(out, "s", row);
+    writeLabelRow(out, "truths", fold.truths);
+    writeLabelRow(out, "predictions", fold.predictions);
+    return out.str();
+}
+
+std::optional<ml::FoldScores>
+decodeFoldScores(const std::string &payload)
+{
+    std::istringstream in(payload);
+    std::string line;
+    if (!std::getline(in, line))
+        return std::nullopt;
+    unsigned long long rows = 0;
+    if (std::sscanf(line.c_str(), "scores %llu", &rows) != 1)
+        return std::nullopt;
+    ml::FoldScores fold;
+    fold.scores.resize(rows);
+    for (auto &row : fold.scores)
+        if (!readDoubleRow(in, "s", row))
+            return std::nullopt;
+    if (!readLabelRow(in, "truths", fold.truths))
+        return std::nullopt;
+    if (!readLabelRow(in, "predictions", fold.predictions))
+        return std::nullopt;
+    if (fold.truths.size() != fold.scores.size() ||
+        fold.predictions.size() != fold.scores.size())
+        return std::nullopt;
+    return fold;
+}
+
+} // namespace bigfish::core

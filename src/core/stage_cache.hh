@@ -1,0 +1,148 @@
+/**
+ * @file
+ * StageCache: a content-addressed store of stage outputs.
+ *
+ * The stage graph (core/stage.hh) makes every pipeline phase a pure
+ * function of its configuration and its upstream outputs, so any
+ * stage's output can be reused across runs that share its fingerprint:
+ * featurized datasets (sweeps that vary only the classifier or the
+ * evaluation protocol), trained fold models (ml/serialize snapshots)
+ * and per-fold evaluation scores. A hit replays the payload
+ * bit-identically: doubles are serialized as hexfloats ("%a"), which
+ * round-trip bit-exactly through strtod, so a cached run's artifact
+ * matches the uncached run's except for phase timings and cache
+ * provenance.
+ *
+ * Entries are keyed by (kind, fingerprint): the kind names the payload
+ * namespace ("featurized", "model", "scores") and the fingerprint is
+ * the owning stage's input fingerprint (config ⊕ upstream
+ * fingerprints, core/stage.hh). Any input change simply misses — stale
+ * payloads can never leak into a non-matching run.
+ *
+ * Durability contract (inherited from the PR 7 feature cache this
+ * generalizes): entries are committed with atomicWriteFile
+ * (write-temp-fsync-rename, unique temp names), and every entry
+ * carries a whole-file CRC32 trailer (base/hash.hh). A torn,
+ * interleaved or bit-flipped entry is detected on lookup, removed, and
+ * reported as a miss — the pipeline falls back to recomputing, never
+ * to wrong data. Concurrent writers of the same key race to write
+ * *identical* bytes (the pipeline is deterministic), so whichever
+ * rename lands last is correct.
+ */
+
+#ifndef BF_CORE_STAGE_CACHE_HH
+#define BF_CORE_STAGE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "base/result.hh"
+#include "ml/dataset.hh"
+#include "ml/evaluation.hh"
+
+namespace bigfish::core {
+
+/** Lookup/store accounting for one StageCache instance. */
+struct StageCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    /** Entries dropped by lookup() as torn/corrupt (counted as misses too). */
+    std::size_t corrupt = 0;
+    std::size_t stores = 0;
+    /** Entries removed by evict(). */
+    std::size_t evicted = 0;
+};
+
+/**
+ * Content-addressed store of stage payloads, one file per (kind, key)
+ * under a cache directory. Thread-safe: fold stages probe and store
+ * concurrently from pool workers.
+ */
+class StageCache
+{
+  public:
+    /** Opens the cache at @p dir, creating the directory as needed. */
+    [[nodiscard]] static Result<StageCache> open(const std::string &dir);
+
+    /**
+     * The cached payload for (@p kind, @p key), or nullopt on miss. A
+     * present but unreadable entry (CRC failure, malformed framing,
+     * kind/key mismatch) is removed and reported as a miss.
+     */
+    [[nodiscard]] std::optional<std::string> lookup(std::string_view kind,
+                                                    std::uint64_t key);
+
+    /** Atomically commits @p payload under (kind, key). */
+    [[nodiscard]] Status put(std::string_view kind, std::uint64_t key,
+                               std::string_view payload);
+
+    /**
+     * Drops one entry (used when a payload passes the CRC but fails
+     * its semantic decode — dead weight either way).
+     */
+    void remove(std::string_view kind, std::uint64_t key);
+
+    /**
+     * Removes oldest-modified entries until at most @p maxEntries
+     * remain. Returns the number removed.
+     */
+    std::size_t evict(std::size_t maxEntries);
+
+    /** The entry file path for (kind, key) (tests and diagnostics). */
+    std::string entryPath(std::string_view kind, std::uint64_t key) const;
+
+    const std::string &dir() const { return dir_; }
+    StageCacheStats stats() const;
+
+    // --- Framing internals, exposed for tests -------------------------
+    /** Frames @p payload with the versioned header + CRC32 trailer. */
+    static std::string frame(std::string_view kind, std::uint64_t key,
+                             std::string_view payload);
+    /** Inverse of frame(); false on any malformation. */
+    static bool unframe(const std::string &text, std::string_view kind,
+                        std::uint64_t key, std::string &payload);
+
+  private:
+    explicit StageCache(std::string dir) : dir_(std::move(dir)) {}
+
+    std::string dir_;
+    StageCacheStats stats_;
+    /** unique_ptr keeps the class movable (Result<StageCache>). */
+    std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+};
+
+// ---------------------------------------------------------------------
+// Stage payload codecs. Canonical text forms of the payloads the
+// fingerprinting pipeline caches; doubles are hexfloats, so a decoded
+// payload is bit-identical to the encoded one.
+
+/** Everything one attacker's evaluation consumes downstream of
+ *  featurization (the "featurized" payload). */
+struct FeaturizedEntry
+{
+    ml::Dataset closedWorld;
+    /** Present only when the run had openWorldExtra > 0. */
+    ml::Dataset openWorld;
+    bool hasOpenWorld = false;
+    /** Trace accounting replayed into FingerprintResult. */
+    std::uint64_t droppedTraces = 0;
+    std::uint64_t collectedTraces = 0;
+};
+
+std::string encodeFeaturized(const FeaturizedEntry &entry);
+[[nodiscard]] std::optional<FeaturizedEntry>
+decodeFeaturized(const std::string &payload);
+
+/** One fold's raw evaluation outputs (the "scores" payload). */
+std::string encodeFoldScores(const ml::FoldScores &fold);
+[[nodiscard]] std::optional<ml::FoldScores>
+decodeFoldScores(const std::string &payload);
+
+} // namespace bigfish::core
+
+#endif // BF_CORE_STAGE_CACHE_HH

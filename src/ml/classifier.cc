@@ -2,15 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "ml/conv.hh"
 #include "ml/lstm.hh"
+#include "ml/serialize.hh"
 
 namespace bigfish::ml {
 
 namespace {
+
+/** Bit-exact hexfloat text for canon lines and weight dumps. */
+std::string
+hexDouble(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
 
 /**
  * Packs the selected samples column-wise into one (rows x B*steps)
@@ -279,6 +292,22 @@ CnnLstmClassifier::predictScores(const std::vector<double> &x) const
     return SoftmaxCrossEntropy::probabilities(logits);
 }
 
+std::string
+CnnLstmClassifier::saveModel() const
+{
+    std::ostringstream out;
+    if (!saveWeights(out, net_).isOk())
+        return {};
+    return out.str();
+}
+
+bool
+CnnLstmClassifier::loadModel(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadWeights(in, net_).isOk();
+}
+
 MlpClassifier::MlpClassifier(int num_classes, std::size_t feature_len,
                              MlpParams params, std::uint64_t seed)
     : numClasses_(num_classes), featureLen_(feature_len), params_(params),
@@ -377,6 +406,22 @@ MlpClassifier::predictScores(const std::vector<double> &x) const
         net_.forward(toInput(x), false));
 }
 
+std::string
+MlpClassifier::saveModel() const
+{
+    std::ostringstream out;
+    if (!saveWeights(out, net_).isOk())
+        return {};
+    return out.str();
+}
+
+bool
+MlpClassifier::loadModel(const std::string &text)
+{
+    std::istringstream in(text);
+    return loadWeights(in, net_).isOk();
+}
+
 SoftmaxRegressionClassifier::SoftmaxRegressionClassifier(
     int num_classes, std::size_t feature_len, std::uint64_t seed, double lr,
     int epochs, double l2)
@@ -437,6 +482,51 @@ SoftmaxRegressionClassifier::predictScores(
     return logits;
 }
 
+std::string
+SoftmaxRegressionClassifier::saveModel() const
+{
+    // The network classifiers persist through ml/serialize; this model
+    // holds plain double rows, so it dumps them directly — hexfloats
+    // round-trip bit-exactly through strtod.
+    std::ostringstream out;
+    out << "# bigfish-softmax v1 " << w_.size() << ' ' << featureLen_ + 1
+        << '\n';
+    for (const auto &row : w_) {
+        out << 'w';
+        for (const double v : row)
+            out << ' ' << hexDouble(v);
+        out << '\n';
+    }
+    return out.str();
+}
+
+bool
+SoftmaxRegressionClassifier::loadModel(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line))
+        return false;
+    unsigned long long rows = 0, cols = 0;
+    if (std::sscanf(line.c_str(), "# bigfish-softmax v1 %llu %llu", &rows,
+                    &cols) != 2 ||
+        rows != w_.size() || cols != featureLen_ + 1)
+        return false;
+    for (auto &row : w_) {
+        if (!std::getline(in, line) || line.rfind("w ", 0) != 0)
+            return false;
+        const char *cursor = line.c_str() + 1;
+        char *end = nullptr;
+        for (double &v : row) {
+            v = std::strtod(cursor, &end);
+            if (end == cursor)
+                return false;
+            cursor = end;
+        }
+    }
+    return true;
+}
+
 KnnClassifier::KnnClassifier(int num_classes, int k)
     : numClasses_(num_classes), k_(k)
 {
@@ -474,40 +564,76 @@ KnnClassifier::predictScores(const std::vector<double> &x) const
 ClassifierFactory
 cnnLstmFactory(CnnLstmParams params)
 {
-    return [params](int num_classes, std::size_t feature_len,
-                    std::uint64_t seed) -> std::unique_ptr<Classifier> {
-        return std::make_unique<CnnLstmClassifier>(num_classes, feature_len,
-                                                   params, seed);
-    };
+    // Canonical one-line-per-field hyperparameter text, same discipline
+    // as collectionFingerprint(): any field that changes what a trained
+    // model computes must appear here, or the stage cache would reuse a
+    // model across configurations it should distinguish.
+    std::ostringstream canon;
+    canon << "model=cnn-lstm\n"
+          << "convFilters=" << params.convFilters << '\n'
+          << "convKernel=" << params.convKernel << '\n'
+          << "convStride=" << params.convStride << '\n'
+          << "poolSize=" << params.poolSize << '\n'
+          << "lstmUnits=" << params.lstmUnits << '\n'
+          << "dropout=" << hexDouble(params.dropout) << '\n'
+          << "learningRate=" << hexDouble(params.learningRate) << '\n'
+          << "maxEpochs=" << params.maxEpochs << '\n'
+          << "batchSize=" << params.batchSize << '\n'
+          << "patience=" << params.patience << '\n'
+          << "inputChannels=" << params.inputChannels << '\n';
+    return ClassifierFactory(
+        [params](int num_classes, std::size_t feature_len,
+                 std::uint64_t seed) -> std::unique_ptr<Classifier> {
+            return std::make_unique<CnnLstmClassifier>(
+                num_classes, feature_len, params, seed);
+        },
+        canon.str());
 }
 
 ClassifierFactory
 softmaxRegressionFactory()
 {
-    return [](int num_classes, std::size_t feature_len,
-              std::uint64_t seed) -> std::unique_ptr<Classifier> {
-        return std::make_unique<SoftmaxRegressionClassifier>(
-            num_classes, feature_len, seed);
-    };
+    return ClassifierFactory(
+        [](int num_classes, std::size_t feature_len,
+           std::uint64_t seed) -> std::unique_ptr<Classifier> {
+            return std::make_unique<SoftmaxRegressionClassifier>(
+                num_classes, feature_len, seed);
+        },
+        "model=softmax-regression\nlr=0x1.999999999999ap-5\n"
+        "epochs=120\nl2=0x1.a36e2eb1c432dp-14\n");
 }
 
 ClassifierFactory
 mlpFactory(MlpParams params)
 {
-    return [params](int num_classes, std::size_t feature_len,
-                    std::uint64_t seed) -> std::unique_ptr<Classifier> {
-        return std::make_unique<MlpClassifier>(num_classes, feature_len,
-                                               params, seed);
-    };
+    std::ostringstream canon;
+    canon << "model=mlp\n"
+          << "hidden=" << params.hidden << '\n'
+          << "dropout=" << hexDouble(params.dropout) << '\n'
+          << "learningRate=" << hexDouble(params.learningRate) << '\n'
+          << "maxEpochs=" << params.maxEpochs << '\n'
+          << "batchSize=" << params.batchSize << '\n'
+          << "patience=" << params.patience << '\n';
+    return ClassifierFactory(
+        [params](int num_classes, std::size_t feature_len,
+                 std::uint64_t seed) -> std::unique_ptr<Classifier> {
+            return std::make_unique<MlpClassifier>(num_classes, feature_len,
+                                                   params, seed);
+        },
+        canon.str());
 }
 
 ClassifierFactory
 knnFactory(int k)
 {
-    return [k](int num_classes, std::size_t, std::uint64_t)
-               -> std::unique_ptr<Classifier> {
-        return std::make_unique<KnnClassifier>(num_classes, k);
-    };
+    std::ostringstream canon;
+    canon << "model=knn\nk=" << k << '\n';
+    return ClassifierFactory(
+        [k](int num_classes, std::size_t, std::uint64_t)
+            -> std::unique_ptr<Classifier> {
+            return std::make_unique<KnnClassifier>(num_classes, k);
+        },
+        canon.str());
 }
 
 } // namespace bigfish::ml

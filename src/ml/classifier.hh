@@ -17,6 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ml/dataset.hh"
@@ -49,13 +52,60 @@ class Classifier
 
     /** Argmax prediction. */
     Label predict(const std::vector<double> &x) const;
+
+    /**
+     * Serialized trained state, or "" when the model does not support
+     * persistence (kNN memorizes its training set). The text restores
+     * bit-identical predictions through loadModel() on a freshly
+     * constructed model of the same architecture — which is what lets
+     * the stage cache replay trained fold models across runs.
+     */
+    virtual std::string saveModel() const { return {}; }
+
+    /** Restores state written by saveModel(); false on any mismatch. */
+    virtual bool loadModel(const std::string &) { return false; }
 };
 
-/** Factory producing a fresh untrained classifier (one per CV fold). */
-using ClassifierFactory =
-    std::function<std::unique_ptr<Classifier>(int num_classes,
-                                              std::size_t feature_len,
-                                              std::uint64_t seed)>;
+/**
+ * Factory producing a fresh untrained classifier (one per CV fold),
+ * paired with the canonical hyperparameter text that content-addresses
+ * the models it trains. Two factories with equal canon (and equal
+ * data/seed inputs) must produce interchangeable trained models; a
+ * factory with an empty canon opts its models out of caching (the
+ * stage graph cannot tell its configurations apart).
+ */
+struct ClassifierFactory
+{
+    using MakeFn = std::function<std::unique_ptr<Classifier>(
+        int num_classes, std::size_t feature_len, std::uint64_t seed)>;
+
+    ClassifierFactory() = default;
+
+    /** Wraps a callable; ad-hoc lambdas (tests, sweeps) get an empty
+     *  canon and therefore uncached models. */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, ClassifierFactory> &&
+                  std::is_invocable_r_v<std::unique_ptr<Classifier>, Fn,
+                                        int, std::size_t, std::uint64_t>>>
+    ClassifierFactory(Fn fn, std::string canon_text = {})
+        : make(std::move(fn)), canon(std::move(canon_text))
+    {
+    }
+
+    std::unique_ptr<Classifier>
+    operator()(int num_classes, std::size_t feature_len,
+               std::uint64_t seed) const
+    {
+        return make(num_classes, feature_len, seed);
+    }
+
+    explicit operator bool() const { return static_cast<bool>(make); }
+
+    MakeFn make;
+    /** One-line-per-field hyperparameter text (stage fingerprints). */
+    std::string canon;
+};
 
 /** Hyperparameters of the CNN-LSTM model. */
 struct CnnLstmParams
@@ -101,6 +151,8 @@ class CnnLstmClassifier : public Classifier
     void fit(const Dataset &train, const Dataset &validation) override;
     std::vector<double>
     predictScores(const std::vector<double> &x) const override;
+    std::string saveModel() const override;
+    bool loadModel(const std::string &text) override;
 
     /** Accuracy on a dataset (used for validation-based early stopping). */
     double accuracy(const Dataset &data) const;
@@ -148,6 +200,8 @@ class SoftmaxRegressionClassifier : public Classifier
     void fit(const Dataset &train, const Dataset &validation) override;
     std::vector<double>
     predictScores(const std::vector<double> &x) const override;
+    std::string saveModel() const override;
+    bool loadModel(const std::string &text) override;
 
   private:
     int numClasses_;
@@ -184,6 +238,8 @@ class MlpClassifier : public Classifier
     void fit(const Dataset &train, const Dataset &validation) override;
     std::vector<double>
     predictScores(const std::vector<double> &x) const override;
+    std::string saveModel() const override;
+    bool loadModel(const std::string &text) override;
 
     /** Accuracy on a dataset (early stopping / diagnostics). */
     double accuracy(const Dataset &data) const;

@@ -1,7 +1,6 @@
 #include "ml/evaluation.hh"
 
 #include "base/logging.hh"
-#include "base/stopwatch.hh"
 #include "base/thread_pool.hh"
 #include "stats/descriptive.hh"
 
@@ -9,90 +8,87 @@ namespace bigfish::ml {
 
 namespace {
 
-/** Everything one fold produces; folds train concurrently, so each owns
- *  its buffers outright instead of sharing scratch space. */
-struct FoldOutput
-{
-    std::vector<std::vector<double>> scores;
-    std::vector<Label> truths;
-    std::vector<Label> predictions;
-    double fitSeconds = 0.0;
-    double scoreSeconds = 0.0;
-    double fitCpuSeconds = 0.0;
-    double scoreCpuSeconds = 0.0;
-};
-
-/** Trains on one fold and returns test scores plus truth labels. */
-FoldOutput
-runFold(const ClassifierFactory &factory, const Dataset &data,
-        const FoldSplit &split, std::uint64_t seed)
-{
-    FoldOutput out;
-    auto model = factory(data.numClasses, data.featureLen(), seed);
-
-    // Wall time per fold overlaps other folds' wall time; the
-    // thread-CPU clock meters only this fold's work and drives the
-    // train/eval apportionment in accumulateTimings().
-    Stopwatch watch;
-    ThreadCpuStopwatch cpu;
-    model->fit(data.subset(split.train), data.subset(split.validation));
-    out.fitSeconds = watch.lap();
-    out.fitCpuSeconds = cpu.lap();
-
-    out.scores.reserve(split.test.size());
-    out.truths.reserve(split.test.size());
-    out.predictions.reserve(split.test.size());
-    for (std::size_t i : split.test) {
-        out.scores.push_back(model->predictScores(data.features[i]));
-        out.truths.push_back(data.labels[i]);
-        out.predictions.push_back(model->predict(data.features[i]));
-    }
-    out.scoreSeconds = watch.lap();
-    out.scoreCpuSeconds = cpu.lap();
-    return out;
-}
-
 /**
  * Runs every fold (concurrently when the global pool has threads; each
  * fold's RNG stream depends only on its seed, so fold results are
- * identical at any thread count) and aggregates in fold order.
+ * identical at any thread count) and gathers in fold order.
  */
-std::vector<FoldOutput>
+std::vector<FoldScores>
 runFolds(const ClassifierFactory &factory, const Dataset &data,
          const std::vector<FoldSplit> &splits, std::uint64_t seed_base)
 {
     return parallelMap(splits.size(), [&](std::size_t f) {
-        return runFold(factory, data, splits[f], seed_base + f);
+        const auto model =
+            trainFoldClassifier(factory, data, splits[f], seed_base + f);
+        return scoreFold(*model, data, splits[f].test);
     });
 }
 
-/**
- * Fills every timing field of @p result from the per-fold stopwatches
- * plus the whole-CV wall/CPU measurements. The legacy fold-wall sums
- * stay as trainSeconds/evalSeconds; the honest totals (cv_wall,
- * cv_cpu) are apportioned between train and eval by the folds'
- * thread-CPU shares, which is well-defined at any fold parallelism.
- */
-void
-accumulateTimings(EvalResult &result, const std::vector<FoldOutput> &folds,
-                  double cv_wall, double cv_cpu)
+} // namespace
+
+std::unique_ptr<Classifier>
+trainFoldClassifier(const ClassifierFactory &factory, const Dataset &data,
+                    const FoldSplit &split, std::uint64_t seed)
 {
-    double fit_cpu = 0.0, score_cpu = 0.0;
-    for (const FoldOutput &fold : folds) {
-        result.trainSeconds += fold.fitSeconds;
-        result.evalSeconds += fold.scoreSeconds;
-        fit_cpu += fold.fitCpuSeconds;
-        score_cpu += fold.scoreCpuSeconds;
-    }
-    const double total_cpu = fit_cpu + score_cpu;
-    const double fit_share = total_cpu > 0.0 ? fit_cpu / total_cpu : 1.0;
-    result.trainCpuSeconds = cv_cpu * fit_share;
-    result.evalCpuSeconds = cv_cpu - result.trainCpuSeconds;
-    result.trainWallSeconds = cv_wall * fit_share;
-    result.evalWallSeconds = cv_wall - result.trainWallSeconds;
+    auto model = factory(data.numClasses, data.featureLen(), seed);
+    model->fit(data.subset(split.train), data.subset(split.validation));
+    return model;
 }
 
-} // namespace
+FoldScores
+scoreFold(const Classifier &model, const Dataset &data,
+          const std::vector<std::size_t> &test)
+{
+    FoldScores out;
+    out.scores.reserve(test.size());
+    out.truths.reserve(test.size());
+    out.predictions.reserve(test.size());
+    for (std::size_t i : test) {
+        out.scores.push_back(model.predictScores(data.features[i]));
+        out.truths.push_back(data.labels[i]);
+        out.predictions.push_back(model.predict(data.features[i]));
+    }
+    return out;
+}
+
+EvalResult
+aggregateFolds(const std::vector<FoldScores> &folds, int topK)
+{
+    EvalResult result;
+    result.topK = topK;
+    for (const FoldScores &fold : folds) {
+        result.foldTop1.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, 1));
+        result.foldTopK.push_back(
+            stats::topKAccuracy(fold.scores, fold.truths, topK));
+    }
+    result.top1Mean = stats::mean(result.foldTop1);
+    result.top1Std = stats::sampleStddev(result.foldTop1);
+    result.topKMean = stats::mean(result.foldTopK);
+    result.topKStd = stats::sampleStddev(result.foldTopK);
+    return result;
+}
+
+EvalResult
+aggregateFoldsOpenWorld(const std::vector<FoldScores> &folds,
+                        Label nonSensitiveLabel, int topK)
+{
+    EvalResult result = aggregateFolds(folds, topK);
+    std::vector<double> sensitive, non_sensitive, combined;
+    for (const FoldScores &fold : folds) {
+        const auto metrics = stats::openWorldMetrics(
+            fold.truths, fold.predictions, nonSensitiveLabel);
+        sensitive.push_back(metrics.sensitiveAccuracy);
+        non_sensitive.push_back(metrics.nonSensitiveAccuracy);
+        combined.push_back(metrics.combinedAccuracy);
+    }
+    result.openWorld.sensitiveAccuracy = stats::mean(sensitive);
+    result.openWorld.nonSensitiveAccuracy = stats::mean(non_sensitive);
+    result.openWorld.combinedAccuracy = stats::mean(combined);
+    result.openWorldSensitiveStd = stats::sampleStddev(sensitive);
+    result.openWorldCombinedStd = stats::sampleStddev(combined);
+    return result;
+}
 
 EvalResult
 crossValidate(const ClassifierFactory &factory, const Dataset &data,
@@ -101,22 +97,10 @@ crossValidate(const ClassifierFactory &factory, const Dataset &data,
     fatalIf(data.size() == 0, "cannot evaluate an empty dataset");
     const auto splits = kFoldSplits(data.size(), config.folds,
                                     config.valFraction, config.seed);
-    EvalResult result;
-    Stopwatch wall;
-    ProcessCpuStopwatch cpu;
-    const auto folds = runFolds(factory, data, splits, config.seed + 1000);
-    accumulateTimings(result, folds, wall.seconds(), cpu.seconds());
-    for (const FoldOutput &fold : folds) {
-        result.foldTop1.push_back(
-            stats::topKAccuracy(fold.scores, fold.truths, 1));
-        result.foldTop5.push_back(
-            stats::topKAccuracy(fold.scores, fold.truths, 5));
-    }
-    result.top1Mean = stats::mean(result.foldTop1);
-    result.top1Std = stats::sampleStddev(result.foldTop1);
-    result.top5Mean = stats::mean(result.foldTop5);
-    result.top5Std = stats::sampleStddev(result.foldTop5);
-    return result;
+    const auto folds =
+        runFolds(factory, data, splits,
+                 config.seed + kClosedWorldFoldSeedBase);
+    return aggregateFolds(folds, config.topK);
 }
 
 EvalResult
@@ -126,33 +110,10 @@ evaluateOpenWorld(const ClassifierFactory &factory, const Dataset &data,
     fatalIf(data.size() == 0, "cannot evaluate an empty dataset");
     const auto splits = kFoldSplits(data.size(), config.folds,
                                     config.valFraction, config.seed);
-    EvalResult result;
-    std::vector<double> sensitive, non_sensitive, combined;
-    Stopwatch wall;
-    ProcessCpuStopwatch cpu;
-    const auto folds = runFolds(factory, data, splits, config.seed + 2000);
-    accumulateTimings(result, folds, wall.seconds(), cpu.seconds());
-    for (const FoldOutput &fold : folds) {
-        result.foldTop1.push_back(
-            stats::topKAccuracy(fold.scores, fold.truths, 1));
-        result.foldTop5.push_back(
-            stats::topKAccuracy(fold.scores, fold.truths, 5));
-        const auto metrics = stats::openWorldMetrics(
-            fold.truths, fold.predictions, nonSensitiveLabel);
-        sensitive.push_back(metrics.sensitiveAccuracy);
-        non_sensitive.push_back(metrics.nonSensitiveAccuracy);
-        combined.push_back(metrics.combinedAccuracy);
-    }
-    result.top1Mean = stats::mean(result.foldTop1);
-    result.top1Std = stats::sampleStddev(result.foldTop1);
-    result.top5Mean = stats::mean(result.foldTop5);
-    result.top5Std = stats::sampleStddev(result.foldTop5);
-    result.openWorld.sensitiveAccuracy = stats::mean(sensitive);
-    result.openWorld.nonSensitiveAccuracy = stats::mean(non_sensitive);
-    result.openWorld.combinedAccuracy = stats::mean(combined);
-    result.openWorldSensitiveStd = stats::sampleStddev(sensitive);
-    result.openWorldCombinedStd = stats::sampleStddev(combined);
-    return result;
+    const auto folds =
+        runFolds(factory, data, splits,
+                 config.seed + kOpenWorldFoldSeedBase);
+    return aggregateFoldsOpenWorld(folds, nonSensitiveLabel, config.topK);
 }
 
 } // namespace bigfish::ml

@@ -37,6 +37,19 @@
 
 namespace bigfish::spec {
 
+/**
+ * Version of the emitted run-artifact JSON schema. History:
+ *  v1 — (implicit; no "schemaVersion" key) ad-hoc per-phase
+ *       collect/featurize/train/eval second fields on "phases".
+ *  v2 — adds "schemaVersion" and the per-stage "stages" table (the
+ *       phase rollup is reduced from it); drops the overlapping-wall
+ *       trainSeconds/evalSeconds legacy fields.
+ * Spec replay (`--spec=<artifact.json>`) accepts any version up to
+ * this one — parameters live under "spec" in every version — and
+ * rejects newer artifacts with a clear version-mismatch error.
+ */
+inline constexpr long long kArtifactSchemaVersion = 2;
+
 /** The type of one declared parameter. */
 enum class ValueType
 {

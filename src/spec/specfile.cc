@@ -10,6 +10,7 @@
 #include "spec/spec.hh"
 
 #include <cctype>
+#include <cstdlib>
 
 namespace bigfish::spec {
 
@@ -319,6 +320,28 @@ parseJson(const std::string &text, const std::string &source_name)
                 return parseError(reader.where() +
                                   ": expected ',' or '}'");
         }
+    }
+
+    // Artifact schema versioning: a missing "schemaVersion" is the v1
+    // artifact (or a flat spec, which never carries one); anything newer
+    // than this build understands is rejected by name rather than
+    // misread.
+    for (auto it = top_scalars.begin(); it != top_scalars.end(); ++it) {
+        if (it->first != "schemaVersion")
+            continue;
+        char *end = nullptr;
+        const long long version = std::strtoll(it->second.c_str(), &end, 10);
+        if (end == it->second.c_str() || *end != '\0' || version < 1)
+            return parseError(source_name + ": malformed schemaVersion \"" +
+                              it->second + "\"");
+        if (version > kArtifactSchemaVersion)
+            return parseError(
+                source_name + ": artifact schemaVersion " +
+                std::to_string(version) + " is newer than the supported " +
+                std::to_string(kArtifactSchemaVersion) +
+                "; re-emit the artifact with this build or upgrade");
+        top_scalars.erase(it);
+        break;
     }
 
     if (!saw_spec_object) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <set>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/result.hh"
 #include "base/rng.hh"
@@ -24,6 +25,38 @@ TEST(TimeConstants, RelateCorrectly)
     EXPECT_EQ(kUsec, 1000);
     EXPECT_EQ(kMsec, 1000 * kUsec);
     EXPECT_EQ(kSec, 1000 * kMsec);
+}
+
+TEST(Crc32, MatchesIeeeCheckValue)
+{
+    // The CRC-32/IEEE "check" input: crc32("123456789") = 0xCBF43926.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    const std::string clean = "stage-cache payload\n";
+    std::string flipped = clean;
+    flipped[4] ^= 0x01;
+    EXPECT_NE(crc32(clean), crc32(flipped));
+    EXPECT_EQ(crc32(clean), crc32(std::string(clean)));
+}
+
+TEST(Fnv64, MatchesReferenceVectors)
+{
+    // FNV-1a 64-bit reference vectors: offset basis for "", and the
+    // published single-byte results.
+    EXPECT_EQ(fnv64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv64, OrderAndLengthSensitive)
+{
+    EXPECT_NE(fnv64("ab"), fnv64("ba"));
+    EXPECT_NE(fnv64("ab"), fnv64(std::string_view("ab\0", 3)));
+    EXPECT_EQ(fnv64("collection=1\n"), fnv64("collection=1\n"));
 }
 
 TEST(Mix64, IsDeterministic)

@@ -156,6 +156,79 @@ TEST(ToDataset, StandardizesFeatures)
     EXPECT_NEAR(stats::mean(data.features[0]), 0.0, 1e-9);
 }
 
+TEST(ToDataset, EmptyTraceSetYieldsEmptyDatasetWithDeclaredClasses)
+{
+    const attack::TraceSet set;
+    const auto data = toDataset(set, 64, 5);
+    EXPECT_EQ(data.size(), 0u);
+    EXPECT_TRUE(data.features.empty());
+    EXPECT_TRUE(data.labels.empty());
+    // The declared class count survives even with no rows, so a
+    // degraded-collection check can still reason about the world size.
+    EXPECT_EQ(data.numClasses, 5);
+}
+
+TEST(ToDataset, FeatureLenLongerThanShortestTraceStillFixedWidth)
+{
+    // Interpolating resample: a trace with fewer periods than
+    // feature_len buckets must still produce exactly feature_len values
+    // per channel, never a ragged row.
+    attack::TraceSet set;
+    attack::Trace shorty;
+    shorty.label = 0;
+    shorty.counts = {90.0, 100.0, 95.0, 80.0, 100.0};
+    set.add(shorty);
+    attack::Trace longer;
+    longer.label = 1;
+    longer.counts.assign(500, 100.0);
+    set.add(longer);
+    const std::size_t feature_len = 64;
+    const auto data = toDataset(set, feature_len, 2);
+    ASSERT_EQ(data.size(), 2u);
+    // Two channels (bucket mean + dip depth), concatenated.
+    EXPECT_EQ(data.features[0].size(), 2 * feature_len);
+    EXPECT_EQ(data.features[1].size(), 2 * feature_len);
+    EXPECT_EQ(data.featureLen(), 2 * feature_len);
+}
+
+TEST(ToDataset, AllDroppedSiteLeavesGapInLabelsNotInRows)
+{
+    // Fault-degraded collection can silently drop every trace of one
+    // site; the dataset must keep the surviving rows and cover the
+    // absent class via the declared class count.
+    attack::TraceSet set;
+    for (int label : {0, 0, 2, 2}) {
+        attack::Trace t;
+        t.label = label;
+        t.counts.assign(64, 100.0 + label);
+        t.counts[10 + label] = 40.0;
+        set.add(t);
+    }
+    const auto data = toDataset(set, 16, 3);
+    ASSERT_EQ(data.size(), 4u);
+    EXPECT_EQ(data.numClasses, 3);
+    EXPECT_EQ(data.labels, (std::vector<Label>{0, 0, 2, 2}));
+}
+
+TEST(ToDataset, SingleClassInputsKeepDeclaredWorldSize)
+{
+    attack::TraceSet set;
+    for (int i = 0; i < 3; ++i) {
+        attack::Trace t;
+        t.label = 0;
+        t.counts.assign(128, 100.0);
+        t.counts[20 * (i + 1)] = 55.0;
+        set.add(t);
+    }
+    const auto data = toDataset(set, 32, 4);
+    ASSERT_EQ(data.size(), 3u);
+    for (const auto &label : data.labels)
+        EXPECT_EQ(label, 0);
+    // num_classes is a floor, not a measurement: the single surviving
+    // class does not shrink the declared world.
+    EXPECT_EQ(data.numClasses, 4);
+}
+
 TEST(Presets, Table1MatrixMatchesPaper)
 {
     const auto rows = presets::table1Rows();

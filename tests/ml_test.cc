@@ -616,7 +616,7 @@ TEST(CrossValidate, PerfectClassifierScoresPerfect)
     const auto result = crossValidate(knnFactory(1), data, config);
     EXPECT_GT(result.top1Mean, 0.95);
     EXPECT_EQ(result.foldTop1.size(), 5u);
-    EXPECT_GE(result.top5Mean, result.top1Mean);
+    EXPECT_GE(result.topKMean, result.top1Mean);
 }
 
 TEST(CrossValidate, ChanceOnRandomLabels)

@@ -179,8 +179,8 @@ TEST(SharedCollection, SharedPipelineMatchesSingleRunsAcrossThreads)
             core::runFingerprintingOrDie(single_cfg, pipeline);
         EXPECT_EQ(serial[a].closedWorld.top1Mean,
                   single.closedWorld.top1Mean);
-        EXPECT_EQ(serial[a].closedWorld.top5Mean,
-                  single.closedWorld.top5Mean);
+        EXPECT_EQ(serial[a].closedWorld.topKMean,
+                  single.closedWorld.topKMean);
         EXPECT_EQ(serial[a].closedWorld.top1Mean,
                   parallel[a].closedWorld.top1Mean);
         EXPECT_EQ(serial[a].collectedTraces, parallel[a].collectedTraces);
@@ -220,10 +220,10 @@ TEST(ParallelCrossValidation, FoldMetricsMatchAcrossThreadCounts)
     ASSERT_EQ(serial.foldTop1.size(), parallel.foldTop1.size());
     for (std::size_t f = 0; f < serial.foldTop1.size(); ++f) {
         EXPECT_EQ(serial.foldTop1[f], parallel.foldTop1[f]);
-        EXPECT_EQ(serial.foldTop5[f], parallel.foldTop5[f]);
+        EXPECT_EQ(serial.foldTopK[f], parallel.foldTopK[f]);
     }
     EXPECT_EQ(serial.top1Mean, parallel.top1Mean);
-    EXPECT_EQ(serial.top5Mean, parallel.top5Mean);
+    EXPECT_EQ(serial.topKMean, parallel.topKMean);
 }
 
 TEST(ParallelPipeline, EndToEndMetricsMatchAcrossThreadCounts)
@@ -246,7 +246,7 @@ TEST(ParallelPipeline, EndToEndMetricsMatchAcrossThreadCounts)
 
     EXPECT_EQ(serial.closedWorld.top1Mean, parallel.closedWorld.top1Mean);
     EXPECT_EQ(serial.closedWorld.top1Mean, wide.closedWorld.top1Mean);
-    EXPECT_EQ(serial.closedWorld.top5Mean, wide.closedWorld.top5Mean);
+    EXPECT_EQ(serial.closedWorld.topKMean, wide.closedWorld.topKMean);
     EXPECT_EQ(serial.droppedTraces, wide.droppedTraces);
     EXPECT_EQ(serial.collectedTraces, wide.collectedTraces);
 }

@@ -147,6 +147,69 @@ TEST(Registry, ReplayFromEmittedArtifactIsBitIdentical)
     }
 }
 
+TEST(Registry, Table1SmokeMetricsMatchPreStageGraphBaseline)
+{
+    // Pinned %.6f metric values recorded from a pre-stage-graph smoke
+    // run of table1_fingerprinting (same seeds, same smoke scale). The
+    // stage-graph refactor moved the pipeline onto declared stages with
+    // a unified cache, but the numbers are a pure function of the spec:
+    // any drift here means the refactor changed results, not just
+    // structure.
+    struct Pinned
+    {
+        const char *name;
+        double value;
+    };
+    const Pinned baseline[] = {
+        {"Chrome_Linux_loop_top1", 0.000000},
+        {"Chrome_Linux_loop_open_combined", 0.150000},
+        {"Chrome_Linux_sweep_top1", 0.000000},
+        {"Chrome_Linux_sweep_open_combined", 0.150000},
+        {"Chrome_Windows_loop_top1", 0.000000},
+        {"Chrome_Windows_loop_open_combined", 0.200000},
+        {"Chrome_Windows_sweep_top1", 0.083333},
+        {"Chrome_Windows_sweep_open_combined", 0.150000},
+        {"Chrome_macOS_loop_top1", 0.083333},
+        {"Chrome_macOS_loop_open_combined", 0.250000},
+        {"Chrome_macOS_sweep_top1", 0.083333},
+        {"Chrome_macOS_sweep_open_combined", 0.300000},
+        {"Firefox_Linux_loop_top1", 0.000000},
+        {"Firefox_Linux_loop_open_combined", 0.350000},
+        {"Firefox_Linux_sweep_top1", 0.000000},
+        {"Firefox_Linux_sweep_open_combined", 0.200000},
+        {"Firefox_Windows_loop_top1", 0.000000},
+        {"Firefox_Windows_loop_open_combined", 0.250000},
+        {"Firefox_Windows_sweep_top1", 0.166667},
+        {"Firefox_Windows_sweep_open_combined", 0.250000},
+        {"Firefox_macOS_loop_top1", 0.083333},
+        {"Firefox_macOS_loop_open_combined", 0.200000},
+        {"Firefox_macOS_sweep_top1", 0.083333},
+        {"Firefox_macOS_sweep_open_combined", 0.300000},
+        {"Safari_macOS_loop_top1", 0.000000},
+        {"Safari_macOS_loop_open_combined", 0.300000},
+        {"Safari_macOS_sweep_top1", 0.083333},
+        {"Safari_macOS_sweep_open_combined", 0.200000},
+        {"Tor_Linux_loop_top1", 0.000000},
+        {"Tor_Linux_loop_open_combined", 0.150000},
+        {"Tor_Linux_sweep_top1", 0.000000},
+        {"Tor_Linux_sweep_open_combined", 0.150000},
+    };
+
+    const auto *d = registry().find("table1_fingerprinting");
+    ASSERT_NE(d, nullptr);
+    auto artifact = runWithSpec(*d, smokeSpec(*d));
+    ASSERT_TRUE(artifact.isOk()) << artifact.status().message();
+    for (const auto &pin : baseline) {
+        const auto got = artifact.value().findMetric(pin.name);
+        ASSERT_TRUE(got.has_value()) << pin.name;
+        // The artifact prints %.6f; compare at that precision, the
+        // contract the emitted JSON actually makes.
+        EXPECT_NEAR(*got, pin.value, 5e-7) << pin.name;
+    }
+    EXPECT_EQ(artifact.value().collectedTraces(), 320u);
+    EXPECT_EQ(artifact.value().droppedTraces(), 0u);
+}
+
 TEST(Registry, ExpectedValuesKeyRealMetrics)
 {
     // Paper-expected values live in the descriptors; each one must key

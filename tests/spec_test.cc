@@ -215,6 +215,55 @@ TEST(SpecFileParse, ArtifactJsonUsesSpecSubObject)
     EXPECT_EQ(parsed.value().entries[1].first, "rate");
 }
 
+TEST(SpecFileParse, ArtifactSchemaVersionUpToCurrentAccepted)
+{
+    // v1 artifacts carry no schemaVersion at all; v2 artifacts carry
+    // the current version. Both must replay.
+    const auto v1 = parseSpecText(
+        "{\"experiment\": \"exp\", \"spec\": {\"sites\": 50}}",
+        "old-artifact.json");
+    ASSERT_TRUE(v1.isOk());
+    EXPECT_EQ(v1.value().entries.size(), 1u);
+
+    const auto v2 = parseSpecText(
+        "{\"schemaVersion\": " + std::to_string(kArtifactSchemaVersion) +
+            ", \"experiment\": \"exp\", \"spec\": {\"sites\": 50}}",
+        "artifact.json");
+    ASSERT_TRUE(v2.isOk());
+    EXPECT_EQ(v2.value().experiment, "exp");
+    EXPECT_EQ(v2.value().entries.size(), 1u);
+}
+
+TEST(SpecFileParse, ArtifactNewerSchemaVersionRejectedByName)
+{
+    const auto parsed = parseSpecText(
+        "{\"schemaVersion\": 99, \"experiment\": \"exp\", "
+        "\"spec\": {\"sites\": 50}}",
+        "future.json");
+    ASSERT_FALSE(parsed.isOk());
+    EXPECT_EQ(parsed.status().code(), ErrorCode::ParseError);
+    // The error names both the found and the supported version.
+    EXPECT_NE(parsed.status().message().find("schemaVersion 99"),
+              std::string::npos)
+        << parsed.status().message();
+    EXPECT_NE(parsed.status().message().find(
+                  std::to_string(kArtifactSchemaVersion)),
+              std::string::npos)
+        << parsed.status().message();
+}
+
+TEST(SpecFileParse, ArtifactMalformedSchemaVersionRejected)
+{
+    EXPECT_FALSE(parseSpecText("{\"schemaVersion\": \"two\", "
+                               "\"spec\": {\"sites\": 5}}",
+                               "bad.json")
+                     .isOk());
+    EXPECT_FALSE(parseSpecText("{\"schemaVersion\": 0, "
+                               "\"spec\": {\"sites\": 5}}",
+                               "bad.json")
+                     .isOk());
+}
+
 TEST(SpecFileParse, MalformedJsonRejected)
 {
     EXPECT_FALSE(parseSpecText("{\"sites\": }", "t.json").isOk());

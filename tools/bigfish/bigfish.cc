@@ -109,16 +109,24 @@ printUsage()
         "only)\n"
         "  --json-dir=DIR     write DIR/<experiment>.json per "
         "experiment\n"
+        "  --explain          print the stage graph after each run: one\n"
+        "                     row per stage with its input fingerprint,\n"
+        "                     cache provenance (hit/miss/stored/skipped)\n"
+        "                     and CPU/wall timing\n"
         "  --<param>=<value>  any parameter the experiment declares\n"
         "                     (see `bigfish describe <experiment>`)\n"
         "\n"
         "resilience flags:\n"
         "  --resume=DIR       checkpoint collection progress in DIR and\n"
         "                     skip already-completed work on rerun\n"
-        "  --cache-dir=DIR    cache featurized datasets in DIR; a rerun\n"
-        "                     with the same configuration skips "
-        "collection\n"
-        "                     and featurization, bit-identically\n"
+        "  --cache-dir=DIR    content-addressed stage cache in DIR:\n"
+        "                     featurized datasets, trained fold models\n"
+        "                     and fold scores. A rerun reuses every "
+        "stage\n"
+        "                     whose input fingerprint is unchanged "
+        "(e.g.\n"
+        "                     an eval-only change skips collection AND\n"
+        "                     training), bit-identically\n"
         "  --isolate          run each experiment as a subprocess; a\n"
         "                     crash is contained, not fatal to --all\n"
         "  --keep-going       keep running later experiments after a "
@@ -185,6 +193,7 @@ struct RunOptions
     bool help = false;
     bool isolate = false;
     bool keepGoing = false;
+    bool explain = false;
     double timeoutSeconds = 0.0;
     int retries = 0;
     std::string specPath;
@@ -300,6 +309,8 @@ cmdRun(const core::ExperimentRegistry &registry,
             // Same dual treatment as --resume.
             options.cacheDir = value;
             options.flags.emplace_back("cache-dir", value);
+        } else if (key == "explain" && value.empty()) {
+            options.explain = true;
         } else if (key == "isolate" && value.empty()) {
             options.isolate = true;
         } else if (key == "keep-going" && value.empty()) {
@@ -459,6 +470,11 @@ cmdRun(const core::ExperimentRegistry &registry,
         if (!artifact.isOk())
             return artifact.status();
         artifact.value().setWallSeconds(wall.seconds());
+        if (options.explain) {
+            std::printf("\nstage graph (fingerprints + cache "
+                        "provenance):\n%s",
+                        artifact.value().explainText().c_str());
+        }
 
         out.collectedTraces = artifact.value().collectedTraces();
         out.droppedTraces = artifact.value().droppedTraces();
@@ -482,6 +498,8 @@ cmdRun(const core::ExperimentRegistry &registry,
             plan.argv.push_back("--full");
         if (!options.specPath.empty())
             plan.argv.push_back("--spec=" + options.specPath);
+        if (options.explain)
+            plan.argv.push_back("--explain");
         for (const auto &[key, value] : options.flags)
             plan.argv.push_back("--" + key + "=" + value);
         plan.artifactPath = prepared.at(name).artifactPath;

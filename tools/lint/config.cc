@@ -72,7 +72,7 @@ allRuleNames()
             "layering",           "unused-include",
             "status-swallowed",   "ordie-outside-binary",
             "parallel-capture-race", "parallel-mutex",
-            "parallel-shared-rng"};
+            "parallel-shared-rng",  "stage-timing"};
 }
 
 Config::Config()

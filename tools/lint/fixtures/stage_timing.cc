@@ -1,0 +1,27 @@
+// Fixture for the `stage-timing` rule. Phase timing must flow through
+// StageGraph::run() (core/stage.hh); an ad-hoc stopwatch hides its
+// stage's cost from --explain and the artifact's per-stage table.
+#include "base/stopwatch.hh" // expect-lint: stage-timing
+
+struct StageReport
+{
+    double cpuSeconds;
+    double wallSeconds;
+};
+
+double
+fixtureBody(StageReport &report)
+{
+    Stopwatch wall;                            // expect-lint: stage-timing
+    ProcessCpuStopwatch cpu;                   // expect-lint: stage-timing
+    ThreadCpuStopwatch worker;                 // expect-lint: stage-timing
+    double base = detail::posixClockSeconds(0); // expect-lint: stage-timing
+    // Names inside comments and strings stay clean: Stopwatch wall;
+    const char *doc = "never start a Stopwatch in pipeline code";
+    // The framework's own slots carry an inline justification:
+    Stopwatch sanctioned; // bigfish-lint: allow(stage-timing)
+    report.cpuSeconds = cpu.seconds() + base;
+    report.wallSeconds =
+        wall.seconds() + worker.seconds() + sanctioned.seconds();
+    return report.cpuSeconds + report.wallSeconds + (doc != nullptr);
+}

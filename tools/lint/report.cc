@@ -73,6 +73,9 @@ ruleSummaries()
         {"parallel-shared-rng",
          "No RNG shared across parallel iterations; derive per-cell "
          "streams."},
+        {"stage-timing",
+         "Phase timing flows through StageGraph::run(); no ad-hoc "
+         "stopwatches."},
     };
     return kSummaries;
 }

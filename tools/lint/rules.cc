@@ -466,6 +466,45 @@ ruleIntrinsicsHeader(const std::string &relPath, const LexedFile &file,
     }
 }
 
+// --- Rule: stage-timing ------------------------------------------------
+
+void
+ruleStageTiming(const std::string &relPath, const LexedFile &file,
+                std::vector<Diagnostic> &out)
+{
+    static const std::set<std::string> kTimingNames = {
+        "Stopwatch", "ProcessCpuStopwatch", "ThreadCpuStopwatch",
+        "CpuStopwatchBase", "posixClockSeconds"};
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        // Even the include is a finding: pipeline code has no business
+        // seeing the stopwatch header.
+        if (toks[i].text == "#" && i + 2 < toks.size() &&
+            toks[i + 1].text == "include" &&
+            toks[i + 2].text == "\"base/stopwatch.hh\"") {
+            emit(out, file, relPath, toks[i].line, "stage-timing",
+                 "'base/stopwatch.hh' included outside the stage "
+                 "framework: phase timing must flow through "
+                 "StageGraph::run() (core/stage.hh) so --explain and "
+                 "the artifact's per-stage table stay the single "
+                 "source of truth");
+            continue;
+        }
+        if (toks[i].kind != TokenKind::Identifier ||
+            kTimingNames.count(toks[i].text) == 0)
+            continue;
+        const bool member_access =
+            i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+        if (member_access)
+            continue;
+        emit(out, file, relPath, toks[i].line, "stage-timing",
+             "'" + toks[i].text + "' used outside the stage framework: "
+             "phase timing must flow through StageGraph::run() "
+             "(core/stage.hh) so --explain and the artifact's per-stage "
+             "table stay the single source of truth");
+    }
+}
+
 } // namespace
 
 std::set<std::string>
@@ -495,6 +534,8 @@ runRules(const std::string &relPath, const LexedFile &file, bool isHeader,
         ruleParallelFloatAccum(relPath, file, out);
     if (wants("intrinsics-header"))
         ruleIntrinsicsHeader(relPath, file, out);
+    if (wants("stage-timing"))
+        ruleStageTiming(relPath, file, out);
     return out;
 }
 

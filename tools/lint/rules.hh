@@ -23,6 +23,12 @@
  *                         and friends) only inside base/simd.hh; all
  *                         other code dispatches through ml/kernels.hh
  *                         so vector code cannot spread.
+ *  stage-timing         — no ad-hoc stopwatches (base/stopwatch.hh,
+ *                         posixClockSeconds) outside the stage
+ *                         framework: phase timing flows through
+ *                         StageGraph::run() so `--explain` and the
+ *                         artifact's per-stage table stay the single
+ *                         source of truth.
  *
  * The v2 repository-wide passes live next door:
  *  graph.hh       — layering, unused-include (include-graph pass)
