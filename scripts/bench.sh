@@ -1,21 +1,23 @@
 #!/usr/bin/env bash
 # Performance trajectory harness: runs the kernel micro-benchmarks (including
 # the per-ISA sweep of the SIMD kernel layer) and the headline
-# table1_fingerprinting experiment three times against one --cache-dir —
-# a cold run that collects, featurizes and trains; a warm run that replays
-# every stage; and an eval-only warm run with just --topk changed, which
-# must skip collection AND training via the stage cache — then merges
-# everything into a single BENCH_pr9.json at the repo root together with the
-# recorded pre-PR baselines so the speedup is tracked across PRs.
+# table1_fingerprinting experiment four times — a coldNoCache run with no
+# --cache-dir at all, which is the PR 10 acceptance configuration (pure
+# simulate+featurize+train wall clock, nothing amortized); a cold run that
+# fills an empty --cache-dir; a warm run that replays every stage from it;
+# and an eval-only warm run with just --topk changed, which must skip
+# collection AND training via the stage cache — then merges everything into
+# a single BENCH_pr10.json at the repo root together with the recorded
+# pre-PR baselines so the speedup is tracked across PRs.
 #
 # Usage: scripts/bench.sh [OUTPUT_JSON] [--threads=N]
-#   OUTPUT_JSON defaults to BENCH_pr9.json at the repo root.
+#   OUTPUT_JSON defaults to BENCH_pr10.json at the repo root.
 #   --threads defaults to 4 (the acceptance configuration).
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-out="$repo/BENCH_pr9.json"
+out="$repo/BENCH_pr10.json"
 threads=4
 for arg in "$@"; do
     case "$arg" in
@@ -38,13 +40,19 @@ echo "== micro kernel benchmarks (scalar vs SIMD)"
     --benchmark_out_format=json \
     --benchmark_min_time=0.2
 
-echo "== table1_fingerprinting cold (default scale, --threads=$threads, empty cache)"
+echo "== table1_fingerprinting coldNoCache (no --cache-dir, --threads=$threads)"
+start_nocache="$(date +%s.%N)"
+"$builddir/bigfish" run table1_fingerprinting --threads="$threads" \
+    --json="$tmpdir/table1_nocache.json" > "$tmpdir/table1_nocache.log"
+end_nocache="$(date +%s.%N)"
+tail -n 40 "$tmpdir/table1_nocache.log"
+
+echo "== table1_fingerprinting cold (--threads=$threads, empty cache)"
 start_cold="$(date +%s.%N)"
 "$builddir/bigfish" run table1_fingerprinting --threads="$threads" \
     --cache-dir="$tmpdir/cache" \
     --json="$tmpdir/table1_cold.json" > "$tmpdir/table1_cold.log"
 end_cold="$(date +%s.%N)"
-tail -n 40 "$tmpdir/table1_cold.log"
 
 echo "== table1_fingerprinting warm (same cache: replay featurized datasets)"
 start_warm="$(date +%s.%N)"
@@ -70,12 +78,14 @@ if grep -Eq '/train/[^ ]+ +\| train +\| [0-9a-f]{16} \| (stored|miss)' \
 fi
 
 python3 - "$tmpdir" "$out" "$threads" \
+    "$start_nocache" "$end_nocache" \
     "$start_cold" "$end_cold" "$start_warm" "$end_warm" \
     "$start_sweep" "$end_sweep" <<'PY'
 import json
 import sys
 
-tmpdir, out, threads, sc, ec, sw, ew, ss, es = sys.argv[1:10]
+tmpdir, out, threads, sn, en, sc, ec, sw, ew, ss, es = sys.argv[1:12]
+nocache = float(en) - float(sn)
 cold = float(ec) - float(sc)
 warm = float(ew) - float(sw)
 sweep = float(es) - float(ss)
@@ -96,6 +106,8 @@ baselines = {
     },
 }
 
+with open(f"{tmpdir}/table1_nocache.json") as f:
+    table1_nocache = json.load(f)
 with open(f"{tmpdir}/table1_cold.json") as f:
     table1_cold = json.load(f)
 with open(f"{tmpdir}/table1_warm.json") as f:
@@ -112,22 +124,29 @@ kernels = {
 
 pr2 = baselines["pr2"]["wallSeconds"]
 report = {
-    "bench": "pr9",
+    "bench": "pr10",
     "baselines": baselines,
     "threads": int(threads),
+    # coldNoCache is the honest simulator number: no cache directory, so
+    # wall clock is pure simulate+featurize+train with zero amortization.
+    # The cached cold run additionally pays stage-cache serialization.
+    "table1ColdNoCacheWallSeconds": round(nocache, 3),
     "table1ColdWallSeconds": round(cold, 3),
     "table1WarmWallSeconds": round(warm, 3),
     # The eval-only sweep changes just --topk: collection, featurization
     # and every fold's training replay from the stage cache, so this is
     # the marginal cost of re-asking an evaluation question.
     "table1EvalOnlySweepWallSeconds": round(sweep, 3),
-    # Acceptance metric: warm (cached) table1 against the PR 2 recording
-    # at the same thread count; the cold ratio isolates the SIMD kernels.
-    "speedupVsPr2Warm": round(pr2 / warm, 2),
+    # Acceptance metrics (ISSUE 10): the no-cache cold run against the
+    # PR 2 recording at the same thread count must be >= 1.3x, and the
+    # warm (cached) run must stay >= 50x.
+    "speedupVsPr2ColdNoCache": round(pr2 / nocache, 2),
     "speedupVsPr2Cold": round(pr2 / cold, 2),
+    "speedupVsPr2Warm": round(pr2 / warm, 2),
     "speedupVsSeedWarm": round(
         baselines["seedSerial"]["wallSeconds"] / warm, 2),
     "evalOnlySweepSpeedupVsCold": round(cold / sweep, 2),
+    "table1ColdNoCache": table1_nocache,
     "table1Cold": table1_cold,
     "table1Warm": table1_warm,
     "table1EvalOnlySweep": table1_sweep,
@@ -136,9 +155,9 @@ report = {
 with open(out, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
-print(f"wrote {out}: cold {cold:.1f}s, warm {warm:.1f}s, "
-      f"eval-only sweep {sweep:.1f}s vs PR2 {pr2}s "
-      f"-> {report['speedupVsPr2Cold']}x cold, "
-      f"{report['speedupVsPr2Warm']}x warm, "
-      f"{report['evalOnlySweepSpeedupVsCold']}x sweep-vs-cold")
+print(f"wrote {out}: coldNoCache {nocache:.1f}s, cold {cold:.1f}s, "
+      f"warm {warm:.1f}s, eval-only sweep {sweep:.1f}s vs PR2 {pr2}s "
+      f"-> {report['speedupVsPr2ColdNoCache']}x coldNoCache, "
+      f"{report['speedupVsPr2Cold']}x cold, "
+      f"{report['speedupVsPr2Warm']}x warm")
 PY

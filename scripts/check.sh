@@ -33,6 +33,11 @@
 #               --topk changed (must replay fold scores and skip
 #               training entirely), each proven via --explain
 #               provenance and bit-identical to a fresh uncached run.
+#   sim-perf  — the simulator perf-counter gate (DESIGN.md §13): the
+#               test_sim_perf determinism suite, then a table1 smoke
+#               whose --explain table and schemaVersion-3 artifact must
+#               carry the per-stage sim counters, with the counter
+#               values identical across --threads and BF_SIMD.
 #   address   — full build + ctest under AddressSanitizer.
 #   undefined — full build + ctest under UBSan.
 #   thread    — full build + ctest under ThreadSanitizer.
@@ -49,7 +54,7 @@
 # stage fails the gate instead of silently passing.
 #
 # Usage:
-#   scripts/check.sh [lint-diff|lint|cppcheck|cli-smoke|resume-smoke|simd|stage-cache|address|undefined|thread|threads8]...
+#   scripts/check.sh [lint-diff|lint|cppcheck|cli-smoke|resume-smoke|simd|stage-cache|sim-perf|address|undefined|thread|threads8]...
 #   With no arguments, runs every stage.
 
 set -euo pipefail
@@ -58,7 +63,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
     stages=(lint-diff lint cppcheck cli-smoke resume-smoke simd stage-cache
-            address undefined thread threads8)
+            sim-perf address undefined thread threads8)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
@@ -359,6 +364,46 @@ for stage in "${stages[@]}"; do
         echo "== [stage-cache] cached reuse is provenance-clean and" \
              "bit-identical"
         ;;
+      sim-perf)
+        builddir="$repo/build"
+        echo "== [sim-perf] build bigfish + test_sim_perf"
+        cmake -B "$builddir" -S "$repo" > /dev/null
+        cmake --build "$builddir" --target bigfish test_sim_perf -j "$jobs"
+        pdir="$(mktemp -d)"
+        tmpdirs+=("$pdir")
+        echo "== [sim-perf] counter determinism tests"
+        "$builddir/tests/test_sim_perf" > "$pdir/unit.log" ||
+            { tail -n 40 "$pdir/unit.log"; exit 1; }
+        echo "== [sim-perf] counters surface in --explain and the artifact"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=2 \
+            --explain --json="$pdir/t2.json" > "$pdir/explain.log"
+        grep -q 'sim_events' "$pdir/explain.log"
+        grep -q '"simEvents": ' "$pdir/t2.json"
+        grep -q '"simBytesSorted": ' "$pdir/t2.json"
+        echo "== [sim-perf] counters identical across threads and BF_SIMD"
+        "$builddir/bigfish" run table1_fingerprinting --smoke --threads=1 \
+            --json="$pdir/t1.json" > /dev/null
+        BF_SIMD=scalar "$builddir/bigfish" run table1_fingerprinting \
+            --smoke --threads=2 --json="$pdir/t2s.json" > /dev/null
+        # The sim* counters ride on the cpuSeconds stage lines, so the
+        # generic 'Seconds'-filtered artifact diffs elsewhere in this
+        # script never see them; compare the counter values directly.
+        # simEventsPerSec is a timing-derived rate and legitimately
+        # varies — only the four work counters must be deterministic.
+        counters='"sim(Events|Interrupts|Allocations|BytesSorted)": [0-9]*'
+        for run in t1 t2s; do
+            if ! diff \
+                <(grep -oE "$counters" "$pdir/t2.json") \
+                <(grep -oE "$counters" "$pdir/$run.json"); then
+                echo "sim counters differ between t2 and $run" >&2
+                exit 1
+            fi
+        done
+        # A counter-free artifact would make the loop above pass
+        # vacuously; require at least one nonzero eventsSimulated row.
+        grep -Eq '"simEvents": [1-9]' "$pdir/t2.json"
+        echo "== [sim-perf] per-stage sim counters are deterministic"
+        ;;
       address|undefined|thread)
         san="$stage"
         builddir="$repo/build-$san"
@@ -383,8 +428,8 @@ for stage in "${stages[@]}"; do
         ;;
       *)
         echo "unknown stage '$stage' (want lint-diff, lint, cppcheck," \
-             "cli-smoke, resume-smoke, simd, stage-cache, address," \
-             "undefined, thread or threads8)" >&2
+             "cli-smoke, resume-smoke, simd, stage-cache, sim-perf," \
+             "address, undefined, thread or threads8)" >&2
         exit 2
         ;;
     esac

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <random>
 
+#include "base/mt64.hh"
 #include "base/types.hh"
 
 #if defined(__GLIBC__)
@@ -89,14 +90,17 @@ class Rng
     double
     uniform()
     {
-        return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+        // std::uniform_real_distribution<double>(0, 1) evaluates
+        // canonical()*(1-0)+0, which is bit-identical to canonical()
+        // alone (the draw is never negative, so +0.0 is an identity).
+        return canonical();
     }
 
     /** Uniform double in [lo, hi). */
     double
     uniform(double lo, double hi)
     {
-        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+        return canonical() * (hi - lo) + lo;
     }
 
     /** Uniform integer in [lo, hi] inclusive. */
@@ -110,7 +114,7 @@ class Rng
     double
     normal(double mean, double stddev)
     {
-        return std::normal_distribution<double>(mean, stddev)(engine_);
+        return polarNormal() * stddev + mean;
     }
 
     /**
@@ -133,15 +137,17 @@ class Rng
     double
     lognormalFromLogMedian(double log_median, double sigma)
     {
-        std::lognormal_distribution<double> dist(log_median, sigma);
-        return dist(engine_);
+        return std::exp(sigma * polarNormal() + log_median);
     }
 
     /** Exponential deviate with the given mean (i.e. 1/rate). */
     double
     exponential(double mean)
     {
-        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+        // The divisor replicates the lambda std::exponential_distribution
+        // would store; folding the two divisions into "* mean" rounds
+        // differently and would change the deviate stream.
+        return -std::log(1.0 - canonical()) / (1.0 / mean);
     }
 
     /**
@@ -199,11 +205,60 @@ class Rng
     /** Raw 64-bit draw. */
     std::uint64_t operator()() { return engine_(); }
 
-    /** The underlying engine, for use with std::shuffle and friends. */
-    std::mt19937_64 &engine() { return engine_; }
+    /**
+     * The underlying engine, for use with std::shuffle and friends.
+     * Mt64 is stream-identical to the std::mt19937_64 this used to
+     * return and exposes the same min/max, so std algorithms consume
+     * it byte-for-byte the same way.
+     */
+    Mt64 &engine() { return engine_; }
 
   private:
-    std::mt19937_64 engine_;
+    /**
+     * Uniform double in [0, 1): an inline replica of libstdc++'s
+     * std::generate_canonical<double, 53> over mt19937_64, which every
+     * real-valued helper here used to reach through a freshly built
+     * std distribution. For a 64-bit engine that algorithm reduces to
+     * one raw draw divided by 2^64 (an exact power-of-two scale, so
+     * the multiply below rounds identically) with results that round
+     * up to 1.0 clamped to the largest double below one. Inlining it
+     * drops a non-inlinable library call plus its long-double range
+     * arithmetic from the simulator's hottest loop while keeping the
+     * deviate stream bit-identical; tests/rng_exact_test.cc pins the
+     * equivalence against the real <random> implementation.
+     */
+    double
+    canonical()
+    {
+        double ret = static_cast<double>(engine_()) * 0x1p-64;
+        if (ret >= 1.0)
+            ret = 0x1.fffffffffffffp-1; // nextafter(1.0, 0.0)
+        return ret;
+    }
+
+    /**
+     * Standard normal deviate via the Marsaglia polar method, written
+     * to consume canonical() draws in exactly the order a fresh
+     * std::normal_distribution<double> would. The library object
+     * caches the second deviate of each accepted pair, but normal()
+     * and the lognormal helpers construct a new distribution per call,
+     * so the cached value is always discarded — replicating only the
+     * uncached path keeps the stream identical.
+     */
+    double
+    polarNormal()
+    {
+        double x, y, r2;
+        do {
+            x = 2.0 * canonical() - 1.0;
+            y = 2.0 * canonical() - 1.0;
+            r2 = x * x + y * y;
+        } while (r2 > 1.0 || r2 == 0.0);
+        const double mult = std::sqrt(-2 * std::log(r2) / r2);
+        return y * mult;
+    }
+
+    Mt64 engine_;
 };
 
 } // namespace bigfish

@@ -128,15 +128,32 @@ RunArtifact::findMetric(const std::string &name) const
 std::string
 RunArtifact::explainText() const
 {
+    // sim_* columns attribute where cold time goes: stages that perform
+    // no simulation (and cache/journal replays) report zeros.
     Table table({"stage", "phase", "fingerprint", "cache", "cpu_s",
-                 "wall_s", "items", "dropped"});
-    for (const StageReport &report : stages_)
+                 "wall_s", "items", "dropped", "sim_events", "sim_irqs",
+                 "sim_allocs", "sim_MB_sorted", "sim_events_per_s"});
+    for (const StageReport &report : stages_) {
+        const double events_per_s =
+            report.cpuSeconds > 0.0
+                ? static_cast<double>(report.sim.eventsSimulated) /
+                      report.cpuSeconds
+                : 0.0;
         table.addRow({report.name, report.phase, hex16(report.fingerprint),
                       stageCacheStateName(report.cache),
                       formatDouble("%.3f", report.cpuSeconds),
                       formatDouble("%.3f", report.wallSeconds),
                       std::to_string(report.items),
-                      std::to_string(report.dropped)});
+                      std::to_string(report.dropped),
+                      std::to_string(report.sim.eventsSimulated),
+                      std::to_string(report.sim.interruptsSynthesized),
+                      std::to_string(report.sim.allocations),
+                      formatDouble("%.1f",
+                                   static_cast<double>(
+                                       report.sim.bytesSorted) /
+                                       (1024.0 * 1024.0)),
+                      formatDouble("%.0f", events_per_s)});
+    }
     return table.render();
 }
 
@@ -188,10 +205,17 @@ RunArtifact::toJson() const
     // One line per stage, each carrying the *Seconds keys: timing and
     // cache provenance legitimately differ between cold and warm runs,
     // and the Seconds-line convention is what lets tooling diff
-    // everything else bit-for-bit.
+    // everything else bit-for-bit. The schema-v3 sim* counters ride on
+    // the same line: the counts themselves are deterministic, but cache
+    // provenance makes them cold/warm-dependent (replays report zero),
+    // so they belong with the timing keys, not the diffable payload.
     out += "  \"stages\": [";
     bool first_stage = true;
     for (const StageReport &s : stages_) {
+        const double events_per_s =
+            s.cpuSeconds > 0.0
+                ? static_cast<double>(s.sim.eventsSimulated) / s.cpuSeconds
+                : 0.0;
         out += first_stage ? "\n" : ",\n";
         first_stage = false;
         out += "    {\"name\": " + quoteString(s.name) +
@@ -202,7 +226,17 @@ RunArtifact::toJson() const
                ", \"cpuSeconds\": " + formatDouble("%.3f", s.cpuSeconds) +
                ", \"wallSeconds\": " + formatDouble("%.3f", s.wallSeconds) +
                ", \"items\": " + std::to_string(s.items) +
-               ", \"dropped\": " + std::to_string(s.dropped) + "}";
+               ", \"dropped\": " + std::to_string(s.dropped) +
+               ", \"simEvents\": " +
+               std::to_string(s.sim.eventsSimulated) +
+               ", \"simInterrupts\": " +
+               std::to_string(s.sim.interruptsSynthesized) +
+               ", \"simAllocations\": " +
+               std::to_string(s.sim.allocations) +
+               ", \"simBytesSorted\": " +
+               std::to_string(s.sim.bytesSorted) +
+               ", \"simEventsPerSec\": " +
+               formatDouble("%.0f", events_per_s) + "}";
     }
     out += first_stage ? "],\n" : "\n  ],\n";
     out += "  \"metrics\": {";

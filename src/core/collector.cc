@@ -30,7 +30,8 @@ TraceCollector::faultSalt(SiteId site_id, int run_index) const
 
 sim::RunTimeline
 TraceCollector::synthesizeTimeline(const web::SiteSignature &site,
-                                   int run_index) const
+                                   int run_index,
+                                   sim::PerfCounters *perf) const
 {
     Rng rng = traceRng(site.id, run_index);
     Rng workload_rng = rng.fork(1);
@@ -64,7 +65,8 @@ TraceCollector::synthesizeTimeline(const web::SiteSignature &site,
     }
     activity.clampPhysical();
 
-    sim::RunTimeline timeline = synthesizer_.synthesize(activity, synth_rng);
+    sim::RunTimeline timeline =
+        synthesizer_.synthesize(activity, synth_rng, perf);
     web::applyBrowserRuntime(timeline, config_.browser, browser_rng);
 
     // Injected delivery faults and stalls mutate the shared ground
@@ -84,7 +86,8 @@ TraceCollector::collectForAttacker(attack::AttackerKind attacker,
                                    int run_index,
                                    const sim::RunTimeline &timeline,
                                    const sim::FaultPlan &plan,
-                                   std::uint64_t timer_seed) const
+                                   std::uint64_t timer_seed,
+                                   sim::PerfCounters *perf) const
 {
     auto timer = config_.effectiveTimer().make(timer_seed);
     if (plan.enabled())
@@ -98,6 +101,13 @@ TraceCollector::collectForAttacker(attack::AttackerKind attacker,
     attack::Trace trace = std::move(collected.value());
     trace.siteId = site.id;
     trace.label = site.id;
+    if (perf != nullptr) {
+        // One simulated event per attacker measurement period, counted
+        // before truncation faults trim the record: the work happened.
+        perf->eventsSimulated +=
+            static_cast<long long>(trace.counts.size());
+        perf->allocations += 2; // counts + wallTimes materialization
+    }
 
     if (plan.enabled()) {
         // Truncation faults cut the recorded suffix (victim navigated
@@ -148,7 +158,8 @@ TraceCollector::collectOne(const web::SiteSignature &site,
 std::vector<Result<attack::Trace>>
 TraceCollector::collectOneMulti(
     const web::SiteSignature &site, int run_index,
-    std::span<const attack::AttackerKind> attackers) const
+    std::span<const attack::AttackerKind> attackers,
+    sim::PerfCounters *perf) const
 {
     std::vector<Result<attack::Trace>> out;
     out.reserve(attackers.size());
@@ -163,7 +174,8 @@ TraceCollector::collectOneMulti(
     // synthesis, browser runtime, fault plan, timer seed — depends only
     // on (config seed, site, run). Synthesize once and run each attacker
     // over the shared ground truth with its own freshly seeded timer.
-    const sim::RunTimeline timeline = synthesizeTimeline(site, run_index);
+    const sim::RunTimeline timeline =
+        synthesizeTimeline(site, run_index, perf);
     const auto timer_seed =
         mix64(config_.seed ^ 0x71e4aeedULL) ^
         mix64(static_cast<std::uint64_t>(site.id) * 7919ULL +
@@ -172,24 +184,27 @@ TraceCollector::collectOneMulti(
                               faultSalt(site.id, run_index));
     for (attack::AttackerKind attacker : attackers)
         out.push_back(collectForAttacker(attacker, site, run_index,
-                                         timeline, plan, timer_seed));
+                                         timeline, plan, timer_seed, perf));
     return out;
 }
 
 std::vector<Result<attack::Trace>>
 TraceCollector::collectCellCheckpointed(
     int world, SiteId site_key, const web::SiteSignature &site,
-    int run_index, std::span<const attack::AttackerKind> attackers) const
+    int run_index, std::span<const attack::AttackerKind> attackers,
+    sim::PerfCounters *perf) const
 {
     if (checkpoint_ != nullptr) {
         auto cached = checkpoint_->lookup(world, site_key, run_index);
         // A cell journaled under a different attacker set cannot occur
         // (the fingerprint keys the attacker list), but stay defensive:
         // a size mismatch falls through to a fresh collection.
+        // Replayed cells deliberately add nothing to *perf: the counters
+        // measure work performed, exactly like cpuSeconds.
         if (cached.has_value() && cached->size() == attackers.size())
             return std::move(*cached);
     }
-    auto cell = collectOneMulti(site, run_index, attackers);
+    auto cell = collectOneMulti(site, run_index, attackers, perf);
     if (checkpoint_ != nullptr) {
         // A journal that stops accepting records (disk full, journal
         // file deleted) only costs resumability, never the run itself.
@@ -234,7 +249,7 @@ Result<std::vector<attack::TraceSet>>
 TraceCollector::collectClosedWorldMulti(
     const web::SiteCatalog &catalog, int traces_per_site,
     std::span<const attack::AttackerKind> attackers,
-    std::vector<CollectionStats> *stats) const
+    std::vector<CollectionStats> *stats, sim::PerfCounters *perf) const
 {
     if (traces_per_site <= 0)
         return Status(
@@ -249,21 +264,28 @@ TraceCollector::collectClosedWorldMulti(
     // Every (site, run) cell derives its randomness from the config seed
     // alone, so the cells are independent and collect in parallel; each
     // result lands in its own pre-sized slot. The accounting pass below
-    // walks the slots in serial order, so the produced TraceSets (and the
-    // dropped-trace stats) are identical at any thread count.
+    // walks the slots in serial order, so the produced TraceSets, the
+    // dropped-trace stats and the summed perf counters are identical at
+    // any thread count.
     auto results = parallelMap(cells, [&](std::size_t idx) {
         const SiteId id = static_cast<SiteId>(
             idx / static_cast<std::size_t>(traces_per_site));
         const int run = static_cast<int>(
             idx % static_cast<std::size_t>(traces_per_site));
-        return collectCellCheckpointed(kCheckpointClosedWorld, id,
-                                       catalog.site(id), run, attackers);
+        sim::PerfCounters cell_perf;
+        auto traces = collectCellCheckpointed(
+            kCheckpointClosedWorld, id, catalog.site(id), run, attackers,
+            perf != nullptr ? &cell_perf : nullptr);
+        return std::make_pair(std::move(traces), cell_perf);
     });
     std::vector<CollectionStats> local(attackers.size());
     std::vector<attack::TraceSet> sets(attackers.size());
     for (attack::TraceSet &set : sets)
         set.traces.reserve(cells);
-    for (auto &cell : results) {
+    for (auto &result : results) {
+        auto &cell = result.first;
+        if (perf != nullptr)
+            *perf += result.second;
         for (std::size_t a = 0; a < attackers.size(); ++a) {
             ++local[a].attempted;
             if (!cell[a].isOk()) {
@@ -320,7 +342,7 @@ TraceCollector::collectOpenWorldMulti(
     const web::SiteCatalog &catalog, int num_extra,
     Label non_sensitive_label,
     std::span<const attack::AttackerKind> attackers,
-    std::vector<CollectionStats> *stats) const
+    std::vector<CollectionStats> *stats, sim::PerfCounters *perf) const
 {
     if (attackers.empty())
         return Status(
@@ -334,15 +356,21 @@ TraceCollector::collectOpenWorldMulti(
     // The journal keys open-world cells by extension index (not the
     // one-off site id), which is stable across catalog id schemes.
     auto results = parallelMap(cells, [&](std::size_t i) {
-        return collectCellCheckpointed(
+        sim::PerfCounters cell_perf;
+        auto traces = collectCellCheckpointed(
             kCheckpointOpenWorld, static_cast<SiteId>(i),
-            catalog.openWorldSite(static_cast<int>(i)), 0, attackers);
+            catalog.openWorldSite(static_cast<int>(i)), 0, attackers,
+            perf != nullptr ? &cell_perf : nullptr);
+        return std::make_pair(std::move(traces), cell_perf);
     });
     std::vector<CollectionStats> local(attackers.size());
     std::vector<attack::TraceSet> sets(attackers.size());
     for (attack::TraceSet &set : sets)
         set.traces.reserve(cells);
-    for (auto &cell : results) {
+    for (auto &result : results) {
+        auto &cell = result.first;
+        if (perf != nullptr)
+            *perf += result.second;
         for (std::size_t a = 0; a < attackers.size(); ++a) {
             ++local[a].attempted;
             if (!cell[a].isOk()) {

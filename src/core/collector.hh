@@ -36,6 +36,7 @@
 #include "defense/noise.hh"
 #include "sim/faults.hh"
 #include "sim/machine.hh"
+#include "sim/perf.hh"
 #include "sim/synthesizer.hh"
 #include "timers/timer.hh"
 #include "web/browser.hh"
@@ -130,9 +131,14 @@ class TraceCollector
      * the attacker measured. Timeline-level faults (dropped/duplicated
      * interrupts, stalls) are already applied, so observers and the
      * attacker keep sharing one ground truth under injected faults.
+     *
+     * @param perf When non-null, accumulates simulator work counters
+     *             (sim/perf.hh) for this synthesis.
      */
     sim::RunTimeline synthesizeTimeline(const web::SiteSignature &site,
-                                        int run_index) const;
+                                        int run_index,
+                                        sim::PerfCounters *perf =
+                                            nullptr) const;
 
     /**
      * Collects one trace of @p site. Fails (without terminating) when
@@ -157,7 +163,8 @@ class TraceCollector
      */
     [[nodiscard]] std::vector<Result<attack::Trace>>
     collectOneMulti(const web::SiteSignature &site, int run_index,
-                    std::span<const attack::AttackerKind> attackers) const;
+                    std::span<const attack::AttackerKind> attackers,
+                    sim::PerfCounters *perf = nullptr) const;
 
     /**
      * Closed-world dataset: @p traces_per_site traces of every catalog
@@ -180,14 +187,17 @@ class TraceCollector
      * synthesized timeline (see collectOneMulti). Returns one TraceSet
      * per attacker, each bit-identical to a collectClosedWorld() under
      * the corresponding single-attacker config; @p stats (optional) is
-     * resized to one entry per attacker.
+     * resized to one entry per attacker. @p perf (optional) accumulates
+     * simulator work counters, summed over cells in serial order so the
+     * totals are identical at any thread count; journal-replayed cells
+     * contribute zero (counters measure work performed).
      */
     [[nodiscard]] Result<std::vector<attack::TraceSet>>
     collectClosedWorldMulti(const web::SiteCatalog &catalog,
                             int traces_per_site,
                             std::span<const attack::AttackerKind> attackers,
-                            std::vector<CollectionStats> *stats =
-                                nullptr) const;
+                            std::vector<CollectionStats> *stats = nullptr,
+                            sim::PerfCounters *perf = nullptr) const;
 
     /**
      * Open-world extension: @p num_extra traces, each of a distinct
@@ -210,8 +220,8 @@ class TraceCollector
     collectOpenWorldMulti(const web::SiteCatalog &catalog, int num_extra,
                           Label non_sensitive_label,
                           std::span<const attack::AttackerKind> attackers,
-                          std::vector<CollectionStats> *stats =
-                              nullptr) const;
+                          std::vector<CollectionStats> *stats = nullptr,
+                          sim::PerfCounters *perf = nullptr) const;
 
   private:
     /** Per-(site, run) root randomness. */
@@ -232,7 +242,8 @@ class TraceCollector
                        const web::SiteSignature &site, int run_index,
                        const sim::RunTimeline &timeline,
                        const sim::FaultPlan &plan,
-                       std::uint64_t timer_seed) const;
+                       std::uint64_t timer_seed,
+                       sim::PerfCounters *perf = nullptr) const;
 
     /**
      * Serves (world, site_key, run) from the attached journal when
@@ -242,8 +253,8 @@ class TraceCollector
     [[nodiscard]] std::vector<Result<attack::Trace>>
     collectCellCheckpointed(int world, SiteId site_key,
                             const web::SiteSignature &site, int run_index,
-                            std::span<const attack::AttackerKind> attackers)
-        const;
+                            std::span<const attack::AttackerKind> attackers,
+                            sim::PerfCounters *perf = nullptr) const;
 
     CollectionConfig config_;
     sim::InterruptSynthesizer synthesizer_;

@@ -87,6 +87,8 @@ struct CollectOutput
     std::vector<attack::TraceSet> openExtra;
     std::vector<CollectionStats> closedStats;
     std::vector<CollectionStats> openStats;
+    /** Simulator work performed by this sweep (zero when replayed). */
+    sim::PerfCounters perf;
 };
 
 /** The declared stage ids one attacker/world evaluation owns. */
@@ -154,7 +156,8 @@ collectStageBody(const CollectionConfig &collection,
     CollectOutput out;
     Result<std::vector<attack::TraceSet>> closed_result =
         collector.collectClosedWorldMulti(catalog, pipeline.tracesPerSite,
-                                          attackers, &out.closedStats);
+                                          attackers, &out.closedStats,
+                                          &out.perf);
     if (!closed_result.isOk())
         return Status(closed_result.status());
     out.closed = std::move(closed_result.value());
@@ -165,7 +168,7 @@ collectStageBody(const CollectionConfig &collection,
             collector.collectOpenWorldMulti(catalog,
                                             pipeline.openWorldExtra,
                                             non_sensitive, attackers,
-                                            &out.openStats);
+                                            &out.openStats, &out.perf);
         if (!extra_result.isOk())
             return Status(extra_result.status());
         out.openExtra = std::move(extra_result.value());
@@ -481,6 +484,7 @@ runFingerprintingShared(const CollectionConfig &collection,
             featurized.push_back(std::move(entry.value()));
         }
         graph.setCounts(collect_id, total_collected, total_dropped);
+        graph.setSimCounters(collect_id, collected.value().perf);
     }
     for (std::size_t a = 0; a < attackers.size(); ++a)
         graph.setCounts(

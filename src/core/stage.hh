@@ -54,6 +54,7 @@
 #include "base/result.hh"
 #include "base/stopwatch.hh" // bigfish-lint: allow(stage-timing)
 #include "core/stage_cache.hh"
+#include "sim/perf.hh"
 
 namespace bigfish::core {
 
@@ -101,6 +102,10 @@ struct StageReport
     std::size_t items = 0;
     /** Units lost (dropped traces). */
     std::size_t dropped = 0;
+    /** Simulator work counters (sim/perf.hh); zero for stages that do
+     *  no simulation and for cache/journal replays, exactly like
+     *  cpuSeconds measures work performed rather than represented. */
+    sim::PerfCounters sim;
 };
 
 /**
@@ -248,6 +253,13 @@ class StageGraph
     {
         reports_[id].items = items;
         reports_[id].dropped = dropped;
+    }
+
+    /** Records simulator work counters for stage @p id. */
+    void
+    setSimCounters(std::size_t id, const sim::PerfCounters &counters)
+    {
+        reports_[id].sim = counters;
     }
 
     const std::vector<StageReport> &reports() const { return reports_; }

@@ -257,6 +257,12 @@ StageCache::lookup(std::string_view kind, std::uint64_t key)
         ++stats_.misses;
         return std::nullopt;
     }
+    // Touch-on-hit: evict() ranks entries by mtime, so a hit must
+    // refresh the entry or a long-lived cache would evict its hottest
+    // entries first (they are the oldest-written ones). Best-effort —
+    // a read-only cache dir still serves hits, it just ages.
+    std::error_code touch_ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), touch_ec);
     {
         const std::lock_guard<std::mutex> lock(*mutex_);
         ++stats_.hits;
@@ -299,8 +305,10 @@ StageCache::evict(std::size_t maxEntries)
     }
     if (entries.size() <= maxEntries)
         return 0;
-    // Oldest-modified first; ties broken by path so eviction order is
-    // stable under equal timestamps.
+    // Oldest-modified first; lookup() touches entries on hit, so mtime
+    // order is least-recently-*used* order, not least-recently-written.
+    // Ties broken by path so eviction order is stable under equal
+    // timestamps.
     std::sort(entries.begin(), entries.end());
     const std::size_t excess = entries.size() - maxEntries;
     std::size_t removed = 0;

@@ -217,6 +217,12 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
     const bool batched = net_.supportsBatch();
     std::vector<Label> batch_labels;
 
+    // The layer set is fixed for the whole fit, so gather the parameter
+    // and gradient pointer lists once instead of re-walking the layers
+    // (and re-allocating both vectors) on every optimizer step.
+    const std::vector<Matrix *> param_ptrs = net_.params();
+    const std::vector<Matrix *> grad_ptrs = net_.grads();
+
     Matrix grad;
     for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
         std::shuffle(order.begin(), order.end(), rng.engine());
@@ -254,7 +260,7 @@ CnnLstmClassifier::fit(const Dataset &train, const Dataset &validation)
             // permanently; skip the batch and keep training.
             const bool stepped =
                 std::isfinite(batch_loss) &&
-                adam.stepIfFinite(net_.params(), net_.grads(),
+                adam.stepIfFinite(param_ptrs, grad_ptrs,
                                   1.0 / static_cast<double>(batch));
             if (!stepped) {
                 ++skippedBatches_;
@@ -363,6 +369,11 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
     for (const auto &f : train.features)
         inputs.push_back(toInput(f));
 
+    // Fixed layer set: collect the optimizer's pointer lists once
+    // rather than per step.
+    const std::vector<Matrix *> param_ptrs = net_.params();
+    const std::vector<Matrix *> grad_ptrs = net_.grads();
+
     Matrix grad;
     for (int epoch = 0; epoch < params_.maxEpochs; ++epoch) {
         std::shuffle(order.begin(), order.end(), rng.engine());
@@ -380,7 +391,7 @@ MlpClassifier::fit(const Dataset &train, const Dataset &validation)
                                                      train.labels[s], grad);
                 net_.backward(grad);
             }
-            if (!adam.stepIfFinite(net_.params(), net_.grads(),
+            if (!adam.stepIfFinite(param_ptrs, grad_ptrs,
                                    1.0 / static_cast<double>(batch))) {
                 ++skippedBatches_;
                 warnOnce("ml/non-finite-batch",

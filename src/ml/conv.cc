@@ -75,7 +75,7 @@ Conv1D::forwardBatch(const Matrix &in, std::size_t samples, bool)
     panicIf(in.rows() != inChannels_, "Conv1D channel mismatch");
     panicIf(samples == 0 || in.cols() == 0 || in.cols() % samples != 0,
             "Conv1D batch column count mismatch");
-    input_ = in;
+    inCols_ = in.cols();
     samples_ = samples;
     const std::size_t out_t = outLength(in.cols() / samples);
     packPatches(in, samples, out_t);
@@ -94,7 +94,7 @@ Conv1D::backward(const Matrix &grad_out)
 Matrix
 Conv1D::backwardBatch(const Matrix &grad_out, std::size_t samples)
 {
-    const std::size_t all_in_t = input_.cols();
+    const std::size_t all_in_t = inCols_;
     const std::size_t out_cols = grad_out.cols();
     panicIf(grad_out.rows() != outChannels_,
             "Conv1D backward channel mismatch");

@@ -51,7 +51,12 @@ class Conv1D : public Layer
     std::size_t inChannels_, outChannels_, kernel_, stride_;
     /** Weights laid out (out_channels x in_channels*kernel). */
     Matrix w_, b_, gw_, gb_;
-    Matrix input_;
+    /**
+     * Total input columns of the most recent forward — the only fact
+     * backward needs about the raw input (the windows themselves live
+     * in patches_), so the former full input copy was pure overhead.
+     */
+    std::size_t inCols_ = 0;
     /** Sample count of the most recent (batched) forward. */
     std::size_t samples_ = 1;
     /**

@@ -203,7 +203,10 @@ scalarAxpy4(float *y, const float *x0, const float *x1, const float *x2,
     }
 }
 
-void
+// flatten: the per-4-k axpy4 bodies inline into the panel loop — at the
+// small n the training gemms run (batch-width panels), the ten-argument
+// call per k-group otherwise costs as much as the vector work itself.
+__attribute__((flatten)) void
 scalarGemmRowPanel(float *y, const float *a, std::size_t astride,
                    const float *b, std::size_t k0, std::size_t k1,
                    std::size_t n)
@@ -481,7 +484,7 @@ sse2Axpy4(float *y, const float *x0, const float *x1, const float *x2,
     }
 }
 
-BF_K_SSE2 void
+BF_K_SSE2 __attribute__((flatten)) void
 sse2GemmRowPanel(float *y, const float *a, std::size_t astride,
                  const float *b, std::size_t k0, std::size_t k1,
                  std::size_t n)
@@ -791,7 +794,7 @@ avx2Axpy4(float *y, const float *x0, const float *x1, const float *x2,
     }
 }
 
-BF_K_AVX2 void
+BF_K_AVX2 __attribute__((flatten)) void
 avx2GemmRowPanel(float *y, const float *a, std::size_t astride,
                  const float *b, std::size_t k0, std::size_t k1,
                  std::size_t n)

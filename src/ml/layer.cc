@@ -29,24 +29,39 @@ Layer::backwardBatch(const Matrix &, std::size_t)
 Matrix
 ReLU::forward(const Matrix &in, bool)
 {
-    input_ = in;
-    Matrix out = in;
-    reluInPlace(out);
+    // One fused pass produces both the activation and the sign mask
+    // backward needs, instead of the two full matrix copies (one kept
+    // as input_, one rectified) this used to make. The rectified value
+    // is the same select every kernels::relu ISA path computes, and
+    // both selects are branchless compare+blend so the loop vectorizes.
+    const std::size_t n = in.size();
+    mask_.resize(n);
+    Matrix out(in.rows(), in.cols());
+    float *__restrict d = out.data();
+    const float *__restrict x = in.data();
+    float *__restrict m = mask_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool pos = x[i] > 0.0f;
+        m[i] = pos ? 1.0f : 0.0f;
+        d[i] = pos ? x[i] : 0.0f;
+    }
     return out;
 }
 
 Matrix
 ReLU::backward(const Matrix &grad_out)
 {
-    panicIf(grad_out.size() != input_.size(), "ReLU backward shape mismatch");
-    Matrix grad_in = grad_out;
-    // Branchless select so the loop vectorizes (a data-dependent branch
-    // here costs ~10% of the whole training phase).
+    panicIf(grad_out.size() != mask_.size(), "ReLU backward shape mismatch");
+    Matrix grad_in(grad_out.rows(), grad_out.cols());
     float *__restrict g = grad_in.data();
-    const float *__restrict x = input_.data();
-    const std::size_t n = grad_in.size();
+    const float *__restrict go = grad_out.data();
+    const float *__restrict m = mask_.data();
+    const std::size_t n = grad_out.size();
+    // A select, not a multiply: m * go would turn a masked-off non-
+    // finite gradient into NaN instead of the 0 the original
+    // input-compare produced, changing the allFinite guard's verdict.
     for (std::size_t i = 0; i < n; ++i)
-        g[i] = x[i] > 0.0f ? g[i] : 0.0f;
+        g[i] = m[i] != 0.0f ? go[i] : 0.0f;
     return grad_in;
 }
 
@@ -76,14 +91,16 @@ MaxPool1D::pool(const Matrix &in, std::size_t samples)
     const std::size_t in_t = inCols_ / samples;
     const std::size_t out_t = std::max<std::size_t>(in_t / pool_, 1);
     Matrix out(inRows_, samples * out_t);
-    argmax_.assign(inRows_ * samples * out_t, 0);
+    // resize, not assign: every slot is overwritten below, so the
+    // assign() pre-zeroing was a wasted pass over a large buffer.
+    argmax_.resize(inRows_ * samples * out_t);
     // Pooling windows never cross a sample boundary: sample s occupies
     // input columns [s*in_t, (s+1)*in_t) and output columns
     // [s*out_t, (s+1)*out_t).
     for (std::size_t c = 0; c < inRows_; ++c) {
         const float *__restrict row = in.data() + c * inCols_;
         float *__restrict orow = out.data() + c * samples * out_t;
-        std::size_t *__restrict arow =
+        std::uint32_t *__restrict arow =
             argmax_.data() + c * samples * out_t;
         for (std::size_t s = 0; s < samples; ++s) {
             const std::size_t in_base = s * in_t;
@@ -102,7 +119,7 @@ MaxPool1D::pool(const Matrix &in, std::size_t samples)
                 }
                 const std::size_t oc = s * out_t + t;
                 orow[oc] = best;
-                arow[oc] = best_idx;
+                arow[oc] = static_cast<std::uint32_t>(best_idx);
             }
         }
     }

@@ -21,6 +21,7 @@
 #ifndef BF_ML_LAYER_HH
 #define BF_ML_LAYER_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -93,7 +94,15 @@ class ReLU : public Layer
     std::string name() const override { return "relu"; }
 
   private:
-    Matrix input_;
+    /**
+     * Sign mask of the last forward input (1.0f = positive, 0.0f
+     * otherwise), kept instead of the full input copy the layer used
+     * to store: backward only needs the sign. Float, not byte, lanes:
+     * a uint8 mask store in the middle of a float select defeats the
+     * autovectorizer, and at the conv front-end these loops stream
+     * megabytes per call.
+     */
+    std::vector<float> mask_;
 };
 
 /** Non-overlapping 1-D max pooling along the time axis. */
@@ -118,7 +127,12 @@ class MaxPool1D : public Layer
     Matrix pool(const Matrix &in, std::size_t samples);
 
     std::size_t pool_;
-    std::vector<std::size_t> argmax_;
+    /**
+     * Winning input column per output cell; 32-bit since pooled rows
+     * are far narrower than 4G columns, halving the stream backward
+     * re-reads.
+     */
+    std::vector<std::uint32_t> argmax_;
     std::size_t inRows_ = 0, inCols_ = 0;
 };
 

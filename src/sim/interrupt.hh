@@ -25,6 +25,7 @@
 
 #include "base/rng.hh"
 #include "base/types.hh"
+#include "sim/perf.hh"
 
 namespace bigfish::sim {
 
@@ -143,7 +144,26 @@ class HandlerCostModel
  * Sorts intervals by arrival and serializes overlaps: when an interrupt
  * arrives while another handler is still running it queues and executes
  * immediately afterwards, exactly as a single core would process it.
+ *
+ * Tie policy (audited, DESIGN.md §13): equal arrivals are *common* —
+ * tick-piggybacked softirq/IRQ-work entries arrive at exactly the
+ * tick's end — and the ordering comparator is a valid strict weak
+ * ordering that treats them as equivalent. The short-tail merge path
+ * is stable (prefix entries precede appended entries on ties, the
+ * std::inplace_merge contract). The bucket-sort fallback's std::sort
+ * leaves tie order to the standard library's (unstable, but
+ * deterministic for a fixed libstdc++ and input) introsort; that
+ * permutation is part of the repository's recorded bit-identity
+ * baseline and is deliberately preserved — see the property tests in
+ * tests/sim_test.cc (Normalize, TieHeavy*).
+ *
+ * @param perf When non-null, accumulates sort/merge work (bytesSorted,
+ *             arena acquisitions) into the counters.
  */
+void normalizeTimeline(std::vector<StolenInterval> &stolen,
+                       PerfCounters *perf);
+
+/** normalizeTimeline() without counter accounting. */
 void normalizeTimeline(std::vector<StolenInterval> &stolen);
 
 } // namespace bigfish::sim

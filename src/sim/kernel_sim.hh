@@ -35,6 +35,7 @@
 #include "base/rng.hh"
 #include "sim/activity.hh"
 #include "sim/machine.hh"
+#include "sim/perf.hh"
 #include "sim/run_timeline.hh"
 
 namespace bigfish::sim {
@@ -51,12 +52,22 @@ class KernelSim
     /**
      * Runs the event-driven simulation for one trace.
      *
+     * Event streams are generated per source (per-core tick trains,
+     * per-step noise spans) and k-way merged by (time, emission order)
+     * instead of globally sorted: each source is already in time order,
+     * so the merge is linear with an explicit deterministic tie-break.
+     *
      * @param activity The victim's activity over the run.
      * @param rng Per-run randomness.
+     * @param perf When non-null, accumulates simulated-event counters.
      * @return The attacker-core timeline (sorted, serialized), with the
      *         same iteration-cost-factor and occupancy semantics as the
      *         statistical synthesizer.
      */
+    RunTimeline run(const ActivityTimeline &activity, Rng &rng,
+                    PerfCounters *perf) const;
+
+    /** run() without counter accounting. */
     RunTimeline run(const ActivityTimeline &activity, Rng &rng) const;
 
   private:

@@ -1,41 +1,6 @@
 #include "sim/run_timeline.hh"
 
-#include <algorithm>
-
 namespace bigfish::sim {
-
-std::size_t
-RunTimeline::stepAt(TimeNs t) const
-{
-    if (t < 0 || iterCostFactor.empty())
-        return 0;
-    const std::size_t index = static_cast<std::size_t>(t / activityInterval);
-    return std::min(index, iterCostFactor.size() - 1);
-}
-
-double
-RunTimeline::iterCostFactorAt(TimeNs t) const
-{
-    if (iterCostFactor.empty())
-        return 1.0;
-    return iterCostFactor[stepAt(t)];
-}
-
-double
-RunTimeline::occupancyAt(TimeNs t) const
-{
-    if (occupancy.empty())
-        return 0.0;
-    return occupancy[std::min(stepAt(t), occupancy.size() - 1)];
-}
-
-TimeNs
-RunTimeline::stepEnd(TimeNs t) const
-{
-    const TimeNs end =
-        (static_cast<TimeNs>(stepAt(t)) + 1) * activityInterval;
-    return std::min(end, duration);
-}
 
 TimeNs
 RunTimeline::totalStolenAll() const

@@ -16,6 +16,7 @@
 #ifndef BF_SIM_RUN_TIMELINE_HH
 #define BF_SIM_RUN_TIMELINE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -44,17 +45,48 @@ struct RunTimeline
     /** Per-step victim LLC occupancy in [0, 1]. */
     std::vector<double> occupancy;
 
+    // The step accessors are inline: the execution engine calls them on
+    // every segment of every measurement period (tens of millions of
+    // times per run), and out-of-line they cost a call plus a repeated
+    // t / activityInterval division the caller could otherwise CSE.
+
     /** Step index for real time @p t, clamped to the last step. */
-    std::size_t stepAt(TimeNs t) const;
+    std::size_t
+    stepAt(TimeNs t) const
+    {
+        if (t < 0 || iterCostFactor.empty())
+            return 0;
+        const std::size_t index =
+            static_cast<std::size_t>(t / activityInterval);
+        return std::min(index, iterCostFactor.size() - 1);
+    }
 
     /** Iteration-cost factor in effect at real time @p t. */
-    double iterCostFactorAt(TimeNs t) const;
+    double
+    iterCostFactorAt(TimeNs t) const
+    {
+        if (iterCostFactor.empty())
+            return 1.0;
+        return iterCostFactor[stepAt(t)];
+    }
 
     /** Victim LLC occupancy in effect at real time @p t. */
-    double occupancyAt(TimeNs t) const;
+    double
+    occupancyAt(TimeNs t) const
+    {
+        if (occupancy.empty())
+            return 0.0;
+        return occupancy[std::min(stepAt(t), occupancy.size() - 1)];
+    }
 
     /** Real time at which the step containing @p t ends. */
-    TimeNs stepEnd(TimeNs t) const;
+    TimeNs
+    stepEnd(TimeNs t) const
+    {
+        const TimeNs end =
+            (static_cast<TimeNs>(stepAt(t)) + 1) * activityInterval;
+        return std::min(end, duration);
+    }
 
     /** Sum of stolen durations for which @p predicate holds. */
     template <typename Predicate>

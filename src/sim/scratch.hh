@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SimScratch: the per-thread scratch arena of the simulator hot path
+ * (DESIGN.md §13).
+ *
+ * Trace collection synthesizes one timeline per (site, run) cell, and
+ * before the arena existed every cell paid the same multi-megabyte
+ * allocation pattern from scratch: a fresh emission vector grown
+ * through several doublings, a fresh scatter target plus two offset
+ * vectors inside the bucket sort, and a hidden temporary buffer inside
+ * std::inplace_merge. None of those buffers' *contents* survive a cell,
+ * but their *capacity* should: the grid collects thousands of cells of
+ * near-identical size per thread.
+ *
+ * The arena is strictly capacity reuse. Every algorithm that borrows a
+ * buffer fully overwrites the range it reads back, so results are
+ * byte-identical to the fresh-allocation code — vector capacity is
+ * invisible to output. Buffers are thread_local, so pool threads never
+ * share or synchronize, and thread count cannot influence results
+ * (each cell's output never depends on which thread's arena served it).
+ *
+ * Rules for borrowing (keep these, reviewers check them):
+ *  1. assign()/clear() before reading anything back — stale contents
+ *     from the previous cell must be unobservable.
+ *  2. Never hold a borrowed buffer across a call that may also borrow
+ *     it (the synthesizer's emit buffer and the bucket sort's scatter
+ *     target are distinct members for exactly this reason).
+ *  3. Swapping a borrowed buffer with a caller vector is encouraged:
+ *     the arena inherits the caller's capacity for the next cell.
+ */
+
+#ifndef BF_SIM_SCRATCH_HH
+#define BF_SIM_SCRATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/interrupt.hh"
+
+namespace bigfish::sim {
+
+/** Reusable per-thread buffers for timeline synthesis and sorting. */
+class SimScratch
+{
+  public:
+    /** Emission buffer the synthesizer builds timelines in. */
+    std::vector<StolenInterval> emit;
+    /** Bucket-sort scatter target (swapped with the input each call). */
+    std::vector<StolenInterval> sorted;
+    /** Bucket-sort bucket offsets (size buckets + 1). */
+    std::vector<std::size_t> offsets;
+    /** Bucket-sort scatter cursors (size buckets). */
+    std::vector<std::size_t> cursor;
+    /** Tail copy for the sorted-prefix merge in normalizeTimeline(). */
+    std::vector<StolenInterval> tailMerge;
+
+    /** This thread's arena. Pool threads each get their own. */
+    static SimScratch &
+    local()
+    {
+        thread_local SimScratch scratch;
+        return scratch;
+    }
+};
+
+} // namespace bigfish::sim
+
+#endif // BF_SIM_SCRATCH_HH

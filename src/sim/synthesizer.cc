@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "sim/scratch.hh"
 
 namespace bigfish::sim {
 
@@ -120,7 +121,7 @@ InterruptSynthesizer::emitTicks(const ActivityTimeline &activity, Rng &rng,
 
 RunTimeline
 InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
-                                 Rng &rng) const
+                                 Rng &rng, PerfCounters *perf) const
 {
     RunTimeline timeline;
     timeline.duration = activity.duration();
@@ -128,7 +129,12 @@ InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
     timeline.iterCostFactor.resize(activity.numIntervals(), 1.0);
     timeline.occupancy.resize(activity.numIntervals(), 0.0);
 
-    std::vector<StolenInterval> &out = timeline.stolen;
+    // Build the interval stream in the per-thread arena; it is copied
+    // into timeline.stolen exactly-sized at the end, so a warm thread
+    // never regrows a buffer here no matter how stormy the run is.
+    SimScratch &scratch = SimScratch::local();
+    std::vector<StolenInterval> &out = scratch.emit;
+    out.clear();
     const double route = movableRouteFraction();
     const double cores = static_cast<double>(config_.numCores);
 
@@ -301,13 +307,38 @@ InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
             0.0, 1.0);
     }
 
-    normalizeTimeline(out);
+    if (perf) {
+        // Events are counted as emitted, before normalization clamps the
+        // stream: one per stolen interval plus one per activity step
+        // update, a pure function of the run content.
+        perf->eventsSimulated +=
+            static_cast<long long>(out.size() + activity.numIntervals());
+        for (const StolenInterval &s : out) {
+            if (isInterrupt(s.kind))
+                ++perf->interruptsSynthesized;
+        }
+    }
+
+    normalizeTimeline(out, perf);
     // Clamp anything pushed past the end of the run by serialization.
     while (!out.empty() && out.back().arrival >= timeline.duration)
         out.pop_back();
     if (!out.empty() && out.back().end() > timeline.duration)
         out.back().duration = timeline.duration - out.back().arrival;
+
+    // Materialize the result with one exact-size allocation (the arena
+    // buffer stays behind, capacity intact, for the next cell).
+    timeline.stolen.assign(out.begin(), out.end());
+    if (perf)
+        perf->allocations += 1;
     return timeline;
+}
+
+RunTimeline
+InterruptSynthesizer::synthesize(const ActivityTimeline &activity,
+                                 Rng &rng) const
+{
+    return synthesize(activity, rng, nullptr);
 }
 
 } // namespace bigfish::sim

@@ -31,6 +31,7 @@
 #include "base/rng.hh"
 #include "sim/activity.hh"
 #include "sim/machine.hh"
+#include "sim/perf.hh"
 #include "sim/run_timeline.hh"
 
 namespace bigfish::sim {
@@ -48,10 +49,20 @@ class InterruptSynthesizer
     /**
      * Synthesizes the attacker-core schedule for one run.
      *
+     * The timeline is built in the per-thread SimScratch arena and
+     * materialized into the result with a single exact-size copy, so a
+     * warm thread performs no growth reallocations on this path.
+     *
      * @param activity The victim's activity over the run.
      * @param rng Per-run randomness (fork one stream per trace).
+     * @param perf When non-null, accumulates emitted events, synthesized
+     *             interrupts, logical allocations and sorted bytes.
      * @return The materialized, normalized timeline.
      */
+    RunTimeline synthesize(const ActivityTimeline &activity, Rng &rng,
+                           PerfCounters *perf) const;
+
+    /** synthesize() without counter accounting. */
     RunTimeline synthesize(const ActivityTimeline &activity, Rng &rng) const;
 
   private:

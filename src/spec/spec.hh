@@ -44,11 +44,15 @@ namespace bigfish::spec {
  *  v2 — adds "schemaVersion" and the per-stage "stages" table (the
  *       phase rollup is reduced from it); drops the overlapping-wall
  *       trainSeconds/evalSeconds legacy fields.
+ *  v3 — stage lines gain simulator perf counters (simEvents,
+ *       simInterrupts, simAllocations, simBytesSorted,
+ *       simEventsPerSec; see sim/perf.hh), carried on the *Seconds
+ *       line so cold/warm artifact diffs stay clean.
  * Spec replay (`--spec=<artifact.json>`) accepts any version up to
  * this one — parameters live under "spec" in every version — and
  * rejects newer artifacts with a clear version-mismatch error.
  */
-inline constexpr long long kArtifactSchemaVersion = 2;
+inline constexpr long long kArtifactSchemaVersion = 3;
 
 /** The type of one declared parameter. */
 enum class ValueType

@@ -11,27 +11,10 @@ QuantizedTimer::QuantizedTimer(TimeNs resolution) : resolution_(resolution)
     fatalIf(resolution <= 0, "QuantizedTimer resolution must be positive");
 }
 
-TimeNs
-QuantizedTimer::observe(TimeNs real)
-{
-    return (real / resolution_) * resolution_;
-}
-
 JitteredTimer::JitteredTimer(TimeNs resolution, std::uint64_t seed)
     : resolution_(resolution), seed_(seed)
 {
     fatalIf(resolution <= 0, "JitteredTimer resolution must be positive");
-}
-
-TimeNs
-JitteredTimer::observe(TimeNs real)
-{
-    const TimeNs quantum = real / resolution_;
-    // e in {0, A}: the paper notes e is computed with a hash rather than
-    // drawn at read time so the timer remains monotone and consistent.
-    const bool jitter_up =
-        (mix64(static_cast<std::uint64_t>(quantum) ^ seed_) & 1) != 0;
-    return quantum * resolution_ + (jitter_up ? resolution_ : 0);
 }
 
 RandomizedTimer::RandomizedTimer(RandomizedTimerParams params,

@@ -59,8 +59,15 @@ class TimerModel
     virtual std::string name() const = 0;
 };
 
+// The concrete timers are `final` with inline observe() bodies: the
+// execution engine's period loop makes tens of millions of observe()
+// calls per run, and when the engine's templated fast path holds a
+// concrete reference the compiler can then devirtualize and inline the
+// read instead of an indirect call per probe (the generic TimerModel&
+// path still works and returns identical values).
+
 /** A perfect clock: observe(T) == T. */
-class PreciseTimer : public TimerModel
+class PreciseTimer final : public TimerModel
 {
   public:
     TimeNs observe(TimeNs real) override { return real; }
@@ -70,13 +77,17 @@ class PreciseTimer : public TimerModel
 };
 
 /** Tor-style quantization: floor(T/A)*A. */
-class QuantizedTimer : public TimerModel
+class QuantizedTimer final : public TimerModel
 {
   public:
     /** @param resolution The quantum A in nanoseconds. */
     explicit QuantizedTimer(TimeNs resolution);
 
-    TimeNs observe(TimeNs real) override;
+    TimeNs
+    observe(TimeNs real) override
+    {
+        return (real / resolution_) * resolution_;
+    }
     void reset(std::uint64_t) override {}
     TimeNs resolution() const override { return resolution_; }
     std::string name() const override { return "quantized"; }
@@ -90,7 +101,7 @@ class QuantizedTimer : public TimerModel
  * by a keyed hash of the quantum index, so the output stays monotone and
  * deterministic yet unpredictable to the attacker.
  */
-class JitteredTimer : public TimerModel
+class JitteredTimer final : public TimerModel
 {
   public:
     /**
@@ -99,7 +110,17 @@ class JitteredTimer : public TimerModel
      */
     JitteredTimer(TimeNs resolution, std::uint64_t seed);
 
-    TimeNs observe(TimeNs real) override;
+    TimeNs
+    observe(TimeNs real) override
+    {
+        const TimeNs quantum = real / resolution_;
+        // e in {0, A}: the paper notes e is computed with a hash rather
+        // than drawn at read time so the timer remains monotone and
+        // consistent.
+        const bool jitter_up =
+            (mix64(static_cast<std::uint64_t>(quantum) ^ seed_) & 1) != 0;
+        return quantum * resolution_ + (jitter_up ? resolution_ : 0);
+    }
     void reset(std::uint64_t seed) override { seed_ = seed; }
     TimeNs resolution() const override { return resolution_; }
     std::string name() const override { return "jittered"; }
@@ -129,7 +150,7 @@ struct RandomizedTimerParams
  * whose timing and size the attacker cannot invert, destroying the
  * ability to delimit fixed-length measurement periods (Figure 8c).
  */
-class RandomizedTimer : public TimerModel
+class RandomizedTimer final : public TimerModel
 {
   public:
     RandomizedTimer(RandomizedTimerParams params, std::uint64_t seed);

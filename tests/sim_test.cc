@@ -134,6 +134,133 @@ TEST(NormalizeTimeline, SortsAndSerializesOverlaps)
         EXPECT_GE(stolen[i].arrival, stolen[i - 1].end());
 }
 
+/** Field-wise equality; StolenInterval deliberately has no operator==. */
+bool
+sameIntervals(const std::vector<StolenInterval> &a,
+              const std::vector<StolenInterval> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].arrival != b[i].arrival || a[i].duration != b[i].duration ||
+            a[i].kind != b[i].kind)
+            return false;
+    }
+    return true;
+}
+
+/** A stream where most arrivals collide: every tick lands piggybacked
+ *  softirq/IRQ-work entries at exactly the same nanosecond, the
+ *  real-world tie source (emitTicks emits both at tick.end()). */
+std::vector<StolenInterval>
+tieHeavyStream(std::size_t groups, std::size_t per_group,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<StolenInterval> stolen;
+    stolen.reserve(groups * per_group);
+    const InterruptKind kinds[] = {
+        InterruptKind::TimerTick, InterruptKind::SoftirqTimer,
+        InterruptKind::IrqWork, InterruptKind::ReschedIpi,
+    };
+    for (std::size_t g = 0; g < groups; ++g) {
+        // Unsorted group starts so both merge paths see ties.
+        const TimeNs at = static_cast<TimeNs>(
+            rng.uniform() * 1e6 * static_cast<double>(groups));
+        for (std::size_t i = 0; i < per_group; ++i) {
+            StolenInterval s;
+            s.arrival = at; // Every entry in the group ties.
+            s.duration = 100 + static_cast<TimeNs>(rng.uniform() * 900.0);
+            s.kind = kinds[i % (sizeof(kinds) / sizeof(kinds[0]))];
+            stolen.push_back(s);
+        }
+    }
+    return stolen;
+}
+
+TEST(NormalizeTimeline, TieHeavyStreamsNormalizeDeterministically)
+{
+    // byArrival compares with strict `<` — a valid strict weak ordering
+    // that treats tied arrivals as equivalent. What order equivalent
+    // elements end up in is the library sort's business in the bucket
+    // fallback; this property pins the part we rely on: for a fixed
+    // input the result is reproducible call over call, sorted, and
+    // loses no events. Exercises both the short-tail merge (small
+    // stream) and the bucket sort (large stream).
+    for (const std::size_t groups : {8u, 600u}) {
+        const auto original = tieHeavyStream(groups, 6, 2022);
+        auto first = original;
+        normalizeTimeline(first);
+        auto second = original;
+        normalizeTimeline(second);
+        EXPECT_TRUE(sameIntervals(first, second)) << groups << " groups";
+        ASSERT_EQ(first.size(), original.size());
+        TimeNs busy = 0;
+        for (const StolenInterval &s : first) {
+            EXPECT_GE(s.arrival, busy); // Sorted and serialized.
+            busy = s.end();
+        }
+        // Same work, just reordered: durations survive as a multiset.
+        std::multiset<TimeNs> want, got;
+        for (const StolenInterval &s : original)
+            want.insert(s.duration);
+        for (const StolenInterval &s : first)
+            got.insert(s.duration);
+        EXPECT_EQ(want, got);
+    }
+}
+
+TEST(NormalizeTimeline, TiedTailEntriesStayBehindTiedPrefixEntries)
+{
+    // The short-tail merge path must be *stable*: entries appended
+    // after an already-normalized prefix (browser stalls, injected
+    // faults) that tie with a prefix arrival go after the prefix
+    // entry, matching the std::inplace_merge contract the arena-backed
+    // merge replaced.
+    std::vector<StolenInterval> stolen;
+    for (int i = 0; i < 40; ++i) {
+        StolenInterval s;
+        s.arrival = 1000 * (i + 1);
+        s.duration = 10;
+        s.kind = InterruptKind::TimerTick; // Marks "prefix".
+        stolen.push_back(s);
+    }
+    for (int i = 0; i < 10; ++i) {
+        StolenInterval s;
+        s.arrival = 1000 * (4 * i + 1); // Ties an existing prefix arrival.
+        s.duration = 10;
+        s.kind = InterruptKind::NetworkRx; // Marks "appended tail".
+        stolen.push_back(s);
+    }
+    normalizeTimeline(stolen);
+    ASSERT_EQ(stolen.size(), 50u);
+    // Wherever a tail entry landed, the prefix entry it tied with must
+    // be directly before it (serialization preserves vector order).
+    for (std::size_t i = 0; i < stolen.size(); ++i) {
+        if (stolen[i].kind == InterruptKind::NetworkRx) {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(stolen[i - 1].kind, InterruptKind::TimerTick)
+                << "tail entry overtook its tied prefix entry at " << i;
+        }
+    }
+}
+
+TEST(NormalizeTimeline, CounterOverloadIsBitIdenticalToPlainCall)
+{
+    // The PerfCounters* overload must never change results — counters
+    // observe the work, they don't participate in it.
+    for (const std::size_t groups : {8u, 600u}) {
+        auto plain = tieHeavyStream(groups, 6, 7);
+        auto counted = plain;
+        normalizeTimeline(plain);
+        PerfCounters perf;
+        normalizeTimeline(counted, &perf);
+        EXPECT_TRUE(sameIntervals(plain, counted)) << groups << " groups";
+        EXPECT_GT(perf.bytesSorted, 0);
+        EXPECT_GT(perf.allocations, 0);
+    }
+}
+
 TEST(ActivityTimeline, IndexingAndClamping)
 {
     ActivityTimeline timeline(100 * kMsec, 10 * kMsec);

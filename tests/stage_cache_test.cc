@@ -302,6 +302,44 @@ TEST(StageCache, EvictRemovesOldestBeyondBudget)
             << i;
 }
 
+TEST(StageCache, HitRefreshesMtimeSoHotEntriesSurviveEviction)
+{
+    // Regression test: eviction ranks entries by mtime, and before
+    // touch-on-hit a lookup left the mtime at store time — so the
+    // *hottest* entry of a long-lived cache (stored first, hit on
+    // every run) was always the first one evicted.
+    StageCache cache = openFresh("touch_on_hit");
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(cache
+                        .put("featurized", i,
+                               encodeFeaturized(makeEntry(i, false)))
+                        .isOk());
+        // Backdate into the past, store order = age order (oldest
+        // first), so the touch below — which stamps "now" — must beat
+        // every sibling on any filesystem granularity.
+        const std::string path = cache.entryPath("featurized", i);
+        const auto stamp = fs::last_write_time(path);
+        fs::last_write_time(path,
+                            stamp - std::chrono::seconds(100 - 10 * i));
+    }
+
+    // Hit the oldest-stored entry: the touch must move it past its
+    // siblings' mtimes, or the assertion below would evict it.
+    ASSERT_TRUE(cache.lookup("featurized", 0).has_value());
+    const auto touched = fs::last_write_time(cache.entryPath("featurized", 0));
+    for (std::uint64_t i = 1; i < 4; ++i)
+        EXPECT_GT(touched,
+                  fs::last_write_time(cache.entryPath("featurized", i)))
+            << "entry " << i;
+
+    // Evicting down to one entry must keep the hot key 0 and drop the
+    // never-hit entries instead.
+    EXPECT_EQ(cache.evict(1), 3u);
+    EXPECT_TRUE(fs::exists(cache.entryPath("featurized", 0)));
+    for (std::uint64_t i = 1; i < 4; ++i)
+        EXPECT_FALSE(fs::exists(cache.entryPath("featurized", i))) << i;
+}
+
 TEST(StageCache, ConcurrentWritersOfSameKeyLeaveAValidEntry)
 {
     // The pipeline's contract: concurrent writers race to write

@@ -68,7 +68,8 @@ allRuleNames()
 {
     return {"nondeterminism",     "unordered-iteration",
             "discarded-status",   "raw-thread",
-            "parallel-float-accum", "intrinsics-header",
+            "allocating-algorithm", "parallel-float-accum",
+            "intrinsics-header",
             "layering",           "unused-include",
             "status-swallowed",   "ordie-outside-binary",
             "parallel-capture-race", "parallel-mutex",

@@ -1,0 +1,22 @@
+// Fixture for the `allocating-algorithm` rule: std::inplace_merge,
+// std::stable_sort and std::stable_partition each allocate a hidden
+// temporary buffer per call (and silently degrade when the allocation
+// fails), which is exactly the per-cell cost class the simulator hot
+// path eliminated — DESIGN.md §13.
+#include <algorithm>
+#include <vector>
+
+bool isEven(int v);
+
+void
+fixtureBody(std::vector<int> &values, std::size_t mid)
+{
+    std::stable_sort(values.begin(), values.end());      // expect-lint: allocating-algorithm
+    std::inplace_merge(values.begin(),                   // expect-lint: allocating-algorithm
+                       values.begin() + mid, values.end());
+    std::stable_partition(values.begin(), values.end(),  // expect-lint: allocating-algorithm
+                          isEven);
+
+    // A plain sort allocates nothing and stays clean.
+    std::sort(values.begin(), values.end());
+}

@@ -49,6 +49,9 @@ ruleSummaries()
          "[[nodiscard]]."},
         {"raw-thread",
          "Raw std::thread/std::async only inside base/thread_pool."},
+        {"allocating-algorithm",
+         "No hidden-temp-buffer algorithms (inplace_merge, stable_sort, "
+         "stable_partition) in hot paths; use the arena merge."},
         {"parallel-float-accum",
          "No compound accumulation onto captured variables in parallel "
          "bodies."},

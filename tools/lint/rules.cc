@@ -388,6 +388,33 @@ ruleRawThread(const std::string &relPath, const LexedFile &file,
     }
 }
 
+// --- Rule: allocating-algorithm ----------------------------------------
+
+void
+ruleAllocatingAlgorithm(const std::string &relPath, const LexedFile &file,
+                        std::vector<Diagnostic> &out)
+{
+    // These three allocate a hidden temporary buffer per call (libstdc++
+    // get_temporary_buffer) and silently degrade to O(n log n) in-place
+    // when the allocation fails — both properties are invisible at the
+    // call site. The simulator's (site,run) grid executes its hot path
+    // millions of times, so per-call hidden allocations are exactly the
+    // cold-run cost class PR 10 removed (DESIGN.md §13).
+    static const std::set<std::string> kAllocating = {
+        "inplace_merge", "stable_sort", "stable_partition"};
+    const auto &toks = file.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (toks[i].text == "std" && toks[i + 1].text == "::" &&
+            kAllocating.count(toks[i + 2].text) != 0) {
+            emit(out, file, relPath, toks[i].line, "allocating-algorithm",
+                 "'std::" + toks[i + 2].text + "' allocates a hidden "
+                 "temporary buffer per call; in simulator hot paths use "
+                 "an arena-backed explicit merge (sim/scratch.hh) or a "
+                 "plain std::sort instead");
+        }
+    }
+}
+
 // --- Rule: parallel-float-accum ----------------------------------------
 
 void
@@ -530,6 +557,8 @@ runRules(const std::string &relPath, const LexedFile &file, bool isHeader,
         ruleDiscardedStatus(relPath, file, isHeader, statusReturners, out);
     if (wants("raw-thread"))
         ruleRawThread(relPath, file, out);
+    if (wants("allocating-algorithm"))
+        ruleAllocatingAlgorithm(relPath, file, out);
     if (wants("parallel-float-accum"))
         ruleParallelFloatAccum(relPath, file, out);
     if (wants("intrinsics-header"))

@@ -15,6 +15,12 @@
  *  raw-thread           — std::thread/std::async only inside
  *                         base/thread_pool; everything else goes
  *                         through parallelFor/parallelMap.
+ *  allocating-algorithm — no std::inplace_merge / stable_sort /
+ *                         stable_partition: each allocates a hidden
+ *                         temporary buffer per call, the cold-run cost
+ *                         class the simulator hot path eliminated
+ *                         (DESIGN.md §13); use the SimScratch arena
+ *                         merge or a plain std::sort.
  *  parallel-float-accum — no `x += ...` reductions onto captured
  *                         variables inside parallelFor/parallelMap
  *                         bodies; accumulate into pre-sized slots or
